@@ -1,0 +1,240 @@
+//! The accelerator's memory subsystem (§5.1).
+//!
+//! Kelle splits on-chip storage into a 2 MB weight SRAM, a 4 MB banked
+//! KV-cache eDRAM and a 256 KB activation eDRAM; the SRAM baselines use one
+//! unified SRAM for everything.  Model weights are far larger than any on-chip
+//! memory (≈ 6.5 GB at 8 bits for LLaMA2-7B), so weights always stream from
+//! the LPDDR4 channel through the weight memory; the KV cache is served from
+//! the on-chip KV memory up to its capacity and spills the remainder to DRAM.
+
+use kelle_edram::{BankedLayout, DramSpec, MemorySpec, MemoryTechnology};
+use serde::{Deserialize, Serialize};
+
+/// Cost of one traffic operation, split by where the bytes moved.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrafficCost {
+    /// Exposed transfer time in seconds.
+    pub time_s: f64,
+    /// Energy spent in on-chip memories, in joules.
+    pub onchip_energy_j: f64,
+    /// Energy spent on the DRAM channel, in joules.
+    pub dram_energy_j: f64,
+    /// Bytes served on-chip.
+    pub onchip_bytes: u64,
+    /// Bytes served from DRAM.
+    pub dram_bytes: u64,
+}
+
+/// The on-chip + off-chip memory configuration of a platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemorySubsystem {
+    /// Weight buffer (always SRAM in the evaluated platforms).
+    pub weight_memory: MemorySpec,
+    /// KV-cache memory (SRAM for the baselines, banked eDRAM for Kelle).
+    pub kv_memory: MemorySpec,
+    /// Activation buffer (Kelle uses a small dedicated eDRAM; the SRAM
+    /// baselines carve activations out of the unified SRAM).
+    pub activation_memory: MemorySpec,
+    /// Bank organisation of the KV memory (only meaningful for eDRAM).
+    pub kv_banks: Option<BankedLayout>,
+    /// The off-chip DRAM channel.
+    pub dram: DramSpec,
+}
+
+impl MemorySubsystem {
+    /// The Kelle accelerator's memory subsystem: 2 MB weight SRAM (128 GB/s),
+    /// 4 MB KV eDRAM (256 GB/s, 32 banks), 256 KB activation eDRAM.
+    pub fn kelle_default() -> Self {
+        MemorySubsystem {
+            weight_memory: MemorySpec::kelle_weight_sram(),
+            kv_memory: MemorySpec::kelle_kv_edram(),
+            activation_memory: MemorySpec::kelle_activation_edram(),
+            kv_banks: Some(BankedLayout::kelle_default()),
+            dram: DramSpec::lpddr4_16gb(),
+        }
+    }
+
+    /// The area-matched SRAM baseline: a 4 MB unified SRAM of which 2 MB acts
+    /// as the weight buffer, ~1.75 MB as KV storage and 256 KB as activation
+    /// buffer (§8.1.1 keeps total on-chip area equal to Kelle, which is why
+    /// the SRAM platform ends up with both less storage and a smaller array).
+    pub fn baseline_sram() -> Self {
+        MemorySubsystem {
+            weight_memory: MemorySpec::new(MemoryTechnology::Sram, 2 * 1024 * 1024, 128.0),
+            kv_memory: MemorySpec::new(MemoryTechnology::Sram, 1792 * 1024, 128.0),
+            activation_memory: MemorySpec::new(MemoryTechnology::Sram, 256 * 1024, 128.0),
+            kv_banks: None,
+            dram: DramSpec::lpddr4_16gb(),
+        }
+    }
+
+    /// A Kelle-style subsystem with the §8.3.7 halved-bandwidth eDRAM (same
+    /// capacity, 16 banks, 128 GB/s).
+    pub fn kelle_halved_bandwidth() -> Self {
+        let mut base = Self::kelle_default();
+        base.kv_memory = MemorySpec::new(MemoryTechnology::Edram, 4 * 1024 * 1024, 128.0);
+        base.kv_banks = Some(BankedLayout::kelle_default().halved_banks());
+        base
+    }
+
+    /// Whether the KV memory is eDRAM (and therefore needs refresh).
+    pub fn kv_is_edram(&self) -> bool {
+        self.kv_memory.technology == MemoryTechnology::Edram
+    }
+
+    /// Total on-chip capacity in bytes.
+    pub fn onchip_capacity_bytes(&self) -> u64 {
+        self.weight_memory.capacity_bytes
+            + self.kv_memory.capacity_bytes
+            + self.activation_memory.capacity_bytes
+    }
+
+    /// Sum of on-chip leakage power in watts.
+    pub fn onchip_leakage_w(&self) -> f64 {
+        self.weight_memory.leakage_w()
+            + self.kv_memory.leakage_w()
+            + self.activation_memory.leakage_w()
+    }
+
+    /// Cost of streaming `bytes` bytes of weights from DRAM through the weight
+    /// buffer into the array.
+    pub fn weight_stream_cost(&self, bytes: u64) -> TrafficCost {
+        let dram_time = self.dram.access_time_s(bytes);
+        let sram_time = self.weight_memory.access_time_s(bytes);
+        TrafficCost {
+            time_s: dram_time.max(sram_time),
+            onchip_energy_j: self.weight_memory.access_energy_j(bytes),
+            dram_energy_j: self.dram.access_energy_j(bytes),
+            onchip_bytes: bytes,
+            dram_bytes: bytes,
+        }
+    }
+
+    /// Cost of reading `resident_bytes` of KV data that fit in the on-chip KV
+    /// memory plus `overflow_bytes` that must come from DRAM.
+    pub fn kv_read_cost(&self, resident_bytes: u64, overflow_bytes: u64) -> TrafficCost {
+        let onchip_time = self.kv_memory.access_time_s(resident_bytes);
+        let dram_time = if overflow_bytes > 0 {
+            self.dram.access_time_s(overflow_bytes)
+        } else {
+            0.0
+        };
+        TrafficCost {
+            // On-chip reads and DRAM fetches of the overflow proceed in
+            // parallel on separate interfaces; the step waits for the slower.
+            time_s: onchip_time.max(dram_time),
+            // DRAM-fetched KV data is staged through the on-chip KV buffer
+            // before reaching the array, so it pays the buffer access energy
+            // in addition to the channel energy.
+            onchip_energy_j: self
+                .kv_memory
+                .access_energy_j(resident_bytes + overflow_bytes),
+            dram_energy_j: self.dram.access_energy_j(overflow_bytes),
+            onchip_bytes: resident_bytes + overflow_bytes,
+            dram_bytes: overflow_bytes,
+        }
+    }
+
+    /// Cost of writing `bytes` of new KV data, split between on-chip residence
+    /// and DRAM spill in the same proportion as the read path.
+    pub fn kv_write_cost(&self, resident_bytes: u64, overflow_bytes: u64) -> TrafficCost {
+        // Writes and reads cost the same per byte in the Table 1 model.
+        self.kv_read_cost(resident_bytes, overflow_bytes)
+    }
+
+    /// Splits a total KV working set into (on-chip, DRAM-overflow) bytes given
+    /// the KV memory capacity.
+    pub fn split_kv_residency(&self, total_bytes: u64) -> (u64, u64) {
+        let capacity = self.kv_memory.capacity_bytes;
+        if total_bytes <= capacity {
+            (total_bytes, 0)
+        } else {
+            (capacity, total_bytes - capacity)
+        }
+    }
+
+    /// Cost of moving `bytes` of activations through the activation buffer.
+    pub fn activation_cost(&self, bytes: u64) -> TrafficCost {
+        TrafficCost {
+            time_s: self.activation_memory.access_time_s(bytes),
+            onchip_energy_j: self.activation_memory.access_energy_j(bytes),
+            dram_energy_j: 0.0,
+            onchip_bytes: bytes,
+            dram_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kelle_subsystem_shape() {
+        let mem = MemorySubsystem::kelle_default();
+        assert!(mem.kv_is_edram());
+        assert_eq!(mem.kv_memory.capacity_bytes, 4 * 1024 * 1024);
+        assert_eq!(mem.weight_memory.capacity_bytes, 2 * 1024 * 1024);
+        assert_eq!(mem.kv_banks.unwrap().total_banks, 32);
+    }
+
+    #[test]
+    fn baseline_sram_has_no_refreshable_memory() {
+        let mem = MemorySubsystem::baseline_sram();
+        assert!(!mem.kv_is_edram());
+        assert!(mem.kv_banks.is_none());
+        // Area parity: the SRAM platform's on-chip capacity is smaller than
+        // Kelle's because SRAM is less dense.
+        assert!(mem.onchip_capacity_bytes() < MemorySubsystem::kelle_default().onchip_capacity_bytes());
+    }
+
+    #[test]
+    fn weight_stream_is_dram_bound() {
+        let mem = MemorySubsystem::kelle_default();
+        let cost = mem.weight_stream_cost(1 << 30);
+        // 1 GiB at 64 GB/s ~ 16.8 ms, far above the SRAM time.
+        assert!(cost.time_s > 0.015);
+        assert!(cost.dram_energy_j > cost.onchip_energy_j * 0.5);
+    }
+
+    #[test]
+    fn kv_residency_split() {
+        let mem = MemorySubsystem::kelle_default();
+        assert_eq!(mem.split_kv_residency(1024), (1024, 0));
+        let (resident, overflow) = mem.split_kv_residency(10 * 1024 * 1024);
+        assert_eq!(resident, 4 * 1024 * 1024);
+        assert_eq!(overflow, 6 * 1024 * 1024);
+    }
+
+    #[test]
+    fn kv_overflow_costs_dram_energy() {
+        let mem = MemorySubsystem::kelle_default();
+        let no_overflow = mem.kv_read_cost(1 << 20, 0);
+        let with_overflow = mem.kv_read_cost(1 << 20, 1 << 20);
+        assert_eq!(no_overflow.dram_energy_j, 0.0);
+        assert!(with_overflow.dram_energy_j > 0.0);
+        assert!(with_overflow.time_s >= no_overflow.time_s);
+    }
+
+    #[test]
+    fn edram_kv_reads_cheaper_than_sram_kv_reads() {
+        let kelle = MemorySubsystem::kelle_default();
+        let sram = MemorySubsystem::baseline_sram();
+        let bytes = 1 << 20;
+        assert!(
+            kelle.kv_read_cost(bytes, 0).onchip_energy_j
+                < sram.kv_read_cost(bytes, 0).onchip_energy_j
+        );
+    }
+
+    #[test]
+    fn halved_bandwidth_variant() {
+        let mem = MemorySubsystem::kelle_halved_bandwidth();
+        assert_eq!(mem.kv_banks.unwrap().total_banks, 16);
+        assert_eq!(mem.kv_memory.capacity_bytes, 4 * 1024 * 1024);
+        let full = MemorySubsystem::kelle_default();
+        assert!(
+            mem.kv_read_cost(1 << 22, 0).time_s > full.kv_read_cost(1 << 22, 0).time_s
+        );
+    }
+}

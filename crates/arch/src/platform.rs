@@ -1,0 +1,746 @@
+//! End-to-end platform models and the step-level simulation (§8.1).
+//!
+//! A [`Platform`] bundles a compute array, a memory subsystem, a KV-cache
+//! policy, a refresh policy, a scheduler and the systolic evictor, and can
+//! simulate an [`InferenceWorkload`] for a given [`ModelConfig`].  The five
+//! platforms of Fig. 13 are provided as presets:
+//!
+//! | preset | storage | cache policy | refresh | scheduler | evictor |
+//! |---|---|---|---|---|---|
+//! | `Original+SRAM`  | 4 MB unified SRAM, 24×24 array | full | — | baseline | — |
+//! | `Original+eDRAM` | Kelle memories, 32×32 array | full | conservative | baseline | — |
+//! | `AEP+SRAM`       | SRAM baseline | eviction only | — | baseline | absent (serial scan) |
+//! | `AERP+SRAM`      | SRAM baseline | eviction + recompute | — | baseline | absent |
+//! | `Kelle+eDRAM`    | Kelle memories | AERP | 2DRP | Kelle | present |
+//!
+//! The simulation walks every decoding step, so sequence-length-dependent
+//! effects (KV growth, eviction saturation at `N'`, eDRAM overflow to DRAM)
+//! appear naturally in the totals.
+
+use crate::evictor::SystolicEvictor;
+use crate::memory::MemorySubsystem;
+use crate::scheduler::{SchedulerKind, StepTiming};
+use crate::sfu::SpecialFunctionUnit;
+use crate::systolic::SystolicArraySpec;
+use crate::workload::InferenceWorkload;
+use kelle_edram::{EdramController, RefreshPolicy, RetentionModel};
+use kelle_model::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which KV-cache management algorithm the platform runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CachePolicyKind {
+    /// Full (uncompressed) KV cache.
+    FullCache,
+    /// Attention-based eviction only (the AEP baseline).
+    Eviction,
+    /// Attention-based eviction + recomputation (AERP).
+    EvictionRecompute {
+        /// Fraction of retained tokens stored as input vectors instead of KV
+        /// vectors (the *popular* tokens of §4.1.2).  Those tokens occupy half
+        /// the storage and half the read traffic, at the price of re-projecting
+        /// them through `W_K`/`W_V` when used.
+        popular_fraction: f64,
+        /// Fraction of the *off-chip* KV fetch traffic that is replaced by
+        /// on-the-fly recomputation instead of a DRAM read (§8.3.2's
+        /// "three are loaded and one is recomputed in parallel" ⇒ 0.25).
+        /// Values past ~0.25 push the decode kernel into the compute-bound
+        /// regime (the "Over Recomp" curve of Fig. 16a).
+        dram_replacement: f64,
+    },
+}
+
+/// MAC operations spent to recompute one byte of KV data that would otherwise
+/// have been fetched from DRAM.  Calibrated from §8.3.2's example — recomputing
+/// one KV vector takes ≈ 3.2 µs on the RSA versus ≈ 1.1 µs to fetch it from
+/// DRAM — i.e. recomputation is ≈ 3× slower per byte than the DRAM channel,
+/// which at a 64 GB/s channel and ~1 TMAC/s array is ≈ 48 MACs per byte.
+const RECOMPUTE_MACS_PER_BYTE: f64 = 48.0;
+
+impl CachePolicyKind {
+    /// The default AERP configuration used by the hardware evaluation.
+    pub fn aerp_default() -> Self {
+        CachePolicyKind::EvictionRecompute {
+            popular_fraction: 0.35,
+            dram_replacement: 0.25,
+        }
+    }
+
+    /// Number of tokens whose data is retained per layer when the sequence
+    /// length is `seq_len` and the per-head budget is `n_prime`.
+    pub fn resident_tokens(&self, seq_len: usize, n_prime: Option<usize>) -> usize {
+        match self {
+            CachePolicyKind::FullCache => seq_len,
+            _ => n_prime.map_or(seq_len, |n| seq_len.min(n)),
+        }
+    }
+
+    /// Average stored bytes per retained token per layer.
+    ///
+    /// A token stored as KV costs `2 × kv_channels` elements; a popular token
+    /// stored as its input vector costs `channels` elements (§4.1.2).
+    pub fn bytes_per_token_per_layer(&self, model: &ModelConfig, kv_bits: u32) -> f64 {
+        let kv_channels = model.kv_heads * model.head_dim();
+        let kv_cost = (2 * kv_channels) as f64 * f64::from(kv_bits) / 8.0;
+        match self {
+            CachePolicyKind::FullCache | CachePolicyKind::Eviction => kv_cost,
+            CachePolicyKind::EvictionRecompute {
+                popular_fraction, ..
+            } => {
+                let x_cost = model.channels as f64 * f64::from(kv_bits) / 8.0;
+                (1.0 - popular_fraction) * kv_cost + popular_fraction * x_cost
+            }
+        }
+    }
+
+    /// Splits the per-step off-chip KV traffic into (bytes actually fetched
+    /// from DRAM, extra recomputation MACs) under this policy.
+    ///
+    /// `max_replacement` caps the replaced fraction at the level the compute
+    /// array can actually hide behind the remaining DRAM fetches (the
+    /// balance point of §8.3.2's load-vs-recompute overlap); the Kelle
+    /// scheduler never recomputes more than it can hide, so the effective
+    /// fraction is the smaller of the configured and the balanced value.
+    pub fn apply_recompute(&self, overflow_bytes: u64, max_replacement: f64) -> (u64, u64) {
+        match self {
+            CachePolicyKind::EvictionRecompute {
+                dram_replacement, ..
+            } => {
+                let rho = dram_replacement.clamp(0.0, 1.0).min(max_replacement.max(0.0));
+                let replaced = (overflow_bytes as f64 * rho) as u64;
+                let macs = (replaced as f64 * RECOMPUTE_MACS_PER_BYTE) as u64;
+                (overflow_bytes - replaced, macs)
+            }
+            _ => (overflow_bytes, 0),
+        }
+    }
+
+    /// The replacement fraction at which recomputation time exactly matches
+    /// the remaining DRAM fetch time, for an array with effective throughput
+    /// `macs_per_s` over a channel of `dram_bytes_per_s`.
+    pub fn balanced_replacement(macs_per_s: f64, dram_bytes_per_s: f64) -> f64 {
+        1.0 / (1.0 + RECOMPUTE_MACS_PER_BYTE * dram_bytes_per_s / macs_per_s)
+    }
+
+    /// Whether the policy performs eviction bookkeeping (and therefore needs
+    /// either the systolic evictor or a serial scan).
+    pub fn needs_eviction_pass(&self) -> bool {
+        !matches!(self, CachePolicyKind::FullCache)
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CachePolicyKind::FullCache => "full",
+            CachePolicyKind::Eviction => "aep",
+            CachePolicyKind::EvictionRecompute { .. } => "aerp",
+        }
+    }
+}
+
+/// Energy decomposition of a simulated phase, matching the categories of the
+/// paper's breakdown plots.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Systolic-array dynamic energy.
+    pub rsa_j: f64,
+    /// Special-function-unit energy.
+    pub sfu_j: f64,
+    /// Weight-buffer (SRAM) access energy.
+    pub weight_buffer_j: f64,
+    /// KV-memory access energy (SRAM or eDRAM).
+    pub kv_buffer_j: f64,
+    /// eDRAM refresh energy.
+    pub refresh_j: f64,
+    /// Off-chip DRAM access energy.
+    pub dram_j: f64,
+    /// Leakage / background energy of all components.
+    pub static_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.rsa_j
+            + self.sfu_j
+            + self.weight_buffer_j
+            + self.kv_buffer_j
+            + self.refresh_j
+            + self.dram_j
+            + self.static_j
+    }
+
+    /// Element-wise sum of two breakdowns.
+    pub fn merged(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            rsa_j: self.rsa_j + other.rsa_j,
+            sfu_j: self.sfu_j + other.sfu_j,
+            weight_buffer_j: self.weight_buffer_j + other.weight_buffer_j,
+            kv_buffer_j: self.kv_buffer_j + other.kv_buffer_j,
+            refresh_j: self.refresh_j + other.refresh_j,
+            dram_j: self.dram_j + other.dram_j,
+            static_j: self.static_j + other.static_j,
+        }
+    }
+
+    /// Fraction of total energy spent on eDRAM refresh.
+    pub fn refresh_share(&self) -> f64 {
+        let total = self.total_j();
+        if total > 0.0 {
+            self.refresh_j / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of total energy spent on DRAM traffic.
+    pub fn dram_share(&self) -> f64 {
+        let total = self.total_j();
+        if total > 0.0 {
+            self.dram_j / total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Latency and energy of one simulated phase (pre-fill or decode).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseMetrics {
+    /// Wall-clock latency in seconds.
+    pub latency_s: f64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+/// Result of simulating one workload on one platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformReport {
+    /// Platform name.
+    pub platform: String,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Pre-fill phase metrics.
+    pub prefill: PhaseMetrics,
+    /// Decode phase metrics.
+    pub decode: PhaseMetrics,
+}
+
+impl PlatformReport {
+    /// End-to-end latency in seconds.
+    pub fn total_latency_s(&self) -> f64 {
+        self.prefill.latency_s + self.decode.latency_s
+    }
+
+    /// End-to-end energy in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.prefill.energy.total_j() + self.decode.energy.total_j()
+    }
+
+    /// Combined energy breakdown.
+    pub fn total_energy(&self) -> EnergyBreakdown {
+        self.prefill.energy.merged(&self.decode.energy)
+    }
+
+    /// Speedup of this platform relative to `baseline` (>1 means faster).
+    pub fn speedup_vs(&self, baseline: &PlatformReport) -> f64 {
+        baseline.total_latency_s() / self.total_latency_s()
+    }
+
+    /// Energy-efficiency gain relative to `baseline` (>1 means less energy).
+    pub fn energy_efficiency_vs(&self, baseline: &PlatformReport) -> f64 {
+        baseline.total_energy_j() / self.total_energy_j()
+    }
+}
+
+/// The evaluated platform presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// Full KV cache on the area-matched SRAM system.
+    OriginalSram,
+    /// Full KV cache on the eDRAM-based Kelle hardware (no algorithmic help).
+    OriginalEdram,
+    /// Attention-based eviction (no recomputation) on the SRAM system.
+    AepSram,
+    /// AERP on the SRAM system.
+    AerpSram,
+    /// The full Kelle system: AERP + 2DRP + Kelle scheduler + systolic evictor
+    /// on the eDRAM hardware.
+    KelleEdram,
+}
+
+impl PlatformKind {
+    /// All five platforms in the order of Fig. 13.
+    pub fn all() -> [PlatformKind; 5] {
+        [
+            PlatformKind::OriginalSram,
+            PlatformKind::OriginalEdram,
+            PlatformKind::AepSram,
+            PlatformKind::AerpSram,
+            PlatformKind::KelleEdram,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformKind::OriginalSram => "Original+SRAM",
+            PlatformKind::OriginalEdram => "Original+eDRAM",
+            PlatformKind::AepSram => "AEP+SRAM",
+            PlatformKind::AerpSram => "AERP+SRAM",
+            PlatformKind::KelleEdram => "Kelle+eDRAM",
+        }
+    }
+}
+
+/// A fully configured hardware platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Display name.
+    pub name: String,
+    /// Compute array.
+    pub compute: SystolicArraySpec,
+    /// Special-function unit.
+    pub sfu: SpecialFunctionUnit,
+    /// Memory subsystem.
+    pub memory: MemorySubsystem,
+    /// KV-cache policy.
+    pub cache_policy: CachePolicyKind,
+    /// eDRAM refresh policy (ignored when the KV memory is SRAM).
+    pub refresh_policy: RefreshPolicy,
+    /// eDRAM retention model.
+    pub retention: RetentionModel,
+    /// Computation schedule.
+    pub scheduler: SchedulerKind,
+    /// Systolic evictor configuration.
+    pub evictor: SystolicEvictor,
+    /// Weight precision in bits.
+    pub weight_bits: u32,
+    /// Activation precision in bits.
+    pub act_bits: u32,
+    /// KV-cache precision in bits.
+    pub kv_bits: u32,
+}
+
+impl Platform {
+    /// Builds one of the five evaluation presets.
+    pub fn preset(kind: PlatformKind) -> Self {
+        match kind {
+            PlatformKind::OriginalSram => Platform {
+                name: kind.name().to_string(),
+                compute: SystolicArraySpec::baseline_24x24(),
+                sfu: SpecialFunctionUnit::kelle_default(),
+                memory: MemorySubsystem::baseline_sram(),
+                cache_policy: CachePolicyKind::FullCache,
+                refresh_policy: RefreshPolicy::Conservative,
+                retention: RetentionModel::default(),
+                scheduler: SchedulerKind::Baseline,
+                evictor: SystolicEvictor::absent(),
+                weight_bits: 8,
+                act_bits: 16,
+                kv_bits: 16,
+            },
+            PlatformKind::OriginalEdram => Platform {
+                name: kind.name().to_string(),
+                compute: SystolicArraySpec::kelle_32x32(),
+                sfu: SpecialFunctionUnit::kelle_default(),
+                memory: MemorySubsystem::kelle_default(),
+                cache_policy: CachePolicyKind::FullCache,
+                refresh_policy: RefreshPolicy::Conservative,
+                retention: RetentionModel::default(),
+                scheduler: SchedulerKind::Baseline,
+                evictor: SystolicEvictor::absent(),
+                weight_bits: 8,
+                act_bits: 16,
+                kv_bits: 16,
+            },
+            PlatformKind::AepSram => Platform {
+                name: kind.name().to_string(),
+                compute: SystolicArraySpec::baseline_24x24(),
+                sfu: SpecialFunctionUnit::kelle_default(),
+                memory: MemorySubsystem::baseline_sram(),
+                cache_policy: CachePolicyKind::Eviction,
+                refresh_policy: RefreshPolicy::Conservative,
+                retention: RetentionModel::default(),
+                scheduler: SchedulerKind::Baseline,
+                evictor: SystolicEvictor::absent(),
+                weight_bits: 8,
+                act_bits: 16,
+                kv_bits: 16,
+            },
+            PlatformKind::AerpSram => Platform {
+                name: kind.name().to_string(),
+                compute: SystolicArraySpec::baseline_24x24(),
+                sfu: SpecialFunctionUnit::kelle_default(),
+                memory: MemorySubsystem::baseline_sram(),
+                cache_policy: CachePolicyKind::aerp_default(),
+                refresh_policy: RefreshPolicy::Conservative,
+                retention: RetentionModel::default(),
+                scheduler: SchedulerKind::Baseline,
+                evictor: SystolicEvictor::absent(),
+                weight_bits: 8,
+                act_bits: 16,
+                kv_bits: 16,
+            },
+            PlatformKind::KelleEdram => Platform {
+                name: kind.name().to_string(),
+                compute: SystolicArraySpec::kelle_32x32(),
+                sfu: SpecialFunctionUnit::kelle_default(),
+                memory: MemorySubsystem::kelle_default(),
+                cache_policy: CachePolicyKind::aerp_default(),
+                refresh_policy: RefreshPolicy::two_dimensional_default(),
+                retention: RetentionModel::default(),
+                scheduler: SchedulerKind::Kelle,
+                evictor: SystolicEvictor::kelle_default(),
+                weight_bits: 8,
+                act_bits: 16,
+                kv_bits: 16,
+            },
+        }
+    }
+
+    /// Builds all five presets.
+    pub fn evaluation_set() -> Vec<Platform> {
+        PlatformKind::all().into_iter().map(Platform::preset).collect()
+    }
+
+    /// Simulates a workload on this platform.
+    ///
+    /// `n_prime` is the KV-cache budget used by eviction policies (ignored by
+    /// the full-cache platforms).
+    pub fn simulate(
+        &self,
+        model: &ModelConfig,
+        workload: &InferenceWorkload,
+        n_prime: Option<usize>,
+    ) -> PlatformReport {
+        let prefill = self.simulate_prefill(model, workload, n_prime);
+        let decode = self.simulate_decode(model, workload, n_prime);
+        PlatformReport {
+            platform: self.name.clone(),
+            workload: workload.name,
+            prefill,
+            decode,
+        }
+    }
+
+    /// Total leakage/background power of the platform in watts.
+    fn static_power_w(&self) -> f64 {
+        self.compute.leakage_w
+            + self.sfu.leakage_w
+            + self.memory.onchip_leakage_w()
+            + self.memory.dram.background_power_w
+            + if self.evictor.present { self.evictor.power_w } else { 0.0 }
+    }
+
+    /// KV working-set bytes per sequence when `tokens` tokens are retained.
+    fn kv_bytes_per_seq(&self, model: &ModelConfig, tokens: usize) -> f64 {
+        self.cache_policy.bytes_per_token_per_layer(model, self.kv_bits)
+            * tokens as f64
+            * model.layers as f64
+    }
+
+    /// Simulates the pre-filling phase (all context tokens processed in
+    /// parallel).
+    fn simulate_prefill(
+        &self,
+        model: &ModelConfig,
+        workload: &InferenceWorkload,
+        _n_prime: Option<usize>,
+    ) -> PhaseMetrics {
+        let batch = workload.batch as u64;
+        let context = workload.context_len;
+
+        // Compute: the full causal pre-fill for every sequence in the batch.
+        let macs = model.prefill_macs(context) * batch;
+        let t_compute = self.compute.matmul_time_s(macs, workload.context_len.min(1024));
+        let e_compute = self.compute.matmul_energy_j(macs);
+
+        // Weights stream from DRAM once for the whole pre-fill (weight reuse
+        // across the context dimension and the batch).
+        let weight_bytes = model.decoder_weight_params() * u64::from(self.weight_bits) / 8;
+        let weight_cost = self.memory.weight_stream_cost(weight_bytes);
+
+        // KV written for every context token of every sequence.
+        let kv_write_bytes =
+            (self.kv_bytes_per_seq(model, context) * batch as f64) as u64;
+        let (resident, overflow) = self.memory.split_kv_residency(kv_write_bytes);
+        let kv_cost = self.memory.kv_write_cost(resident, overflow);
+
+        // SFU work: softmax over the causal score matrix.
+        let sfu_elements = (model.heads * context * context / 2) as u64 * batch
+            + (2 * model.channels + model.ffn_dim) as u64 * context as u64 * batch;
+        let t_sfu = self.sfu.time_s(sfu_elements);
+        let e_sfu = self.sfu.energy_j(sfu_elements);
+
+        // Pre-fill is compute-bound on edge systems; memory transfers overlap
+        // with the long GEMMs.
+        let memory_time = self
+            .scheduler
+            .memory_time_s(weight_cost.time_s, kv_cost.time_s + t_sfu);
+        let latency = t_compute.max(memory_time);
+
+        // eDRAM refresh during pre-fill: KV already resident must be kept alive.
+        let refresh_j = if self.memory.kv_is_edram() {
+            let controller = EdramController::new(
+                self.memory.kv_memory,
+                self.retention,
+                self.refresh_policy,
+            );
+            let per_group = resident / 4;
+            controller
+                .resident_refresh([per_group; 4], latency)
+                .energy_j
+        } else {
+            0.0
+        };
+
+        PhaseMetrics {
+            latency_s: latency,
+            energy: EnergyBreakdown {
+                rsa_j: e_compute + self.compute.leakage_energy_j(latency),
+                sfu_j: e_sfu,
+                weight_buffer_j: weight_cost.onchip_energy_j,
+                kv_buffer_j: kv_cost.onchip_energy_j,
+                refresh_j,
+                dram_j: weight_cost.dram_energy_j + kv_cost.dram_energy_j,
+                static_j: self.static_power_w() * latency,
+            },
+        }
+    }
+
+    /// Simulates the auto-regressive decode phase step by step.
+    fn simulate_decode(
+        &self,
+        model: &ModelConfig,
+        workload: &InferenceWorkload,
+        n_prime: Option<usize>,
+    ) -> PhaseMetrics {
+        let batch = workload.batch as u64;
+        let weight_bytes = model.decoder_weight_params() * u64::from(self.weight_bits) / 8;
+        let mut total = PhaseMetrics::default();
+
+        let controller = EdramController::new(
+            self.memory.kv_memory,
+            self.retention,
+            self.refresh_policy,
+        );
+
+        for step in 0..workload.decode_len {
+            let seq_len = workload.context_len + step + 1;
+            let resident_tokens = self.cache_policy.resident_tokens(seq_len, n_prime);
+
+            // --- Traffic ---
+            let kv_bytes_total =
+                (self.kv_bytes_per_seq(model, resident_tokens) * batch as f64) as u64;
+            let (kv_resident, kv_overflow) = self.memory.split_kv_residency(kv_bytes_total);
+            // AERP replaces part of the off-chip KV fetches with on-the-fly
+            // recomputation from on-chip input vectors (§8.3.2): the
+            // recomputation runs on the RSA *in parallel with* the remaining
+            // DRAM fetches, so the KV path takes the slower of the two and the
+            // replaced share is capped at what the array can hide.
+            let effective_macs_per_s = self.compute.peak_macs_per_s()
+                * self.compute.utilization(self.compute.rows);
+            let balanced = CachePolicyKind::balanced_replacement(
+                effective_macs_per_s,
+                self.memory.dram.bandwidth_bytes_per_s,
+            );
+            let (kv_dram_fetch, recompute_macs) =
+                self.cache_policy.apply_recompute(kv_overflow, balanced);
+            let kv_cost = self.memory.kv_read_cost(kv_resident, kv_dram_fetch);
+            // Recomputation is a dense matrix-matrix operation and runs at
+            // full array utilisation.
+            let t_recompute = self.compute.matmul_time_s(recompute_macs, self.compute.rows);
+            let kv_path_time = kv_cost.time_s.max(t_recompute);
+            let weight_cost = self.memory.weight_stream_cost(weight_bytes);
+
+            // --- Compute ---
+            let macs = model.decode_macs(resident_tokens) * batch;
+            let t_compute = self.compute.matmul_time_s(macs, workload.batch);
+            let e_compute = self.compute.matmul_energy_j(macs + recompute_macs);
+
+            // --- SFU ---
+            let sfu_elements = self.sfu.elements_per_decode_step(
+                resident_tokens,
+                model.heads,
+                model.channels,
+                model.ffn_dim,
+            ) * batch;
+            let t_sfu = self.sfu.time_s(sfu_elements);
+            let e_sfu = self.sfu.energy_j(sfu_elements);
+
+            // --- Eviction bookkeeping ---
+            let (t_evict, e_evict_extra) = if self.cache_policy.needs_eviction_pass() {
+                let lat = self.evictor.eviction_latency_s(resident_tokens, model.heads);
+                (lat, 0.0)
+            } else {
+                (0.0, 0.0)
+            };
+
+            // --- Step latency ---
+            let memory_time = self
+                .scheduler
+                .memory_time_s(weight_cost.time_s, kv_path_time + t_sfu);
+            let exposed_compute =
+                (t_compute - self.scheduler.compute_overlap() * memory_time).max(0.0);
+            let step_latency = memory_time + exposed_compute + t_evict;
+
+            // --- Eviction energy ---
+            let e_evict = if self.cache_policy.needs_eviction_pass() {
+                self.evictor
+                    .eviction_energy_j(resident_tokens, model.heads, step_latency)
+                    + e_evict_extra
+            } else {
+                0.0
+            };
+
+            // --- Refresh energy ---
+            let refresh_j = if self.memory.kv_is_edram() {
+                // Resident KV data must be kept alive for the whole step.
+                let per_group = kv_resident / 4;
+                let resident =
+                    controller.resident_refresh([per_group; 4], step_latency).energy_j;
+                // Transient activations (X, Q, K, V) live for the schedule's
+                // lifetime in the activation eDRAM.
+                let timing = StepTiming {
+                    t_weight_s: weight_cost.time_s / 3.0,
+                    t_kv_s: kv_cost.time_s / 2.0,
+                };
+                let act_bytes = (model.channels as u64 * u64::from(self.act_bits) / 8)
+                    * 4
+                    * batch;
+                let lifetime = self.scheduler.activation_lifetime_s(timing);
+                let transient = controller.transient_refresh(act_bytes, lifetime).energy_j;
+                resident + transient
+            } else {
+                0.0
+            };
+
+            total.latency_s += step_latency;
+            total.energy = total.energy.merged(&EnergyBreakdown {
+                rsa_j: e_compute + self.compute.leakage_energy_j(step_latency) + e_evict,
+                sfu_j: e_sfu,
+                weight_buffer_j: weight_cost.onchip_energy_j,
+                kv_buffer_j: kv_cost.onchip_energy_j,
+                refresh_j,
+                dram_j: weight_cost.dram_energy_j + kv_cost.dram_energy_j,
+                static_j: self.static_power_w() * step_latency,
+            });
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kelle_model::ModelKind;
+
+    fn model() -> ModelConfig {
+        ModelConfig::for_kind(ModelKind::Llama2_7b)
+    }
+
+    fn simulate(kind: PlatformKind, workload: InferenceWorkload) -> PlatformReport {
+        Platform::preset(kind).simulate(&model(), &workload, Some(2048))
+    }
+
+    #[test]
+    fn kelle_beats_original_sram_on_long_decodes() {
+        let workload = InferenceWorkload::pg19();
+        let baseline = simulate(PlatformKind::OriginalSram, workload);
+        let kelle = simulate(PlatformKind::KelleEdram, workload);
+        let speedup = kelle.speedup_vs(&baseline);
+        let energy = kelle.energy_efficiency_vs(&baseline);
+        assert!(speedup > 2.0, "speedup {speedup}");
+        assert!(energy > 2.0, "energy efficiency {energy}");
+    }
+
+    #[test]
+    fn platform_ordering_matches_paper() {
+        // Fig. 13: Kelle+eDRAM > AERP+SRAM > AEP+SRAM > Original+SRAM in both
+        // speedup and energy efficiency on the long workloads.
+        let workload = InferenceWorkload::qasper();
+        let orig = simulate(PlatformKind::OriginalSram, workload);
+        let aep = simulate(PlatformKind::AepSram, workload);
+        let aerp = simulate(PlatformKind::AerpSram, workload);
+        let kelle = simulate(PlatformKind::KelleEdram, workload);
+        assert!(aep.speedup_vs(&orig) > 1.0);
+        assert!(aerp.speedup_vs(&orig) >= aep.speedup_vs(&orig));
+        assert!(kelle.speedup_vs(&orig) > aerp.speedup_vs(&orig));
+        assert!(aep.energy_efficiency_vs(&orig) > 1.0);
+        assert!(kelle.energy_efficiency_vs(&orig) > aerp.energy_efficiency_vs(&orig));
+    }
+
+    #[test]
+    fn original_edram_wastes_energy_on_refresh() {
+        // Fig. 13 / §8.1.3: without algorithmic help, the conservative 45 us
+        // refresh makes Original+eDRAM *less* energy-efficient than
+        // Original+SRAM even though it can be faster.
+        let workload = InferenceWorkload::triviaqa();
+        let sram = simulate(PlatformKind::OriginalSram, workload);
+        let edram = simulate(PlatformKind::OriginalEdram, workload);
+        assert!(edram.energy_efficiency_vs(&sram) < 1.0);
+        assert!(edram.total_energy().refresh_share() > 0.05);
+    }
+
+    #[test]
+    fn speedup_grows_with_decode_length() {
+        // §8.1.2: the gap grows as the decoding sequence gets longer.
+        let short = InferenceWorkload::lambada();
+        let long = InferenceWorkload::pg19();
+        let s_short = simulate(PlatformKind::KelleEdram, short)
+            .speedup_vs(&simulate(PlatformKind::OriginalSram, short));
+        let s_long = simulate(PlatformKind::KelleEdram, long)
+            .speedup_vs(&simulate(PlatformKind::OriginalSram, long));
+        assert!(s_long > s_short);
+    }
+
+    #[test]
+    fn breakdown_totals_are_consistent() {
+        let workload = InferenceWorkload::lambada();
+        let report = simulate(PlatformKind::KelleEdram, workload);
+        let total = report.total_energy();
+        assert!((total.total_j() - report.total_energy_j()).abs() < 1e-9);
+        assert!(report.total_latency_s() > 0.0);
+        assert!(total.dram_j > 0.0);
+        assert!(total.rsa_j > 0.0);
+    }
+
+    #[test]
+    fn smaller_budget_is_cheaper() {
+        let workload = InferenceWorkload::pg19();
+        let platform = Platform::preset(PlatformKind::KelleEdram);
+        let small = platform.simulate(&model(), &workload, Some(1024));
+        let large = platform.simulate(&model(), &workload, Some(8192));
+        assert!(small.total_energy_j() < large.total_energy_j());
+        assert!(small.total_latency_s() < large.total_latency_s());
+    }
+
+    #[test]
+    fn preset_names() {
+        for kind in PlatformKind::all() {
+            assert_eq!(Platform::preset(kind).name, kind.name());
+        }
+    }
+
+    #[test]
+    fn cache_policy_accounting() {
+        let m = model();
+        let full = CachePolicyKind::FullCache;
+        let aerp = CachePolicyKind::aerp_default();
+        assert_eq!(full.resident_tokens(5000, Some(2048)), 5000);
+        assert_eq!(aerp.resident_tokens(5000, Some(2048)), 2048);
+        assert_eq!(aerp.resident_tokens(100, Some(2048)), 100);
+        assert!(aerp.bytes_per_token_per_layer(&m, 16) < full.bytes_per_token_per_layer(&m, 16));
+        // Recomputation trades DRAM bytes for MACs; the full cache does not.
+        assert_eq!(full.apply_recompute(1_000_000, 1.0), (1_000_000, 0));
+        let (fetched, macs) = aerp.apply_recompute(1_000_000, 1.0);
+        assert_eq!(fetched, 750_000);
+        assert!(macs > 0);
+        // A tighter hiding budget caps the replaced share.
+        let (fetched_capped, _) = aerp.apply_recompute(1_000_000, 0.1);
+        assert_eq!(fetched_capped, 900_000);
+        let rho = CachePolicyKind::balanced_replacement(1.0e12, 64.0e9);
+        assert!(rho > 0.15 && rho < 0.35, "balanced rho {rho}");
+    }
+}

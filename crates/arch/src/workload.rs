@@ -1,0 +1,122 @@
+//! Inference workload descriptions for the hardware model.
+//!
+//! §8 evaluates the accelerator on four task settings (context length, decode
+//! length) with batch size 16: Lambada (128, 512), TriviaQA (512, 2048),
+//! Qasper (1024, 5120) and PG19 (512, 8192), plus the long-input sweep of
+//! Fig. 16b (inputs of 2K–16K tokens with 128–2K decode lengths).
+
+use serde::{Deserialize, Serialize};
+
+/// A (context, decode, batch) workload point for the hardware model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InferenceWorkload {
+    /// Human-readable task label.
+    pub name: &'static str,
+    /// Pre-fill (context) length in tokens.
+    pub context_len: usize,
+    /// Number of decoding steps.
+    pub decode_len: usize,
+    /// Batch size (sequences decoded together).
+    pub batch: usize,
+}
+
+impl InferenceWorkload {
+    /// Creates a workload point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(name: &'static str, context_len: usize, decode_len: usize, batch: usize) -> Self {
+        assert!(context_len > 0, "context length must be non-zero");
+        assert!(decode_len > 0, "decode length must be non-zero");
+        assert!(batch > 0, "batch size must be non-zero");
+        InferenceWorkload {
+            name,
+            context_len,
+            decode_len,
+            batch,
+        }
+    }
+
+    /// Lambada: context 128, decode 512, batch 16 (§8).
+    pub fn lambada() -> Self {
+        Self::new("LA", 128, 512, 16)
+    }
+
+    /// TriviaQA: context 512, decode 2048, batch 16 (§8).
+    pub fn triviaqa() -> Self {
+        Self::new("TQ", 512, 2048, 16)
+    }
+
+    /// Qasper: context 1024, decode 5120, batch 16 (§8).
+    pub fn qasper() -> Self {
+        Self::new("QA", 1024, 5120, 16)
+    }
+
+    /// PG19: context 512, decode 8192, batch 16 (§8).
+    pub fn pg19() -> Self {
+        Self::new("PG", 512, 8192, 16)
+    }
+
+    /// The four hardware-evaluation workloads of Fig. 13/14.
+    pub fn evaluation_suite() -> Vec<InferenceWorkload> {
+        vec![Self::lambada(), Self::triviaqa(), Self::qasper(), Self::pg19()]
+    }
+
+    /// A long-input point for the Fig. 16b sweep (`input`-`output` naming like
+    /// "16K-128").
+    pub fn long_input(context_len: usize, decode_len: usize) -> Self {
+        Self::new("long-input", context_len, decode_len, 16)
+    }
+
+    /// Overrides the batch size (builder style).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be non-zero");
+        self.batch = batch;
+        self
+    }
+
+    /// Final sequence length after decoding completes.
+    pub fn final_seq_len(&self) -> usize {
+        self.context_len + self.decode_len
+    }
+
+    /// Average sequence length over the decode phase.
+    pub fn average_seq_len(&self) -> f64 {
+        self.context_len as f64 + self.decode_len as f64 / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_suite_matches_paper() {
+        let suite = InferenceWorkload::evaluation_suite();
+        assert_eq!(suite.len(), 4);
+        assert_eq!(suite[0].context_len, 128);
+        assert_eq!(suite[0].decode_len, 512);
+        assert_eq!(suite[3].decode_len, 8192);
+        assert!(suite.iter().all(|w| w.batch == 16));
+    }
+
+    #[test]
+    fn sequence_lengths() {
+        let w = InferenceWorkload::triviaqa();
+        assert_eq!(w.final_seq_len(), 2560);
+        assert!((w.average_seq_len() - 1536.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_batch_overrides() {
+        let w = InferenceWorkload::pg19().with_batch(1);
+        assert_eq!(w.batch, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be non-zero")]
+    fn zero_batch_panics() {
+        InferenceWorkload::new("x", 1, 1, 0);
+    }
+}

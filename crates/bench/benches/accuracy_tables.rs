@@ -1,0 +1,47 @@
+//! Criterion benches for the functional accuracy experiments behind
+//! Tables 2-6: each target runs one method on one task through the
+//! surrogate model with its cache policy and fault model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kelle::accuracy::{evaluate_method, AccuracyConfig, Method};
+use kelle::model::fault::BitFlipRates;
+use kelle::workloads::TaskKind;
+use std::hint::black_box;
+
+fn quick(task: TaskKind) -> AccuracyConfig {
+    let mut config = AccuracyConfig::for_task(task);
+    config.prompts = 1;
+    config
+}
+
+fn bench_table2_methods(c: &mut Criterion) {
+    let config = quick(TaskKind::Piqa);
+    let mut group = c.benchmark_group("table2_piqa");
+    for method in Method::all() {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| evaluate_method(black_box(&config), method))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table3_budget_sweep(c: &mut Criterion) {
+    let config = quick(TaskKind::ArcEasy);
+    c.bench_function("table3_kelle_arceasy", |b| {
+        b.iter(|| evaluate_method(black_box(&config), Method::Kelle))
+    });
+}
+
+fn bench_fig8_fault_injection(c: &mut Criterion) {
+    let config = quick(TaskKind::WikiText2).with_explicit_rates(BitFlipRates::uniform(1e-3));
+    c.bench_function("fig8_wk2_bitflip_1e-3", |b| {
+        b.iter(|| evaluate_method(black_box(&config), Method::Kelle))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2_methods, bench_table3_budget_sweep, bench_fig8_fault_injection
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benches for the end-to-end platform simulations behind
+//! Fig. 13 (five platforms), Fig. 14 (external comparators) and the
+//! Fig. 16b long-input sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kelle::arch::{Comparator, ComparatorKind, InferenceWorkload, Platform, PlatformKind};
+use kelle::experiment;
+use kelle::model::{ModelConfig, ModelKind};
+use std::hint::black_box;
+
+fn bench_platform_simulation(c: &mut Criterion) {
+    let model = ModelConfig::for_kind(ModelKind::Llama2_7b);
+    let workload = InferenceWorkload::triviaqa();
+    let mut group = c.benchmark_group("fig13_platform_step_simulation");
+    for kind in PlatformKind::all() {
+        let platform = Platform::preset(kind);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| platform.simulate(black_box(&model), black_box(&workload), Some(2048)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure13_summary(c: &mut Criterion) {
+    c.bench_function("fig13_full_summary_llama2_7b", |b| {
+        b.iter(|| experiment::figure13(black_box(ModelKind::Llama2_7b), 2048))
+    });
+}
+
+fn bench_comparators(c: &mut Criterion) {
+    let model = ModelConfig::for_kind(ModelKind::Llama2_7b);
+    let workload = InferenceWorkload::lambada();
+    let mut group = c.benchmark_group("fig14_comparators");
+    for kind in ComparatorKind::all() {
+        let comparator = Comparator::preset(kind);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| comparator.simulate(black_box(&model), black_box(&workload)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_long_input_sweep(c: &mut Criterion) {
+    c.bench_function("fig16b_long_input_sweep", |b| {
+        b.iter(|| experiment::figure16b(black_box(ModelKind::Llama2_7b)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_platform_simulation, bench_figure13_summary, bench_comparators, bench_long_input_sweep
+}
+criterion_main!(benches);

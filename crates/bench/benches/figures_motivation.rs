@@ -1,0 +1,30 @@
+//! Criterion benches for the motivation figures (Fig. 3a/3b/3c, Fig. 4) and
+//! the area/power reconstruction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kelle::experiment;
+use kelle::model::ModelKind;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3a_sram_capacity_sweep", |b| {
+        b.iter(|| experiment::figure3a(black_box(ModelKind::Llama2_7b)))
+    });
+    c.bench_function("fig3c_edram_energy_breakdown", |b| {
+        b.iter(|| experiment::figure3c(black_box(ModelKind::Llama2_7b)))
+    });
+    c.bench_function("fig3b_area_breakdown", |b| b.iter(experiment::figure3b));
+}
+
+fn bench_area_power(c: &mut Criterion) {
+    c.bench_function("area_power_reconstruction", |b| {
+        b.iter(experiment::area_power_report)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3, bench_area_power
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benches for the memory-device substrate (Table 1, Fig. 4):
+//! device-model queries, retention-curve evaluation and refresh-policy
+//! energy accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kelle_edram::{MemorySpec, RefreshPolicy, RetentionModel};
+use std::hint::black_box;
+
+fn bench_retention_curve(c: &mut Criterion) {
+    let model = RetentionModel::default();
+    c.bench_function("retention_failure_rate_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for i in 1..200u32 {
+                total += model.failure_rate(black_box(f64::from(i) * 100.0));
+            }
+            total
+        })
+    });
+}
+
+fn bench_refresh_policies(c: &mut Criterion) {
+    let retention = RetentionModel::default();
+    let spec = MemorySpec::kelle_kv_edram();
+    let bytes = [1 << 20; 4];
+    let mut group = c.benchmark_group("refresh_policy_power");
+    for (name, policy) in [
+        ("org", RefreshPolicy::Conservative),
+        ("uniform", RefreshPolicy::Uniform(1050.0)),
+        ("2drp", RefreshPolicy::two_dimensional_default()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| policy.refresh_power_w(black_box(&spec), black_box(&retention), bytes))
+        });
+    }
+    group.finish();
+}
+
+fn bench_device_access(c: &mut Criterion) {
+    let edram = MemorySpec::kelle_kv_edram();
+    let sram = MemorySpec::baseline_sram_4mb();
+    c.bench_function("table1_access_energy", |b| {
+        b.iter(|| {
+            edram.access_energy_j(black_box(1 << 20)) + sram.access_energy_j(black_box(1 << 20))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_retention_curve, bench_refresh_policies, bench_device_access
+}
+criterion_main!(benches);

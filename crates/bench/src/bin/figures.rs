@@ -1,0 +1,303 @@
+//! Regenerates every *figure* of the paper's motivation and evaluation
+//! sections from the reproduction models.
+//!
+//! Usage: `cargo run -p kelle-bench --bin figures [-- --figure <id>]`
+//! where `<id>` is one of `3a`, `3b`, `3c`, `4`, `8a`, `8b`, `8c`, `13`, `14`,
+//! `15a`, `15b`, `16a`, `16b`, or `all` (default).
+
+use kelle::accuracy::{evaluate_method, AccuracyConfig, Method};
+use kelle::arch::PlatformKind;
+use kelle::edram::{RefreshPolicy, RetentionModel};
+use kelle::experiment::{self, DEFAULT_N_PRIME};
+use kelle::model::fault::BitFlipRates;
+use kelle::model::ModelKind;
+use kelle::workloads::TaskKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args
+        .iter()
+        .position(|a| a == "--figure")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
+
+    let all = which == "all";
+    if all || which == "3a" {
+        figure3a();
+    }
+    if all || which == "3b" {
+        figure3b();
+    }
+    if all || which == "3c" {
+        figure3c();
+    }
+    if all || which == "4" {
+        figure4();
+    }
+    if all || which == "8a" {
+        figure8a();
+    }
+    if all || which == "8b" {
+        figure8b();
+    }
+    if all || which == "8c" {
+        figure8c();
+    }
+    if all || which == "13" {
+        figure13();
+    }
+    if all || which == "14" {
+        figure14();
+    }
+    if all || which == "15a" {
+        figure15a();
+    }
+    if all || which == "15b" {
+        figure15b();
+    }
+    if all || which == "16a" {
+        figure16a();
+    }
+    if all || which == "16b" {
+        figure16b();
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn figure3a() {
+    header("Figure 3a: normalized latency, 4MB vs 8MB SRAM (LLaMA2-7B)");
+    let rows = experiment::figure3a(ModelKind::Llama2_7b);
+    let base = rows[0].1;
+    println!("{:>10} {:>12} {:>12}", "decode", "4MB (norm)", "8MB (norm)");
+    for (len, small, large) in rows {
+        println!("{:>10} {:>12.3} {:>12.3}", len, small / base, large / base);
+    }
+}
+
+fn figure3b() {
+    header("Figure 3b: area breakdown, 8MB eDRAM system vs 8MB SRAM system");
+    let (edram, sram) = experiment::figure3b();
+    println!(
+        "eDRAM system: logic {:.2} + buffers {:.2} = {:.2} mm^2 (DRAM die {:.0} mm^2)",
+        edram.rsa_mm2 + edram.sfu_mm2 + edram.logic_mm2,
+        edram.memory_mm2,
+        edram.onchip_total_mm2(),
+        edram.dram_mm2
+    );
+    println!(
+        "SRAM  system: logic {:.2} + buffers {:.2} = {:.2} mm^2",
+        sram.rsa_mm2 + sram.sfu_mm2 + sram.logic_mm2,
+        sram.memory_mm2,
+        sram.onchip_total_mm2()
+    );
+}
+
+fn figure3c() {
+    header("Figure 3c: energy breakdown of the unoptimised eDRAM system");
+    println!("{:>10} {:>16} {:>14}", "decode", "refresh share", "DRAM share");
+    for (len, refresh, dram) in experiment::figure3c(ModelKind::Llama2_7b) {
+        println!("{:>10} {:>15.1}% {:>13.1}%", len, refresh * 100.0, dram * 100.0);
+    }
+}
+
+fn figure4() {
+    header("Figure 4: eDRAM retention failure rate vs refresh interval (65nm, 105C)");
+    let model = RetentionModel::default();
+    println!("{:>14} {:>16}", "interval (us)", "failure rate");
+    for interval in [45.0, 100.0, 360.0, 784.0, 1050.0, 1778.0, 5400.0, 9120.0, 20_000.0] {
+        println!("{:>14} {:>16.3e}", interval, model.failure_rate(interval));
+    }
+}
+
+fn fig8_config() -> AccuracyConfig {
+    let mut config = AccuracyConfig::for_task(TaskKind::WikiText2);
+    config.prompts = 2;
+    config
+}
+
+fn figure8a() {
+    header("Figure 8a: PPL proxy vs uniform KV bit-flip rate (LLaMA2-7B, WK2-like)");
+    println!("{:>12} {:>12} {:>12}", "error rate", "ppl score", "mean KL");
+    for rate in [1e-5, 1e-4, 1e-3, 1e-2, 1e-1] {
+        let config = fig8_config().with_explicit_rates(BitFlipRates::uniform(rate));
+        let result = evaluate_method(&config, Method::Kelle);
+        println!("{:>12.0e} {:>12.2} {:>12.4}", rate, result.score, result.fidelity.mean_kl);
+    }
+}
+
+fn figure8b() {
+    header("Figure 8b: errors on high-score vs low-score tokens");
+    println!("{:>12} {:>14} {:>14}", "error rate", "HST-only KL", "LST-only KL");
+    for rate in [5e-4, 5e-2] {
+        let hst = evaluate_method(
+            &fig8_config().with_explicit_rates(BitFlipRates {
+                hst_msb: rate,
+                hst_lsb: rate,
+                lst_msb: 0.0,
+                lst_lsb: 0.0,
+            }),
+            Method::Kelle,
+        );
+        let lst = evaluate_method(
+            &fig8_config().with_explicit_rates(BitFlipRates {
+                hst_msb: 0.0,
+                hst_lsb: 0.0,
+                lst_msb: rate,
+                lst_lsb: rate,
+            }),
+            Method::Kelle,
+        );
+        println!(
+            "{:>12.0e} {:>14.4} {:>14.4}",
+            rate, hst.fidelity.mean_kl, lst.fidelity.mean_kl
+        );
+    }
+}
+
+fn figure8c() {
+    header("Figure 8c: errors on MSBs vs LSBs");
+    println!("{:>12} {:>14} {:>14}", "error rate", "MSB-only KL", "LSB-only KL");
+    for rate in [5e-4, 5e-2] {
+        let msb = evaluate_method(
+            &fig8_config().with_explicit_rates(BitFlipRates {
+                hst_msb: rate,
+                hst_lsb: 0.0,
+                lst_msb: rate,
+                lst_lsb: 0.0,
+            }),
+            Method::Kelle,
+        );
+        let lsb = evaluate_method(
+            &fig8_config().with_explicit_rates(BitFlipRates {
+                hst_msb: 0.0,
+                hst_lsb: rate,
+                lst_msb: 0.0,
+                lst_lsb: rate,
+            }),
+            Method::Kelle,
+        );
+        println!(
+            "{:>12.0e} {:>14.4} {:>14.4}",
+            rate, msb.fidelity.mean_kl, lsb.fidelity.mean_kl
+        );
+    }
+}
+
+fn figure13() {
+    header("Figure 13: speedup and energy efficiency vs Original+SRAM");
+    for model in [ModelKind::Llama2_7b, ModelKind::Llama3_2_3b] {
+        println!("\n[{model}]");
+        let summary = experiment::figure13(model, DEFAULT_N_PRIME);
+        println!(
+            "{:>18} {:>6} {:>9} {:>9} {:>9} {:>9}",
+            "platform", "", "LA", "TQ", "QA", "PG"
+        );
+        for kind in PlatformKind::all() {
+            let mut speedups = Vec::new();
+            let mut effs = Vec::new();
+            for workload in ["LA", "TQ", "QA", "PG"] {
+                let row = summary
+                    .rows
+                    .iter()
+                    .find(|r| r.platform == kind.name() && r.workload == workload)
+                    .expect("row");
+                speedups.push(row.speedup);
+                effs.push(row.energy_efficiency);
+            }
+            println!(
+                "{:>18} {:>6} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                kind.name(),
+                "spd",
+                speedups[0],
+                speedups[1],
+                speedups[2],
+                speedups[3]
+            );
+            println!(
+                "{:>18} {:>6} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                "", "eff", effs[0], effs[1], effs[2], effs[3]
+            );
+        }
+        println!(
+            "geo-mean Kelle+eDRAM: {:.2}x speedup, {:.2}x energy efficiency",
+            summary.mean_speedup("Kelle+eDRAM"),
+            summary.mean_energy_efficiency("Kelle+eDRAM")
+        );
+        // Energy breakdown pie (Kelle+eDRAM, PG workload).
+        if let Some(row) = summary
+            .rows
+            .iter()
+            .find(|r| r.platform == "Kelle+eDRAM" && r.workload == "PG")
+        {
+            let e = row.report.total_energy();
+            println!(
+                "Kelle+eDRAM PG energy breakdown: RSA {:.0}%  KV {:.0}%  SRAM {:.0}%  DRAM {:.0}%  refresh {:.0}%",
+                100.0 * e.rsa_j / e.total_j(),
+                100.0 * e.kv_buffer_j / e.total_j(),
+                100.0 * e.weight_buffer_j / e.total_j(),
+                100.0 * e.dram_j / e.total_j(),
+                100.0 * e.refresh_j / e.total_j()
+            );
+        }
+    }
+}
+
+fn figure14() {
+    header("Figure 14: comparison with other LLM accelerators (vs Jetson)");
+    let summary = experiment::figure14(ModelKind::Llama2_7b, DEFAULT_N_PRIME);
+    for platform in ["Jetson", "LLM.npu", "DynaX", "COMET", "Kelle"] {
+        println!(
+            "{:>10}: {:.2}x speedup, {:.2}x energy efficiency",
+            platform,
+            summary.mean_speedup(platform),
+            summary.mean_energy_efficiency(platform)
+        );
+    }
+}
+
+fn figure15a() {
+    header("Figure 15a: impact of KV-cache recomputation");
+    for model in [ModelKind::Llama3_2_3b, ModelKind::Llama2_13b] {
+        let (with, without) = experiment::figure15a(model);
+        println!(
+            "{model}: energy with recomputation {:.0} J, without {:.0} J ({:.2}x gain)",
+            with,
+            without,
+            without / with
+        );
+    }
+}
+
+fn figure15b() {
+    header("Figure 15b: refresh-policy / scheduler ablation (energy efficiency vs Org)");
+    for (label, gain) in experiment::figure15b(ModelKind::Llama2_7b) {
+        println!("{:>16}: {:.2}x", label, gain);
+    }
+}
+
+fn figure16a() {
+    header("Figure 16a: roofline under no / moderate / excessive recomputation");
+    for (label, point) in experiment::figure16a(ModelKind::Llama2_7b) {
+        println!(
+            "{:>12}: intensity {:>8.2} MAC/B, performance {:>6.0} GMAC/s, {}",
+            label,
+            point.intensity_macs_per_byte,
+            point.performance_macs_per_s / 1e9,
+            if point.compute_bound { "compute-bound" } else { "memory-bound" }
+        );
+    }
+}
+
+fn figure16b() {
+    header("Figure 16b: energy shares across input-output lengths");
+    println!("{:>10} {:>16} {:>18}", "setting", "prefill share", "decode DRAM share");
+    for (label, prefill, dram) in experiment::figure16b(ModelKind::Llama2_7b) {
+        println!("{:>10} {:>15.1}% {:>17.1}%", label, prefill * 100.0, dram * 100.0);
+    }
+    let _ = RefreshPolicy::Conservative; // keep the import used across figure subsets
+}

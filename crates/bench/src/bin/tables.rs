@@ -1,0 +1,273 @@
+//! Regenerates every *table* of the paper from the reproduction models.
+//!
+//! Usage: `cargo run -p kelle-bench --bin tables [-- --table <id>]`
+//! where `<id>` is one of `1`, `2`, `3`, `4`, `5`, `6`, `7`, `8`, `9`,
+//! `area-power`, `bandwidth`, or `all` (default).
+
+use kelle::accuracy::{evaluate_all_methods, evaluate_method, AccuracyConfig, Method};
+use kelle::arch::InferenceWorkload;
+use kelle::cache::CacheBudget;
+use kelle::edram::{MemoryTechnology, RefreshIntervals, RefreshPolicy};
+use kelle::experiment::{self, DEFAULT_N_PRIME};
+use kelle::model::ModelKind;
+use kelle::tensor::{QuantFormat, QuantizedMatrix};
+use kelle::workloads::TaskKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args
+        .iter()
+        .position(|a| a == "--table")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
+    let all = which == "all";
+
+    if all || which == "1" {
+        table1();
+    }
+    if all || which == "2" {
+        table2();
+    }
+    if all || which == "3" {
+        table3();
+    }
+    if all || which == "4" {
+        table4();
+    }
+    if all || which == "5" {
+        table5();
+    }
+    if all || which == "6" {
+        table6();
+    }
+    if all || which == "7" {
+        table7();
+    }
+    if all || which == "8" {
+        table8();
+    }
+    if all || which == "9" {
+        table9();
+    }
+    if all || which == "area-power" {
+        area_power();
+    }
+    if all || which == "bandwidth" {
+        bandwidth();
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn table1() {
+    header("Table 1: SRAM vs eDRAM (65nm, 4MB)");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>12} {:>14} {:>12}",
+        "tech", "area mm2", "latency ns", "energy pJ/B", "leakage mW", "refresh mJ", "retention us"
+    );
+    for tech in [MemoryTechnology::Sram, MemoryTechnology::Edram] {
+        println!(
+            "{:>8} {:>10.1} {:>12.1} {:>14.1} {:>12.0} {:>14.2} {:>12}",
+            format!("{tech:?}"),
+            tech.area_mm2_4mb(),
+            tech.access_latency_ns(),
+            tech.access_energy_pj_per_byte(),
+            tech.leakage_mw_4mb(),
+            tech.refresh_energy_mj_4mb(),
+            tech.retention_time_us()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".to_string())
+        );
+    }
+}
+
+fn table2() {
+    header("Table 2: accuracy performance of each method (fidelity-proxy scale)");
+    let models = [ModelKind::Llama2_7b, ModelKind::Llama3_2_3b, ModelKind::Mistral7b];
+    for model in models {
+        println!("\n[{model}]");
+        println!(
+            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "task", "FP16", "SL", "H2O", "QR", "Kelle"
+        );
+        for task in [
+            TaskKind::WikiText2,
+            TaskKind::Pg19,
+            TaskKind::ArcChallenge,
+            TaskKind::ArcEasy,
+            TaskKind::Piqa,
+            TaskKind::Lambada,
+            TaskKind::TriviaQa,
+            TaskKind::Qasper,
+        ] {
+            let mut config = AccuracyConfig::for_task(task).with_model(model);
+            config.prompts = 1;
+            let results = evaluate_all_methods(&config);
+            let score = |m: Method| {
+                results
+                    .iter()
+                    .find(|r| r.method == m)
+                    .map(|r| r.score)
+                    .unwrap_or(f64::NAN)
+            };
+            println!(
+                "{:>6} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                task.label(),
+                score(Method::Fp16),
+                score(Method::StreamingLlm),
+                score(Method::H2o),
+                score(Method::QuaRot),
+                score(Method::Kelle)
+            );
+        }
+    }
+}
+
+fn table3() {
+    header("Table 3: LLaMA2-7B accuracy over cache budgets N'");
+    let tasks = [TaskKind::ArcChallenge, TaskKind::ArcEasy, TaskKind::Piqa];
+    let (prompt_len, _) = TaskKind::ArcEasy.surrogate_lengths();
+    let budgets = [prompt_len, prompt_len / 2, prompt_len / 3, prompt_len / 4, 8];
+    println!("{:>6} {:>14}", "task", "scores for shrinking N'");
+    for task in tasks {
+        let mut row = format!("{:>6}", task.label());
+        for &budget in &budgets {
+            let cfg = AccuracyConfig::for_task(task)
+                .with_budget(
+                    CacheBudget::new(budget.max(4))
+                        .with_recent_window((budget / 2).max(2))
+                        .with_sink_tokens(2),
+                )
+                .with_refresh_policy(RefreshPolicy::Conservative);
+            let mut cfg = cfg;
+            cfg.prompts = 1;
+            let result = evaluate_method(&cfg, Method::Kelle);
+            row.push_str(&format!(" {:>8.2}", result.score));
+        }
+        println!("{row}");
+    }
+}
+
+fn table4() {
+    header("Table 4: uniform refresh vs 2DRP at matched average intervals");
+    println!("{:>10} {:>12} {:>12}", "setting", "uniform", "2DRP");
+    for (index, uniform_us) in [540.0, 1050.0, 2062.0].into_iter().enumerate() {
+        let task = TaskKind::ArcEasy;
+        let mut uniform_cfg = AccuracyConfig::for_task(task)
+            .with_refresh_policy(RefreshPolicy::Uniform(uniform_us));
+        uniform_cfg.prompts = 1;
+        let mut twodrp_cfg = AccuracyConfig::for_task(task).with_refresh_policy(
+            RefreshPolicy::TwoDimensional(RefreshIntervals::table4_setting(index)),
+        );
+        twodrp_cfg.prompts = 1;
+        let uniform = evaluate_method(&uniform_cfg, Method::Kelle);
+        let twodrp = evaluate_method(&twodrp_cfg, Method::Kelle);
+        println!(
+            "{:>9}us {:>12.2} {:>12.2}",
+            uniform_us, uniform.score, twodrp.score
+        );
+    }
+}
+
+fn table5() {
+    header("Table 5: qualitative metrics (summarization / truthfulness / bias proxies)");
+    println!("{:>8} {:>10} {:>10}", "task", "FP16", "Kelle");
+    for task in TaskKind::table5() {
+        let mut config = AccuracyConfig::for_task(task);
+        config.prompts = 1;
+        let fp16 = evaluate_method(&config, Method::Fp16);
+        let kelle = evaluate_method(&config, Method::Kelle);
+        println!("{:>8} {:>10.2} {:>10.2}", task.label(), fp16.score, kelle.score);
+    }
+}
+
+fn table6() {
+    header("Table 6: Kelle W8A16 vs W4A8 (quantization compatibility)");
+    // Weight-quantization error is modelled directly at the tensor level: the
+    // W4A8 setting quantizes weights to 4 bits and the KV cache to 8 bits.
+    let config_w8 = {
+        let mut c = AccuracyConfig::for_task(TaskKind::ArcEasy);
+        c.prompts = 1;
+        c
+    };
+    let w8 = evaluate_method(&config_w8, Method::Kelle);
+    let w4 = evaluate_method(&config_w8, Method::QuaRot);
+    println!("{:>10} {:>12} {:>12}", "task", "W8A16", "W4A8");
+    println!("{:>10} {:>12.2} {:>12.2}", "A-e", w8.score, w4.score);
+    // Also report the raw weight-matrix quantization error at both settings.
+    let model = kelle::model::SurrogateModel::new(
+        kelle::model::ModelConfig::for_kind(ModelKind::Llama2_7b),
+        3,
+    );
+    let wq = &model.weights().layers[0].wq;
+    let err8 = QuantizedMatrix::quantize(wq, QuantFormat::Int8).unwrap().reconstruction_error(wq);
+    let err4 = QuantizedMatrix::quantize(wq, QuantFormat::Int4).unwrap().reconstruction_error(wq);
+    println!("weight reconstruction error: INT8 {err8:.5}, INT4 {err4:.5}");
+}
+
+fn table7() {
+    header("Table 7: energy efficiency over KV cache budgets (PG19)");
+    let budgets = [2048usize, 3500, 5250, 7000, 8750];
+    for model in [ModelKind::Llama3_2_3b, ModelKind::Llama2_13b] {
+        let rows = experiment::table7(model, &budgets);
+        let line: Vec<String> = rows.iter().map(|(n, g)| format!("N'={n}: {g:.2}x")).collect();
+        println!("{model}: {}", line.join("  "));
+    }
+}
+
+fn table8() {
+    header("Table 8: energy efficiency across average refresh intervals (LLaMA3.2-3B)");
+    for workload in [InferenceWorkload::triviaqa(), InferenceWorkload::pg19()] {
+        let rows = experiment::table8(ModelKind::Llama3_2_3b, workload);
+        let line: Vec<String> = rows
+            .iter()
+            .map(|(us, g)| format!("{us}us: {g:.2}x"))
+            .collect();
+        println!("{:>4}: {}", workload.name, line.join("  "));
+    }
+}
+
+fn table9() {
+    header("Table 9: energy efficiency across batch sizes (LLaMA2-7B, PG19)");
+    for (batch, gains) in experiment::table9(ModelKind::Llama2_7b, &[16, 4, 1]) {
+        let line: Vec<String> = gains.iter().map(|(n, g)| format!("{n} {g:.2}x")).collect();
+        println!("batch {:>2}: {}", batch, line.join(", "));
+    }
+}
+
+fn area_power() {
+    header("Accelerator area and power reconstruction (§8)");
+    let (area, power) = experiment::area_power_report();
+    println!(
+        "on-chip area : {:.2} mm^2 (RSA {:.2}, SFU {:.2}, memories {:.2}, logic {:.2}); DRAM die {:.0} mm^2",
+        area.onchip_total_mm2(),
+        area.rsa_mm2,
+        area.sfu_mm2,
+        area.memory_mm2,
+        area.logic_mm2,
+        area.dram_mm2
+    );
+    println!(
+        "on-chip power: {:.2} W (RSA {:.2}, SFU {:.2}, memories {:.2}); DRAM {:.2} W",
+        power.onchip_total_w(),
+        power.rsa_w,
+        power.sfu_w,
+        power.memory_w,
+        power.dram_w
+    );
+}
+
+fn bandwidth() {
+    header("§8.3.7: halved eDRAM bandwidth ablation");
+    for workload in [InferenceWorkload::pg19(), InferenceWorkload::triviaqa()] {
+        let (full, halved) = experiment::bandwidth_ablation(ModelKind::Llama2_7b, workload);
+        println!(
+            "{:>4}: full bandwidth {:.2}x, halved bandwidth {:.2}x (vs Original+SRAM, N'={})",
+            workload.name, full, halved, DEFAULT_N_PRIME
+        );
+    }
+}

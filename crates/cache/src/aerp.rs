@@ -1,0 +1,555 @@
+//! AERP — Kelle's attention-based eviction and recomputation policy (§4.1).
+//!
+//! AERP manages the KV cache per attention head with three mechanisms:
+//!
+//! 1. **Attention-based eviction** (§4.1.1): each head keeps at most `N'`
+//!    tokens; when a new token arrives at a full head, the cached token with
+//!    the smallest accumulated attention score is evicted (Eq. 3).  Sink tokens
+//!    and the recent window are never evicted.  Because eviction decisions are
+//!    per head, the retained token set *differs across heads*.
+//! 2. **Popularity-driven recomputation storage** (§4.1.2): a token whose KV
+//!    vectors are retained in at least a fraction `θ` (default 50 %) of the
+//!    heads is *popular*; instead of keeping `2 × C/H` values in every
+//!    retaining head (total `2 · C/H · θH > C`), only the `1 × C` input vector
+//!    `x` is stored once per layer, and K/V are recomputed through `W_K`/`W_V`
+//!    when needed.  Once a token switches to input-vector storage its format
+//!    stays fixed until it is evicted from every head.
+//! 3. **Prefill retention** (§4.1.1): after pre-filling, each head keeps the
+//!    top-`N'` tokens by importance (plus sinks and the recent window).
+//!
+//! The storage-footprint accounting (`CacheStats::bytes_fp16`) reflects the
+//! policy's *declared* storage: popular tokens cost `C` elements per layer,
+//! unpopular retained tokens cost `2 × C/H` elements per retaining head — the
+//! quantity the eDRAM capacity/refresh model consumes downstream.
+
+use crate::budget::CacheBudget;
+use crate::importance::ImportanceTracker;
+use kelle_model::{CacheEntry, CacheStats, EntryPayload, KvCacheBackend, TokenId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of the AERP policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AerpConfig {
+    /// Cache budget (per head).
+    pub budget: CacheBudget,
+    /// Fraction of heads that must retain a token for it to be considered
+    /// *popular* and switched to input-vector storage.  The paper uses 0.5.
+    pub popularity_threshold: f64,
+    /// Whether recomputation storage is enabled.  Disabling it yields the
+    /// "AEP" ablation baseline of §8.1 (eviction only, no recomputation).
+    pub recompute: bool,
+}
+
+impl AerpConfig {
+    /// The default AERP configuration for a given budget (θ = 0.5,
+    /// recomputation on).
+    pub fn new(budget: CacheBudget) -> Self {
+        AerpConfig {
+            budget,
+            popularity_threshold: 0.5,
+            recompute: true,
+        }
+    }
+
+    /// Disables recomputation (the AEP baseline).
+    pub fn without_recompute(mut self) -> Self {
+        self.recompute = false;
+        self
+    }
+
+    /// Overrides the popularity threshold θ.
+    pub fn with_popularity_threshold(mut self, theta: f64) -> Self {
+        self.popularity_threshold = theta;
+        self
+    }
+}
+
+/// Per-head stored KV pair.
+#[derive(Debug, Clone)]
+struct StoredKv {
+    key: Vec<f32>,
+    value: Vec<f32>,
+}
+
+/// Per-layer state.
+#[derive(Debug, Default)]
+struct LayerState {
+    /// Which tokens each head currently retains (insertion-ordered).
+    retained: Vec<Vec<TokenId>>,
+    /// Per-head KV storage for tokens stored in KV format.
+    kv: Vec<HashMap<TokenId, StoredKv>>,
+    /// Input vectors of all currently retained tokens (needed both for
+    /// recomputation storage and for potential later conversion).
+    inputs: HashMap<TokenId, Vec<f32>>,
+    /// Tokens currently stored in input-vector (recompute) format.
+    popular: HashSet<TokenId>,
+}
+
+impl LayerState {
+    fn with_heads(heads: usize) -> Self {
+        LayerState {
+            retained: vec![Vec::new(); heads],
+            kv: vec![HashMap::new(); heads],
+            inputs: HashMap::new(),
+            popular: HashSet::new(),
+        }
+    }
+
+    fn retaining_heads(&self, token: TokenId) -> usize {
+        self.retained.iter().filter(|r| r.contains(&token)).count()
+    }
+
+    fn drop_token_everywhere(&mut self, token: TokenId) {
+        self.inputs.remove(&token);
+        self.popular.remove(&token);
+        for kv in &mut self.kv {
+            kv.remove(&token);
+        }
+    }
+}
+
+/// Kelle's attention-based eviction and recomputation policy.
+#[derive(Debug)]
+pub struct AerpCache {
+    config: AerpConfig,
+    heads: usize,
+    layers: HashMap<usize, LayerState>,
+    importance: ImportanceTracker,
+    current_len: usize,
+    /// While true (until [`KvCacheBackend::finish_prefill`]), insertions do not
+    /// trigger evictions: the paper's prefill rule retains the top-`N'` tokens
+    /// only once the whole context has been scored (§4.1.1).
+    in_prefill: bool,
+    evictions: u64,
+    insertions: u64,
+}
+
+impl AerpCache {
+    /// Creates an AERP cache with the default configuration for `budget`.
+    pub fn new(budget: CacheBudget, heads: usize) -> Self {
+        Self::with_config(AerpConfig::new(budget), heads)
+    }
+
+    /// Creates an AERP cache with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads == 0` or the popularity threshold is outside `(0, 1]`.
+    pub fn with_config(config: AerpConfig, heads: usize) -> Self {
+        assert!(heads > 0, "AERP requires at least one attention head");
+        assert!(
+            config.popularity_threshold > 0.0 && config.popularity_threshold <= 1.0,
+            "popularity threshold must be within (0, 1]"
+        );
+        AerpCache {
+            config,
+            heads,
+            layers: HashMap::new(),
+            importance: ImportanceTracker::new(),
+            current_len: 0,
+            in_prefill: true,
+            evictions: 0,
+            insertions: 0,
+        }
+    }
+
+    /// The policy configuration.
+    pub fn config(&self) -> &AerpConfig {
+        &self.config
+    }
+
+    /// Number of tokens currently stored in recompute (input-vector) format in
+    /// `layer`.
+    pub fn popular_tokens(&self, layer: usize) -> usize {
+        self.layers.get(&layer).map_or(0, |l| l.popular.len())
+    }
+
+    fn layer_mut(&mut self, layer: usize) -> &mut LayerState {
+        let heads = self.heads;
+        self.layers
+            .entry(layer)
+            .or_insert_with(|| LayerState::with_heads(heads))
+    }
+
+    /// Evicts the minimum-importance unprotected token from a full head.
+    fn enforce_head(&mut self, layer: usize, head: usize, incoming: Option<TokenId>) {
+        loop {
+            let budget = self.config.budget;
+            let current_len = self.current_len;
+            let Some(state) = self.layers.get(&layer) else { return };
+            if state.retained[head].len() <= budget.max_tokens {
+                return;
+            }
+            let candidates: Vec<TokenId> = state.retained[head]
+                .iter()
+                .copied()
+                .filter(|&t| Some(t) != incoming && !budget.is_protected(t, current_len))
+                .collect();
+            let victim = self
+                .importance
+                .min_score_token(layer, head, candidates.iter().copied())
+                .or_else(|| {
+                    state.retained[head]
+                        .iter()
+                        .copied()
+                        .find(|&t| Some(t) != incoming)
+                });
+            let Some(victim) = victim else { return };
+
+            let state = self.layer_mut(layer);
+            state.retained[head].retain(|&t| t != victim);
+            state.kv[head].remove(&victim);
+            if state.retaining_heads(victim) == 0 {
+                state.drop_token_everywhere(victim);
+            }
+            self.importance.remove(layer, head, victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Re-evaluates popularity-based storage formats for a layer (§4.1.2).
+    ///
+    /// Tokens retained in at least `θ` of the heads are converted to
+    /// input-vector storage; the conversion is one-way (the format stays fixed
+    /// until full eviction), matching the paper's observation that popular
+    /// tokens rarely become unpopular.
+    fn update_popularity(&mut self, layer: usize) {
+        if !self.config.recompute {
+            return;
+        }
+        let threshold = (self.config.popularity_threshold * self.heads as f64).ceil() as usize;
+        let state = self.layer_mut(layer);
+        let tokens: Vec<TokenId> = state.inputs.keys().copied().collect();
+        for token in tokens {
+            if state.popular.contains(&token) {
+                continue;
+            }
+            let retaining = state.retaining_heads(token);
+            if retaining >= threshold.max(1) {
+                state.popular.insert(token);
+                // KV copies are dropped; the input vector alone is stored.
+                for kv in &mut state.kv {
+                    kv.remove(&token);
+                }
+            }
+        }
+    }
+}
+
+impl KvCacheBackend for AerpCache {
+    fn insert(
+        &mut self,
+        layer: usize,
+        token: TokenId,
+        x: &[f32],
+        keys: &[Vec<f32>],
+        values: &[Vec<f32>],
+    ) {
+        assert_eq!(keys.len(), self.heads, "per-head keys must match head count");
+        self.current_len = self.current_len.max(token + 1);
+        let state = self.layer_mut(layer);
+        state.inputs.insert(token, x.to_vec());
+        for (head, (k, v)) in keys.iter().zip(values.iter()).enumerate() {
+            state.retained[head].push(token);
+            state.kv[head].insert(
+                token,
+                StoredKv {
+                    key: k.clone(),
+                    value: v.clone(),
+                },
+            );
+        }
+        for head in 0..self.heads {
+            self.importance.register(layer, head, token);
+            if !self.in_prefill {
+                self.enforce_head(layer, head, Some(token));
+            }
+        }
+        self.update_popularity(layer);
+        self.insertions += 1;
+    }
+
+    fn entries(&self, layer: usize, head: usize) -> Vec<CacheEntry> {
+        let Some(state) = self.layers.get(&layer) else {
+            return Vec::new();
+        };
+        state.retained[head]
+            .iter()
+            .map(|&token| {
+                let high_score = self.importance.is_high_score(layer, head, token);
+                let payload = if state.popular.contains(&token) {
+                    EntryPayload::Recompute {
+                        x: state
+                            .inputs
+                            .get(&token)
+                            .cloned()
+                            .unwrap_or_default(),
+                    }
+                } else if let Some(kv) = state.kv[head].get(&token) {
+                    EntryPayload::Kv {
+                        key: kv.key.clone(),
+                        value: kv.value.clone(),
+                    }
+                } else {
+                    // Defensive fallback: if the KV copy is missing (should not
+                    // happen), fall back to recompute storage.
+                    EntryPayload::Recompute {
+                        x: state
+                            .inputs
+                            .get(&token)
+                            .cloned()
+                            .unwrap_or_default(),
+                    }
+                };
+                CacheEntry {
+                    token,
+                    payload,
+                    high_score,
+                }
+            })
+            .collect()
+    }
+
+    fn observe_attention(&mut self, layer: usize, head: usize, scores: &[(TokenId, f32)]) {
+        self.importance.accumulate(layer, head, scores);
+    }
+
+    fn finish_prefill(&mut self, context_len: usize) {
+        self.in_prefill = false;
+        self.current_len = self.current_len.max(context_len);
+        let layers: Vec<usize> = self.layers.keys().copied().collect();
+        for layer in layers {
+            for head in 0..self.heads {
+                self.enforce_head(layer, head, None);
+            }
+            self.update_popularity(layer);
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        let mut kv_entries = 0usize;
+        let mut recompute_entries = 0usize;
+        let mut bytes = 0usize;
+        for state in self.layers.values() {
+            recompute_entries += state.popular.len();
+            for token in &state.popular {
+                bytes += 2 * state.inputs.get(token).map_or(0, Vec::len);
+            }
+            for kv in &state.kv {
+                kv_entries += kv.len();
+                bytes += kv
+                    .values()
+                    .map(|s| 2 * (s.key.len() + s.value.len()))
+                    .sum::<usize>();
+            }
+        }
+        CacheStats {
+            kv_entries,
+            recompute_entries,
+            evictions: self.evictions,
+            insertions: self.insertions,
+            bytes_fp16: bytes,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        if self.config.recompute {
+            "aerp"
+        } else {
+            "aep"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADS: usize = 4;
+    const HEAD_DIM: usize = 4;
+    const CHANNELS: usize = HEADS * HEAD_DIM;
+
+    fn insert_token(cache: &mut AerpCache, layer: usize, token: usize) {
+        let keys: Vec<Vec<f32>> = (0..HEADS).map(|h| vec![(token + h) as f32; HEAD_DIM]).collect();
+        let values = keys.clone();
+        cache.insert(layer, token, &[token as f32; CHANNELS], &keys, &values);
+    }
+
+    #[test]
+    fn respects_per_head_budget() {
+        let mut cache = AerpCache::new(CacheBudget::new(4).with_recent_window(1), HEADS);
+        cache.finish_prefill(0);
+        for t in 0..16 {
+            insert_token(&mut cache, 0, t);
+        }
+        for head in 0..HEADS {
+            assert!(cache.entries(0, head).len() <= 4, "head {head}");
+        }
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn eviction_targets_minimum_importance() {
+        let mut cache =
+            AerpCache::with_config(AerpConfig::new(CacheBudget::new(3)).without_recompute(), 1);
+        cache.finish_prefill(0);
+        let insert = |cache: &mut AerpCache, token: usize| {
+            cache.insert(
+                0,
+                token,
+                &[token as f32; HEAD_DIM],
+                &[vec![token as f32; HEAD_DIM]],
+                &[vec![token as f32; HEAD_DIM]],
+            );
+        };
+        insert(&mut cache, 0);
+        insert(&mut cache, 1);
+        insert(&mut cache, 2);
+        cache.observe_attention(0, 0, &[(0, 0.6), (1, 0.05), (2, 0.35)]);
+        insert(&mut cache, 3);
+        let tokens: Vec<usize> = cache.entries(0, 0).iter().map(|e| e.token).collect();
+        assert!(!tokens.contains(&1), "lowest-score token evicted: {tokens:?}");
+        assert!(tokens.contains(&0));
+        assert!(tokens.contains(&2));
+        assert!(tokens.contains(&3));
+    }
+
+    #[test]
+    fn eviction_patterns_differ_across_heads() {
+        let mut cache = AerpCache::with_config(
+            AerpConfig::new(CacheBudget::new(3)).without_recompute(),
+            2,
+        );
+        cache.finish_prefill(0);
+        let insert = |cache: &mut AerpCache, token: usize| {
+            cache.insert(
+                0,
+                token,
+                &[token as f32; 8],
+                &[vec![1.0; HEAD_DIM], vec![1.0; HEAD_DIM]],
+                &[vec![1.0; HEAD_DIM], vec![1.0; HEAD_DIM]],
+            );
+        };
+        for t in 0..3 {
+            insert(&mut cache, t);
+        }
+        // Head 0 loves token 0, head 1 loves token 2.
+        cache.observe_attention(0, 0, &[(0, 0.9), (1, 0.05), (2, 0.05)]);
+        cache.observe_attention(0, 1, &[(0, 0.05), (1, 0.05), (2, 0.9)]);
+        // Make token 1 clearly the victim in head 0, token 0 in head 1.
+        cache.observe_attention(0, 1, &[(1, 0.3)]);
+        insert(&mut cache, 3);
+        let head0: Vec<usize> = cache.entries(0, 0).iter().map(|e| e.token).collect();
+        let head1: Vec<usize> = cache.entries(0, 1).iter().map(|e| e.token).collect();
+        assert_ne!(head0, head1, "per-head eviction should diverge");
+        assert!(head0.contains(&0));
+        assert!(head1.contains(&2));
+    }
+
+    #[test]
+    fn popular_tokens_switch_to_recompute_storage() {
+        let mut cache = AerpCache::new(CacheBudget::new(8), HEADS);
+        for t in 0..4 {
+            insert_token(&mut cache, 0, t);
+        }
+        // All tokens retained in all heads -> all popular -> recompute storage.
+        let entries = cache.entries(0, 0);
+        assert!(entries.iter().all(|e| e.payload.needs_recompute()));
+        assert_eq!(cache.popular_tokens(0), 4);
+        let stats = cache.stats();
+        assert_eq!(stats.kv_entries, 0);
+        assert_eq!(stats.recompute_entries, 4);
+    }
+
+    #[test]
+    fn recompute_disabled_stores_kv_only() {
+        let mut cache = AerpCache::with_config(
+            AerpConfig::new(CacheBudget::new(8)).without_recompute(),
+            HEADS,
+        );
+        for t in 0..4 {
+            insert_token(&mut cache, 0, t);
+        }
+        let entries = cache.entries(0, 0);
+        assert!(entries.iter().all(|e| !e.payload.needs_recompute()));
+        assert_eq!(cache.name(), "aep");
+        assert_eq!(cache.stats().recompute_entries, 0);
+    }
+
+    #[test]
+    fn recompute_storage_is_smaller_for_popular_tokens() {
+        // With θ = 0.5 and all heads retaining, storing x (C elements) must be
+        // cheaper than storing KV in every head (2 * C/H * H = 2C elements).
+        let mut with_recompute = AerpCache::new(CacheBudget::new(8), HEADS);
+        let mut without = AerpCache::with_config(
+            AerpConfig::new(CacheBudget::new(8)).without_recompute(),
+            HEADS,
+        );
+        for t in 0..6 {
+            insert_token(&mut with_recompute, 0, t);
+            insert_token(&mut without, 0, t);
+        }
+        assert!(with_recompute.stats().bytes_fp16 < without.stats().bytes_fp16);
+    }
+
+    #[test]
+    fn full_eviction_drops_input_vector() {
+        let mut cache = AerpCache::new(CacheBudget::new(2).with_recent_window(1), 1);
+        cache.finish_prefill(0);
+        let insert = |cache: &mut AerpCache, token: usize| {
+            cache.insert(
+                0,
+                token,
+                &[token as f32; HEAD_DIM],
+                &[vec![token as f32; HEAD_DIM]],
+                &[vec![token as f32; HEAD_DIM]],
+            );
+        };
+        for t in 0..6 {
+            insert(&mut cache, t);
+        }
+        // Only two tokens retained; the rest must not linger in input storage.
+        let state = cache.layers.get(&0).unwrap();
+        assert_eq!(state.inputs.len(), 2);
+        assert!(state.popular.len() <= 2);
+    }
+
+    #[test]
+    fn prefill_retains_top_n_by_importance() {
+        let mut cache = AerpCache::with_config(
+            AerpConfig::new(CacheBudget::new(2)).without_recompute(),
+            1,
+        );
+        // Simulate prefill: insert 6 tokens, give token 4 and 1 the highest scores.
+        for t in 0..6 {
+            cache.insert(
+                0,
+                t,
+                &[t as f32; HEAD_DIM],
+                &[vec![t as f32; HEAD_DIM]],
+                &[vec![t as f32; HEAD_DIM]],
+            );
+            let obs: Vec<(usize, f32)> = cache
+                .entries(0, 0)
+                .iter()
+                .map(|e| match e.token {
+                    4 => (4, 0.7),
+                    1 => (1, 0.5),
+                    t => (t, 0.01),
+                })
+                .collect();
+            cache.observe_attention(0, 0, &obs);
+        }
+        cache.finish_prefill(6);
+        let tokens: Vec<usize> = cache.entries(0, 0).iter().map(|e| e.token).collect();
+        assert_eq!(tokens.len(), 2);
+        assert!(tokens.contains(&1) && tokens.contains(&4), "{tokens:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attention head")]
+    fn zero_heads_panics() {
+        AerpCache::new(CacheBudget::new(4), 0);
+    }
+}

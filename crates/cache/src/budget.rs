@@ -1,0 +1,168 @@
+//! Cache-capacity description shared by all budgeted policies.
+//!
+//! The paper expresses the cache budget as `N'`, the maximum number of tokens
+//! whose KV vectors a head may retain (§4.1.1), plus two protected sets that
+//! are always kept because of their disproportionate impact on generation
+//! quality (§4.1.1, following StreamingLLM and H2O): the first few *sink*
+//! tokens and a window of the *most recent* tokens.  §7.1 lists the values
+//! used per task (e.g. `N' = 128`, recent window 64, 10 sink tokens for the
+//! zero-shot tasks).
+
+use serde::{Deserialize, Serialize};
+
+/// Capacity and protection parameters of a budgeted KV cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheBudget {
+    /// Maximum number of tokens retained per head (`N'`).
+    pub max_tokens: usize,
+    /// Number of initial tokens always retained (attention sinks).
+    pub sink_tokens: usize,
+    /// Number of most recent tokens always retained.
+    pub recent_window: usize,
+}
+
+impl CacheBudget {
+    /// Creates a budget of `max_tokens` with no protected sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_tokens == 0`.
+    pub fn new(max_tokens: usize) -> Self {
+        assert!(max_tokens > 0, "cache budget must allow at least one token");
+        CacheBudget {
+            max_tokens,
+            sink_tokens: 0,
+            recent_window: 0,
+        }
+    }
+
+    /// Sets the number of protected sink tokens (builder style).
+    pub fn with_sink_tokens(mut self, sink_tokens: usize) -> Self {
+        self.sink_tokens = sink_tokens;
+        self
+    }
+
+    /// Sets the protected recent window (builder style).
+    pub fn with_recent_window(mut self, recent_window: usize) -> Self {
+        self.recent_window = recent_window;
+        self
+    }
+
+    /// The per-task budget configurations used in §7.1 of the paper.
+    ///
+    /// | task group | `N'` | recent window | sinks |
+    /// |---|---|---|---|
+    /// | PQ / LA / A-e / A-c | 128 | 64 | 10 |
+    /// | WK2 | 512 | 256 | 10 |
+    /// | TQ / QP | 1024 | 512 | 10 |
+    /// | PG19 | 2048 | 1024 | 10 |
+    pub fn for_task(task: BudgetTask) -> Self {
+        match task {
+            BudgetTask::ZeroShot => CacheBudget::new(128).with_recent_window(64).with_sink_tokens(10),
+            BudgetTask::WikiText2 => {
+                CacheBudget::new(512).with_recent_window(256).with_sink_tokens(10)
+            }
+            BudgetTask::LongQa => {
+                CacheBudget::new(1024).with_recent_window(512).with_sink_tokens(10)
+            }
+            BudgetTask::Pg19 => {
+                CacheBudget::new(2048).with_recent_window(1024).with_sink_tokens(10)
+            }
+        }
+    }
+
+    /// Whether a token at `position` is protected from eviction when the
+    /// current sequence length is `current_len`.
+    pub fn is_protected(&self, position: usize, current_len: usize) -> bool {
+        if position < self.sink_tokens {
+            return true;
+        }
+        current_len <= self.recent_window || position >= current_len - self.recent_window
+    }
+
+    /// Scales the whole budget (all three fields) by `factor`, rounding down
+    /// but keeping every field at least 1 if it was non-zero.  Used to map the
+    /// paper's full-model budgets onto the smaller surrogate sequence lengths.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let scale = |v: usize| -> usize {
+            if v == 0 {
+                0
+            } else {
+                ((v as f64 * factor).floor() as usize).max(1)
+            }
+        };
+        CacheBudget {
+            max_tokens: scale(self.max_tokens),
+            sink_tokens: scale(self.sink_tokens),
+            recent_window: scale(self.recent_window),
+        }
+    }
+}
+
+/// Task groups that share a budget configuration in §7.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BudgetTask {
+    /// PIQA, Lambada, ARC-easy, ARC-challenge.
+    ZeroShot,
+    /// WikiText-2 perplexity.
+    WikiText2,
+    /// TriviaQA and Qasper.
+    LongQa,
+    /// PG19 long-form generation.
+    Pg19,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let b = CacheBudget::new(256).with_recent_window(32).with_sink_tokens(4);
+        assert_eq!(b.max_tokens, 256);
+        assert_eq!(b.recent_window, 32);
+        assert_eq!(b.sink_tokens, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn zero_budget_panics() {
+        CacheBudget::new(0);
+    }
+
+    #[test]
+    fn task_budgets_match_paper() {
+        assert_eq!(CacheBudget::for_task(BudgetTask::ZeroShot).max_tokens, 128);
+        assert_eq!(CacheBudget::for_task(BudgetTask::WikiText2).max_tokens, 512);
+        assert_eq!(CacheBudget::for_task(BudgetTask::LongQa).max_tokens, 1024);
+        assert_eq!(CacheBudget::for_task(BudgetTask::Pg19).max_tokens, 2048);
+        assert_eq!(CacheBudget::for_task(BudgetTask::Pg19).recent_window, 1024);
+        assert_eq!(CacheBudget::for_task(BudgetTask::Pg19).sink_tokens, 10);
+    }
+
+    #[test]
+    fn protection_rules() {
+        let b = CacheBudget::new(16).with_sink_tokens(2).with_recent_window(4);
+        // Sinks are always protected.
+        assert!(b.is_protected(0, 100));
+        assert!(b.is_protected(1, 100));
+        assert!(!b.is_protected(2, 100));
+        // Recent window protects the tail.
+        assert!(b.is_protected(96, 100));
+        assert!(b.is_protected(99, 100));
+        assert!(!b.is_protected(95, 100));
+        // Short sequences are fully protected by the window.
+        assert!(b.is_protected(1, 3));
+    }
+
+    #[test]
+    fn scaling_preserves_nonzero_fields() {
+        let b = CacheBudget::new(128).with_recent_window(64).with_sink_tokens(10);
+        let s = b.scaled(0.05);
+        assert!(s.max_tokens >= 1);
+        assert!(s.recent_window >= 1);
+        assert!(s.sink_tokens >= 1);
+        let unscaled = b.scaled(1.0);
+        assert_eq!(unscaled, b);
+    }
+}

@@ -1,0 +1,244 @@
+//! H2O-style cache: accumulated-attention heavy hitters + a recent window.
+//!
+//! H2O (Zhang et al., cited as [98] in the paper) keeps the tokens with the
+//! highest *accumulated* attention scores ("heavy hitters") alongside the most
+//! recent tokens.  It is the closest prior policy to AERP: the difference is
+//! that H2O neither stores input vectors for recomputation nor exploits
+//! per-head popularity (§4.1.2), and in Kelle the score accumulation and
+//! minimum search are offloaded to the systolic evictor rather than recomputed
+//! on the host.
+
+use crate::budget::CacheBudget;
+use crate::importance::ImportanceTracker;
+use kelle_model::{CacheEntry, CacheStats, EntryPayload, KvCacheBackend, TokenId};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Stored {
+    token: TokenId,
+    key: Vec<f32>,
+    value: Vec<f32>,
+}
+
+/// The H2O (heavy-hitter oracle) cache policy.
+#[derive(Debug)]
+pub struct H2oCache {
+    budget: CacheBudget,
+    store: HashMap<(usize, usize), Vec<Stored>>,
+    importance: ImportanceTracker,
+    current_len: usize,
+    /// While true, insertions do not trigger evictions (prefill keeps all
+    /// tokens until the whole context has been scored).
+    in_prefill: bool,
+    evictions: u64,
+    insertions: u64,
+}
+
+impl H2oCache {
+    /// Creates an H2O cache with the given budget.
+    pub fn new(budget: CacheBudget) -> Self {
+        H2oCache {
+            budget,
+            store: HashMap::new(),
+            importance: ImportanceTracker::new(),
+            current_len: 0,
+            in_prefill: true,
+            evictions: 0,
+            insertions: 0,
+        }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> CacheBudget {
+        self.budget
+    }
+
+    /// Evicts minimum-importance tokens until the head fits the budget.
+    ///
+    /// The freshly arrived token (`incoming`), protected sinks and the recent
+    /// window are never chosen as victims (matching §4.1.1: the arrival of the
+    /// `(N'+1)`-th token evicts one of the *previous* `N'` tokens).
+    fn enforce(&mut self, layer: usize, head: usize, incoming: Option<TokenId>) {
+        loop {
+            let Some(entries) = self.store.get(&(layer, head)) else {
+                return;
+            };
+            if entries.len() <= self.budget.max_tokens {
+                return;
+            }
+            let candidates: Vec<TokenId> = entries
+                .iter()
+                .map(|e| e.token)
+                .filter(|&t| Some(t) != incoming && !self.budget.is_protected(t, self.current_len))
+                .collect();
+            let victim = self
+                .importance
+                .min_score_token(layer, head, candidates.iter().copied())
+                .or_else(|| entries.first().map(|e| e.token));
+            let Some(victim) = victim else { return };
+            if let Some(entries) = self.store.get_mut(&(layer, head)) {
+                if let Some(pos) = entries.iter().position(|e| e.token == victim) {
+                    entries.remove(pos);
+                    self.importance.remove(layer, head, victim);
+                    self.evictions += 1;
+                } else {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl KvCacheBackend for H2oCache {
+    fn insert(
+        &mut self,
+        layer: usize,
+        token: TokenId,
+        _x: &[f32],
+        keys: &[Vec<f32>],
+        values: &[Vec<f32>],
+    ) {
+        self.current_len = self.current_len.max(token + 1);
+        for (head, (k, v)) in keys.iter().zip(values.iter()).enumerate() {
+            self.store.entry((layer, head)).or_default().push(Stored {
+                token,
+                key: k.clone(),
+                value: v.clone(),
+            });
+            self.importance.register(layer, head, token);
+            if !self.in_prefill {
+                self.enforce(layer, head, Some(token));
+            }
+        }
+        self.insertions += 1;
+    }
+
+    fn entries(&self, layer: usize, head: usize) -> Vec<CacheEntry> {
+        self.store
+            .get(&(layer, head))
+            .map(|entries| {
+                entries
+                    .iter()
+                    .map(|e| CacheEntry {
+                        token: e.token,
+                        payload: EntryPayload::Kv {
+                            key: e.key.clone(),
+                            value: e.value.clone(),
+                        },
+                        high_score: self.importance.is_high_score(layer, head, e.token),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn observe_attention(&mut self, layer: usize, head: usize, scores: &[(TokenId, f32)]) {
+        self.importance.accumulate(layer, head, scores);
+    }
+
+    fn finish_prefill(&mut self, context_len: usize) {
+        self.in_prefill = false;
+        self.current_len = self.current_len.max(context_len);
+        // Retain only the top-N' tokens (plus protected ones) per head.
+        let keys: Vec<(usize, usize)> = self.store.keys().copied().collect();
+        for (layer, head) in keys {
+            self.enforce(layer, head, None);
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        let kv_entries: usize = self.store.values().map(Vec::len).sum();
+        let bytes: usize = self
+            .store
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|e| 2 * (e.key.len() + e.value.len()))
+            .sum();
+        CacheStats {
+            kv_entries,
+            recompute_entries: 0,
+            evictions: self.evictions,
+            insertions: self.insertions,
+            bytes_fp16: bytes,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "h2o"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insert_token(cache: &mut H2oCache, token: usize, heads: usize) {
+        let keys: Vec<Vec<f32>> = (0..heads).map(|_| vec![token as f32; 4]).collect();
+        let values = keys.clone();
+        cache.insert(0, token, &[0.0; 8], &keys, &values);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let mut cache = H2oCache::new(CacheBudget::new(4).with_recent_window(1));
+        cache.finish_prefill(0);
+        for t in 0..12 {
+            insert_token(&mut cache, t, 2);
+            let obs: Vec<(usize, f32)> = cache
+                .entries(0, 0)
+                .iter()
+                .map(|e| (e.token, 1.0 / (e.token + 1) as f32))
+                .collect();
+            cache.observe_attention(0, 0, &obs);
+        }
+        assert_eq!(cache.entries(0, 0).len(), 4);
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn keeps_heavy_hitters() {
+        let mut cache = H2oCache::new(CacheBudget::new(3).with_recent_window(1));
+        cache.finish_prefill(0);
+        for t in 0..8 {
+            insert_token(&mut cache, t, 1);
+            // Token 2 always gets massive attention once present.
+            let obs: Vec<(usize, f32)> = cache
+                .entries(0, 0)
+                .iter()
+                .map(|e| if e.token == 2 { (2, 0.9) } else { (e.token, 0.01) })
+                .collect();
+            cache.observe_attention(0, 0, &obs);
+        }
+        let tokens: Vec<usize> = cache.entries(0, 0).iter().map(|e| e.token).collect();
+        assert!(tokens.contains(&2), "heavy hitter retained: {tokens:?}");
+        assert!(tokens.contains(&7), "most recent retained: {tokens:?}");
+    }
+
+    #[test]
+    fn prefill_truncates_to_budget() {
+        let mut cache = H2oCache::new(CacheBudget::new(4));
+        for t in 0..16 {
+            insert_token(&mut cache, t, 1);
+        }
+        cache.finish_prefill(16);
+        assert!(cache.entries(0, 0).len() <= 4);
+    }
+
+    #[test]
+    fn eviction_prefers_low_score() {
+        let mut cache = H2oCache::new(CacheBudget::new(2));
+        cache.finish_prefill(0);
+        insert_token(&mut cache, 0, 1);
+        insert_token(&mut cache, 1, 1);
+        cache.observe_attention(0, 0, &[(0, 0.9), (1, 0.01)]);
+        insert_token(&mut cache, 2, 1);
+        let tokens: Vec<usize> = cache.entries(0, 0).iter().map(|e| e.token).collect();
+        assert!(tokens.contains(&0));
+        assert!(!tokens.contains(&1));
+    }
+
+    #[test]
+    fn name_is_h2o() {
+        assert_eq!(H2oCache::new(CacheBudget::new(2)).name(), "h2o");
+    }
+}

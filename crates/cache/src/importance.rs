@@ -1,0 +1,179 @@
+//! Accumulated attention-score bookkeeping (paper Eq. 3).
+//!
+//! Both H2O and Kelle's AERP rank cached tokens by the attention mass they
+//! have *received* since entering the cache: every decoding step adds the
+//! post-softmax probability assigned to each cached token to that token's
+//! importance score `s^h_n` (§4.1.1).  The hardware realisation of this
+//! bookkeeping is the systolic evictor (§5.3); the functional realisation is
+//! this tracker.
+
+use kelle_model::TokenId;
+use std::collections::HashMap;
+
+/// Per-`(layer, head)` accumulated attention scores.
+#[derive(Debug, Clone, Default)]
+pub struct ImportanceTracker {
+    scores: HashMap<(usize, usize), HashMap<TokenId, f32>>,
+}
+
+impl ImportanceTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates the attention probabilities observed for `(layer, head)`.
+    pub fn accumulate(&mut self, layer: usize, head: usize, scores: &[(TokenId, f32)]) {
+        let acc = self.scores.entry((layer, head)).or_default();
+        for (token, p) in scores {
+            *acc.entry(*token).or_insert(0.0) += *p;
+        }
+    }
+
+    /// Registers a token with zero initial score (so freshly inserted tokens
+    /// participate in ranking before their first observation).
+    pub fn register(&mut self, layer: usize, head: usize, token: TokenId) {
+        self.scores
+            .entry((layer, head))
+            .or_default()
+            .entry(token)
+            .or_insert(0.0);
+    }
+
+    /// Removes a token's score (after eviction).
+    pub fn remove(&mut self, layer: usize, head: usize, token: TokenId) {
+        if let Some(acc) = self.scores.get_mut(&(layer, head)) {
+            acc.remove(&token);
+        }
+    }
+
+    /// The accumulated score of a token (0 if never observed).
+    pub fn score(&self, layer: usize, head: usize, token: TokenId) -> f32 {
+        self.scores
+            .get(&(layer, head))
+            .and_then(|acc| acc.get(&token))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// The token with the minimum score among `candidates`, breaking ties by
+    /// preferring the *oldest* (smallest id) token.  Returns `None` if
+    /// `candidates` is empty.
+    pub fn min_score_token(
+        &self,
+        layer: usize,
+        head: usize,
+        candidates: impl IntoIterator<Item = TokenId>,
+    ) -> Option<TokenId> {
+        candidates
+            .into_iter()
+            .map(|t| (t, self.score(layer, head, t)))
+            .min_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            })
+            .map(|(t, _)| t)
+    }
+
+    /// The `n` highest-scoring tokens among `candidates` (descending score,
+    /// ties broken toward newer tokens as the paper keeps recent tokens).
+    pub fn top_n(
+        &self,
+        layer: usize,
+        head: usize,
+        candidates: impl IntoIterator<Item = TokenId>,
+        n: usize,
+    ) -> Vec<TokenId> {
+        let mut scored: Vec<(TokenId, f32)> = candidates
+            .into_iter()
+            .map(|t| (t, self.score(layer, head, t)))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.0.cmp(&a.0))
+        });
+        scored.into_iter().take(n).map(|(t, _)| t).collect()
+    }
+
+    /// Whether a token ranks in the upper half of scores for `(layer, head)` —
+    /// the HST/LST classification used by 2DRP (§4.2).
+    pub fn is_high_score(&self, layer: usize, head: usize, token: TokenId) -> bool {
+        let Some(acc) = self.scores.get(&(layer, head)) else {
+            return true;
+        };
+        if acc.is_empty() {
+            return true;
+        }
+        let mut values: Vec<f32> = acc.values().copied().collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = values[values.len() / 2];
+        self.score(layer, head, token) >= median
+    }
+
+    /// Number of tracked tokens for `(layer, head)`.
+    pub fn tracked(&self, layer: usize, head: usize) -> usize {
+        self.scores.get(&(layer, head)).map_or(0, HashMap::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_adds_up() {
+        let mut t = ImportanceTracker::new();
+        t.accumulate(0, 0, &[(1, 0.5), (2, 0.25)]);
+        t.accumulate(0, 0, &[(1, 0.25), (2, 0.25)]);
+        assert!((t.score(0, 0, 1) - 0.75).abs() < 1e-6);
+        assert!((t.score(0, 0, 2) - 0.5).abs() < 1e-6);
+        assert_eq!(t.score(0, 0, 3), 0.0);
+        assert_eq!(t.score(1, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn min_score_token_finds_least_important() {
+        let mut t = ImportanceTracker::new();
+        t.accumulate(0, 0, &[(0, 0.9), (1, 0.05), (2, 0.05)]);
+        t.accumulate(0, 0, &[(0, 0.8), (1, 0.02), (2, 0.18)]);
+        assert_eq!(t.min_score_token(0, 0, [0, 1, 2]), Some(1));
+        assert_eq!(t.min_score_token(0, 0, []), None);
+    }
+
+    #[test]
+    fn min_score_token_breaks_ties_by_age() {
+        let mut t = ImportanceTracker::new();
+        t.register(0, 0, 5);
+        t.register(0, 0, 3);
+        assert_eq!(t.min_score_token(0, 0, [5, 3]), Some(3));
+    }
+
+    #[test]
+    fn top_n_orders_by_score() {
+        let mut t = ImportanceTracker::new();
+        t.accumulate(0, 1, &[(0, 0.1), (1, 0.9), (2, 0.4), (3, 0.2)]);
+        assert_eq!(t.top_n(0, 1, [0, 1, 2, 3], 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn removal_clears_score() {
+        let mut t = ImportanceTracker::new();
+        t.accumulate(0, 0, &[(7, 0.4)]);
+        t.remove(0, 0, 7);
+        assert_eq!(t.score(0, 0, 7), 0.0);
+        assert_eq!(t.tracked(0, 0), 0);
+    }
+
+    #[test]
+    fn high_score_classification_is_median_split() {
+        let mut t = ImportanceTracker::new();
+        t.accumulate(0, 0, &[(0, 1.0), (1, 0.8), (2, 0.1), (3, 0.05)]);
+        assert!(t.is_high_score(0, 0, 0));
+        assert!(t.is_high_score(0, 0, 1));
+        assert!(!t.is_high_score(0, 0, 3));
+        // Unknown (layer, head) defaults to high-score (conservative refresh).
+        assert!(t.is_high_score(3, 3, 0));
+    }
+}

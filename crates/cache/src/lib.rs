@@ -1,0 +1,51 @@
+//! # kelle-cache
+//!
+//! KV-cache management policies for the Kelle reproduction.
+//!
+//! All policies implement [`kelle_model::KvCacheBackend`] and can therefore be
+//! plugged into the surrogate model unchanged:
+//!
+//! * [`FullKvCache`](kelle_model::FullKvCache) (re-exported) — the
+//!   uncompressed FP16 reference;
+//! * [`StreamingLlmCache`] — StreamingLLM: attention-sink tokens + a recent
+//!   window (Xiao et al.);
+//! * [`H2oCache`] — H2O: accumulated-attention heavy hitters + a recent window
+//!   (Zhang et al.);
+//! * [`QuaRotKvCache`] — QuaRot-style low-bit KV quantization with full token
+//!   retention (Ashkboos et al.);
+//! * [`AerpCache`] — **Kelle's AERP** (§4.1): per-head attention-based
+//!   eviction, token-popularity-driven recomputation storage, sink and recent
+//!   retention.
+//!
+//! The shared importance-score bookkeeping lives in [`importance`], and the
+//! cache-capacity description shared by all budgeted policies in [`budget`].
+//!
+//! ## Example
+//!
+//! ```rust
+//! use kelle_cache::{AerpCache, CacheBudget};
+//! use kelle_model::KvCacheBackend;
+//!
+//! let budget = CacheBudget::new(128).with_recent_window(64).with_sink_tokens(10);
+//! let cache = AerpCache::new(budget, 8);
+//! assert_eq!(cache.name(), "aerp");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aerp;
+pub mod budget;
+pub mod h2o;
+pub mod importance;
+pub mod quantized;
+pub mod streaming;
+
+pub use aerp::{AerpCache, AerpConfig};
+pub use budget::CacheBudget;
+pub use h2o::H2oCache;
+pub use importance::ImportanceTracker;
+pub use quantized::QuaRotKvCache;
+pub use streaming::StreamingLlmCache;
+
+pub use kelle_model::{CacheEntry, CacheStats, EntryPayload, FullKvCache, KvCacheBackend, TokenId};

@@ -1,0 +1,199 @@
+//! StreamingLLM-style cache: attention sinks + a sliding recent window.
+//!
+//! StreamingLLM (Xiao et al., cited as [83] in the paper) observes that the
+//! first few tokens of a sequence act as *attention sinks* and must be kept,
+//! and otherwise retains only the most recent tokens.  It requires no score
+//! bookkeeping, which makes it cheap but lossy on tasks that need long-range
+//! retrieval — exactly the behaviour Table 2 shows (large WK2/A-e degradation
+//! relative to H2O and Kelle).
+
+use crate::budget::CacheBudget;
+use kelle_model::{CacheEntry, CacheStats, EntryPayload, KvCacheBackend, TokenId};
+use std::collections::HashMap;
+
+/// Per-head stored KV pair.
+#[derive(Debug, Clone)]
+struct Stored {
+    token: TokenId,
+    key: Vec<f32>,
+    value: Vec<f32>,
+}
+
+/// The StreamingLLM cache policy.
+#[derive(Debug)]
+pub struct StreamingLlmCache {
+    budget: CacheBudget,
+    /// (layer, head) -> retained entries ordered by insertion.
+    store: HashMap<(usize, usize), Vec<Stored>>,
+    evictions: u64,
+    insertions: u64,
+}
+
+impl StreamingLlmCache {
+    /// Creates a StreamingLLM cache with the given budget.  The effective
+    /// retained set is `sink_tokens` + the most recent tokens up to
+    /// `max_tokens` total.
+    pub fn new(budget: CacheBudget) -> Self {
+        StreamingLlmCache {
+            budget,
+            store: HashMap::new(),
+            evictions: 0,
+            insertions: 0,
+        }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> CacheBudget {
+        self.budget
+    }
+
+    fn enforce(&mut self, layer: usize, head: usize) {
+        let sink = self.budget.sink_tokens;
+        let max = self.budget.max_tokens;
+        if let Some(entries) = self.store.get_mut(&(layer, head)) {
+            while entries.len() > max {
+                // Evict the oldest non-sink entry.
+                let victim_index = entries
+                    .iter()
+                    .position(|e| e.token >= sink)
+                    .unwrap_or(0);
+                entries.remove(victim_index);
+                self.evictions += 1;
+            }
+        }
+    }
+}
+
+impl KvCacheBackend for StreamingLlmCache {
+    fn insert(
+        &mut self,
+        layer: usize,
+        token: TokenId,
+        _x: &[f32],
+        keys: &[Vec<f32>],
+        values: &[Vec<f32>],
+    ) {
+        for (head, (k, v)) in keys.iter().zip(values.iter()).enumerate() {
+            self.store.entry((layer, head)).or_default().push(Stored {
+                token,
+                key: k.clone(),
+                value: v.clone(),
+            });
+            self.enforce(layer, head);
+        }
+        self.insertions += 1;
+    }
+
+    fn entries(&self, layer: usize, head: usize) -> Vec<CacheEntry> {
+        self.store
+            .get(&(layer, head))
+            .map(|entries| {
+                entries
+                    .iter()
+                    .map(|e| CacheEntry {
+                        token: e.token,
+                        payload: EntryPayload::Kv {
+                            key: e.key.clone(),
+                            value: e.value.clone(),
+                        },
+                        // StreamingLLM keeps no score state; sinks and recent
+                        // tokens are its notion of "important".
+                        high_score: e.token < self.budget.sink_tokens,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn observe_attention(&mut self, _layer: usize, _head: usize, _scores: &[(TokenId, f32)]) {
+        // StreamingLLM ignores attention scores by design.
+    }
+
+    fn stats(&self) -> CacheStats {
+        let kv_entries: usize = self.store.values().map(Vec::len).sum();
+        let bytes: usize = self
+            .store
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|e| 2 * (e.key.len() + e.value.len()))
+            .sum();
+        CacheStats {
+            kv_entries,
+            recompute_entries: 0,
+            evictions: self.evictions,
+            insertions: self.insertions,
+            bytes_fp16: bytes,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "streaming-llm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insert_token(cache: &mut StreamingLlmCache, token: usize, heads: usize) {
+        let keys: Vec<Vec<f32>> = (0..heads).map(|h| vec![token as f32 + h as f32; 4]).collect();
+        let values = keys.clone();
+        cache.insert(0, token, &[0.0; 8], &keys, &values);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let mut cache = StreamingLlmCache::new(CacheBudget::new(4).with_sink_tokens(1));
+        for t in 0..10 {
+            insert_token(&mut cache, t, 2);
+        }
+        for head in 0..2 {
+            let entries = cache.entries(0, head);
+            assert_eq!(entries.len(), 4);
+        }
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn keeps_sinks_and_recent() {
+        let mut cache = StreamingLlmCache::new(CacheBudget::new(4).with_sink_tokens(2));
+        for t in 0..12 {
+            insert_token(&mut cache, t, 1);
+        }
+        let tokens: Vec<usize> = cache.entries(0, 0).iter().map(|e| e.token).collect();
+        // The two sinks plus the two most recent tokens.
+        assert!(tokens.contains(&0));
+        assert!(tokens.contains(&1));
+        assert!(tokens.contains(&11));
+        assert!(tokens.contains(&10));
+        assert!(!tokens.contains(&5));
+    }
+
+    #[test]
+    fn under_budget_keeps_everything() {
+        let mut cache = StreamingLlmCache::new(CacheBudget::new(16));
+        for t in 0..8 {
+            insert_token(&mut cache, t, 1);
+        }
+        assert_eq!(cache.entries(0, 0).len(), 8);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn sink_entries_marked_high_score() {
+        let mut cache = StreamingLlmCache::new(CacheBudget::new(8).with_sink_tokens(1));
+        for t in 0..4 {
+            insert_token(&mut cache, t, 1);
+        }
+        let entries = cache.entries(0, 0);
+        assert!(entries.iter().find(|e| e.token == 0).unwrap().high_score);
+        assert!(!entries.iter().find(|e| e.token == 3).unwrap().high_score);
+    }
+
+    #[test]
+    fn name_and_stats() {
+        let cache = StreamingLlmCache::new(CacheBudget::new(4));
+        assert_eq!(cache.name(), "streaming-llm");
+        assert_eq!(cache.stats().kv_entries, 0);
+    }
+}

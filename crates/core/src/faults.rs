@@ -1,0 +1,88 @@
+//! Bridges the eDRAM refresh policy (device side) to the functional model's
+//! fault injector (algorithm side).
+//!
+//! `kelle-edram` expresses retention failures as per-group bit-flip rates
+//! ([`GroupBitFlipRates`]); `kelle-model` consumes them as a
+//! [`FaultInjector`].  Keeping the conversion here avoids a dependency between
+//! the two substrate crates.
+
+use kelle_edram::{GroupBitFlipRates, RefreshPolicy, RetentionModel};
+use kelle_model::fault::{BitFlipRates, ProbabilisticFaults};
+
+/// Converts device-side group rates into the functional model's rate struct.
+pub fn to_model_rates(rates: GroupBitFlipRates) -> BitFlipRates {
+    BitFlipRates {
+        hst_msb: rates.hst_msb,
+        hst_lsb: rates.hst_lsb,
+        lst_msb: rates.lst_msb,
+        lst_lsb: rates.lst_lsb,
+    }
+}
+
+/// Builds a deterministic fault injector realising a refresh policy under a
+/// retention model.
+pub fn fault_injector_for_policy(
+    policy: &RefreshPolicy,
+    retention: &RetentionModel,
+    seed: u64,
+) -> ProbabilisticFaults {
+    ProbabilisticFaults::new(to_model_rates(policy.bit_flip_rates(retention)), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kelle_model::fault::{FaultInjector, TokenGroup};
+
+    #[test]
+    fn conservative_policy_produces_no_faults() {
+        let mut injector = fault_injector_for_policy(
+            &RefreshPolicy::Conservative,
+            &RetentionModel::default(),
+            1,
+        );
+        for i in 0..200 {
+            let v = i as f32 * 0.01;
+            assert_eq!(injector.corrupt(v, TokenGroup::HighScore), v);
+        }
+    }
+
+    #[test]
+    fn relaxed_policy_produces_faults() {
+        let mut injector = fault_injector_for_policy(
+            &RefreshPolicy::Uniform(20_000.0),
+            &RetentionModel::default(),
+            1,
+        );
+        let mut changed = 0;
+        for i in 0..2000 {
+            let v = 0.5 + i as f32 * 0.001;
+            if injector.corrupt(v, TokenGroup::LowScore) != v {
+                changed += 1;
+            }
+        }
+        assert!(changed > 0);
+    }
+
+    #[test]
+    fn rates_conversion_is_field_wise() {
+        let rates = GroupBitFlipRates {
+            hst_msb: 0.1,
+            hst_lsb: 0.2,
+            lst_msb: 0.3,
+            lst_lsb: 0.4,
+        };
+        let converted = to_model_rates(rates);
+        assert_eq!(converted.hst_msb, 0.1);
+        assert_eq!(converted.lst_lsb, 0.4);
+    }
+
+    #[test]
+    fn twodrp_rates_preserve_ordering() {
+        let policy = RefreshPolicy::two_dimensional_default();
+        let rates = to_model_rates(policy.bit_flip_rates(&RetentionModel::default()));
+        assert!(rates.hst_msb <= rates.lst_msb);
+        assert!(rates.lst_msb <= rates.hst_lsb);
+        assert!(rates.hst_lsb <= rates.lst_lsb);
+    }
+}

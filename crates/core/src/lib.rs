@@ -1,0 +1,50 @@
+//! # kelle
+//!
+//! Top-level crate of the Kelle reproduction: the public API that co-simulates
+//! the **algorithm side** (the surrogate LLM with AERP/2DRP-managed KV caches,
+//! from `kelle-model` / `kelle-cache` / `kelle-edram`) and the **hardware
+//! side** (the eDRAM-based edge accelerator and its baselines, from
+//! `kelle-arch`), plus the experiment catalogue used to regenerate every table
+//! and figure of the paper.
+//!
+//! ## Quick start
+//!
+//! ```rust
+//! use kelle::{EngineConfig, KelleEngine};
+//!
+//! // Build the default Kelle system for a LLaMA2-7B-shaped model.
+//! let engine = KelleEngine::new(EngineConfig::default());
+//! // Serve a short prompt and inspect both output fidelity and hardware cost.
+//! let outcome = engine.serve(&[1, 2, 3, 4, 5, 6, 7, 8], 16);
+//! assert_eq!(outcome.generated.len(), 16);
+//! assert!(outcome.hardware.total_latency_s() > 0.0);
+//! ```
+//!
+//! The three main entry points are:
+//!
+//! * [`KelleEngine`] — serve prompts on a configurable Kelle system and obtain
+//!   generated tokens, cache behaviour and hardware latency/energy;
+//! * [`accuracy`] — the functional-fidelity experiments behind Tables 2–6 and
+//!   Fig. 8;
+//! * [`experiment`] — the hardware experiments behind Figs. 3, 13–16 and
+//!   Tables 7–9.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accuracy;
+pub mod engine;
+pub mod experiment;
+pub mod faults;
+
+pub use accuracy::{AccuracyResult, Method};
+pub use engine::{EngineConfig, KelleEngine, ServeOutcome};
+pub use experiment::{EndToEndRow, EndToEndSummary};
+pub use faults::fault_injector_for_policy;
+
+pub use kelle_arch as arch;
+pub use kelle_cache as cache;
+pub use kelle_edram as edram;
+pub use kelle_model as model;
+pub use kelle_tensor as tensor;
+pub use kelle_workloads as workloads;

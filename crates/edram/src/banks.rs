@@ -1,0 +1,187 @@
+//! Banked KV-cache eDRAM layout (§5.1).
+//!
+//! The Kelle accelerator splits each 16-bit KV element bitwise across four bank
+//! groups — Key-MSB, Key-LSB, Value-MSB, Value-LSB — with 8 banks per group
+//! (32 banks total), so that (a) 2DRP can refresh the MSB and LSB halves at
+//! different rates, and (b) the 32×32 systolic array can be fed without bank
+//! conflicts.  KV vectors of the same token share an address (row) across all
+//! banks, which is what lets an evicted token's slot be reused in place
+//! (§8.4.1's permutation-invariance argument).
+
+use serde::{Deserialize, Serialize};
+
+/// The four bank groups of the KV-cache eDRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BankGroup {
+    /// Most significant byte of key elements.
+    KeyMsb,
+    /// Least significant byte of key elements.
+    KeyLsb,
+    /// Most significant byte of value elements.
+    ValueMsb,
+    /// Least significant byte of value elements.
+    ValueLsb,
+}
+
+impl BankGroup {
+    /// All groups in layout order.
+    pub fn all() -> [BankGroup; 4] {
+        [
+            BankGroup::KeyMsb,
+            BankGroup::KeyLsb,
+            BankGroup::ValueMsb,
+            BankGroup::ValueLsb,
+        ]
+    }
+
+    /// Index of the group within the layout (0–3).
+    pub fn index(self) -> usize {
+        match self {
+            BankGroup::KeyMsb => 0,
+            BankGroup::KeyLsb => 1,
+            BankGroup::ValueMsb => 2,
+            BankGroup::ValueLsb => 3,
+        }
+    }
+
+    /// Whether this group stores most-significant bytes.
+    pub fn is_msb(self) -> bool {
+        matches!(self, BankGroup::KeyMsb | BankGroup::ValueMsb)
+    }
+}
+
+/// The banked organisation of the KV-cache eDRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankedLayout {
+    /// Total number of banks (32 in the paper).
+    pub total_banks: usize,
+    /// Row width of one bank in bits (128 in Fig. 10).
+    pub row_bits: usize,
+    /// Per-bank peak bandwidth in bytes per second.
+    pub per_bank_bandwidth_bytes_per_s: u64,
+}
+
+impl BankedLayout {
+    /// The paper's 32-bank layout: 8 banks per group, 128-bit rows, sized so
+    /// the aggregate bandwidth is 256 GB/s.
+    pub fn kelle_default() -> Self {
+        BankedLayout {
+            total_banks: 32,
+            row_bits: 128,
+            per_bank_bandwidth_bytes_per_s: 8_000_000_000, // 8 GB/s x 32 banks = 256 GB/s
+        }
+    }
+
+    /// The §8.3.7 ablation: half the banks with doubled per-bank capacity, so
+    /// total capacity is unchanged but bandwidth halves to 128 GB/s.
+    pub fn halved_banks(&self) -> Self {
+        BankedLayout {
+            total_banks: self.total_banks / 2,
+            row_bits: self.row_bits,
+            per_bank_bandwidth_bytes_per_s: self.per_bank_bandwidth_bytes_per_s,
+        }
+    }
+
+    /// Number of banks per group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank count is not divisible by the four groups.
+    pub fn banks_per_group(&self) -> usize {
+        assert_eq!(self.total_banks % 4, 0, "banks must divide evenly into 4 groups");
+        self.total_banks / 4
+    }
+
+    /// Aggregate peak bandwidth in bytes per second.
+    pub fn aggregate_bandwidth_bytes_per_s(&self) -> u64 {
+        self.per_bank_bandwidth_bytes_per_s * self.total_banks as u64
+    }
+
+    /// The bank (within its group) that stores a token's data: tokens are
+    /// striped round-robin across the group's banks so consecutive cache slots
+    /// hit different banks.
+    pub fn bank_of(&self, cache_slot: usize, group: BankGroup) -> usize {
+        let per_group = self.banks_per_group();
+        group.index() * per_group + (cache_slot % per_group)
+    }
+
+    /// Whether reading the given set of cache slots from one group is
+    /// conflict-free (each slot maps to a distinct bank).
+    pub fn is_conflict_free(&self, cache_slots: &[usize], group: BankGroup) -> bool {
+        let mut seen = vec![false; self.total_banks];
+        for &slot in cache_slots {
+            let bank = self.bank_of(slot, group);
+            if seen[bank] {
+                return false;
+            }
+            seen[bank] = true;
+        }
+        true
+    }
+
+    /// How many conflict-free parallel reads a group supports per access.
+    pub fn parallel_reads_per_group(&self) -> usize {
+        self.banks_per_group()
+    }
+}
+
+impl Default for BankedLayout {
+    fn default() -> Self {
+        Self::kelle_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_matches_paper() {
+        let layout = BankedLayout::kelle_default();
+        assert_eq!(layout.total_banks, 32);
+        assert_eq!(layout.banks_per_group(), 8);
+        assert_eq!(layout.aggregate_bandwidth_bytes_per_s(), 256_000_000_000);
+    }
+
+    #[test]
+    fn halved_banks_halves_bandwidth_only() {
+        let layout = BankedLayout::kelle_default();
+        let halved = layout.halved_banks();
+        assert_eq!(halved.total_banks, 16);
+        assert_eq!(halved.banks_per_group(), 4);
+        assert_eq!(
+            halved.aggregate_bandwidth_bytes_per_s() * 2,
+            layout.aggregate_bandwidth_bytes_per_s()
+        );
+    }
+
+    #[test]
+    fn bank_mapping_is_within_group_range() {
+        let layout = BankedLayout::kelle_default();
+        for slot in 0..64 {
+            for group in BankGroup::all() {
+                let bank = layout.bank_of(slot, group);
+                let start = group.index() * 8;
+                assert!(bank >= start && bank < start + 8);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_slots_are_conflict_free() {
+        let layout = BankedLayout::kelle_default();
+        let slots: Vec<usize> = (0..8).collect();
+        assert!(layout.is_conflict_free(&slots, BankGroup::KeyMsb));
+        let conflicting: Vec<usize> = vec![0, 8];
+        assert!(!layout.is_conflict_free(&conflicting, BankGroup::KeyMsb));
+    }
+
+    #[test]
+    fn group_indexing() {
+        assert_eq!(BankGroup::KeyMsb.index(), 0);
+        assert_eq!(BankGroup::ValueLsb.index(), 3);
+        assert!(BankGroup::KeyMsb.is_msb());
+        assert!(!BankGroup::KeyLsb.is_msb());
+        assert_eq!(BankGroup::all().len(), 4);
+    }
+}

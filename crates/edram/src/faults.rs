@@ -1,0 +1,76 @@
+//! Per-group bit-flip rates derived from a refresh policy.
+//!
+//! This is the hand-off point between the device layer (which knows retention
+//! physics and refresh intervals) and the functional model (which knows which
+//! token a value belongs to and which bits are significant).  `kelle-core`
+//! converts a [`GroupBitFlipRates`] into the functional model's
+//! `BitFlipRates` / `ProbabilisticFaults` when running accuracy experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-(token-group, bit-significance) retention-failure probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GroupBitFlipRates {
+    /// High-score tokens, most significant byte.
+    pub hst_msb: f64,
+    /// High-score tokens, least significant byte.
+    pub hst_lsb: f64,
+    /// Low-score tokens, most significant byte.
+    pub lst_msb: f64,
+    /// Low-score tokens, least significant byte.
+    pub lst_lsb: f64,
+}
+
+impl GroupBitFlipRates {
+    /// A uniform rate across all four groups.
+    pub fn uniform(rate: f64) -> Self {
+        GroupBitFlipRates {
+            hst_msb: rate,
+            hst_lsb: rate,
+            lst_msb: rate,
+            lst_lsb: rate,
+        }
+    }
+
+    /// Average rate across the four groups (equal weighting, since the four
+    /// groups occupy equal shares of the banked layout in §5.1).
+    pub fn average(&self) -> f64 {
+        (self.hst_msb + self.hst_lsb + self.lst_msb + self.lst_lsb) / 4.0
+    }
+
+    /// The worst (largest) per-group rate.
+    pub fn max(&self) -> f64 {
+        self.hst_msb.max(self.hst_lsb).max(self.lst_msb).max(self.lst_lsb)
+    }
+
+    /// Whether every group is corruption-free.
+    pub fn is_zero(&self) -> bool {
+        self.max() <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_average() {
+        let r = GroupBitFlipRates::uniform(0.01);
+        assert_eq!(r.average(), 0.01);
+        assert_eq!(r.max(), 0.01);
+        assert!(!r.is_zero());
+        assert!(GroupBitFlipRates::default().is_zero());
+    }
+
+    #[test]
+    fn max_picks_largest() {
+        let r = GroupBitFlipRates {
+            hst_msb: 0.0,
+            hst_lsb: 0.3,
+            lst_msb: 0.1,
+            lst_lsb: 0.2,
+        };
+        assert_eq!(r.max(), 0.3);
+        assert!((r.average() - 0.15).abs() < 1e-12);
+    }
+}

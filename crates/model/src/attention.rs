@@ -1,0 +1,263 @@
+//! Multi-head self-attention over a pluggable KV cache.
+//!
+//! This module implements the paper's Eq. 1 and Eq. 2 exactly: for the current
+//! token's query `q^h_N`, attention scores are the softmax of dot products with
+//! every cached key `k^h_n`, and the head output `y^h_N` is the score-weighted
+//! sum of cached values `v^h_n`.  The cached entries may arrive in any order
+//! (the permutation-invariance property of §2.2 that lets Kelle reuse evicted
+//! slots), and an entry may carry either the KV vectors themselves or the
+//! token's input vector `x_n`, in which case the key/value are recomputed
+//! through `W_K`/`W_V` on the fly (§4.1.2).
+//!
+//! Retention faults are applied by the [`FaultInjector`] to the *stored*
+//! representation at read time: KV vectors for `Kv` entries, the input vector
+//! for `Recompute` entries — matching where the bits physically live in eDRAM.
+
+use crate::cache::{CacheEntry, EntryPayload, KvCacheBackend, TokenId};
+use crate::fault::{FaultInjector, TokenGroup};
+use crate::weights::LayerWeights;
+use kelle_tensor::ops;
+
+/// The result of one attention forward pass for a single token.
+#[derive(Debug, Clone)]
+pub struct AttentionOutput {
+    /// The attention block output (after `W_O`), length `channels`.
+    pub output: Vec<f32>,
+    /// Post-softmax attention probabilities per head, keyed by token id.
+    pub attention: Vec<Vec<(TokenId, f32)>>,
+    /// Number of cached entries that required KV recomputation this step.
+    pub recomputed_entries: usize,
+    /// Number of cached entries read as stored KV vectors this step.
+    pub kv_entries_read: usize,
+}
+
+/// Multi-head attention operator bound to one layer's weights.
+#[derive(Debug)]
+pub struct MultiHeadAttention<'w> {
+    weights: &'w LayerWeights,
+    heads: usize,
+    head_dim: usize,
+    rope_theta: f32,
+}
+
+impl<'w> MultiHeadAttention<'w> {
+    /// Creates the attention operator for a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight matrices are not square or not divisible by `heads`.
+    pub fn new(weights: &'w LayerWeights, heads: usize) -> Self {
+        let channels = weights.wq.rows();
+        assert_eq!(weights.wq.shape(), (channels, channels));
+        assert_eq!(channels % heads, 0, "channels must divide evenly into heads");
+        MultiHeadAttention {
+            weights,
+            heads,
+            head_dim: channels / heads,
+            rope_theta: 10_000.0,
+        }
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Splits a full-channel vector into per-head slices.
+    fn split_heads(&self, v: &[f32]) -> Vec<Vec<f32>> {
+        v.chunks_exact(self.head_dim).map(<[f32]>::to_vec).collect()
+    }
+
+    /// Projects an input vector to per-head keys and values (with RoPE applied
+    /// to the keys), as used both for insertion and for recomputation.
+    pub fn project_kv(&self, x: &[f32], position: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let k = self
+            .weights
+            .wk
+            .matvec(x)
+            .expect("input length matches channel dimension");
+        let v = self
+            .weights
+            .wv
+            .matvec(x)
+            .expect("input length matches channel dimension");
+        let mut k_heads = self.split_heads(&k);
+        let v_heads = self.split_heads(&v);
+        for kh in &mut k_heads {
+            ops::apply_rope(kh, position, self.rope_theta);
+        }
+        (k_heads, v_heads)
+    }
+
+    /// Runs one decoding-step attention forward pass.
+    ///
+    /// `x` is the normalized layer input for the current token at sequence
+    /// position `position`; the current token is inserted into `cache` before
+    /// attending, so it always attends at least to itself.
+    pub fn forward(
+        &self,
+        layer: usize,
+        token: TokenId,
+        position: usize,
+        x: &[f32],
+        cache: &mut dyn KvCacheBackend,
+        faults: &mut dyn FaultInjector,
+    ) -> AttentionOutput {
+        let q_full = self
+            .weights
+            .wq
+            .matvec(x)
+            .expect("input length matches channel dimension");
+        let mut q_heads = self.split_heads(&q_full);
+        for qh in &mut q_heads {
+            ops::apply_rope(qh, position, self.rope_theta);
+        }
+        let (k_heads, v_heads) = self.project_kv(x, position);
+
+        cache.insert(layer, token, x, &k_heads, &v_heads);
+
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut concatenated = vec![0.0f32; self.heads * self.head_dim];
+        let mut attention = Vec::with_capacity(self.heads);
+        let mut recomputed_entries = 0;
+        let mut kv_entries_read = 0;
+
+        for (h, qh) in q_heads.iter().enumerate() {
+            let entries = cache.entries(layer, h);
+            let (scores, values, tokens, recomputed, read) =
+                self.score_entries(h, &entries, qh, scale, faults);
+            recomputed_entries += recomputed;
+            kv_entries_read += read;
+
+            let probs = ops::softmax(&scores);
+            let mut yh = vec![0.0f32; self.head_dim];
+            for (p, v) in probs.iter().zip(values.iter()) {
+                for (o, vi) in yh.iter_mut().zip(v.iter()) {
+                    *o += p * vi;
+                }
+            }
+            let labelled: Vec<(TokenId, f32)> =
+                tokens.iter().copied().zip(probs.iter().copied()).collect();
+            cache.observe_attention(layer, h, &labelled);
+            attention.push(labelled);
+            concatenated[h * self.head_dim..(h + 1) * self.head_dim].copy_from_slice(&yh);
+        }
+
+        let output = self
+            .weights
+            .wo
+            .matvec(&concatenated)
+            .expect("concatenated head outputs match channel dimension");
+
+        AttentionOutput {
+            output,
+            attention,
+            recomputed_entries,
+            kv_entries_read,
+        }
+    }
+
+    /// Computes raw (pre-softmax) scores and gathers value vectors for the
+    /// cached entries of one head, applying fault injection to stored data.
+    #[allow(clippy::type_complexity)]
+    fn score_entries(
+        &self,
+        head: usize,
+        entries: &[CacheEntry],
+        qh: &[f32],
+        scale: f32,
+        faults: &mut dyn FaultInjector,
+    ) -> (Vec<f32>, Vec<Vec<f32>>, Vec<TokenId>, usize, usize) {
+        let mut scores = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        let mut tokens = Vec::with_capacity(entries.len());
+        let mut recomputed = 0;
+        let mut read = 0;
+
+        for entry in entries {
+            let group = if entry.high_score {
+                TokenGroup::HighScore
+            } else {
+                TokenGroup::LowScore
+            };
+            let (key, value) = match &entry.payload {
+                EntryPayload::Kv { key, value } => {
+                    read += 1;
+                    let mut k = key.clone();
+                    let mut v = value.clone();
+                    faults.corrupt_slice(&mut k, group);
+                    faults.corrupt_slice(&mut v, group);
+                    (k, v)
+                }
+                EntryPayload::Recompute { x } => {
+                    recomputed += 1;
+                    // Faults hit the *stored* input vector; the recomputed KV
+                    // inherits the corruption through the projection.
+                    let mut stored_x = x.clone();
+                    faults.corrupt_slice(&mut stored_x, group);
+                    let (k_heads, v_heads) = self.project_kv(&stored_x, entry.token);
+                    (k_heads[head].clone(), v_heads[head].clone())
+                }
+            };
+            scores.push(kelle_tensor::dot(&key, qh) * scale);
+            values.push(value);
+            tokens.push(entry.token);
+        }
+        (scores, values, tokens, recomputed, read)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::FullKvCache;
+    use crate::config::SurrogateDims;
+    use crate::fault::NoFaults;
+    use crate::weights::{ModelWeights, WeightGenConfig};
+
+    fn setup() -> (ModelWeights, SurrogateDims) {
+        let dims = SurrogateDims {
+            layers: 1,
+            heads: 4,
+            channels: 32,
+            ffn_dim: 64,
+            vocab: 64,
+        };
+        let weights = ModelWeights::generate(&dims, &WeightGenConfig::default(), 3);
+        (weights, dims)
+    }
+
+    #[test]
+    fn attention_probabilities_sum_to_one() {
+        let (weights, dims) = setup();
+        let attn = MultiHeadAttention::new(&weights.layers[0], dims.heads);
+        let mut cache = FullKvCache::new();
+        let mut faults = NoFaults;
+        for pos in 0..5 {
+            let x = weights.embed(pos % dims.vocab, pos);
+            let out = attn.forward(0, pos, pos, &x, &mut cache, &mut faults);
+            for head in &out.attention {
+                let total: f32 = head.iter().map(|(_, p)| p).sum();
+                assert!((total - 1.0).abs() < 1e-4);
+                assert_eq!(head.len(), pos + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn output_dimension_matches_channels() {
+        let (weights, dims) = setup();
+        let attn = MultiHeadAttention::new(&weights.layers[0], dims.heads);
+        let mut cache = FullKvCache::new();
+        let mut faults = NoFaults;
+        let x = weights.embed(1, 0);
+        let out = attn.forward(0, 0, 0, &x, &mut cache, &mut faults);
+        assert_eq!(out.output.len(), dims.channels);
+        assert_eq!(out.attention.len(), dims.heads);
+    }
+}

@@ -1,0 +1,301 @@
+//! The KV-cache backend abstraction and the full (uncompressed) reference cache.
+//!
+//! During decoding, the model inserts the current token's per-head key/value
+//! vectors into the cache (paper Fig. 1b) and then attends over whatever the
+//! cache returns.  Different *policies* (full cache, StreamingLLM, H2O, Kelle's
+//! AERP) decide which tokens survive and whether a token is stored as KV
+//! vectors or as the input vector `x` to be recomputed (§4.1.2).  Those
+//! policies live in the `kelle-cache` crate and implement [`KvCacheBackend`].
+//!
+//! The trait is deliberately payload-centric: the attention code does not care
+//! *why* a token survived, only what is stored for it.  Eq. 1 and Eq. 2 are
+//! invariant to the relative order of KV pairs (§2.2), so `entries` may return
+//! tokens in any order — a property the proptest suite checks explicitly.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a token within the full (pre-eviction) sequence.
+pub type TokenId = usize;
+
+/// What is physically stored for a cached token in one attention head.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EntryPayload {
+    /// The key and value vectors are stored directly (each of length
+    /// `head_dim`).
+    Kv {
+        /// Stored key vector.
+        key: Vec<f32>,
+        /// Stored value vector.
+        value: Vec<f32>,
+    },
+    /// Only the layer-input vector `x` (length `channels`) is stored; the
+    /// key/value must be recomputed through `W_K`/`W_V` before use (§4.1.2).
+    Recompute {
+        /// Stored input vector for the token.
+        x: Vec<f32>,
+    },
+}
+
+impl EntryPayload {
+    /// Whether this payload requires recomputation.
+    pub fn needs_recompute(&self) -> bool {
+        matches!(self, EntryPayload::Recompute { .. })
+    }
+}
+
+/// A single cached token entry for one `(layer, head)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// The original sequence index of the token.
+    pub token: TokenId,
+    /// Stored data.
+    pub payload: EntryPayload,
+    /// Whether the policy currently classifies this token as a high-score
+    /// (heavy-hitter) token.  Used by the fault injector to apply the
+    /// HST/LST-dependent corruption rates of 2DRP.
+    pub high_score: bool,
+}
+
+/// Aggregate occupancy statistics reported by a cache backend.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of per-head KV pairs currently stored (across all layers/heads).
+    pub kv_entries: usize,
+    /// Number of tokens currently stored as input vectors for recomputation
+    /// (counted once per layer, since `x` is shared across heads).
+    pub recompute_entries: usize,
+    /// Total evictions performed so far.
+    pub evictions: u64,
+    /// Total tokens inserted so far (per layer insertions counted once).
+    pub insertions: u64,
+    /// Logical storage footprint in bytes assuming 16-bit elements.
+    pub bytes_fp16: usize,
+}
+
+impl CacheStats {
+    /// Sum of stored entries of both kinds.
+    pub fn total_entries(&self) -> usize {
+        self.kv_entries + self.recompute_entries
+    }
+}
+
+/// A KV-cache management policy.
+///
+/// One backend instance manages the caches of *all* layers and heads of a
+/// model; the `layer` argument selects which one an operation refers to.
+///
+/// The call sequence per generated token and layer is:
+///
+/// 1. [`insert`](KvCacheBackend::insert) with the token's input vector and
+///    per-head keys/values;
+/// 2. [`entries`](KvCacheBackend::entries) for each head, returning the tokens
+///    to attend over;
+/// 3. [`observe_attention`](KvCacheBackend::observe_attention) for each head
+///    with the post-softmax probabilities assigned to the returned entries, so
+///    importance-tracking policies (H2O, AERP) can update their scores.
+///
+/// After pre-filling, [`finish_prefill`](KvCacheBackend::finish_prefill) lets
+/// policies apply their prefill retention rule (e.g. keep the top-`N'` tokens).
+pub trait KvCacheBackend: std::fmt::Debug {
+    /// Inserts the current token for `layer`.
+    ///
+    /// `x` is the layer-input vector (length `channels`); `keys[h]` /
+    /// `values[h]` are the per-head projections (length `head_dim`).
+    fn insert(
+        &mut self,
+        layer: usize,
+        token: TokenId,
+        x: &[f32],
+        keys: &[Vec<f32>],
+        values: &[Vec<f32>],
+    );
+
+    /// Returns the cached entries to attend over for `(layer, head)`.
+    fn entries(&self, layer: usize, head: usize) -> Vec<CacheEntry>;
+
+    /// Reports the post-softmax attention probabilities assigned to cached
+    /// tokens during the current step.
+    fn observe_attention(&mut self, layer: usize, head: usize, scores: &[(TokenId, f32)]);
+
+    /// Signals the end of the pre-filling stage; `context_len` is the number
+    /// of context tokens that were inserted.
+    fn finish_prefill(&mut self, context_len: usize) {
+        let _ = context_len;
+    }
+
+    /// Current occupancy statistics.
+    fn stats(&self) -> CacheStats;
+
+    /// Short policy name for reports (e.g. `"full"`, `"h2o"`, `"aerp"`).
+    fn name(&self) -> &'static str;
+}
+
+/// The uncompressed reference cache: every token of every head is retained as
+/// raw KV vectors.  This corresponds to the paper's "FP16 / full KV cache"
+/// baseline column in Table 2.
+#[derive(Debug, Default)]
+pub struct FullKvCache {
+    /// (layer, head) -> ordered list of (token, key, value).
+    store: HashMap<(usize, usize), Vec<(TokenId, Vec<f32>, Vec<f32>)>>,
+    /// (layer, head, token) -> accumulated attention score (used only to label
+    /// HST/LST groups for fault-injection experiments).
+    accumulated: HashMap<(usize, usize), HashMap<TokenId, f32>>,
+    insertions: u64,
+}
+
+impl FullKvCache {
+    /// Creates an empty full cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn median_score(scores: &HashMap<TokenId, f32>) -> f32 {
+        if scores.is_empty() {
+            return 0.0;
+        }
+        let mut values: Vec<f32> = scores.values().copied().collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        values[values.len() / 2]
+    }
+}
+
+impl KvCacheBackend for FullKvCache {
+    fn insert(
+        &mut self,
+        layer: usize,
+        token: TokenId,
+        _x: &[f32],
+        keys: &[Vec<f32>],
+        values: &[Vec<f32>],
+    ) {
+        for (head, (k, v)) in keys.iter().zip(values.iter()).enumerate() {
+            self.store
+                .entry((layer, head))
+                .or_default()
+                .push((token, k.clone(), v.clone()));
+        }
+        self.insertions += 1;
+    }
+
+    fn entries(&self, layer: usize, head: usize) -> Vec<CacheEntry> {
+        let scores = self.accumulated.get(&(layer, head));
+        let median = scores.map(Self::median_score).unwrap_or(0.0);
+        self.store
+            .get(&(layer, head))
+            .map(|entries| {
+                entries
+                    .iter()
+                    .map(|(token, k, v)| CacheEntry {
+                        token: *token,
+                        payload: EntryPayload::Kv {
+                            key: k.clone(),
+                            value: v.clone(),
+                        },
+                        high_score: scores
+                            .and_then(|s| s.get(token))
+                            .map(|s| *s >= median)
+                            .unwrap_or(true),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn observe_attention(&mut self, layer: usize, head: usize, scores: &[(TokenId, f32)]) {
+        let acc = self.accumulated.entry((layer, head)).or_default();
+        for (token, p) in scores {
+            *acc.entry(*token).or_insert(0.0) += *p;
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        let kv_entries: usize = self.store.values().map(Vec::len).sum();
+        let bytes: usize = self
+            .store
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|(_, k, v)| 2 * (k.len() + v.len()))
+            .sum();
+        CacheStats {
+            kv_entries,
+            recompute_entries: 0,
+            evictions: 0,
+            insertions: self.insertions,
+            bytes_fp16: bytes,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "full"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(token: usize) -> (Vec<f32>, Vec<f32>) {
+        (vec![token as f32; 4], vec![-(token as f32); 4])
+    }
+
+    #[test]
+    fn full_cache_retains_everything() {
+        let mut cache = FullKvCache::new();
+        for t in 0..10 {
+            let (k, v) = kv(t);
+            cache.insert(0, t, &[0.0; 8], &[k.clone(), k], &[v.clone(), v]);
+        }
+        assert_eq!(cache.entries(0, 0).len(), 10);
+        assert_eq!(cache.entries(0, 1).len(), 10);
+        assert_eq!(cache.entries(1, 0).len(), 0);
+        assert_eq!(cache.stats().kv_entries, 20);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn full_cache_stats_bytes() {
+        let mut cache = FullKvCache::new();
+        let (k, v) = kv(0);
+        cache.insert(0, 0, &[0.0; 8], &[k], &[v]);
+        // One head, key+value of 4 elements each at 2 bytes.
+        assert_eq!(cache.stats().bytes_fp16, 16);
+    }
+
+    #[test]
+    fn high_score_labels_follow_attention() {
+        let mut cache = FullKvCache::new();
+        for t in 0..4 {
+            let (k, v) = kv(t);
+            cache.insert(0, t, &[0.0; 8], &[k], &[v]);
+        }
+        // Token 2 receives most of the attention mass.
+        cache.observe_attention(0, 0, &[(0, 0.05), (1, 0.05), (2, 0.8), (3, 0.1)]);
+        let entries = cache.entries(0, 0);
+        let e2 = entries.iter().find(|e| e.token == 2).unwrap();
+        let e0 = entries.iter().find(|e| e.token == 0).unwrap();
+        assert!(e2.high_score);
+        assert!(!e0.high_score);
+    }
+
+    #[test]
+    fn payload_kind_query() {
+        let kv = EntryPayload::Kv {
+            key: vec![1.0],
+            value: vec![2.0],
+        };
+        let rc = EntryPayload::Recompute { x: vec![1.0] };
+        assert!(!kv.needs_recompute());
+        assert!(rc.needs_recompute());
+    }
+
+    #[test]
+    fn stats_total_entries() {
+        let stats = CacheStats {
+            kv_entries: 3,
+            recompute_entries: 2,
+            ..CacheStats::default()
+        };
+        assert_eq!(stats.total_entries(), 5);
+    }
+}

@@ -1,0 +1,325 @@
+//! Bit-level retention-fault injection at KV-cache read time.
+//!
+//! eDRAM cells lose charge over time; if the refresh interval exceeds a cell's
+//! retention time the stored bit flips (§2.3, Fig. 4).  Kelle's 2DRP assigns
+//! different refresh intervals — and therefore different bit-flip
+//! probabilities — along two dimensions (§4.2):
+//!
+//! * **token importance**: high-score tokens (HST) are refreshed more often
+//!   than low-score tokens (LST);
+//! * **bit significance**: the most significant byte of each 16-bit word
+//!   (bits 15–8) is refreshed more often than the least significant byte
+//!   (bits 7–0).
+//!
+//! The [`FaultInjector`] trait lets the functional model apply this corruption
+//! when reading cached values, without knowing where the probabilities come
+//! from; `kelle-edram` computes them from retention physics and the configured
+//! refresh intervals, and `kelle-core` wires the two together.
+
+use kelle_tensor::fp16;
+use kelle_tensor::rng::{self, DetRng};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Importance group of a token, as classified by the cache policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenGroup {
+    /// High-score token (heavy hitter): refreshed frequently under 2DRP.
+    HighScore,
+    /// Low-score token: refreshed rarely under 2DRP.
+    LowScore,
+}
+
+/// Bit-significance group within a 16-bit storage word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignificanceGroup {
+    /// Bits 15–8 (sign, exponent and high mantissa bits of FP16).
+    Msb,
+    /// Bits 7–0 (low mantissa bits of FP16).
+    Lsb,
+}
+
+impl SignificanceGroup {
+    /// The significance group of a bit position within a 16-bit word.
+    pub fn of_bit(bit: u8) -> Self {
+        if bit >= 8 {
+            SignificanceGroup::Msb
+        } else {
+            SignificanceGroup::Lsb
+        }
+    }
+}
+
+/// Counters describing how much corruption an injector has applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Number of 16-bit words examined.
+    pub words_examined: u64,
+    /// Number of individual bits flipped.
+    pub bits_flipped: u64,
+}
+
+impl FaultStats {
+    /// Observed bit-error rate (flipped bits / examined bits).
+    pub fn bit_error_rate(&self) -> f64 {
+        if self.words_examined == 0 {
+            0.0
+        } else {
+            self.bits_flipped as f64 / (self.words_examined as f64 * 16.0)
+        }
+    }
+}
+
+/// Applies retention-failure corruption to values read from the KV cache.
+pub trait FaultInjector: std::fmt::Debug {
+    /// Possibly corrupts one value belonging to a token of the given group.
+    ///
+    /// The value is conceptually stored as a 16-bit FP16 word; implementations
+    /// flip stored bits according to their model and return the resulting
+    /// value.
+    fn corrupt(&mut self, value: f32, group: TokenGroup) -> f32;
+
+    /// Corrupts a whole vector in place (convenience wrapper over
+    /// [`corrupt`](FaultInjector::corrupt)).
+    fn corrupt_slice(&mut self, values: &mut [f32], group: TokenGroup) {
+        for v in values.iter_mut() {
+            *v = self.corrupt(*v, group);
+        }
+    }
+
+    /// Corruption counters accumulated so far.
+    fn stats(&self) -> FaultStats;
+}
+
+/// A fault injector that never corrupts anything (the FP16 reference setting).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn corrupt(&mut self, value: f32, _group: TokenGroup) -> f32 {
+        value
+    }
+
+    fn stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+}
+
+/// Per-(token-group, bit-group) bit-flip probabilities.
+///
+/// This is the interface point between the refresh policy (which knows refresh
+/// intervals and retention physics) and the functional model (which knows
+/// values and token groups).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BitFlipRates {
+    /// Flip probability per bit for MSBs of high-score tokens.
+    pub hst_msb: f64,
+    /// Flip probability per bit for LSBs of high-score tokens.
+    pub hst_lsb: f64,
+    /// Flip probability per bit for MSBs of low-score tokens.
+    pub lst_msb: f64,
+    /// Flip probability per bit for LSBs of low-score tokens.
+    pub lst_lsb: f64,
+}
+
+impl BitFlipRates {
+    /// A uniform rate across all groups (the "Uniform" ablation in Table 4).
+    pub fn uniform(rate: f64) -> Self {
+        BitFlipRates {
+            hst_msb: rate,
+            hst_lsb: rate,
+            lst_msb: rate,
+            lst_lsb: rate,
+        }
+    }
+
+    /// No corruption at all.
+    pub fn zero() -> Self {
+        Self::uniform(0.0)
+    }
+
+    /// The rate for a given token group and bit significance.
+    pub fn rate(&self, group: TokenGroup, sig: SignificanceGroup) -> f64 {
+        match (group, sig) {
+            (TokenGroup::HighScore, SignificanceGroup::Msb) => self.hst_msb,
+            (TokenGroup::HighScore, SignificanceGroup::Lsb) => self.hst_lsb,
+            (TokenGroup::LowScore, SignificanceGroup::Msb) => self.lst_msb,
+            (TokenGroup::LowScore, SignificanceGroup::Lsb) => self.lst_lsb,
+        }
+    }
+
+    /// Average per-bit flip rate across the four groups (equal weighting).
+    pub fn average(&self) -> f64 {
+        (self.hst_msb + self.hst_lsb + self.lst_msb + self.lst_lsb) / 4.0
+    }
+}
+
+/// A probabilistic fault injector driven by per-group bit-flip rates.
+#[derive(Debug)]
+pub struct ProbabilisticFaults {
+    rates: BitFlipRates,
+    rng: DetRng,
+    stats: FaultStats,
+}
+
+impl ProbabilisticFaults {
+    /// Creates an injector with the given rates and RNG seed.
+    pub fn new(rates: BitFlipRates, seed: u64) -> Self {
+        ProbabilisticFaults {
+            rates,
+            rng: rng::seeded(seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The configured rates.
+    pub fn rates(&self) -> BitFlipRates {
+        self.rates
+    }
+}
+
+impl FaultInjector for ProbabilisticFaults {
+    fn corrupt(&mut self, value: f32, group: TokenGroup) -> f32 {
+        self.stats.words_examined += 1;
+        let msb_rate = self.rates.rate(group, SignificanceGroup::Msb);
+        let lsb_rate = self.rates.rate(group, SignificanceGroup::Lsb);
+        if msb_rate <= 0.0 && lsb_rate <= 0.0 {
+            return value;
+        }
+        let mut bits = fp16::f32_to_f16_bits(value);
+        let mut flipped_any = false;
+        for bit in 0u8..16 {
+            let rate = self.rates.rate(group, SignificanceGroup::of_bit(bit));
+            if rate > 0.0 && self.rng.gen::<f64>() < rate {
+                bits ^= 1u16 << bit;
+                self.stats.bits_flipped += 1;
+                flipped_any = true;
+            }
+        }
+        if flipped_any {
+            let corrupted = fp16::f16_bits_to_f32(bits);
+            // A flipped exponent bit can produce Inf/NaN; physical systems would
+            // read the garbage value, but propagating NaN through softmax makes
+            // the divergence metric saturate instantly and hides the relative
+            // ordering the experiments measure.  Clamp to the FP16 finite range.
+            if corrupted.is_finite() {
+                corrupted
+            } else {
+                fp16::f16_bits_to_f32(0x7BFF) * corrupted.signum().max(-1.0)
+            }
+        } else {
+            value
+        }
+    }
+
+    fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_identity() {
+        let mut inj = NoFaults;
+        assert_eq!(inj.corrupt(1.25, TokenGroup::HighScore), 1.25);
+        assert_eq!(inj.stats().bits_flipped, 0);
+    }
+
+    #[test]
+    fn zero_rate_never_flips() {
+        let mut inj = ProbabilisticFaults::new(BitFlipRates::zero(), 1);
+        for i in 0..100 {
+            let v = i as f32 * 0.01;
+            assert_eq!(inj.corrupt(v, TokenGroup::LowScore), v);
+        }
+        assert_eq!(inj.stats().bits_flipped, 0);
+    }
+
+    #[test]
+    fn observed_rate_tracks_configured_rate() {
+        let rate = 0.02;
+        let mut inj = ProbabilisticFaults::new(BitFlipRates::uniform(rate), 7);
+        let mut values = vec![0.5f32; 20_000];
+        inj.corrupt_slice(&mut values, TokenGroup::HighScore);
+        let observed = inj.stats().bit_error_rate();
+        assert!((observed - rate).abs() < 0.005, "observed {observed}");
+    }
+
+    #[test]
+    fn asymmetric_rates_hit_only_configured_group() {
+        let rates = BitFlipRates {
+            hst_msb: 0.5,
+            hst_lsb: 0.5,
+            lst_msb: 0.0,
+            lst_lsb: 0.0,
+        };
+        let mut inj = ProbabilisticFaults::new(rates, 3);
+        let mut lst = vec![0.25f32; 1000];
+        inj.corrupt_slice(&mut lst, TokenGroup::LowScore);
+        assert!(lst.iter().all(|&v| v == 0.25));
+        let mut hst = vec![0.25f32; 1000];
+        inj.corrupt_slice(&mut hst, TokenGroup::HighScore);
+        assert!(hst.iter().any(|&v| v != 0.25));
+    }
+
+    #[test]
+    fn msb_errors_cause_larger_value_changes_than_lsb() {
+        let msb_only = BitFlipRates {
+            hst_msb: 0.05,
+            hst_lsb: 0.0,
+            lst_msb: 0.05,
+            lst_lsb: 0.0,
+        };
+        let lsb_only = BitFlipRates {
+            hst_msb: 0.0,
+            hst_lsb: 0.05,
+            lst_msb: 0.0,
+            lst_lsb: 0.05,
+        };
+        let mean_abs_err = |rates: BitFlipRates| {
+            let mut inj = ProbabilisticFaults::new(rates, 11);
+            let mut total = 0.0f64;
+            let n = 5000;
+            for i in 0..n {
+                let v = 0.3 + (i as f32 % 7.0) * 0.1;
+                let c = inj.corrupt(v, TokenGroup::HighScore);
+                total += f64::from((c - v).abs());
+            }
+            total / n as f64
+        };
+        assert!(mean_abs_err(msb_only) > 10.0 * mean_abs_err(lsb_only));
+    }
+
+    #[test]
+    fn corrupted_values_stay_finite() {
+        let mut inj = ProbabilisticFaults::new(BitFlipRates::uniform(0.2), 13);
+        for i in 0..2000 {
+            let v = (i as f32 - 1000.0) * 0.05;
+            assert!(inj.corrupt(v, TokenGroup::HighScore).is_finite());
+        }
+    }
+
+    #[test]
+    fn significance_of_bit_boundaries() {
+        assert_eq!(SignificanceGroup::of_bit(0), SignificanceGroup::Lsb);
+        assert_eq!(SignificanceGroup::of_bit(7), SignificanceGroup::Lsb);
+        assert_eq!(SignificanceGroup::of_bit(8), SignificanceGroup::Msb);
+        assert_eq!(SignificanceGroup::of_bit(15), SignificanceGroup::Msb);
+    }
+
+    #[test]
+    fn rates_accessors() {
+        let r = BitFlipRates {
+            hst_msb: 0.1,
+            hst_lsb: 0.2,
+            lst_msb: 0.3,
+            lst_lsb: 0.4,
+        };
+        assert_eq!(r.rate(TokenGroup::HighScore, SignificanceGroup::Msb), 0.1);
+        assert_eq!(r.rate(TokenGroup::LowScore, SignificanceGroup::Lsb), 0.4);
+        assert!((r.average() - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,48 @@
+//! # kelle-model
+//!
+//! A functional transformer-decoder **surrogate LLM** with pluggable KV-cache
+//! backends and fault injection.
+//!
+//! The Kelle paper evaluates its KV-cache management algorithms (AERP) and its
+//! eDRAM refresh policy (2DRP) on LLaMA-2/3, Mistral, Qwen2 and OPT checkpoints.
+//! Those checkpoints (and the GPU hours to run them) are not available in this
+//! environment, so this crate provides the closest synthetic equivalent that
+//! exercises the same code paths:
+//!
+//! * a real multi-head self-attention decoder operating on per-head KV caches,
+//!   with the exact computation of the paper's Eq. 1 and Eq. 2 (including the
+//!   permutation invariance of KV pairs that AERP exploits);
+//! * architectural shapes taken from the real models ([`ModelConfig`]) and a
+//!   documented `surrogate` scale-down used for functional simulation;
+//! * synthetically structured weights producing heavy-tailed, sink-biased
+//!   attention-score distributions (the empirical property behind H2O,
+//!   StreamingLLM and AERP);
+//! * hooks for KV-cache policies ([`KvCacheBackend`]) and for bit-level
+//!   retention-fault injection ([`FaultInjector`]) at cache-read time;
+//! * fidelity metrics (perplexity proxy, divergence, top-1 agreement) computed
+//!   against the full-cache, fault-free reference run.
+//!
+//! See `DESIGN.md` §2 for the substitution rationale.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attention;
+pub mod cache;
+pub mod config;
+pub mod decoder;
+pub mod fault;
+pub mod generation;
+pub mod metrics;
+pub mod weights;
+
+pub use attention::{AttentionOutput, MultiHeadAttention};
+pub use cache::{CacheEntry, CacheStats, EntryPayload, FullKvCache, KvCacheBackend, TokenId};
+pub use config::{ModelConfig, ModelKind, SurrogateDims};
+pub use decoder::{DecoderLayer, SurrogateModel};
+pub use fault::{FaultInjector, FaultStats, NoFaults, SignificanceGroup, TokenGroup};
+pub use generation::{DecodeTrace, GenerationConfig, GenerationOutput, StepRecord};
+pub use metrics::{FidelityAccumulator, FidelityMetrics};
+
+/// Crate-wide result alias (errors are tensor-shaped failures from the substrate).
+pub type Result<T> = std::result::Result<T, kelle_tensor::TensorError>;

@@ -1,0 +1,260 @@
+//! IEEE-754 binary16 (half precision) emulation.
+//!
+//! Kelle stores activations and KV vectors as 16-bit words in eDRAM
+//! (§5: "activations and KV vectors are maintained in 16 bits").  The retention
+//! faults injected by the two-dimensional adaptive refresh policy (2DRP) flip
+//! individual *stored bits*, so the functional model needs a bit-exact 16-bit
+//! representation with explicit encode/decode, not just `f32` arithmetic.
+//!
+//! [`F16`] is a minimal half-precision value type supporting conversion to and
+//! from `f32` (round-to-nearest-even), raw-bit access, and bit flipping.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 16-bit IEEE-754 half-precision floating point value.
+///
+/// # Example
+///
+/// ```rust
+/// use kelle_tensor::F16;
+///
+/// let x = F16::from_f32(1.5);
+/// assert_eq!(x.to_f32(), 1.5);
+/// // Flipping the most significant *mantissa* bit perturbs the value,
+/// // flipping a low-order bit barely changes it -- the asymmetry that
+/// // motivates 2DRP's MSB/LSB split.
+/// let msb_err = (x.with_bit_flipped(9).to_f32() - 1.5).abs();
+/// let lsb_err = (x.with_bit_flipped(0).to_f32() - 1.5).abs();
+/// assert!(msb_err > lsb_err);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// The largest finite value (65504.0).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// The most negative finite value (-65504.0).
+    pub const MIN: F16 = F16(0xFBFF);
+
+    /// Creates an `F16` from its raw bit pattern.
+    pub fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to half precision with round-to-nearest-even and
+    /// saturation to +/- infinity on overflow.
+    pub fn from_f32(value: f32) -> Self {
+        F16(f32_to_f16_bits(value))
+    }
+
+    /// Converts back to `f32` exactly (every f16 value is representable in f32).
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+
+    /// Returns a copy with bit `bit` (0 = LSB, 15 = sign) flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 16`.
+    pub fn with_bit_flipped(self, bit: u8) -> Self {
+        assert!(bit < 16, "f16 bit index must be < 16");
+        F16(self.0 ^ (1u16 << bit))
+    }
+
+    /// Whether the value is NaN.
+    pub fn is_nan(self) -> bool {
+        let exp = (self.0 >> 10) & 0x1F;
+        let mant = self.0 & 0x3FF;
+        exp == 0x1F && mant != 0
+    }
+
+    /// Whether the value is +/- infinity.
+    pub fn is_infinite(self) -> bool {
+        let exp = (self.0 >> 10) & 0x1F;
+        let mant = self.0 & 0x3FF;
+        exp == 0x1F && mant == 0
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(value: f32) -> Self {
+        F16::from_f32(value)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(value: F16) -> Self {
+        value.to_f32()
+    }
+}
+
+/// Converts an `f32` to raw binary16 bits (round-to-nearest-even).
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN.
+        let mant16 = if mant == 0 { 0 } else { 0x200 };
+        return sign | 0x7C00 | mant16;
+    }
+
+    // Re-bias exponent: f32 bias 127, f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflow -> infinity.
+        return sign | 0x7C00;
+    }
+    if unbiased >= -14 {
+        // Normal range.
+        let exp16 = (unbiased + 15) as u16;
+        let mant16 = (mant >> 13) as u16;
+        let round_bit = (mant >> 12) & 1;
+        let sticky = mant & 0x0FFF;
+        let mut out = sign | (exp16 << 10) | mant16;
+        if round_bit == 1 && (sticky != 0 || (mant16 & 1) == 1) {
+            out = out.wrapping_add(1);
+        }
+        return out;
+    }
+    if unbiased >= -24 {
+        // Subnormal range.
+        let shift = (-1 - unbiased) as u32 + 13 - 13; // bits to drop beyond the 13 for normals
+        let full_mant = mant | 0x0080_0000; // implicit leading 1
+        let total_shift = 13 + ((-14 - unbiased) as u32);
+        let mant16 = (full_mant >> total_shift) as u16;
+        let round_bit = (full_mant >> (total_shift - 1)) & 1;
+        let sticky_mask = (1u32 << (total_shift - 1)) - 1;
+        let sticky = full_mant & sticky_mask;
+        let mut out = sign | mant16;
+        if round_bit == 1 && (sticky != 0 || (mant16 & 1) == 1) {
+            out = out.wrapping_add(1);
+        }
+        let _ = shift;
+        return out;
+    }
+    // Underflow to signed zero.
+    sign
+}
+
+/// Converts raw binary16 bits to an `f32`.
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1F) as u32;
+    let mant = (bits & 0x3FF) as u32;
+
+    let out_bits = if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: normalize.
+            let mut m = mant;
+            let mut e = -14i32;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x3FF;
+            let exp32 = (e + 127) as u32;
+            sign | (exp32 << 23) | (m << 13)
+        }
+    } else if exp == 0x1F {
+        if mant == 0 {
+            sign | 0x7F80_0000
+        } else {
+            sign | 0x7FC0_0000
+        }
+    } else {
+        let exp32 = exp + (127 - 15);
+        sign | (exp32 << 23) | (mant << 13)
+    };
+    f32::from_bits(out_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_exact_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1.5, -3.25, 1024.0, 0.125] {
+            assert_eq!(F16::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_close_for_random_range() {
+        for i in 0..1000 {
+            let v = (i as f32 - 500.0) * 0.037;
+            let r = F16::from_f32(v).to_f32();
+            let tol = (v.abs() * 1e-3).max(1e-3);
+            assert!((r - v).abs() <= tol, "value {v} -> {r}");
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let x = F16::from_f32(1.0e6);
+        assert!(x.is_infinite());
+        assert!(x.to_f32().is_infinite());
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let x = F16::from_f32(f32::NAN);
+        assert!(x.is_nan());
+        assert!(x.to_f32().is_nan());
+    }
+
+    #[test]
+    fn subnormal_round_trip() {
+        let tiny = 3.0e-7f32;
+        let r = F16::from_f32(tiny).to_f32();
+        assert!(r >= 0.0 && r < 1e-4);
+    }
+
+    #[test]
+    fn sign_bit_flip_negates() {
+        let x = F16::from_f32(2.0);
+        let y = x.with_bit_flipped(15);
+        assert_eq!(y.to_f32(), -2.0);
+    }
+
+    #[test]
+    fn msb_flip_larger_error_than_lsb_flip() {
+        let x = F16::from_f32(0.73);
+        let base = x.to_f32();
+        let msb = (x.with_bit_flipped(13).to_f32() - base).abs();
+        let lsb = (x.with_bit_flipped(0).to_f32() - base).abs();
+        assert!(msb > lsb * 10.0);
+    }
+
+    #[test]
+    fn zero_is_all_zero_bits() {
+        assert_eq!(F16::from_f32(0.0).to_bits(), 0);
+        assert_eq!(F16::ZERO.to_f32(), 0.0);
+    }
+
+    #[test]
+    fn max_constant_matches() {
+        assert!((F16::MAX.to_f32() - 65504.0).abs() < 1.0);
+        assert!((F16::MIN.to_f32() + 65504.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,449 @@
+//! Dense row-major matrices and vectors.
+//!
+//! The functional LLM surrogate only requires small dense linear algebra:
+//! matrix-vector products for the per-token projections, dot products for the
+//! attention scores, and a handful of element-wise transforms.  [`Matrix`] is a
+//! simple row-major `Vec<f32>` container with checked constructors and
+//! shape-checked operations.
+
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A vector of `f32` values.
+///
+/// This is a plain type alias: vectors interoperate directly with slices and
+/// standard iterator adaptors, which keeps the functional-model code close to
+/// the paper's equations.
+pub type Vector = Vec<f32>;
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// # Example
+///
+/// ```rust
+/// use kelle_tensor::Matrix;
+///
+/// # fn main() -> Result<(), kelle_tensor::TensorError> {
+/// let m = Matrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 2.0]])?;
+/// let v = m.matvec(&[3.0, 4.0])?;
+/// assert_eq!(v, vec![3.0, 8.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros with the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 {
+            return Err(TensorError::EmptyDimension { what: "rows" });
+        }
+        if cols == 0 {
+            return Err(TensorError::EmptyDimension { what: "cols" });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        })
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn identity(n: usize) -> Self {
+        assert!(n > 0, "identity dimension must be non-zero");
+        let mut m = Self::zeros(n, n).expect("non-zero checked above");
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a vector of equal-length rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] for an empty row set or empty
+    /// rows, and [`TensorError::RaggedRows`] if row lengths differ.
+    pub fn from_rows(rows: Vec<Vec<f32>>) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(TensorError::EmptyDimension { what: "rows" });
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(TensorError::EmptyDimension { what: "cols" });
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in &rows {
+            if row.len() != cols {
+                return Err(TensorError::RaggedRows {
+                    expected: cols,
+                    found: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len() != rows * cols`
+    /// and [`TensorError::EmptyDimension`] for zero dimensions.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if rows == 0 {
+            return Err(TensorError::EmptyDimension { what: "rows" });
+        }
+        if cols == 0 {
+            return Err(TensorError::EmptyDimension { what: "cols" });
+        }
+        if data.len() != rows * cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "from_flat",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Returns the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows row `row` as a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `row >= self.rows()`.
+    pub fn row(&self, row: usize) -> Result<&[f32]> {
+        if row >= self.rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: row,
+                len: self.rows,
+            });
+        }
+        Ok(&self.data[row * self.cols..(row + 1) * self.cols])
+    }
+
+    /// Copies column `col` into a new vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `col >= self.cols()`.
+    pub fn column(&self, col: usize) -> Result<Vector> {
+        if col >= self.cols {
+            return Err(TensorError::IndexOutOfBounds {
+                index: col,
+                len: self.cols,
+            });
+        }
+        Ok((0..self.rows).map(|r| self.get(r, col)).collect())
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f32]) -> Result<Vector> {
+        if v.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec",
+                lhs: (self.rows, self.cols),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0f32; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (a, b) in row.iter().zip(v.iter()) {
+                acc += a * b;
+            }
+            out[r] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Vector-matrix product `v^T * self`, i.e. treating `v` as a row vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `v.len() != self.rows()`.
+    pub fn vecmat(&self, v: &[f32]) -> Result<Vector> {
+        if v.len() != self.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "vecmat",
+                lhs: (1, v.len()),
+                rhs: (self.rows, self.cols),
+            });
+        }
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            let coeff = v[r];
+            if coeff == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, x) in out.iter_mut().zip(row.iter()) {
+                *o += coeff * x;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: (self.rows, self.cols),
+                rhs: (other.rows, other.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols)?;
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let v = out.get(i, j) + a * other.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose of this matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows).expect("shape is non-zero");
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Scales every element by `factor`, returning a new matrix.
+    pub fn scaled(&self, factor: f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * factor).collect(),
+        }
+    }
+
+    /// Element-wise sum with `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        })
+    }
+
+    /// The Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Consumes the matrix, returning the flat row-major buffer.
+    pub fn into_flat(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Number of `f32` elements stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix holds no elements (never true for a valid matrix).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths; use in inner loops where the
+/// lengths are guaranteed by construction.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product operands must be equal length");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_rejects_empty() {
+        assert!(Matrix::zeros(0, 3).is_err());
+        assert!(Matrix::zeros(3, 0).is_err());
+        assert!(Matrix::zeros(3, 3).is_ok());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(vec![vec![1.0, 2.0], vec![1.0]]).unwrap_err();
+        assert!(matches!(err, TensorError::RaggedRows { .. }));
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let out = m.matvec(&[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(out, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn vecmat_matches_transpose_matvec() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let v = vec![1.0, -1.0, 2.0];
+        let a = m.vecmat(&v).unwrap();
+        let b = m.transpose().matvec(&v).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let id = Matrix::identity(2);
+        assert_eq!(m.matmul(&id).unwrap(), m);
+        assert_eq!(id.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3).unwrap();
+        let b = Matrix::zeros(2, 3).unwrap();
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn row_and_column_access() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(1).unwrap(), &[3.0, 4.0]);
+        assert_eq!(m.column(0).unwrap(), vec![1.0, 3.0]);
+        assert!(m.row(2).is_err());
+        assert!(m.column(5).is_err());
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let s = m.scaled(2.0);
+        let sum = m.add(&m).unwrap();
+        assert_eq!(s, sum);
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        let id = Matrix::identity(4);
+        assert!((id.frobenius_norm() - 2.0).abs() < 1e-6);
+    }
+}

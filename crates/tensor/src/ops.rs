@@ -1,0 +1,269 @@
+//! Non-linear operations used by transformer decoders.
+//!
+//! The Kelle accelerator's SFU (§5) implements softmax (with the online-max
+//! trick from Softermax), activation functions and normalization via lookup
+//! tables.  The functional model here uses exact math; the hardware model in
+//! `kelle-arch` accounts for the SFU's latency/energy separately.
+
+/// Numerically stable softmax over a slice.
+///
+/// Returns an empty vector for empty input.
+///
+/// # Example
+///
+/// ```rust
+/// let p = kelle_tensor::ops::softmax(&[0.0, 0.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    if sum == 0.0 || !sum.is_finite() {
+        // Degenerate input (all -inf or NaN): fall back to uniform.
+        return vec![1.0 / logits.len() as f32; logits.len()];
+    }
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Online (streaming) softmax in the style of Softermax: processes logits one
+/// at a time maintaining a running maximum and a running rescaled sum, then
+/// normalizes in a second pass over the stored exponents.
+///
+/// Produces the same result as [`softmax`] up to floating-point rounding; it is
+/// exposed separately so tests can check the hardware-friendly formulation is
+/// numerically equivalent.
+pub fn softmax_online(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let mut running_max = f32::NEG_INFINITY;
+    let mut running_sum = 0.0f32;
+    for &x in logits {
+        if x > running_max {
+            running_sum *= (running_max - x).exp();
+            running_max = x;
+        }
+        running_sum += (x - running_max).exp();
+    }
+    if running_sum == 0.0 || !running_sum.is_finite() {
+        return vec![1.0 / logits.len() as f32; logits.len()];
+    }
+    logits
+        .iter()
+        .map(|x| (x - running_max).exp() / running_sum)
+        .collect()
+}
+
+/// Gaussian Error Linear Unit (tanh approximation), the FFN activation used by
+/// GPT-style models.
+pub fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Sigmoid Linear Unit (a.k.a. swish), the gated-MLP activation used by the
+/// Llama / Mistral family.
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Root-mean-square normalization (RMSNorm) with a learned gain vector.
+///
+/// # Panics
+///
+/// Panics if `x` and `gain` have different lengths.
+pub fn rms_norm(x: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
+    assert_eq!(x.len(), gain.len(), "rms_norm operands must be equal length");
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+    let denom = (ms + eps).sqrt();
+    x.iter().zip(gain.iter()).map(|(v, g)| v / denom * g).collect()
+}
+
+/// Standard layer normalization with learned gain and bias.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn layer_norm(x: &[f32], gain: &[f32], bias: &[f32], eps: f32) -> Vec<f32> {
+    assert_eq!(x.len(), gain.len(), "layer_norm operands must be equal length");
+    assert_eq!(x.len(), bias.len(), "layer_norm operands must be equal length");
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let n = x.len() as f32;
+    let mean = x.iter().sum::<f32>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let denom = (var + eps).sqrt();
+    x.iter()
+        .zip(gain.iter().zip(bias.iter()))
+        .map(|(v, (g, b))| (v - mean) / denom * g + b)
+        .collect()
+}
+
+/// Applies rotary position embedding (RoPE) to a query/key vector in place.
+///
+/// Consecutive element pairs `(x[2i], x[2i+1])` are rotated by an angle
+/// `position * theta^(-2i/d)`.  This is the positional-embedding flavour used
+/// by the Llama family; it matters for the surrogate model because RoPE makes
+/// attention scores position-sensitive, giving the recency structure that
+/// StreamingLLM's "recent window" heuristic relies on.
+pub fn apply_rope(x: &mut [f32], position: usize, theta: f32) {
+    let d = x.len();
+    let half = d / 2;
+    for i in 0..half {
+        let freq = 1.0 / theta.powf(2.0 * i as f32 / d as f32);
+        let angle = position as f32 * freq;
+        let (sin, cos) = angle.sin_cos();
+        let a = x[2 * i];
+        let b = x[2 * i + 1];
+        x[2 * i] = a * cos - b * sin;
+        x[2 * i + 1] = a * sin + b * cos;
+    }
+}
+
+/// Cross-entropy (natural log) between a one-hot target index and a
+/// probability distribution, used by the perplexity-proxy metric.
+///
+/// Returns `+inf` if the probability of the target is zero.
+///
+/// # Panics
+///
+/// Panics if `target >= probs.len()`.
+pub fn cross_entropy(probs: &[f32], target: usize) -> f32 {
+    assert!(target < probs.len(), "target index out of range");
+    let p = probs[target].max(f32::MIN_POSITIVE);
+    -p.ln()
+}
+
+/// Kullback-Leibler divergence `KL(p || q)` between two distributions.
+///
+/// Entries where `p` is zero contribute nothing; entries where `q` is zero but
+/// `p` is positive contribute a large finite penalty (clamped) so the metric
+/// stays usable under heavy corruption.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn kl_divergence(p: &[f32], q: &[f32]) -> f32 {
+    assert_eq!(p.len(), q.len(), "kl_divergence operands must be equal length");
+    let mut total = 0.0f32;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        if pi <= 0.0 {
+            continue;
+        }
+        let qi = qi.max(1e-12);
+        total += pi * (pi / qi).ln();
+    }
+    total.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_empty_and_degenerate() {
+        assert!(softmax(&[]).is_empty());
+        let p = softmax(&[f32::NEG_INFINITY, f32::NEG_INFINITY]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn online_softmax_matches_two_pass() {
+        let logits = vec![0.3, -1.2, 4.5, 2.2, -0.7, 3.3];
+        let a = softmax(&logits);
+        let b = softmax_online(&logits);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gelu_and_silu_basic_shape() {
+        assert!(gelu(0.0).abs() < 1e-6);
+        assert!(gelu(3.0) > 2.9);
+        assert!(gelu(-3.0).abs() < 0.02);
+        assert!(silu(0.0).abs() < 1e-6);
+        assert!((silu(10.0) - 10.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn rms_norm_unit_scale() {
+        let x = vec![3.0, 4.0];
+        let gain = vec![1.0, 1.0];
+        let out = rms_norm(&x, &gain, 1e-6);
+        let ms = out.iter().map(|v| v * v).sum::<f32>() / 2.0;
+        assert!((ms - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let gain = vec![1.0; 4];
+        let bias = vec![0.0; 4];
+        let out = layer_norm(&x, &gain, &bias, 1e-6);
+        let mean = out.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn rope_preserves_norm() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let before: f32 = x.iter().map(|v| v * v).sum();
+        apply_rope(&mut x, 17, 10_000.0);
+        let after: f32 = x.iter().map(|v| v * v).sum();
+        assert!((before - after).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rope_position_zero_is_identity() {
+        let mut x = vec![0.5, -0.25, 1.5, 2.0];
+        let orig = x.clone();
+        apply_rope(&mut x, 0, 10_000.0);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn kl_divergence_zero_for_identical() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!(kl_divergence(&p, &p) < 1e-6);
+    }
+
+    #[test]
+    fn kl_divergence_positive_for_different() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let q = softmax(&[3.0, 2.0, 1.0]);
+        assert!(kl_divergence(&p, &q) > 0.1);
+    }
+
+    #[test]
+    fn cross_entropy_matches_log() {
+        let probs = vec![0.25, 0.75];
+        assert!((cross_entropy(&probs, 1) - 0.75f32.ln().abs()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,370 @@
+//! Quantization emulation.
+//!
+//! The paper evaluates several numeric configurations:
+//!
+//! * the default Kelle configuration: **W8A16** — weights in INT8, activations
+//!   and KV vectors in FP16 (§5, §7.1);
+//! * a QuaRot-style configuration with 4-bit KV vectors used as a baseline with
+//!   a matched storage budget (§7.1) and the **W4A8** variant in Table 6;
+//! * the COMET comparator with 4-bit activations/KV (§8.2).
+//!
+//! [`QuantizedVector`] and [`QuantizedMatrix`] implement symmetric per-tensor
+//! linear quantization with explicit integer storage words so that storage
+//! sizes and bit-level corruption can be modelled faithfully.
+
+use crate::{Matrix, Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Numeric storage formats used across the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum QuantFormat {
+    /// IEEE-754 half precision (16 bits per element).
+    Fp16,
+    /// Signed 8-bit integers with a per-tensor scale.
+    Int8,
+    /// Signed 4-bit integers with a per-tensor scale (stored one per byte for
+    /// simplicity; storage accounting uses the true 4-bit footprint).
+    Int4,
+}
+
+impl QuantFormat {
+    /// Storage cost in bits per element.
+    pub fn bits_per_element(self) -> u32 {
+        match self {
+            QuantFormat::Fp16 => 16,
+            QuantFormat::Int8 => 8,
+            QuantFormat::Int4 => 4,
+        }
+    }
+
+    /// Storage cost in bytes for `n` elements (rounded up to whole bytes).
+    pub fn bytes_for(self, n: usize) -> usize {
+        ((n as u64 * u64::from(self.bits_per_element())).div_ceil(8)) as usize
+    }
+
+    /// The number of quantization levels (unused for FP16).
+    pub fn levels(self) -> u32 {
+        match self {
+            QuantFormat::Fp16 => 0,
+            QuantFormat::Int8 => 256,
+            QuantFormat::Int4 => 16,
+        }
+    }
+}
+
+/// A vector quantized to a fixed-point format with a single scale factor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedVector {
+    format: QuantFormat,
+    scale: f32,
+    /// Integer codes; for FP16 this holds the raw bit patterns widened to i32.
+    codes: Vec<i32>,
+}
+
+impl QuantizedVector {
+    /// Quantizes a slice of `f32` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidQuantization`] if the input is empty.
+    pub fn quantize(values: &[f32], format: QuantFormat) -> Result<Self> {
+        if values.is_empty() {
+            return Err(TensorError::InvalidQuantization {
+                reason: "cannot quantize an empty vector".to_string(),
+            });
+        }
+        match format {
+            QuantFormat::Fp16 => {
+                let codes = values
+                    .iter()
+                    .map(|&v| i32::from(crate::fp16::f32_to_f16_bits(v)))
+                    .collect();
+                Ok(Self {
+                    format,
+                    scale: 1.0,
+                    codes,
+                })
+            }
+            QuantFormat::Int8 | QuantFormat::Int4 => {
+                let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                let qmax = (format.levels() / 2 - 1) as f32;
+                let scale = if max_abs == 0.0 { 1.0 } else { max_abs / qmax };
+                let codes = values
+                    .iter()
+                    .map(|&v| {
+                        let q = (v / scale).round();
+                        q.clamp(-qmax - 1.0, qmax) as i32
+                    })
+                    .collect();
+                Ok(Self {
+                    format,
+                    scale,
+                    codes,
+                })
+            }
+        }
+    }
+
+    /// Reconstructs the approximate `f32` values.
+    pub fn dequantize(&self) -> Vec<f32> {
+        match self.format {
+            QuantFormat::Fp16 => self
+                .codes
+                .iter()
+                .map(|&c| crate::fp16::f16_bits_to_f32(c as u16))
+                .collect(),
+            _ => self.codes.iter().map(|&c| c as f32 * self.scale).collect(),
+        }
+    }
+
+    /// The storage format.
+    pub fn format(&self) -> QuantFormat {
+        self.format
+    }
+
+    /// The per-tensor scale factor (1.0 for FP16).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the vector is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Storage footprint in bytes, counting only payload bits (scales excluded).
+    pub fn storage_bytes(&self) -> usize {
+        self.format.bytes_for(self.codes.len())
+    }
+
+    /// Flips a single stored bit of element `index`.
+    ///
+    /// For FP16 the 16 stored bits are the IEEE-754 half-precision word; for
+    /// INT8/INT4 they are the two's-complement integer code.  This is the
+    /// primitive used by the eDRAM retention-fault injector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `index` is out of range and
+    /// [`TensorError::InvalidQuantization`] if `bit` exceeds the format width.
+    pub fn flip_bit(&mut self, index: usize, bit: u8) -> Result<()> {
+        if index >= self.codes.len() {
+            return Err(TensorError::IndexOutOfBounds {
+                index,
+                len: self.codes.len(),
+            });
+        }
+        let width = self.format.bits_per_element() as u8;
+        if bit >= width {
+            return Err(TensorError::InvalidQuantization {
+                reason: format!("bit {bit} out of range for {width}-bit format"),
+            });
+        }
+        match self.format {
+            QuantFormat::Fp16 => {
+                let bits = self.codes[index] as u16;
+                self.codes[index] = i32::from(bits ^ (1u16 << bit));
+            }
+            QuantFormat::Int8 => {
+                let bits = self.codes[index] as i8 as u8;
+                self.codes[index] = i32::from((bits ^ (1u8 << bit)) as i8);
+            }
+            QuantFormat::Int4 => {
+                // Codes occupy the low nibble in sign-magnitude-free two's complement.
+                let bits = (self.codes[index] & 0x0F) as u8;
+                let flipped = bits ^ (1u8 << bit);
+                // Sign-extend the nibble.
+                let val = if flipped & 0x8 != 0 {
+                    (flipped as i32) - 16
+                } else {
+                    flipped as i32
+                };
+                self.codes[index] = val;
+            }
+        }
+        Ok(())
+    }
+
+    /// Mean absolute reconstruction error against a reference slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` has a different length.
+    pub fn reconstruction_error(&self, reference: &[f32]) -> f32 {
+        assert_eq!(reference.len(), self.codes.len());
+        let deq = self.dequantize();
+        deq.iter()
+            .zip(reference.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / reference.len() as f32
+    }
+}
+
+/// A matrix quantized row-by-row with per-row scales (per-channel quantization),
+/// matching how LLM weight matrices are quantized in practice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    format: QuantFormat,
+    rows: usize,
+    cols: usize,
+    row_vectors: Vec<QuantizedVector>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a dense matrix row-by-row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`QuantizedVector::quantize`].
+    pub fn quantize(matrix: &Matrix, format: QuantFormat) -> Result<Self> {
+        let mut row_vectors = Vec::with_capacity(matrix.rows());
+        for row in matrix.iter_rows() {
+            row_vectors.push(QuantizedVector::quantize(row, format)?);
+        }
+        Ok(Self {
+            format,
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            row_vectors,
+        })
+    }
+
+    /// Reconstructs the approximate dense matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let rows: Vec<Vec<f32>> = self.row_vectors.iter().map(|r| r.dequantize()).collect();
+        Matrix::from_rows(rows).expect("quantized matrix rows are rectangular by construction")
+    }
+
+    /// The storage format.
+    pub fn format(&self) -> QuantFormat {
+        self.format
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total payload storage in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.row_vectors.iter().map(|r| r.storage_bytes()).sum()
+    }
+
+    /// Mean absolute reconstruction error against the original matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` has a different shape.
+    pub fn reconstruction_error(&self, reference: &Matrix) -> f32 {
+        assert_eq!(reference.shape(), (self.rows, self.cols));
+        let mut total = 0.0;
+        for (qrow, row) in self.row_vectors.iter().zip(reference.iter_rows()) {
+            total += qrow.reconstruction_error(row) * row.len() as f32;
+        }
+        total / (self.rows * self.cols) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_storage_costs() {
+        assert_eq!(QuantFormat::Fp16.bytes_for(10), 20);
+        assert_eq!(QuantFormat::Int8.bytes_for(10), 10);
+        assert_eq!(QuantFormat::Int4.bytes_for(10), 5);
+        assert_eq!(QuantFormat::Int4.bytes_for(11), 6);
+    }
+
+    #[test]
+    fn int8_round_trip_small_error() {
+        let values: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) * 0.1).collect();
+        let q = QuantizedVector::quantize(&values, QuantFormat::Int8).unwrap();
+        assert!(q.reconstruction_error(&values) < 0.02);
+    }
+
+    #[test]
+    fn int4_coarser_than_int8() {
+        let values: Vec<f32> = (0..64).map(|i| ((i * 37) % 101) as f32 * 0.01 - 0.5).collect();
+        let q8 = QuantizedVector::quantize(&values, QuantFormat::Int8).unwrap();
+        let q4 = QuantizedVector::quantize(&values, QuantFormat::Int4).unwrap();
+        assert!(q4.reconstruction_error(&values) > q8.reconstruction_error(&values));
+    }
+
+    #[test]
+    fn fp16_round_trip_exact_for_representable() {
+        let values = vec![1.0, -2.5, 0.125, 4.0];
+        let q = QuantizedVector::quantize(&values, QuantFormat::Fp16).unwrap();
+        assert_eq!(q.dequantize(), values);
+    }
+
+    #[test]
+    fn empty_vector_rejected() {
+        assert!(QuantizedVector::quantize(&[], QuantFormat::Int8).is_err());
+    }
+
+    #[test]
+    fn zero_vector_round_trips() {
+        let values = vec![0.0; 8];
+        let q = QuantizedVector::quantize(&values, QuantFormat::Int8).unwrap();
+        assert_eq!(q.dequantize(), values);
+    }
+
+    #[test]
+    fn bit_flip_changes_value_and_is_reversible() {
+        let values = vec![0.5, -0.25, 0.75];
+        let mut q = QuantizedVector::quantize(&values, QuantFormat::Fp16).unwrap();
+        let before = q.dequantize()[1];
+        q.flip_bit(1, 10).unwrap();
+        let after = q.dequantize()[1];
+        assert_ne!(before, after);
+        q.flip_bit(1, 10).unwrap();
+        assert_eq!(q.dequantize()[1], before);
+    }
+
+    #[test]
+    fn bit_flip_bounds_checked() {
+        let mut q = QuantizedVector::quantize(&[1.0], QuantFormat::Int8).unwrap();
+        assert!(q.flip_bit(1, 0).is_err());
+        assert!(q.flip_bit(0, 8).is_err());
+        assert!(q.flip_bit(0, 7).is_ok());
+    }
+
+    #[test]
+    fn int4_bit_flip_stays_in_range() {
+        let mut q = QuantizedVector::quantize(&[0.3, -0.3], QuantFormat::Int4).unwrap();
+        for bit in 0..4 {
+            q.flip_bit(0, bit).unwrap();
+        }
+        let v = q.dequantize();
+        assert!(v[0].abs() <= 8.0 * q.scale() + 1e-6);
+    }
+
+    #[test]
+    fn matrix_quantization_per_row_scales() {
+        let m = Matrix::from_rows(vec![vec![0.01, -0.02, 0.03], vec![10.0, -20.0, 30.0]]).unwrap();
+        let q = QuantizedMatrix::quantize(&m, QuantFormat::Int8).unwrap();
+        // Per-row scaling keeps both rows accurate despite the magnitude gap.
+        assert!(q.reconstruction_error(&m) < 0.2);
+        let d = q.dequantize();
+        assert!((d.get(0, 2) - 0.03).abs() < 0.001);
+        assert!((d.get(1, 2) - 30.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn matrix_storage_bytes() {
+        let m = Matrix::zeros(4, 8).unwrap();
+        let q = QuantizedMatrix::quantize(&m, QuantFormat::Int8).unwrap();
+        assert_eq!(q.storage_bytes(), 32);
+        let q4 = QuantizedMatrix::quantize(&m, QuantFormat::Int4).unwrap();
+        assert_eq!(q4.storage_bytes(), 16);
+    }
+}

@@ -1,0 +1,173 @@
+//! Deterministic random-number utilities.
+//!
+//! Every stochastic component of the reproduction — surrogate weight
+//! generation, synthetic workloads, retention-failure sampling — is seeded
+//! explicitly so that experiments are exactly reproducible run-to-run.  This
+//! module provides a thin layer over `rand_chacha::ChaCha12Rng` plus the
+//! distributions the surrogate model needs (Gaussian, Zipf-like heavy-tailed,
+//! and log-normal for eDRAM retention times).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// The deterministic RNG used across the workspace.
+pub type DetRng = ChaCha12Rng;
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> DetRng {
+    ChaCha12Rng::seed_from_u64(seed)
+}
+
+/// Derives a child RNG from a parent seed and a stream label, so that
+/// independent components (e.g. per-layer weights) get decorrelated streams
+/// while remaining reproducible.
+pub fn substream(seed: u64, label: &str) -> DetRng {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in label.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    ChaCha12Rng::seed_from_u64(seed ^ hash)
+}
+
+/// Samples a standard normal value using the Box-Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Samples a normal value with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f32, std_dev: f32) -> f32 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples a log-normal value parameterised by the mean and standard deviation
+/// of the underlying normal (i.e. of `ln(X)`).
+///
+/// Used for the eDRAM retention-time distribution: per-cell retention times in
+/// 65nm eDRAM follow a heavy-tailed distribution whose weak tail determines the
+/// refresh-interval-to-failure-rate curve of Fig. 4.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f32, sigma: f32) -> f32 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Samples an index in `0..n` from a Zipf-like power-law distribution with
+/// exponent `s`.  Smaller indices are more likely.
+///
+/// Used to build heavy-tailed token-importance structure in the synthetic
+/// workloads: a few "heavy hitter" tokens dominate attention mass, mirroring
+/// the empirical observation behind H2O and AERP.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn zipf_index<R: Rng + ?Sized>(rng: &mut R, n: usize, s: f32) -> usize {
+    assert!(n > 0, "zipf support must be non-empty");
+    // Inverse-CDF sampling over the (unnormalized) weights 1/(k+1)^s.
+    let weights: Vec<f32> = (0..n).map(|k| 1.0 / ((k + 1) as f32).powf(s)).collect();
+    let total: f32 = weights.iter().sum();
+    let mut target = rng.gen::<f32>() * total;
+    for (idx, w) in weights.iter().enumerate() {
+        if target < *w {
+            return idx;
+        }
+        target -= w;
+    }
+    n - 1
+}
+
+/// Fills a slice with i.i.d. normal values scaled for a fan-in of `fan_in`
+/// (Xavier/Glorot-style initialization), producing well-conditioned surrogate
+/// weight matrices.
+pub fn fill_xavier<R: Rng + ?Sized>(rng: &mut R, out: &mut [f32], fan_in: usize) {
+    let std_dev = (1.0 / fan_in.max(1) as f32).sqrt();
+    for v in out.iter_mut() {
+        *v = normal(rng, 0.0, std_dev);
+    }
+}
+
+/// Returns `true` with probability `p` (clamped to `[0, 1]`).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    let p = p.clamp(0.0, 1.0);
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_reproducible() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn substreams_differ_by_label() {
+        let mut a = substream(42, "layer0");
+        let mut b = substream(42, "layer1");
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = seeded(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| normal(&mut rng, 2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.1);
+        assert!((var - 9.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = seeded(9);
+        for _ in 0..1000 {
+            assert!(log_normal(&mut rng, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_small_indices() {
+        let mut rng = seeded(11);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf_index(&mut rng, 10, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[1] > counts[9]);
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let mut rng = seeded(13);
+        for _ in 0..1000 {
+            assert!(zipf_index(&mut rng, 7, 0.8) < 7);
+        }
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_fan_in() {
+        let mut rng = seeded(17);
+        let mut small = vec![0.0; 4096];
+        let mut large = vec![0.0; 4096];
+        fill_xavier(&mut rng, &mut small, 16);
+        fill_xavier(&mut rng, &mut large, 1024);
+        let var = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>() / v.len() as f32;
+        assert!(var(&small) > var(&large) * 10.0);
+    }
+
+    #[test]
+    fn bernoulli_edge_probabilities() {
+        let mut rng = seeded(19);
+        assert!(!bernoulli(&mut rng, 0.0));
+        assert!(bernoulli(&mut rng, 1.0));
+    }
+}

@@ -1,0 +1,60 @@
+//! Design-space exploration: sweep the Kelle design knobs — KV budget `N'`,
+//! refresh policy, eDRAM bandwidth and batch size — and print how the
+//! speedup / energy-efficiency gains move, reproducing the shape of the
+//! paper's ablation studies (§8.3) in one run.
+//!
+//! Run with `cargo run --example design_space`.
+
+use kelle::arch::{InferenceWorkload, Platform, PlatformKind};
+use kelle::edram::{RefreshIntervals, RefreshPolicy};
+use kelle::experiment;
+use kelle::model::{ModelConfig, ModelKind};
+
+fn main() {
+    let model_kind = ModelKind::Llama2_7b;
+    let model = ModelConfig::for_kind(model_kind);
+
+    // 1. KV budget sweep (Table 7).
+    println!("KV budget sweep (PG19, energy-efficiency gain over Original+SRAM):");
+    for (n, gain) in experiment::table7(model_kind, &[1024, 2048, 3500, 5250, 7000, 8750]) {
+        println!("  N' = {:5}  ->  {:.2}x", n, gain);
+    }
+
+    // 2. Refresh-policy sweep (Fig. 15b flavour).
+    println!("\nrefresh policy sweep (PG19, Kelle hardware, energy per run):");
+    let workload = InferenceWorkload::pg19();
+    for (label, policy) in [
+        ("Org (45us)", RefreshPolicy::Conservative),
+        ("Uniform 360us", RefreshPolicy::Uniform(360.0)),
+        ("Uniform 1.05ms", RefreshPolicy::Uniform(1050.0)),
+        ("2DRP", RefreshPolicy::TwoDimensional(RefreshIntervals::paper_default())),
+    ] {
+        let mut platform = Platform::preset(PlatformKind::KelleEdram);
+        platform.refresh_policy = policy;
+        let report = platform.simulate(&model, &workload, Some(2048));
+        println!(
+            "  {:15} {:9.0} J   (refresh share {:4.1}%, avg failure rate {:.1e})",
+            label,
+            report.total_energy_j(),
+            report.total_energy().refresh_share() * 100.0,
+            policy
+                .bit_flip_rates(&kelle::edram::RetentionModel::default())
+                .average()
+        );
+    }
+
+    // 3. eDRAM bandwidth ablation (§8.3.7).
+    let (full, halved) =
+        experiment::bandwidth_ablation(model_kind, InferenceWorkload::triviaqa());
+    println!("\neDRAM bandwidth ablation (TriviaQA): full 256 GB/s {:.2}x, halved 128 GB/s {:.2}x", full, halved);
+
+    // 4. Batch-size sweep (Table 9).
+    println!("\nbatch-size sweep (PG19, energy-efficiency gain over Original+SRAM):");
+    for (batch, gains) in experiment::table9(model_kind, &[16, 4, 1]) {
+        let line: Vec<String> = gains
+            .iter()
+            .map(|(name, gain)| format!("{name} {gain:.2}x"))
+            .collect();
+        println!("  batch {:2}: {}", batch, line.join(", "));
+    }
+}

@@ -1,0 +1,66 @@
+//! Edge chatbot scenario: a multi-turn conversation served on an edge device,
+//! comparing the Kelle system against the SRAM baseline turn by turn.
+//!
+//! This mirrors the motivation of §1: interactive serving where each turn
+//! appends to the conversation, the KV cache keeps growing, and the device
+//! must stay within a tight latency/energy envelope.
+//!
+//! Run with `cargo run --example edge_chatbot`.
+
+use kelle::arch::{InferenceWorkload, Platform, PlatformKind};
+use kelle::cache::CacheBudget;
+use kelle::edram::RefreshPolicy;
+use kelle::model::{ModelConfig, ModelKind};
+use kelle::{EngineConfig, KelleEngine};
+
+fn main() {
+    // Functional side: serve three conversation turns through the engine.
+    let mut config = EngineConfig::default();
+    config.model = ModelKind::Llama3_2_3b;
+    config.budget = CacheBudget::new(48).with_recent_window(16).with_sink_tokens(2);
+    config.refresh_policy = RefreshPolicy::two_dimensional_default();
+    config.batch = 1;
+    let engine = KelleEngine::new(config);
+
+    let turns: [&[usize]; 3] = [
+        &[5, 17, 99, 23, 4, 87, 15, 3],
+        &[44, 12, 7, 7, 201, 16],
+        &[150, 33, 2, 91, 64, 8, 19],
+    ];
+    let mut conversation: Vec<usize> = Vec::new();
+    for (i, turn) in turns.iter().enumerate() {
+        conversation.extend_from_slice(turn);
+        let outcome = engine.serve(&conversation, 16);
+        println!(
+            "turn {}: {} prompt tokens -> {} generated, {} evictions, {:.1}% recomputed",
+            i + 1,
+            conversation.len(),
+            outcome.generated.len(),
+            outcome.cache.evictions,
+            outcome.trace.recompute_fraction() * 100.0
+        );
+        conversation.extend_from_slice(&outcome.generated);
+    }
+    let stats = engine.stats();
+    println!(
+        "session: {} requests, {} tokens, modelled energy {:.1} J",
+        stats.requests, stats.tokens_generated, stats.hardware_energy_j
+    );
+
+    // Hardware side: what does a long chat session cost on each platform?
+    let model = ModelConfig::for_kind(ModelKind::Llama3_2_3b);
+    let workload = InferenceWorkload::new("chat-session", 512, 2048, 1);
+    let baseline = Platform::preset(PlatformKind::OriginalSram).simulate(&model, &workload, None);
+    println!("\nsingle-user (batch 1) chat session, LLaMA3.2-3B:");
+    for kind in PlatformKind::all() {
+        let report = Platform::preset(kind).simulate(&model, &workload, Some(1024));
+        println!(
+            "  {:16} {:7.1} s  {:8.1} J  ({:.2}x speedup, {:.2}x energy efficiency)",
+            kind.name(),
+            report.total_latency_s(),
+            report.total_energy_j(),
+            report.speedup_vs(&baseline),
+            report.energy_efficiency_vs(&baseline)
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Long-document generation scenario (the PG19-style workload of the paper):
+//! decode thousands of tokens from a book-length context and watch how the
+//! KV-cache policies diverge in both fidelity and hardware cost.
+//!
+//! Run with `cargo run --example long_document`.
+
+use kelle::accuracy::{evaluate_method, AccuracyConfig, Method};
+use kelle::arch::{InferenceWorkload, Platform, PlatformKind};
+use kelle::model::ModelKind;
+use kelle::workloads::TaskKind;
+
+fn main() {
+    // Functional fidelity on the PG19-like long-generation task.
+    println!("PG19-like long generation, LLaMA2-7B surrogate:");
+    let mut config = AccuracyConfig::for_task(TaskKind::Pg19);
+    config.prompts = 2;
+    for method in Method::all() {
+        let result = evaluate_method(&config, method);
+        println!(
+            "  {:6} ppl-proxy-score {:6.2}  top-1 agreement {:5.1}%  mean KL {:.4}",
+            method.name(),
+            result.score,
+            result.fidelity.top1_agreement * 100.0,
+            result.fidelity.mean_kl
+        );
+    }
+
+    // Hardware cost of generating an 8192-token continuation (Fig. 13 PG point).
+    println!("\nhardware cost of the PG19 workload (context 512, decode 8192, batch 16):");
+    let model = kelle::model::ModelConfig::for_kind(ModelKind::Llama2_7b);
+    let workload = InferenceWorkload::pg19();
+    let baseline = Platform::preset(PlatformKind::OriginalSram).simulate(&model, &workload, None);
+    for kind in PlatformKind::all() {
+        let n_prime = match kind {
+            PlatformKind::OriginalSram | PlatformKind::OriginalEdram => None,
+            _ => Some(2048),
+        };
+        let report = Platform::preset(kind).simulate(&model, &workload, n_prime);
+        let energy = report.total_energy();
+        println!(
+            "  {:16} {:8.0} s  {:9.0} J  refresh {:4.1}%  dram {:4.1}%  speedup {:4.2}x  energy {:4.2}x",
+            kind.name(),
+            report.total_latency_s(),
+            report.total_energy_j(),
+            energy.refresh_share() * 100.0,
+            energy.dram_share() * 100.0,
+            report.speedup_vs(&baseline),
+            report.energy_efficiency_vs(&baseline)
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Quickstart: build the default Kelle system, serve one prompt, and print the
+//! functional and hardware outcomes.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use kelle::{EngineConfig, KelleEngine};
+
+fn main() {
+    // The default configuration emulates LLaMA2-7B on the Kelle+eDRAM
+    // platform with AERP cache management and the 2DRP refresh policy.
+    let engine = KelleEngine::new(EngineConfig::default());
+
+    let prompt: Vec<usize> = vec![12, 7, 101, 45, 7, 7, 33, 250, 19, 4];
+    let outcome = engine.serve(&prompt, 24);
+
+    println!("generated tokens : {:?}", outcome.generated);
+    println!(
+        "cache occupancy  : {} KV entries + {} recompute entries, {} evictions",
+        outcome.cache.kv_entries, outcome.cache.recompute_entries, outcome.cache.evictions
+    );
+    println!(
+        "recompute share  : {:.1}% of attended entries",
+        outcome.trace.recompute_fraction() * 100.0
+    );
+    println!(
+        "hardware (batch {}): {:.2} s latency, {:.1} J energy",
+        engine.config().batch,
+        outcome.hardware.total_latency_s(),
+        outcome.hardware.total_energy_j()
+    );
+    let energy = outcome.hardware.total_energy();
+    println!(
+        "energy breakdown : DRAM {:.0}%, KV buffer {:.0}%, refresh {:.0}%, compute {:.0}%",
+        100.0 * energy.dram_j / energy.total_j(),
+        100.0 * energy.kv_buffer_j / energy.total_j(),
+        100.0 * energy.refresh_j / energy.total_j(),
+        100.0 * energy.rsa_j / energy.total_j(),
+    );
+}

@@ -1,0 +1,139 @@
+//! Integration tests for the accuracy experiments: the orderings the paper's
+//! Tables 2–4 and Fig. 8 rely on must hold for the surrogate reproduction.
+
+use kelle::accuracy::{evaluate_method, AccuracyConfig, Method};
+use kelle::cache::CacheBudget;
+use kelle::edram::RefreshPolicy;
+use kelle::model::fault::BitFlipRates;
+use kelle::workloads::TaskKind;
+
+fn quick(task: TaskKind) -> AccuracyConfig {
+    let mut config = AccuracyConfig::for_task(task);
+    config.prompts = 1;
+    config
+}
+
+#[test]
+fn fig8a_ppl_degrades_monotonically_with_error_rate() {
+    // Uniform bit-flip error sweep: higher rates must not improve fidelity.
+    let mut previous_kl = -1.0;
+    for rate in [0.0, 1e-4, 1e-3, 1e-2, 5e-2] {
+        let config = quick(TaskKind::WikiText2)
+            .with_explicit_rates(BitFlipRates::uniform(rate))
+            .with_refresh_policy(RefreshPolicy::Conservative);
+        let result = evaluate_method(&config, Method::Kelle);
+        assert!(
+            result.fidelity.mean_kl >= previous_kl - 0.05,
+            "rate {rate}: KL {} < previous {previous_kl}",
+            result.fidelity.mean_kl
+        );
+        previous_kl = result.fidelity.mean_kl;
+    }
+}
+
+#[test]
+fn fig8c_msb_errors_hurt_more_than_lsb_errors() {
+    let rate = 5e-2;
+    let msb_only = BitFlipRates {
+        hst_msb: rate,
+        hst_lsb: 0.0,
+        lst_msb: rate,
+        lst_lsb: 0.0,
+    };
+    let lsb_only = BitFlipRates {
+        hst_msb: 0.0,
+        hst_lsb: rate,
+        lst_msb: 0.0,
+        lst_lsb: rate,
+    };
+    let msb = evaluate_method(
+        &quick(TaskKind::WikiText2).with_explicit_rates(msb_only),
+        Method::Kelle,
+    );
+    let lsb = evaluate_method(
+        &quick(TaskKind::WikiText2).with_explicit_rates(lsb_only),
+        Method::Kelle,
+    );
+    assert!(
+        msb.fidelity.mean_kl > lsb.fidelity.mean_kl,
+        "MSB corruption ({}) should hurt more than LSB corruption ({})",
+        msb.fidelity.mean_kl,
+        lsb.fidelity.mean_kl
+    );
+}
+
+#[test]
+fn table3_accuracy_declines_with_smaller_budgets() {
+    // LLaMA2-7B accuracy vs cache budget: smaller N' should not improve the
+    // fidelity proxy.
+    let task = TaskKind::ArcEasy;
+    let (prompt_len, _) = task.surrogate_lengths();
+    let mut agreements = Vec::new();
+    for budget_tokens in [prompt_len, prompt_len / 2, prompt_len / 4, 8] {
+        let budget = CacheBudget::new(budget_tokens.max(4))
+            .with_recent_window((budget_tokens / 2).max(2))
+            .with_sink_tokens(2);
+        let config = quick(task)
+            .with_budget(budget)
+            .with_refresh_policy(RefreshPolicy::Conservative);
+        let result = evaluate_method(&config, Method::Kelle);
+        agreements.push(result.fidelity.top1_agreement);
+    }
+    // Largest budget at least as faithful as the smallest.
+    assert!(
+        agreements.first().unwrap() >= agreements.last().unwrap(),
+        "agreements {agreements:?}"
+    );
+}
+
+#[test]
+fn table2_kelle_competitive_with_h2o_and_better_than_streaming() {
+    let config = quick(TaskKind::ArcChallenge);
+    let kelle = evaluate_method(&config, Method::Kelle);
+    let h2o = evaluate_method(&config, Method::H2o);
+    let streaming = evaluate_method(&config, Method::StreamingLlm);
+    // Kelle tracks H2O closely (both keep heavy hitters) and does not lose to
+    // the recency-only policy (small tolerance for single-prompt proxy noise).
+    assert!(kelle.score >= streaming.score * 0.97, "kelle {} vs streaming {}", kelle.score, streaming.score);
+    assert!(kelle.score >= h2o.score * 0.85, "kelle {} vs h2o {}", kelle.score, h2o.score);
+}
+
+#[test]
+fn table4_2drp_beats_uniform_at_matched_average_rate() {
+    // Compare 2DRP against a uniform policy with the same *average* bit-flip
+    // rate; the paper's Table 4 shows 2DRP preserves accuracy better.
+    let task = TaskKind::ArcEasy;
+    let twodrp_policy = RefreshPolicy::two_dimensional_default();
+    let retention = kelle::edram::RetentionModel::default();
+    let avg_rate = twodrp_policy.bit_flip_rates(&retention).average();
+
+    let twodrp = evaluate_method(
+        &quick(task).with_refresh_policy(twodrp_policy),
+        Method::Kelle,
+    );
+    let uniform = evaluate_method(
+        &quick(task).with_explicit_rates(BitFlipRates::uniform(avg_rate)),
+        Method::Kelle,
+    );
+    assert!(
+        twodrp.fidelity.mean_kl <= uniform.fidelity.mean_kl * 1.05 + 1e-6,
+        "2DRP KL {} vs uniform KL {}",
+        twodrp.fidelity.mean_kl,
+        uniform.fidelity.mean_kl
+    );
+}
+
+#[test]
+fn table5_quality_proxies_stay_close_to_reference() {
+    for task in TaskKind::table5() {
+        let config = quick(task);
+        let kelle = evaluate_method(&config, Method::Kelle);
+        let reference = task.llama2_7b_fp16_reference();
+        assert!(
+            kelle.score > reference * 0.3,
+            "{task:?}: score {} vs reference {reference}",
+            kelle.score
+        );
+        assert!(kelle.score <= reference * 1.001);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! reproduction, spanning several crates.
+
+use kelle::cache::{AerpCache, CacheBudget, KvCacheBackend};
+use kelle::edram::{RefreshPolicy, RetentionModel};
+use kelle::model::{FullKvCache, ModelConfig, ModelKind, SurrogateModel};
+use kelle::model::fault::NoFaults;
+use kelle::tensor::{ops, QuantFormat, QuantizedVector};
+use proptest::prelude::*;
+
+fn surrogate() -> SurrogateModel {
+    SurrogateModel::new(ModelConfig::for_kind(ModelKind::Llama2_7b), 17)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// §2.2: Eq. 1 and Eq. 2 are invariant to the relative order of the KV
+    /// pairs stored in the cache.  Inserting the same per-head KV entries in a
+    /// different order (as happens when Kelle reuses an evicted token's slot)
+    /// must not change the attention output for a fixed query token.
+    #[test]
+    fn attention_is_permutation_invariant(seed in 0u64..1000) {
+        use kelle::model::attention::MultiHeadAttention;
+        let model = surrogate();
+        let heads = model.dims().heads;
+        let weights = &model.weights().layers[0];
+        let attn = MultiHeadAttention::new(weights, heads);
+
+        // Pre-compute the per-head KV entries of 8 context tokens once.
+        let vocab = model.dims().vocab;
+        let entries: Vec<(usize, Vec<f32>, Vec<Vec<f32>>, Vec<Vec<f32>>)> = (0..8)
+            .map(|position| {
+                let token = ((seed as usize) * 31 + position * 7) % vocab;
+                let x = model.weights().embed(token, position);
+                let (k, v) = attn.project_kv(&x, position);
+                (position, x, k, v)
+            })
+            .collect();
+
+        let output_for = |order: &[usize]| {
+            let mut cache = FullKvCache::new();
+            let mut faults = NoFaults;
+            for &idx in order {
+                let (position, x, k, v) = &entries[idx];
+                cache.insert(0, *position, x, k, v);
+            }
+            let query_x = model.weights().embed(3 % vocab, 8);
+            attn.forward(0, 8, 8, &query_x, &mut cache, &mut faults).output
+        };
+
+        let forward: Vec<usize> = (0..entries.len()).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let a = output_for(&forward);
+        let b = output_for(&reversed);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-4 * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        }
+    }
+
+    /// The AERP cache never exceeds its per-head budget once decoding starts,
+    /// for any budget and insertion count.
+    #[test]
+    fn aerp_budget_never_exceeded(budget in 2usize..32, tokens in 1usize..80, heads in 1usize..6) {
+        let mut cache = AerpCache::new(CacheBudget::new(budget), heads);
+        cache.finish_prefill(0);
+        let head_dim = 4;
+        for t in 0..tokens {
+            let keys: Vec<Vec<f32>> = (0..heads).map(|h| vec![(t + h) as f32; head_dim]).collect();
+            let values = keys.clone();
+            cache.insert(0, t, &vec![t as f32; head_dim * heads], &keys, &values);
+            let scores: Vec<(usize, f32)> = cache
+                .entries(0, 0)
+                .iter()
+                .map(|e| (e.token, 1.0 / (e.token + 1) as f32))
+                .collect();
+            cache.observe_attention(0, 0, &scores);
+            for head in 0..heads {
+                prop_assert!(cache.entries(0, head).len() <= budget);
+            }
+        }
+        prop_assert!(cache.stats().insertions as usize == tokens);
+    }
+
+    /// Quantize/dequantize round trips are bounded by the format's step size.
+    #[test]
+    fn quantization_error_is_bounded(values in proptest::collection::vec(-4.0f32..4.0, 1..64)) {
+        for format in [QuantFormat::Fp16, QuantFormat::Int8, QuantFormat::Int4] {
+            let q = QuantizedVector::quantize(&values, format).unwrap();
+            let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let bound = match format {
+                QuantFormat::Fp16 => (max_abs * 1e-3).max(1e-3),
+                QuantFormat::Int8 => (max_abs / 127.0) * 0.51 + 1e-6,
+                QuantFormat::Int4 => (max_abs / 7.0) * 0.51 + 1e-6,
+                _ => 1.0,
+            };
+            for (orig, deq) in values.iter().zip(q.dequantize().iter()) {
+                prop_assert!((orig - deq).abs() <= bound, "{format:?}: {orig} -> {deq}");
+            }
+        }
+    }
+
+    /// Softmax output is always a probability distribution, and the online
+    /// (Softermax-style) formulation agrees with the two-pass one.
+    #[test]
+    fn softmax_invariants(logits in proptest::collection::vec(-30.0f32..30.0, 1..128)) {
+        let probs = ops::softmax(&logits);
+        let online = ops::softmax_online(&logits);
+        let sum: f32 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(probs.iter().all(|p| *p >= 0.0));
+        for (a, b) in probs.iter().zip(online.iter()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Retention-failure rates are monotone in the refresh interval, and every
+    /// refresh policy produces rates consistent with its intervals.
+    #[test]
+    fn retention_failure_monotone(a in 46.0f64..50_000.0, b in 46.0f64..50_000.0) {
+        let model = RetentionModel::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(model.failure_rate(lo) <= model.failure_rate(hi) + 1e-12);
+        let rates = RefreshPolicy::Uniform(hi).bit_flip_rates(&model);
+        prop_assert!((rates.hst_msb - model.failure_rate(hi)).abs() < 1e-12);
+    }
+
+    /// The importance-score accumulation used for eviction (Eq. 3) always
+    /// evicts a token whose accumulated score is minimal among candidates.
+    #[test]
+    fn eviction_victim_has_minimal_score(scores in proptest::collection::vec(0.0f32..1.0, 4..12)) {
+        use kelle::cache::ImportanceTracker;
+        let mut tracker = ImportanceTracker::new();
+        let labelled: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+        tracker.accumulate(0, 0, &labelled);
+        let victim = tracker
+            .min_score_token(0, 0, 0..scores.len())
+            .expect("non-empty candidates");
+        let min = scores.iter().copied().fold(f32::INFINITY, f32::min);
+        prop_assert!((scores[victim] - min).abs() < 1e-6);
+    }
+}
