@@ -3,14 +3,20 @@ use kelle_model::{ModelConfig, ModelKind};
 
 fn main() {
     let model = ModelConfig::for_kind(ModelKind::Llama2_7b);
-    for wl in [InferenceWorkload::lambada(), InferenceWorkload::qasper(), InferenceWorkload::pg19()] {
+    for wl in [
+        InferenceWorkload::lambada(),
+        InferenceWorkload::qasper(),
+        InferenceWorkload::pg19(),
+    ] {
         println!("== {} ==", wl.name);
         let mut baseline = None;
         for kind in PlatformKind::all() {
             let p = Platform::preset(kind);
             let r = p.simulate(&model, &wl, Some(2048));
             let e = r.total_energy();
-            if baseline.is_none() { baseline = Some(r.clone()); }
+            if baseline.is_none() {
+                baseline = Some(r.clone());
+            }
             let b = baseline.as_ref().unwrap();
             println!("{:16} lat={:8.2}s  E={:9.1}J  speedup={:5.2}  eff={:5.2} | dram={:7.1} buf_w={:7.1} buf_kv={:7.1} refresh={:7.1} rsa={:6.1} static={:6.1}",
                 r.platform, r.total_latency_s(), r.total_energy_j(), r.speedup_vs(b), r.energy_efficiency_vs(b),

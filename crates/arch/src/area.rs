@@ -48,7 +48,12 @@ impl AreaBreakdown {
         let memory_mm2 = memory.weight_memory.area_mm2()
             + memory.kv_memory.area_mm2()
             + memory.activation_memory.area_mm2();
-        let logic = LOGIC_AREA_MM2 + if evictor.present { evictor.area_mm2 } else { 0.0 };
+        let logic = LOGIC_AREA_MM2
+            + if evictor.present {
+                evictor.area_mm2
+            } else {
+                0.0
+            };
         AreaBreakdown {
             rsa_mm2: rsa,
             sfu_mm2: SFU_AREA_MM2,
@@ -89,8 +94,7 @@ impl PowerBreakdown {
         memory: &MemorySubsystem,
     ) -> Self {
         let activity = 0.2;
-        let rsa_w = compute.peak_macs_per_s() * compute.energy_per_mac_j * 0.55
-            + compute.leakage_w;
+        let rsa_w = compute.peak_macs_per_s() * compute.energy_per_mac_j * 0.55 + compute.leakage_w;
         let sfu_w = sfu.elements_per_s * sfu.energy_per_element_j * activity + sfu.leakage_w;
         let memory_access_w = (memory.weight_memory.bandwidth_bytes_per_s
             * memory.weight_memory.technology.access_energy_pj_per_byte()
@@ -99,10 +103,9 @@ impl PowerBreakdown {
             * 1e-12
             * activity;
         let memory_w = memory_access_w + memory.onchip_leakage_w();
-        let dram_w = memory.dram.bandwidth_bytes_per_s
-            * memory.dram.access_energy_pj_per_byte
-            * 1e-12
-            + memory.dram.background_power_w;
+        let dram_w =
+            memory.dram.bandwidth_bytes_per_s * memory.dram.access_energy_pj_per_byte * 1e-12
+                + memory.dram.background_power_w;
         PowerBreakdown {
             rsa_w,
             sfu_w,
@@ -121,7 +124,12 @@ impl PowerBreakdown {
 mod tests {
     use super::*;
 
-    fn kelle_components() -> (SystolicArraySpec, SpecialFunctionUnit, MemorySubsystem, SystolicEvictor) {
+    fn kelle_components() -> (
+        SystolicArraySpec,
+        SpecialFunctionUnit,
+        MemorySubsystem,
+        SystolicEvictor,
+    ) {
         (
             SystolicArraySpec::kelle_32x32(),
             SpecialFunctionUnit::kelle_default(),
@@ -173,6 +181,10 @@ mod tests {
         // §8 reports 6.52 W on-chip; allow a generous band for the analytic model.
         assert!(total > 4.0 && total < 11.0, "got {total}");
         // DRAM power reported as 11.74 W.
-        assert!(power.dram_w > 6.0 && power.dram_w < 14.0, "dram {}", power.dram_w);
+        assert!(
+            power.dram_w > 6.0 && power.dram_w < 14.0,
+            "dram {}",
+            power.dram_w
+        );
     }
 }

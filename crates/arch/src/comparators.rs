@@ -181,7 +181,9 @@ impl Comparator {
 
     fn simulate_prefill(&self, model: &ModelConfig, workload: &InferenceWorkload) -> PhaseMetrics {
         let batch = workload.batch as f64;
-        let macs = model.prefill_macs(workload.context_len) as f64 * batch * self.attention_density.max(0.5);
+        let macs = model.prefill_macs(workload.context_len) as f64
+            * batch
+            * self.attention_density.max(0.5);
         let weight_bytes = model.decoder_weight_params() as f64 * f64::from(self.weight_bits) / 8.0;
         let kv_bytes = model.kv_bytes_total(workload.context_len, self.kv_bits) as f64 * batch;
         self.phase(macs, weight_bytes + kv_bytes, 1.0 / self.prefill_speedup)

@@ -185,7 +185,9 @@ mod tests {
         assert!(mem.kv_banks.is_none());
         // Area parity: the SRAM platform's on-chip capacity is smaller than
         // Kelle's because SRAM is less dense.
-        assert!(mem.onchip_capacity_bytes() < MemorySubsystem::kelle_default().onchip_capacity_bytes());
+        assert!(
+            mem.onchip_capacity_bytes() < MemorySubsystem::kelle_default().onchip_capacity_bytes()
+        );
     }
 
     #[test]
@@ -233,8 +235,6 @@ mod tests {
         assert_eq!(mem.kv_banks.unwrap().total_banks, 16);
         assert_eq!(mem.kv_memory.capacity_bytes, 4 * 1024 * 1024);
         let full = MemorySubsystem::kelle_default();
-        assert!(
-            mem.kv_read_cost(1 << 22, 0).time_s > full.kv_read_cost(1 << 22, 0).time_s
-        );
+        assert!(mem.kv_read_cost(1 << 22, 0).time_s > full.kv_read_cost(1 << 22, 0).time_s);
     }
 }

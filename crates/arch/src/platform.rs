@@ -106,7 +106,9 @@ impl CachePolicyKind {
             CachePolicyKind::EvictionRecompute {
                 dram_replacement, ..
             } => {
-                let rho = dram_replacement.clamp(0.0, 1.0).min(max_replacement.max(0.0));
+                let rho = dram_replacement
+                    .clamp(0.0, 1.0)
+                    .min(max_replacement.max(0.0));
                 let replaced = (overflow_bytes as f64 * rho) as u64;
                 let macs = (replaced as f64 * RECOMPUTE_MACS_PER_BYTE) as u64;
                 (overflow_bytes - replaced, macs)
@@ -401,7 +403,10 @@ impl Platform {
 
     /// Builds all five presets.
     pub fn evaluation_set() -> Vec<Platform> {
-        PlatformKind::all().into_iter().map(Platform::preset).collect()
+        PlatformKind::all()
+            .into_iter()
+            .map(Platform::preset)
+            .collect()
     }
 
     /// Simulates a workload on this platform.
@@ -430,12 +435,17 @@ impl Platform {
             + self.sfu.leakage_w
             + self.memory.onchip_leakage_w()
             + self.memory.dram.background_power_w
-            + if self.evictor.present { self.evictor.power_w } else { 0.0 }
+            + if self.evictor.present {
+                self.evictor.power_w
+            } else {
+                0.0
+            }
     }
 
     /// KV working-set bytes per sequence when `tokens` tokens are retained.
     fn kv_bytes_per_seq(&self, model: &ModelConfig, tokens: usize) -> f64 {
-        self.cache_policy.bytes_per_token_per_layer(model, self.kv_bits)
+        self.cache_policy
+            .bytes_per_token_per_layer(model, self.kv_bits)
             * tokens as f64
             * model.layers as f64
     }
@@ -450,10 +460,17 @@ impl Platform {
     ) -> PhaseMetrics {
         let batch = workload.batch as u64;
         let context = workload.context_len;
+        // Defensive clamp: the builder enforces reused <= context, but the
+        // field is public and an out-of-range value must not wrap the
+        // subtractions below.
+        let reused = workload.reused_context_len.min(context);
+        let new_tokens = context - reused;
 
-        // Compute: the full causal pre-fill for every sequence in the batch.
-        let macs = model.prefill_macs(context) * batch;
-        let t_compute = self.compute.matmul_time_s(macs, workload.context_len.min(1024));
+        // Compute: the *marginal* causal pre-fill — extending an already
+        // processed prefix of `reused` tokens to the full context.  With no
+        // reuse (`reused == 0`) this is the full causal pre-fill.
+        let macs = (model.prefill_macs(context) - model.prefill_macs(reused)) * batch;
+        let t_compute = self.compute.matmul_time_s(macs, new_tokens.clamp(1, 1024));
         let e_compute = self.compute.matmul_energy_j(macs);
 
         // Weights stream from DRAM once for the whole pre-fill (weight reuse
@@ -461,15 +478,24 @@ impl Platform {
         let weight_bytes = model.decoder_weight_params() * u64::from(self.weight_bits) / 8;
         let weight_cost = self.memory.weight_stream_cost(weight_bytes);
 
-        // KV written for every context token of every sequence.
-        let kv_write_bytes =
-            (self.kv_bytes_per_seq(model, context) * batch as f64) as u64;
-        let (resident, overflow) = self.memory.split_kv_residency(kv_write_bytes);
-        let kv_cost = self.memory.kv_write_cost(resident, overflow);
+        // KV written only for the new context tokens of every sequence; the
+        // reused prefix already occupies the on-chip KV memory, so the new
+        // writes get whatever residency remains *after* the prefix.
+        let kv_total_bytes = (self.kv_bytes_per_seq(model, context) * batch as f64) as u64;
+        let kv_reused_bytes = (self.kv_bytes_per_seq(model, reused) * batch as f64) as u64;
+        let kv_write_bytes = kv_total_bytes.saturating_sub(kv_reused_bytes);
+        let (resident_total, _) = self.memory.split_kv_residency(kv_total_bytes);
+        let (resident_reused, _) = self.memory.split_kv_residency(kv_reused_bytes);
+        let written_resident = resident_total.saturating_sub(resident_reused);
+        let overflow = kv_write_bytes.saturating_sub(written_resident);
+        let kv_cost = self.memory.kv_write_cost(written_resident, overflow);
 
-        // SFU work: softmax over the causal score matrix.
-        let sfu_elements = (model.heads * context * context / 2) as u64 * batch
-            + (2 * model.channels + model.ffn_dim) as u64 * context as u64 * batch;
+        // Refresh must keep the *whole* context alive, reused prefix included.
+        let resident = resident_total;
+
+        // SFU work: softmax over the new rows of the causal score matrix.
+        let sfu_elements = (model.heads * (context * context - reused * reused) / 2) as u64 * batch
+            + (2 * model.channels + model.ffn_dim) as u64 * new_tokens as u64 * batch;
         let t_sfu = self.sfu.time_s(sfu_elements);
         let e_sfu = self.sfu.energy_j(sfu_elements);
 
@@ -482,11 +508,8 @@ impl Platform {
 
         // eDRAM refresh during pre-fill: KV already resident must be kept alive.
         let refresh_j = if self.memory.kv_is_edram() {
-            let controller = EdramController::new(
-                self.memory.kv_memory,
-                self.retention,
-                self.refresh_policy,
-            );
+            let controller =
+                EdramController::new(self.memory.kv_memory, self.retention, self.refresh_policy);
             let per_group = resident / 4;
             controller
                 .resident_refresh([per_group; 4], latency)
@@ -520,11 +543,8 @@ impl Platform {
         let weight_bytes = model.decoder_weight_params() * u64::from(self.weight_bits) / 8;
         let mut total = PhaseMetrics::default();
 
-        let controller = EdramController::new(
-            self.memory.kv_memory,
-            self.retention,
-            self.refresh_policy,
-        );
+        let controller =
+            EdramController::new(self.memory.kv_memory, self.retention, self.refresh_policy);
 
         for step in 0..workload.decode_len {
             let seq_len = workload.context_len + step + 1;
@@ -539,8 +559,8 @@ impl Platform {
             // recomputation runs on the RSA *in parallel with* the remaining
             // DRAM fetches, so the KV path takes the slower of the two and the
             // replaced share is capped at what the array can hide.
-            let effective_macs_per_s = self.compute.peak_macs_per_s()
-                * self.compute.utilization(self.compute.rows);
+            let effective_macs_per_s =
+                self.compute.peak_macs_per_s() * self.compute.utilization(self.compute.rows);
             let balanced = CachePolicyKind::balanced_replacement(
                 effective_macs_per_s,
                 self.memory.dram.bandwidth_bytes_per_s,
@@ -550,7 +570,9 @@ impl Platform {
             let kv_cost = self.memory.kv_read_cost(kv_resident, kv_dram_fetch);
             // Recomputation is a dense matrix-matrix operation and runs at
             // full array utilisation.
-            let t_recompute = self.compute.matmul_time_s(recompute_macs, self.compute.rows);
+            let t_recompute = self
+                .compute
+                .matmul_time_s(recompute_macs, self.compute.rows);
             let kv_path_time = kv_cost.time_s.max(t_recompute);
             let weight_cost = self.memory.weight_stream_cost(weight_bytes);
 
@@ -571,7 +593,9 @@ impl Platform {
 
             // --- Eviction bookkeeping ---
             let (t_evict, e_evict_extra) = if self.cache_policy.needs_eviction_pass() {
-                let lat = self.evictor.eviction_latency_s(resident_tokens, model.heads);
+                let lat = self
+                    .evictor
+                    .eviction_latency_s(resident_tokens, model.heads);
                 (lat, 0.0)
             } else {
                 (0.0, 0.0)
@@ -598,17 +622,16 @@ impl Platform {
             let refresh_j = if self.memory.kv_is_edram() {
                 // Resident KV data must be kept alive for the whole step.
                 let per_group = kv_resident / 4;
-                let resident =
-                    controller.resident_refresh([per_group; 4], step_latency).energy_j;
+                let resident = controller
+                    .resident_refresh([per_group; 4], step_latency)
+                    .energy_j;
                 // Transient activations (X, Q, K, V) live for the schedule's
                 // lifetime in the activation eDRAM.
                 let timing = StepTiming {
                     t_weight_s: weight_cost.time_s / 3.0,
                     t_kv_s: kv_cost.time_s / 2.0,
                 };
-                let act_bytes = (model.channels as u64 * u64::from(self.act_bits) / 8)
-                    * 4
-                    * batch;
+                let act_bytes = (model.channels as u64 * u64::from(self.act_bits) / 8) * 4 * batch;
                 let lifetime = self.scheduler.activation_lifetime_s(timing);
                 let transient = controller.transient_refresh(act_bytes, lifetime).energy_j;
                 resident + transient
@@ -742,5 +765,37 @@ mod tests {
         assert_eq!(fetched_capped, 900_000);
         let rho = CachePolicyKind::balanced_replacement(1.0e12, 64.0e9);
         assert!(rho > 0.15 && rho < 0.35, "balanced rho {rho}");
+    }
+
+    #[test]
+    fn reused_context_skips_prefill_work_but_not_decode_cost() {
+        let m = model();
+        let platform = Platform::preset(PlatformKind::KelleEdram);
+        let fresh = InferenceWorkload::new("fresh", 512, 64, 16);
+        let incremental = InferenceWorkload::new("inc", 512, 64, 16).with_reused_context(448);
+        let fresh_report = platform.simulate(&m, &fresh, Some(2048));
+        let inc_report = platform.simulate(&m, &incremental, Some(2048));
+        // Same total context ⇒ identical decode phase.
+        assert!(
+            (fresh_report.decode.energy.total_j() - inc_report.decode.energy.total_j()).abs()
+                < 1e-9
+        );
+        // Reuse removes pre-fill compute for the prefix.
+        assert!(inc_report.prefill.energy.rsa_j < fresh_report.prefill.energy.rsa_j);
+    }
+
+    #[test]
+    fn incremental_prefill_writes_overflow_when_prefix_fills_kv_memory() {
+        let m = model();
+        let platform = Platform::preset(PlatformKind::KelleEdram);
+        // The reused prefix alone saturates the on-chip KV memory, so the new
+        // tokens' writes must spill to DRAM — strictly more DRAM traffic than
+        // a fresh pre-fill of just those tokens, which gets the whole KV
+        // memory to itself.
+        let incremental = InferenceWorkload::new("inc", 4096, 16, 16).with_reused_context(3968);
+        let fresh_small = InferenceWorkload::new("small", 128, 16, 16);
+        let inc_report = platform.simulate(&m, &incremental, Some(2048));
+        let small_report = platform.simulate(&m, &fresh_small, Some(2048));
+        assert!(inc_report.prefill.energy.dram_j > small_report.prefill.energy.dram_j);
     }
 }

@@ -18,6 +18,11 @@ pub struct InferenceWorkload {
     pub decode_len: usize,
     /// Batch size (sequences decoded together).
     pub batch: usize,
+    /// Context tokens already resident in the KV cache when the request
+    /// starts (session/prefix reuse).  Pre-fill work covers only the
+    /// remaining `context_len - reused_context_len` new tokens; the decode
+    /// phase still attends over the full `context_len`.
+    pub reused_context_len: usize,
 }
 
 impl InferenceWorkload {
@@ -35,7 +40,29 @@ impl InferenceWorkload {
             context_len,
             decode_len,
             batch,
+            reused_context_len: 0,
         }
+    }
+
+    /// Marks the first `reused` context tokens as already resident in the KV
+    /// cache (builder style), so pre-fill is charged only for the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reused > context_len`.
+    pub fn with_reused_context(mut self, reused: usize) -> Self {
+        assert!(
+            reused <= self.context_len,
+            "reused context cannot exceed the context length"
+        );
+        self.reused_context_len = reused;
+        self
+    }
+
+    /// Context tokens that actually require pre-fill work.  Clamped so that
+    /// a hand-written out-of-range `reused_context_len` cannot underflow.
+    pub fn new_context_len(&self) -> usize {
+        self.context_len.saturating_sub(self.reused_context_len)
     }
 
     /// Lambada: context 128, decode 512, batch 16 (§8).
@@ -60,7 +87,12 @@ impl InferenceWorkload {
 
     /// The four hardware-evaluation workloads of Fig. 13/14.
     pub fn evaluation_suite() -> Vec<InferenceWorkload> {
-        vec![Self::lambada(), Self::triviaqa(), Self::qasper(), Self::pg19()]
+        vec![
+            Self::lambada(),
+            Self::triviaqa(),
+            Self::qasper(),
+            Self::pg19(),
+        ]
     }
 
     /// A long-input point for the Fig. 16b sweep (`input`-`output` naming like
@@ -112,6 +144,22 @@ mod tests {
     fn with_batch_overrides() {
         let w = InferenceWorkload::pg19().with_batch(1);
         assert_eq!(w.batch, 1);
+    }
+
+    #[test]
+    fn reused_context_reduces_prefill_work_only() {
+        let w = InferenceWorkload::new("turn", 14, 4, 1).with_reused_context(12);
+        assert_eq!(w.new_context_len(), 2);
+        assert_eq!(w.final_seq_len(), 18);
+        // Full reuse (a decode-only continuation) is allowed.
+        let cont = InferenceWorkload::new("cont", 14, 4, 1).with_reused_context(14);
+        assert_eq!(cont.new_context_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reused context cannot exceed")]
+    fn reused_context_beyond_context_panics() {
+        InferenceWorkload::new("bad", 4, 4, 1).with_reused_context(5);
     }
 
     #[test]

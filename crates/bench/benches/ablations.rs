@@ -16,7 +16,12 @@ fn bench_table_sweeps(c: &mut Criterion) {
         b.iter(|| experiment::table7(black_box(ModelKind::Llama3_2_3b), &[2048, 5250, 8750]))
     });
     c.bench_function("table8_refresh_sweep", |b| {
-        b.iter(|| experiment::table8(black_box(ModelKind::Llama3_2_3b), InferenceWorkload::triviaqa()))
+        b.iter(|| {
+            experiment::table8(
+                black_box(ModelKind::Llama3_2_3b),
+                InferenceWorkload::triviaqa(),
+            )
+        })
     });
     c.bench_function("table9_batch_sweep", |b| {
         b.iter(|| experiment::table9(black_box(ModelKind::Llama2_7b), &[16, 1]))

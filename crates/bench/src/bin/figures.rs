@@ -99,9 +99,17 @@ fn figure3b() {
 
 fn figure3c() {
     header("Figure 3c: energy breakdown of the unoptimised eDRAM system");
-    println!("{:>10} {:>16} {:>14}", "decode", "refresh share", "DRAM share");
+    println!(
+        "{:>10} {:>16} {:>14}",
+        "decode", "refresh share", "DRAM share"
+    );
     for (len, refresh, dram) in experiment::figure3c(ModelKind::Llama2_7b) {
-        println!("{:>10} {:>15.1}% {:>13.1}%", len, refresh * 100.0, dram * 100.0);
+        println!(
+            "{:>10} {:>15.1}% {:>13.1}%",
+            len,
+            refresh * 100.0,
+            dram * 100.0
+        );
     }
 }
 
@@ -109,7 +117,9 @@ fn figure4() {
     header("Figure 4: eDRAM retention failure rate vs refresh interval (65nm, 105C)");
     let model = RetentionModel::default();
     println!("{:>14} {:>16}", "interval (us)", "failure rate");
-    for interval in [45.0, 100.0, 360.0, 784.0, 1050.0, 1778.0, 5400.0, 9120.0, 20_000.0] {
+    for interval in [
+        45.0, 100.0, 360.0, 784.0, 1050.0, 1778.0, 5400.0, 9120.0, 20_000.0,
+    ] {
         println!("{:>14} {:>16.3e}", interval, model.failure_rate(interval));
     }
 }
@@ -126,13 +136,19 @@ fn figure8a() {
     for rate in [1e-5, 1e-4, 1e-3, 1e-2, 1e-1] {
         let config = fig8_config().with_explicit_rates(BitFlipRates::uniform(rate));
         let result = evaluate_method(&config, Method::Kelle);
-        println!("{:>12.0e} {:>12.2} {:>12.4}", rate, result.score, result.fidelity.mean_kl);
+        println!(
+            "{:>12.0e} {:>12.2} {:>12.4}",
+            rate, result.score, result.fidelity.mean_kl
+        );
     }
 }
 
 fn figure8b() {
     header("Figure 8b: errors on high-score vs low-score tokens");
-    println!("{:>12} {:>14} {:>14}", "error rate", "HST-only KL", "LST-only KL");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "error rate", "HST-only KL", "LST-only KL"
+    );
     for rate in [5e-4, 5e-2] {
         let hst = evaluate_method(
             &fig8_config().with_explicit_rates(BitFlipRates {
@@ -161,7 +177,10 @@ fn figure8b() {
 
 fn figure8c() {
     header("Figure 8c: errors on MSBs vs LSBs");
-    println!("{:>12} {:>14} {:>14}", "error rate", "MSB-only KL", "LSB-only KL");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "error rate", "MSB-only KL", "LSB-only KL"
+    );
     for rate in [5e-4, 5e-2] {
         let msb = evaluate_method(
             &fig8_config().with_explicit_rates(BitFlipRates {
@@ -288,16 +307,28 @@ fn figure16a() {
             label,
             point.intensity_macs_per_byte,
             point.performance_macs_per_s / 1e9,
-            if point.compute_bound { "compute-bound" } else { "memory-bound" }
+            if point.compute_bound {
+                "compute-bound"
+            } else {
+                "memory-bound"
+            }
         );
     }
 }
 
 fn figure16b() {
     header("Figure 16b: energy shares across input-output lengths");
-    println!("{:>10} {:>16} {:>18}", "setting", "prefill share", "decode DRAM share");
+    println!(
+        "{:>10} {:>16} {:>18}",
+        "setting", "prefill share", "decode DRAM share"
+    );
     for (label, prefill, dram) in experiment::figure16b(ModelKind::Llama2_7b) {
-        println!("{:>10} {:>15.1}% {:>17.1}%", label, prefill * 100.0, dram * 100.0);
+        println!(
+            "{:>10} {:>15.1}% {:>17.1}%",
+            label,
+            prefill * 100.0,
+            dram * 100.0
+        );
     }
     let _ = RefreshPolicy::Conservative; // keep the import used across figure subsets
 }

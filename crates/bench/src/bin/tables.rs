@@ -87,7 +87,11 @@ fn table1() {
 
 fn table2() {
     header("Table 2: accuracy performance of each method (fidelity-proxy scale)");
-    let models = [ModelKind::Llama2_7b, ModelKind::Llama3_2_3b, ModelKind::Mistral7b];
+    let models = [
+        ModelKind::Llama2_7b,
+        ModelKind::Llama3_2_3b,
+        ModelKind::Mistral7b,
+    ];
     for model in models {
         println!("\n[{model}]");
         println!(
@@ -131,7 +135,13 @@ fn table3() {
     header("Table 3: LLaMA2-7B accuracy over cache budgets N'");
     let tasks = [TaskKind::ArcChallenge, TaskKind::ArcEasy, TaskKind::Piqa];
     let (prompt_len, _) = TaskKind::ArcEasy.surrogate_lengths();
-    let budgets = [prompt_len, prompt_len / 2, prompt_len / 3, prompt_len / 4, 8];
+    let budgets = [
+        prompt_len,
+        prompt_len / 2,
+        prompt_len / 3,
+        prompt_len / 4,
+        8,
+    ];
     println!("{:>6} {:>14}", "task", "scores for shrinking N'");
     for task in tasks {
         let mut row = format!("{:>6}", task.label());
@@ -157,8 +167,8 @@ fn table4() {
     println!("{:>10} {:>12} {:>12}", "setting", "uniform", "2DRP");
     for (index, uniform_us) in [540.0, 1050.0, 2062.0].into_iter().enumerate() {
         let task = TaskKind::ArcEasy;
-        let mut uniform_cfg = AccuracyConfig::for_task(task)
-            .with_refresh_policy(RefreshPolicy::Uniform(uniform_us));
+        let mut uniform_cfg =
+            AccuracyConfig::for_task(task).with_refresh_policy(RefreshPolicy::Uniform(uniform_us));
         uniform_cfg.prompts = 1;
         let mut twodrp_cfg = AccuracyConfig::for_task(task).with_refresh_policy(
             RefreshPolicy::TwoDimensional(RefreshIntervals::table4_setting(index)),
@@ -181,7 +191,12 @@ fn table5() {
         config.prompts = 1;
         let fp16 = evaluate_method(&config, Method::Fp16);
         let kelle = evaluate_method(&config, Method::Kelle);
-        println!("{:>8} {:>10.2} {:>10.2}", task.label(), fp16.score, kelle.score);
+        println!(
+            "{:>8} {:>10.2} {:>10.2}",
+            task.label(),
+            fp16.score,
+            kelle.score
+        );
     }
 }
 
@@ -204,8 +219,12 @@ fn table6() {
         3,
     );
     let wq = &model.weights().layers[0].wq;
-    let err8 = QuantizedMatrix::quantize(wq, QuantFormat::Int8).unwrap().reconstruction_error(wq);
-    let err4 = QuantizedMatrix::quantize(wq, QuantFormat::Int4).unwrap().reconstruction_error(wq);
+    let err8 = QuantizedMatrix::quantize(wq, QuantFormat::Int8)
+        .unwrap()
+        .reconstruction_error(wq);
+    let err4 = QuantizedMatrix::quantize(wq, QuantFormat::Int4)
+        .unwrap()
+        .reconstruction_error(wq);
     println!("weight reconstruction error: INT8 {err8:.5}, INT4 {err4:.5}");
 }
 
@@ -214,7 +233,10 @@ fn table7() {
     let budgets = [2048usize, 3500, 5250, 7000, 8750];
     for model in [ModelKind::Llama3_2_3b, ModelKind::Llama2_13b] {
         let rows = experiment::table7(model, &budgets);
-        let line: Vec<String> = rows.iter().map(|(n, g)| format!("N'={n}: {g:.2}x")).collect();
+        let line: Vec<String> = rows
+            .iter()
+            .map(|(n, g)| format!("N'={n}: {g:.2}x"))
+            .collect();
         println!("{model}: {}", line.join("  "));
     }
 }

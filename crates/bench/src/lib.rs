@@ -1,0 +1,11 @@
+//! # kelle-bench
+//!
+//! Benchmark harness for the Kelle reproduction.  The interesting artefacts
+//! are the targets, not this library:
+//!
+//! * `benches/` — criterion micro-benchmarks over the platform simulations,
+//!   accuracy experiments and device models;
+//! * `src/bin/tables.rs` / `src/bin/figures.rs` — regenerate every table and
+//!   figure of the paper from the reproduction models.
+
+#![warn(missing_docs)]

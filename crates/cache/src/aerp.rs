@@ -177,7 +177,9 @@ impl AerpCache {
         loop {
             let budget = self.config.budget;
             let current_len = self.current_len;
-            let Some(state) = self.layers.get(&layer) else { return };
+            let Some(state) = self.layers.get(&layer) else {
+                return;
+            };
             if state.retained[head].len() <= budget.max_tokens {
                 return;
             }
@@ -246,7 +248,11 @@ impl KvCacheBackend for AerpCache {
         keys: &[Vec<f32>],
         values: &[Vec<f32>],
     ) {
-        assert_eq!(keys.len(), self.heads, "per-head keys must match head count");
+        assert_eq!(
+            keys.len(),
+            self.heads,
+            "per-head keys must match head count"
+        );
         self.current_len = self.current_len.max(token + 1);
         let state = self.layer_mut(layer);
         state.inputs.insert(token, x.to_vec());
@@ -280,11 +286,7 @@ impl KvCacheBackend for AerpCache {
                 let high_score = self.importance.is_high_score(layer, head, token);
                 let payload = if state.popular.contains(&token) {
                     EntryPayload::Recompute {
-                        x: state
-                            .inputs
-                            .get(&token)
-                            .cloned()
-                            .unwrap_or_default(),
+                        x: state.inputs.get(&token).cloned().unwrap_or_default(),
                     }
                 } else if let Some(kv) = state.kv[head].get(&token) {
                     EntryPayload::Kv {
@@ -295,11 +297,7 @@ impl KvCacheBackend for AerpCache {
                     // Defensive fallback: if the KV copy is missing (should not
                     // happen), fall back to recompute storage.
                     EntryPayload::Recompute {
-                        x: state
-                            .inputs
-                            .get(&token)
-                            .cloned()
-                            .unwrap_or_default(),
+                        x: state.inputs.get(&token).cloned().unwrap_or_default(),
                     }
                 };
                 CacheEntry {
@@ -371,7 +369,9 @@ mod tests {
     const CHANNELS: usize = HEADS * HEAD_DIM;
 
     fn insert_token(cache: &mut AerpCache, layer: usize, token: usize) {
-        let keys: Vec<Vec<f32>> = (0..HEADS).map(|h| vec![(token + h) as f32; HEAD_DIM]).collect();
+        let keys: Vec<Vec<f32>> = (0..HEADS)
+            .map(|h| vec![(token + h) as f32; HEAD_DIM])
+            .collect();
         let values = keys.clone();
         cache.insert(layer, token, &[token as f32; CHANNELS], &keys, &values);
     }
@@ -409,7 +409,10 @@ mod tests {
         cache.observe_attention(0, 0, &[(0, 0.6), (1, 0.05), (2, 0.35)]);
         insert(&mut cache, 3);
         let tokens: Vec<usize> = cache.entries(0, 0).iter().map(|e| e.token).collect();
-        assert!(!tokens.contains(&1), "lowest-score token evicted: {tokens:?}");
+        assert!(
+            !tokens.contains(&1),
+            "lowest-score token evicted: {tokens:?}"
+        );
         assert!(tokens.contains(&0));
         assert!(tokens.contains(&2));
         assert!(tokens.contains(&3));
@@ -417,10 +420,8 @@ mod tests {
 
     #[test]
     fn eviction_patterns_differ_across_heads() {
-        let mut cache = AerpCache::with_config(
-            AerpConfig::new(CacheBudget::new(3)).without_recompute(),
-            2,
-        );
+        let mut cache =
+            AerpCache::with_config(AerpConfig::new(CacheBudget::new(3)).without_recompute(), 2);
         cache.finish_prefill(0);
         let insert = |cache: &mut AerpCache, token: usize| {
             cache.insert(
@@ -517,10 +518,8 @@ mod tests {
 
     #[test]
     fn prefill_retains_top_n_by_importance() {
-        let mut cache = AerpCache::with_config(
-            AerpConfig::new(CacheBudget::new(2)).without_recompute(),
-            1,
-        );
+        let mut cache =
+            AerpCache::with_config(AerpConfig::new(CacheBudget::new(2)).without_recompute(), 1);
         // Simulate prefill: insert 6 tokens, give token 4 and 1 the highest scores.
         for t in 0..6 {
             cache.insert(

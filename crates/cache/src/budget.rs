@@ -58,16 +58,18 @@ impl CacheBudget {
     /// | PG19 | 2048 | 1024 | 10 |
     pub fn for_task(task: BudgetTask) -> Self {
         match task {
-            BudgetTask::ZeroShot => CacheBudget::new(128).with_recent_window(64).with_sink_tokens(10),
-            BudgetTask::WikiText2 => {
-                CacheBudget::new(512).with_recent_window(256).with_sink_tokens(10)
-            }
-            BudgetTask::LongQa => {
-                CacheBudget::new(1024).with_recent_window(512).with_sink_tokens(10)
-            }
-            BudgetTask::Pg19 => {
-                CacheBudget::new(2048).with_recent_window(1024).with_sink_tokens(10)
-            }
+            BudgetTask::ZeroShot => CacheBudget::new(128)
+                .with_recent_window(64)
+                .with_sink_tokens(10),
+            BudgetTask::WikiText2 => CacheBudget::new(512)
+                .with_recent_window(256)
+                .with_sink_tokens(10),
+            BudgetTask::LongQa => CacheBudget::new(1024)
+                .with_recent_window(512)
+                .with_sink_tokens(10),
+            BudgetTask::Pg19 => CacheBudget::new(2048)
+                .with_recent_window(1024)
+                .with_sink_tokens(10),
         }
     }
 
@@ -118,7 +120,9 @@ mod tests {
 
     #[test]
     fn builder_sets_fields() {
-        let b = CacheBudget::new(256).with_recent_window(32).with_sink_tokens(4);
+        let b = CacheBudget::new(256)
+            .with_recent_window(32)
+            .with_sink_tokens(4);
         assert_eq!(b.max_tokens, 256);
         assert_eq!(b.recent_window, 32);
         assert_eq!(b.sink_tokens, 4);
@@ -142,7 +146,9 @@ mod tests {
 
     #[test]
     fn protection_rules() {
-        let b = CacheBudget::new(16).with_sink_tokens(2).with_recent_window(4);
+        let b = CacheBudget::new(16)
+            .with_sink_tokens(2)
+            .with_recent_window(4);
         // Sinks are always protected.
         assert!(b.is_protected(0, 100));
         assert!(b.is_protected(1, 100));
@@ -157,7 +163,9 @@ mod tests {
 
     #[test]
     fn scaling_preserves_nonzero_fields() {
-        let b = CacheBudget::new(128).with_recent_window(64).with_sink_tokens(10);
+        let b = CacheBudget::new(128)
+            .with_recent_window(64)
+            .with_sink_tokens(10);
         let s = b.scaled(0.05);
         assert!(s.max_tokens >= 1);
         assert!(s.recent_window >= 1);

@@ -205,7 +205,13 @@ mod tests {
             let obs: Vec<(usize, f32)> = cache
                 .entries(0, 0)
                 .iter()
-                .map(|e| if e.token == 2 { (2, 0.9) } else { (e.token, 0.01) })
+                .map(|e| {
+                    if e.token == 2 {
+                        (2, 0.9)
+                    } else {
+                        (e.token, 0.01)
+                    }
+                })
                 .collect();
             cache.observe_attention(0, 0, &obs);
         }

@@ -17,8 +17,11 @@
 //!   eviction, token-popularity-driven recomputation storage, sink and recent
 //!   retention.
 //!
-//! The shared importance-score bookkeeping lives in [`importance`], and the
-//! cache-capacity description shared by all budgeted policies in [`budget`].
+//! The shared importance-score bookkeeping lives in [`importance`], the
+//! cache-capacity description shared by all budgeted policies in [`budget`],
+//! and the [`CachePolicy`] registry in [`policy`] builds any of the above as
+//! a `Box<dyn KvCacheBackend>` from a budget — the single factory the serving
+//! engine, sessions and accuracy experiments all construct backends through.
 //!
 //! ## Example
 //!
@@ -38,6 +41,7 @@ pub mod aerp;
 pub mod budget;
 pub mod h2o;
 pub mod importance;
+pub mod policy;
 pub mod quantized;
 pub mod streaming;
 
@@ -45,6 +49,7 @@ pub use aerp::{AerpCache, AerpConfig};
 pub use budget::CacheBudget;
 pub use h2o::H2oCache;
 pub use importance::ImportanceTracker;
+pub use policy::CachePolicy;
 pub use quantized::QuaRotKvCache;
 pub use streaming::StreamingLlmCache;
 

@@ -16,11 +16,14 @@ use kelle_model::{CacheEntry, CacheStats, EntryPayload, KvCacheBackend, TokenId}
 use kelle_tensor::{QuantFormat, QuantizedVector};
 use std::collections::HashMap;
 
+/// Quantized (token, key, value) entries stored for one `(layer, head)`.
+type QuantizedEntries = Vec<(TokenId, QuantizedVector, QuantizedVector)>;
+
 /// A full-retention KV cache that stores keys and values in a low-bit format.
 #[derive(Debug)]
 pub struct QuaRotKvCache {
     format: QuantFormat,
-    store: HashMap<(usize, usize), Vec<(TokenId, QuantizedVector, QuantizedVector)>>,
+    store: HashMap<(usize, usize), QuantizedEntries>,
     insertions: u64,
 }
 
@@ -66,7 +69,10 @@ impl KvCacheBackend for QuaRotKvCache {
                 .expect("key vectors are non-empty by construction");
             let qv = QuantizedVector::quantize(v, self.format)
                 .expect("value vectors are non-empty by construction");
-            self.store.entry((layer, head)).or_default().push((token, qk, qv));
+            self.store
+                .entry((layer, head))
+                .or_default()
+                .push((token, qk, qv));
         }
         self.insertions += 1;
     }

@@ -53,10 +53,7 @@ impl StreamingLlmCache {
         if let Some(entries) = self.store.get_mut(&(layer, head)) {
             while entries.len() > max {
                 // Evict the oldest non-sink entry.
-                let victim_index = entries
-                    .iter()
-                    .position(|e| e.token >= sink)
-                    .unwrap_or(0);
+                let victim_index = entries.iter().position(|e| e.token >= sink).unwrap_or(0);
                 entries.remove(victim_index);
                 self.evictions += 1;
             }
@@ -136,7 +133,9 @@ mod tests {
     use super::*;
 
     fn insert_token(cache: &mut StreamingLlmCache, token: usize, heads: usize) {
-        let keys: Vec<Vec<f32>> = (0..heads).map(|h| vec![token as f32 + h as f32; 4]).collect();
+        let keys: Vec<Vec<f32>> = (0..heads)
+            .map(|h| vec![token as f32 + h as f32; 4])
+            .collect();
         let values = keys.clone();
         cache.insert(0, token, &[0.0; 8], &keys, &values);
     }

@@ -10,14 +10,11 @@
 //! preserve the orderings the paper's tables compare.
 
 use crate::faults::fault_injector_for_policy;
-use kelle_cache::{AerpCache, AerpConfig, CacheBudget, H2oCache, QuaRotKvCache, StreamingLlmCache};
+use kelle_cache::{CacheBudget, CachePolicy};
 use kelle_edram::{RefreshPolicy, RetentionModel};
 use kelle_model::fault::{BitFlipRates, NoFaults, ProbabilisticFaults};
-use kelle_model::{
-    FidelityMetrics, FullKvCache, GenerationConfig, KvCacheBackend, ModelConfig, ModelKind,
-    SurrogateModel,
-};
 use kelle_model::generation::{evaluate_against_reference, run_reference};
+use kelle_model::{FidelityMetrics, GenerationConfig, ModelConfig, ModelKind, SurrogateModel};
 use kelle_workloads::{TaskKind, TaskMetric, TokenStreamGenerator};
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +53,31 @@ impl Method {
             Method::H2o => "H2O",
             Method::QuaRot => "QR",
             Method::Kelle => "Kelle",
+        }
+    }
+
+    /// The serving-side [`CachePolicy`] realising this method, so the
+    /// accuracy experiments and the engine build their backends from the same
+    /// registry.
+    pub fn policy(self) -> CachePolicy {
+        match self {
+            Method::Fp16 => CachePolicy::Full,
+            Method::StreamingLlm => CachePolicy::StreamingLlm,
+            Method::H2o => CachePolicy::H2o,
+            Method::QuaRot => CachePolicy::QuaRotInt4,
+            Method::Kelle => CachePolicy::Aerp,
+        }
+    }
+
+    /// The method realising a serving-side policy (inverse of
+    /// [`Method::policy`]).
+    pub fn from_policy(policy: CachePolicy) -> Method {
+        match policy {
+            CachePolicy::Full => Method::Fp16,
+            CachePolicy::StreamingLlm => Method::StreamingLlm,
+            CachePolicy::H2o => Method::H2o,
+            CachePolicy::QuaRotInt4 => Method::QuaRot,
+            CachePolicy::Aerp => Method::Kelle,
         }
     }
 }
@@ -155,16 +177,9 @@ pub fn evaluate_method(config: &AccuracyConfig, method: Method) -> AccuracyResul
         let gen_config = GenerationConfig::greedy(prompt.decode_len);
         let reference = run_reference(&model, &prompt.tokens, gen_config);
 
-        let mut cache: Box<dyn KvCacheBackend> = match method {
-            Method::Fp16 => Box::new(FullKvCache::new()),
-            Method::StreamingLlm => Box::new(StreamingLlmCache::new(config.budget)),
-            Method::H2o => Box::new(H2oCache::new(config.budget)),
-            Method::QuaRot => Box::new(QuaRotKvCache::int4()),
-            Method::Kelle => Box::new(AerpCache::with_config(
-                AerpConfig::new(config.budget),
-                heads,
-            )),
-        };
+        // One factory for every policy: the same registry the serving engine
+        // and sessions build their backends from.
+        let mut cache = method.policy().build(config.budget, heads);
 
         let metrics = if method == Method::Kelle {
             let mut faults: ProbabilisticFaults = match config.explicit_rates {
@@ -302,9 +317,18 @@ mod tests {
         // absolute proxy drop is larger; what must hold is that Kelle stays
         // inside the [chance, reference] band and tracks the closest prior
         // policy (H2O).
-        assert!(kelle.score >= TaskKind::Piqa.chance_score() - 1e-9, "score {}", kelle.score);
+        assert!(
+            kelle.score >= TaskKind::Piqa.chance_score() - 1e-9,
+            "score {}",
+            kelle.score
+        );
         assert!(kelle.score <= reference * 1.001, "score {}", kelle.score);
-        assert!(kelle.score >= h2o.score * 0.85, "kelle {} vs h2o {}", kelle.score, h2o.score);
+        assert!(
+            kelle.score >= h2o.score * 0.85,
+            "kelle {} vs h2o {}",
+            kelle.score,
+            h2o.score
+        );
     }
 
     #[test]
@@ -314,6 +338,14 @@ mod tests {
         assert!((fp16.score - 5.47).abs() < 0.2);
         let kelle = evaluate_method(&config, Method::Kelle);
         assert!(kelle.score >= fp16.score);
+    }
+
+    #[test]
+    fn method_registry_round_trips() {
+        for (method, policy) in Method::all().into_iter().zip(CachePolicy::all()) {
+            assert_eq!(method.policy(), policy, "{method:?}");
+            assert_eq!(Method::from_policy(policy), method, "{policy:?}");
+        }
     }
 
     #[test]

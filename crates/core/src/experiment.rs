@@ -4,6 +4,8 @@
 //! the paper's evaluation section reports, returning plain data rows that the
 //! benchmark harness prints and the integration tests assert on.
 
+use crate::engine::KelleEngine;
+use crate::session::ServeRequest;
 use kelle_arch::{
     AreaBreakdown, Comparator, ComparatorKind, InferenceWorkload, Platform, PlatformKind,
     PlatformReport, PowerBreakdown, RooflineModel, RooflinePoint, SystolicEvictor,
@@ -42,7 +44,12 @@ pub struct EndToEndSummary {
 impl EndToEndSummary {
     /// Geometric-mean speedup of a platform across workloads.
     pub fn mean_speedup(&self, platform: &str) -> f64 {
-        geo_mean(self.rows.iter().filter(|r| r.platform == platform).map(|r| r.speedup))
+        geo_mean(
+            self.rows
+                .iter()
+                .filter(|r| r.platform == platform)
+                .map(|r| r.speedup),
+        )
     }
 
     /// Geometric-mean energy efficiency of a platform across workloads.
@@ -146,7 +153,8 @@ pub fn figure3a(model: ModelKind) -> Vec<(usize, f64, f64)> {
         let workload = InferenceWorkload::new("fig3a", 512, decode_len, 16);
         let small = Platform::preset(PlatformKind::OriginalSram);
         let mut large = Platform::preset(PlatformKind::OriginalSram);
-        large.memory.kv_memory = MemorySpec::new(MemoryTechnology::Sram, 5 * 1024 * 1024 + 786_432, 128.0);
+        large.memory.kv_memory =
+            MemorySpec::new(MemoryTechnology::Sram, 5 * 1024 * 1024 + 786_432, 128.0);
         let small_report = small.simulate(&model_config, &workload, None);
         let large_report = large.simulate(&model_config, &workload, None);
         rows.push((
@@ -179,11 +187,8 @@ pub fn figure3c(model: ModelKind) -> Vec<(usize, f64, f64)> {
     let mut rows = Vec::new();
     for decode_len in [1024usize, 2048, 4096, 8192] {
         let workload = InferenceWorkload::new("fig3c", 512, decode_len, 16);
-        let report = Platform::preset(PlatformKind::OriginalEdram).simulate(
-            &model_config,
-            &workload,
-            None,
-        );
+        let report =
+            Platform::preset(PlatformKind::OriginalEdram).simulate(&model_config, &workload, None);
         let energy = report.total_energy();
         rows.push((decode_len, energy.refresh_share(), energy.dram_share()));
     }
@@ -262,7 +267,10 @@ pub fn table9(model: ModelKind, batches: &[usize]) -> Vec<(usize, Vec<(String, f
                     &workload,
                     Some(DEFAULT_N_PRIME),
                 );
-                (kind.name().to_string(), report.energy_efficiency_vs(&baseline))
+                (
+                    kind.name().to_string(),
+                    report.energy_efficiency_vs(&baseline),
+                )
             })
             .collect();
             (batch, gains)
@@ -288,14 +296,26 @@ pub fn figure15b(model: ModelKind) -> Vec<(&'static str, f64)> {
     twod.refresh_policy = RefreshPolicy::two_dimensional_default();
     let twod_report = twod.simulate(&model_config, &workload, Some(DEFAULT_N_PRIME));
 
-    let full = Platform::preset(PlatformKind::KelleEdram)
-        .simulate(&model_config, &workload, Some(DEFAULT_N_PRIME));
+    let full = Platform::preset(PlatformKind::KelleEdram).simulate(
+        &model_config,
+        &workload,
+        Some(DEFAULT_N_PRIME),
+    );
 
     vec![
         ("Org", 1.0),
-        ("Uniform", org_report.total_energy_j() / uniform_report.total_energy_j()),
-        ("2DRP", org_report.total_energy_j() / twod_report.total_energy_j()),
-        ("2DRP+Scheduler", org_report.total_energy_j() / full.total_energy_j()),
+        (
+            "Uniform",
+            org_report.total_energy_j() / uniform_report.total_energy_j(),
+        ),
+        (
+            "2DRP",
+            org_report.total_energy_j() / twod_report.total_energy_j(),
+        ),
+        (
+            "2DRP+Scheduler",
+            org_report.total_energy_j() / full.total_energy_j(),
+        ),
     ]
 }
 
@@ -355,10 +375,67 @@ pub fn figure16b(model: ModelKind) -> Vec<(String, f64, f64)> {
             let total = report.total_energy_j();
             let prefill_share = report.prefill.energy.total_j() / total;
             let decode_dram_share = report.decode.energy.dram_j / total;
-            rows.push((format!("{}K-{}", input / 1024, output), prefill_share, decode_dram_share));
+            rows.push((
+                format!("{}K-{}", input / 1024, output),
+                prefill_share,
+                decode_dram_share,
+            ));
         }
     }
     rows
+}
+
+/// Summary of a continuous-batching serving run (the session-oriented API's
+/// system-level experiment: many concurrent requests interleaved round-robin
+/// under one engine).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServingSummary {
+    /// Concurrent requests served.
+    pub sessions: usize,
+    /// Total tokens generated across all requests.
+    pub tokens_generated: u64,
+    /// Total modelled hardware energy in joules.
+    pub hardware_energy_j: f64,
+    /// Mean per-request modelled latency in seconds.
+    pub mean_request_latency_s: f64,
+}
+
+/// Serves `sessions` deterministic synthetic requests through the
+/// continuous-batching scheduler on the Kelle platform and summarises the
+/// aggregate serving cost.
+pub fn serving_batch(
+    model: ModelKind,
+    sessions: usize,
+    prompt_len: usize,
+    decode_len: usize,
+) -> ServingSummary {
+    assert!(sessions > 0, "need at least one session");
+    let engine = KelleEngine::builder().model(model).build();
+    let vocab = engine.model().dims().vocab;
+    let requests: Vec<ServeRequest> = (0..sessions)
+        .map(|i| {
+            let prompt: Vec<usize> = (0..prompt_len.max(1))
+                .map(|p| (i * 131 + p * 7 + 3) % vocab)
+                .collect();
+            ServeRequest::builder(prompt)
+                .decode_len(decode_len.max(1))
+                .label("batch-serving")
+                .build()
+        })
+        .collect();
+    let batch = engine.serve_batch(requests);
+    let mean_request_latency_s = batch
+        .outcomes
+        .iter()
+        .map(|o| o.hardware.total_latency_s())
+        .sum::<f64>()
+        / sessions as f64;
+    ServingSummary {
+        sessions,
+        tokens_generated: batch.stats.tokens_generated,
+        hardware_energy_j: batch.stats.hardware_energy_j,
+        mean_request_latency_s,
+    }
 }
 
 /// §8.3.7: halved eDRAM bandwidth ablation.  Returns `(full_bw_gain,
@@ -449,8 +526,18 @@ mod tests {
     }
 
     #[test]
+    fn serving_batch_summary_accounts_every_session() {
+        let summary = serving_batch(ModelKind::Llama2_7b, 3, 6, 4);
+        assert_eq!(summary.sessions, 3);
+        assert_eq!(summary.tokens_generated, 12);
+        assert!(summary.hardware_energy_j > 0.0);
+        assert!(summary.mean_request_latency_s > 0.0);
+    }
+
+    #[test]
     fn bandwidth_ablation_keeps_most_of_the_gain() {
-        let (full, halved) = bandwidth_ablation(ModelKind::Llama2_7b, InferenceWorkload::triviaqa());
+        let (full, halved) =
+            bandwidth_ablation(ModelKind::Llama2_7b, InferenceWorkload::triviaqa());
         assert!(halved > 1.0);
         assert!(halved <= full * 1.001);
     }

@@ -36,11 +36,8 @@ mod tests {
 
     #[test]
     fn conservative_policy_produces_no_faults() {
-        let mut injector = fault_injector_for_policy(
-            &RefreshPolicy::Conservative,
-            &RetentionModel::default(),
-            1,
-        );
+        let mut injector =
+            fault_injector_for_policy(&RefreshPolicy::Conservative, &RetentionModel::default(), 1);
         for i in 0..200 {
             let v = i as f32 * 0.01;
             assert_eq!(injector.corrupt(v, TokenGroup::HighScore), v);

@@ -9,21 +9,52 @@
 //!
 //! ## Quick start
 //!
-//! ```rust
-//! use kelle::{EngineConfig, KelleEngine};
+//! Engines are configured through [`EngineBuilder`] and serve through three
+//! entry points of increasing generality: one-shot [`KelleEngine::serve`],
+//! persistent [`Session`]s whose KV cache survives across turns, and the
+//! continuous-batching [`KelleEngine::serve_batch`] scheduler.
 //!
-//! // Build the default Kelle system for a LLaMA2-7B-shaped model.
-//! let engine = KelleEngine::new(EngineConfig::default());
-//! // Serve a short prompt and inspect both output fidelity and hardware cost.
+//! ```rust
+//! use kelle::{CachePolicy, KelleEngine, ServeRequest};
+//!
+//! // Build a Kelle system: LLaMA2-7B-shaped model, AERP cache management,
+//! // 2DRP refresh, evaluated on the Kelle+eDRAM platform.
+//! let engine = KelleEngine::builder().policy(CachePolicy::Aerp).seed(7).build();
+//!
+//! // One-shot serving: functional result + hardware cost in one call.
 //! let outcome = engine.serve(&[1, 2, 3, 4, 5, 6, 7, 8], 16);
 //! assert_eq!(outcome.generated.len(), 16);
 //! assert!(outcome.hardware.total_latency_s() > 0.0);
+//!
+//! // Multi-turn chat: the session keeps its KV cache, so the second turn
+//! // pre-fills only its own two new tokens instead of the whole history.
+//! let mut session = engine.open_session();
+//! session.turn(&[1, 2, 3, 4], 8);
+//! let second = session.turn(&[5, 6], 8);
+//! assert_eq!(second.prefilled_tokens, 2);
+//!
+//! // Continuous batching: decode steps interleave round-robin across
+//! // requests, streaming tokens as they are produced.
+//! let requests = vec![
+//!     ServeRequest::new(vec![7, 8, 9], 4),
+//!     ServeRequest::builder(vec![10, 11]).decode_len(4).policy(CachePolicy::Full).build(),
+//! ];
+//! let batch = engine.serve_batch_streaming(requests, |request, _token| {
+//!     assert!(request < 2);
+//! });
+//! assert_eq!(batch.outcomes.len(), 2);
+//! assert_eq!(batch.stats.tokens_generated, 8);
 //! ```
 //!
-//! The three main entry points are:
+//! The main entry points are:
 //!
-//! * [`KelleEngine`] — serve prompts on a configurable Kelle system and obtain
-//!   generated tokens, cache behaviour and hardware latency/energy;
+//! * [`KelleEngine`] / [`EngineBuilder`] — configure and serve on a Kelle
+//!   system, obtaining generated tokens, cache behaviour and hardware
+//!   latency/energy;
+//! * [`Session`] / [`ServeRequest`] — multi-turn serving with KV-cache reuse
+//!   and per-request policy/budget/seed overrides;
+//! * [`scheduler`] — the continuous-batching scheduler behind `serve_batch`;
+//! * [`CachePolicy`] — the registry all cache backends are built from;
 //! * [`accuracy`] — the functional-fidelity experiments behind Tables 2–6 and
 //!   Fig. 8;
 //! * [`experiment`] — the hardware experiments behind Figs. 3, 13–16 and
@@ -36,11 +67,16 @@ pub mod accuracy;
 pub mod engine;
 pub mod experiment;
 pub mod faults;
+pub mod scheduler;
+pub mod session;
 
 pub use accuracy::{AccuracyResult, Method};
-pub use engine::{EngineConfig, KelleEngine, ServeOutcome};
+pub use engine::{EngineBuilder, EngineConfig, EngineStats, KelleEngine, ServeOutcome};
 pub use experiment::{EndToEndRow, EndToEndSummary};
 pub use faults::fault_injector_for_policy;
+pub use kelle_cache::CachePolicy;
+pub use scheduler::{BatchOutcome, BatchScheduler, StepEvent};
+pub use session::{ServeRequest, ServeRequestBuilder, Session, TurnOutcome};
 
 pub use kelle_arch as arch;
 pub use kelle_cache as cache;

@@ -1,0 +1,215 @@
+//! Continuous-batching scheduler.
+//!
+//! [`BatchScheduler`] keeps many [`Session`]s in flight at once.  Admission
+//! pre-fills a request's prompt; each [`step`](BatchScheduler::step) then runs
+//! *one* decode step for *every* unfinished request, in admission order
+//! (round-robin), so no request can starve while another drains its decode
+//! budget.  This is the serving shape the paper targets on edge accelerators:
+//! a shared hardware budget advanced one token per sequence per scheduler
+//! tick, instead of head-of-line blocking behind whole requests.
+//!
+//! Sessions are functionally independent (each owns its cache and fault
+//! stream), so interleaving decode steps does not change any request's token
+//! stream — the scheduler's aggregate statistics provably equal the sum of
+//! serving the same requests sequentially, which the integration tests
+//! assert.
+
+use crate::engine::{EngineStats, KelleEngine, ServeOutcome};
+use crate::session::{ServeRequest, Session};
+use kelle_model::DecodeTrace;
+
+/// One token generated during a scheduler step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepEvent {
+    /// Index of the request (admission order) that produced the token.
+    pub request: usize,
+    /// The generated token.
+    pub token: usize,
+    /// Whether this token completed the request.
+    pub finished: bool,
+}
+
+/// Everything produced by a batch of requests.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-request outcomes, in admission order.
+    pub outcomes: Vec<ServeOutcome>,
+    /// Aggregate statistics of the batch: the component-wise sum of the
+    /// per-request outcomes, equal to what serving the batch sequentially
+    /// would have added to [`KelleEngine::stats`].
+    pub stats: EngineStats,
+}
+
+struct Slot<'e> {
+    request: ServeRequest,
+    session: Session<'e>,
+    prefilled: usize,
+    generated: Vec<usize>,
+    trace: DecodeTrace,
+    remaining: usize,
+}
+
+/// Interleaves decode steps across many in-flight serving sessions.
+pub struct BatchScheduler<'e> {
+    engine: &'e KelleEngine,
+    slots: Vec<Slot<'e>>,
+    finished: Vec<Option<ServeOutcome>>,
+    stats: EngineStats,
+}
+
+impl<'e> BatchScheduler<'e> {
+    /// A scheduler with no admitted requests.
+    pub fn new(engine: &'e KelleEngine) -> Self {
+        BatchScheduler {
+            engine,
+            slots: Vec::new(),
+            finished: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Admits a request: opens its session (honouring per-request overrides)
+    /// and pre-fills the prompt.  Returns the request's index, which later
+    /// [`StepEvent`]s and the final outcome vector refer to.
+    pub fn admit(&mut self, request: ServeRequest) -> usize {
+        let mut session = self.engine.open_session_for(&request);
+        let prefilled = session.prefill(request.prompt());
+        let remaining = request.decode_len();
+        self.slots.push(Slot {
+            request,
+            session,
+            prefilled,
+            generated: Vec::with_capacity(remaining),
+            trace: DecodeTrace::default(),
+            remaining,
+        });
+        self.finished.push(None);
+        self.slots.len() - 1
+    }
+
+    /// Number of admitted requests still decoding.
+    pub fn active(&self) -> usize {
+        self.slots.iter().filter(|s| s.remaining > 0).count()
+    }
+
+    /// Whether every admitted request has finished.
+    pub fn is_idle(&self) -> bool {
+        self.active() == 0
+    }
+
+    /// Runs one decode step for every unfinished request, in admission order.
+    /// Returns one [`StepEvent`] per request that made progress (every active
+    /// request does — the fairness property the tests assert).
+    pub fn step(&mut self) -> Vec<StepEvent> {
+        let mut events = Vec::new();
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            if slot.remaining == 0 {
+                continue;
+            }
+            let step = slot.session.decode_one();
+            slot.generated.push(step.token);
+            slot.trace.steps.push(step.record);
+            slot.remaining -= 1;
+            let finished = slot.remaining == 0;
+            events.push(StepEvent {
+                request: index,
+                token: step.token,
+                finished,
+            });
+            if finished {
+                let generated = std::mem::take(&mut slot.generated);
+                let trace = std::mem::take(&mut slot.trace);
+                let turn = slot.session.finish_turn(
+                    generated,
+                    trace,
+                    slot.prefilled,
+                    slot.request.decode_len(),
+                    slot.request.label(),
+                );
+                self.stats = self.stats.merged(EngineStats::from_turn(&turn));
+                self.finished[index] = Some(turn.into());
+            }
+        }
+        events
+    }
+
+    /// Collects the per-request outcomes and the batch aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any admitted request has not finished yet (drive
+    /// [`step`](BatchScheduler::step) until [`is_idle`](BatchScheduler::is_idle)).
+    pub fn finish(self) -> BatchOutcome {
+        assert!(
+            self.is_idle(),
+            "finish() called with {} request(s) still active",
+            self.active()
+        );
+        let outcomes: Vec<ServeOutcome> = self
+            .finished
+            .into_iter()
+            .map(|o| o.expect("finished request has an outcome"))
+            .collect();
+        BatchOutcome {
+            outcomes,
+            stats: self.stats,
+        }
+    }
+}
+
+impl std::fmt::Debug for BatchScheduler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchScheduler")
+            .field("admitted", &self.slots.len())
+            .field("active", &self.active())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn engine() -> KelleEngine {
+        KelleEngine::new(EngineConfig::default())
+    }
+
+    #[test]
+    fn scheduler_round_robins_until_done() {
+        let engine = engine();
+        let mut scheduler = BatchScheduler::new(&engine);
+        scheduler.admit(ServeRequest::new(vec![1, 2, 3], 2));
+        scheduler.admit(ServeRequest::new(vec![4, 5, 6], 4));
+        assert_eq!(scheduler.active(), 2);
+
+        // Both requests progress in the first two steps; only the longer one
+        // afterwards.
+        let s1 = scheduler.step();
+        assert_eq!(s1.len(), 2);
+        let s2 = scheduler.step();
+        assert_eq!(s2.len(), 2);
+        assert!(s2.iter().any(|e| e.request == 0 && e.finished));
+        let s3 = scheduler.step();
+        assert_eq!(s3.len(), 1);
+        assert_eq!(s3[0].request, 1);
+        scheduler.step();
+        assert!(scheduler.is_idle());
+
+        let outcome = scheduler.finish();
+        assert_eq!(outcome.outcomes.len(), 2);
+        assert_eq!(outcome.outcomes[0].generated.len(), 2);
+        assert_eq!(outcome.outcomes[1].generated.len(), 4);
+        assert_eq!(outcome.stats.requests, 2);
+        assert_eq!(outcome.stats.tokens_generated, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "still active")]
+    fn finish_before_idle_panics() {
+        let engine = engine();
+        let mut scheduler = BatchScheduler::new(&engine);
+        scheduler.admit(ServeRequest::new(vec![1, 2], 3));
+        scheduler.finish();
+    }
+}

@@ -1,0 +1,396 @@
+//! Requests and persistent serving sessions.
+//!
+//! A [`ServeRequest`] describes one unit of serving work — prompt, decode
+//! length, and optional per-request overrides of the engine's cache policy,
+//! budget and fault seed.  A [`Session`] owns the KV-cache backend and decode
+//! cursor for one conversation: across turns it pre-fills *only the new
+//! tokens* and reuses all earlier KV state, which is the serving lever the
+//! single-shot `serve` API could not express (it re-pre-filled the whole
+//! conversation every turn).
+
+use crate::engine::KelleEngine;
+use crate::faults::fault_injector_for_policy;
+use kelle_arch::{InferenceWorkload, PlatformReport};
+use kelle_cache::{CacheBudget, CachePolicy};
+use kelle_edram::RetentionModel;
+use kelle_model::fault::ProbabilisticFaults;
+use kelle_model::generation::{decode_step, prefill, DecodeStep, GenerationState};
+use kelle_model::{CacheStats, DecodeTrace, KvCacheBackend};
+
+/// One unit of serving work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    prompt: Vec<usize>,
+    decode_len: usize,
+    policy: Option<CachePolicy>,
+    budget: Option<CacheBudget>,
+    seed: Option<u64>,
+    label: &'static str,
+}
+
+impl ServeRequest {
+    /// A request decoding `decode_len` tokens after `prompt`, with engine
+    /// defaults for everything else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty or `decode_len` is zero.
+    pub fn new(prompt: impl Into<Vec<usize>>, decode_len: usize) -> Self {
+        ServeRequestBuilder::new(prompt)
+            .decode_len(decode_len)
+            .build()
+    }
+
+    /// Starts builder-style construction from a prompt.
+    pub fn builder(prompt: impl Into<Vec<usize>>) -> ServeRequestBuilder {
+        ServeRequestBuilder::new(prompt)
+    }
+
+    /// The prompt tokens.
+    pub fn prompt(&self) -> &[usize] {
+        &self.prompt
+    }
+
+    /// The number of decode steps requested.
+    pub fn decode_len(&self) -> usize {
+        self.decode_len
+    }
+
+    /// The cache-policy override, if any.
+    pub fn policy(&self) -> Option<CachePolicy> {
+        self.policy
+    }
+
+    /// The budget override, if any.
+    pub fn budget(&self) -> Option<CacheBudget> {
+        self.budget
+    }
+
+    /// The fault-seed override, if any.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// The workload label used in hardware reports.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+}
+
+/// Builder for [`ServeRequest`].
+#[derive(Debug, Clone)]
+pub struct ServeRequestBuilder {
+    prompt: Vec<usize>,
+    decode_len: usize,
+    policy: Option<CachePolicy>,
+    budget: Option<CacheBudget>,
+    seed: Option<u64>,
+    label: &'static str,
+}
+
+impl ServeRequestBuilder {
+    fn new(prompt: impl Into<Vec<usize>>) -> Self {
+        ServeRequestBuilder {
+            prompt: prompt.into(),
+            decode_len: 16,
+            policy: None,
+            budget: None,
+            seed: None,
+            label: "serve",
+        }
+    }
+
+    /// Sets the number of decode steps (default 16).
+    pub fn decode_len(mut self, decode_len: usize) -> Self {
+        self.decode_len = decode_len;
+        self
+    }
+
+    /// Overrides the engine's default cache policy for this request.
+    pub fn policy(mut self, policy: CachePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Overrides the engine's default cache budget for this request.
+    pub fn budget(mut self, budget: CacheBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Overrides the engine's fault-injection seed for this request.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the workload label used in hardware reports (default `"serve"`).
+    pub fn label(mut self, label: &'static str) -> Self {
+        self.label = label;
+        self
+    }
+
+    /// Finalises the request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or the decode length is zero.
+    pub fn build(self) -> ServeRequest {
+        assert!(
+            !self.prompt.is_empty(),
+            "prompt must contain at least one token"
+        );
+        assert!(self.decode_len > 0, "decode length must be non-zero");
+        ServeRequest {
+            prompt: self.prompt,
+            decode_len: self.decode_len,
+            policy: self.policy,
+            budget: self.budget,
+            seed: self.seed,
+            label: self.label,
+        }
+    }
+}
+
+/// Everything produced by one session turn.
+#[derive(Debug, Clone)]
+pub struct TurnOutcome {
+    /// Tokens generated during this turn's decode phase.
+    pub generated: Vec<usize>,
+    /// Decode trace of this turn.
+    pub trace: DecodeTrace,
+    /// Cache occupancy statistics at the end of the turn (cumulative over the
+    /// session).
+    pub cache: CacheStats,
+    /// Hardware cost of this turn: pre-fill of the *new* tokens only, plus
+    /// the decode steps, on the configured platform.
+    pub hardware: PlatformReport,
+    /// Pre-fill work actually performed this turn (new tokens only).
+    pub prefilled_tokens: usize,
+    /// Total context length (all processed tokens) after the turn.
+    pub context_len: usize,
+    /// Evictions performed during this turn (as opposed to the session-wide
+    /// cumulative count in `cache.evictions`).
+    pub evictions_delta: u64,
+}
+
+/// A persistent serving session: one conversation's KV cache, fault stream
+/// and decode cursor.
+///
+/// Obtained from [`KelleEngine::open_session`] or
+/// [`KelleEngine::open_session_for`].  Each [`turn`](Session::turn) appends
+/// new prompt tokens (pre-filling only those), decodes the requested number
+/// of tokens, and reports both functional and hardware outcomes.
+#[derive(Debug)]
+pub struct Session<'e> {
+    engine: &'e KelleEngine,
+    policy: CachePolicy,
+    cache: Box<dyn KvCacheBackend>,
+    faults: ProbabilisticFaults,
+    state: GenerationState,
+    context: Vec<usize>,
+    turns: usize,
+    recorded_evictions: u64,
+}
+
+impl<'e> Session<'e> {
+    /// Opens a session with the engine's default policy, budget and seed.
+    pub(crate) fn with_defaults(engine: &'e KelleEngine) -> Self {
+        Session::build(engine, None, None, None)
+    }
+
+    /// Opens a session honouring a request's overrides.
+    pub(crate) fn for_request(engine: &'e KelleEngine, request: &ServeRequest) -> Self {
+        Session::build(engine, request.policy(), request.budget(), request.seed())
+    }
+
+    fn build(
+        engine: &'e KelleEngine,
+        policy: Option<CachePolicy>,
+        budget: Option<CacheBudget>,
+        seed: Option<u64>,
+    ) -> Self {
+        let config = engine.config();
+        let policy = policy.unwrap_or(config.policy);
+        let budget = budget.unwrap_or(config.budget);
+        let seed = seed.unwrap_or(config.seed);
+        let heads = engine.model().dims().heads;
+        let cache = policy.build(budget, heads);
+        let faults = fault_injector_for_policy(
+            &config.refresh_policy,
+            &RetentionModel::default(),
+            seed ^ 0x5eed,
+        );
+        Session {
+            engine,
+            policy,
+            cache,
+            faults,
+            state: GenerationState::new(),
+            context: Vec::new(),
+            turns: 0,
+            recorded_evictions: 0,
+        }
+    }
+
+    /// The cache policy this session runs.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// All input tokens processed so far (prompt tokens of every turn plus
+    /// the decode-time input chain), in sequence order.  Feeding this exact
+    /// sequence to a fresh one-shot request reproduces the session's KV state
+    /// under a non-evicting policy.
+    pub fn context(&self) -> &[usize] {
+        &self.context
+    }
+
+    /// The next sequence position (total tokens processed).
+    pub fn position(&self) -> usize {
+        self.state.position()
+    }
+
+    /// Total pre-fill work performed across all turns (new tokens only).
+    pub fn prefilled_tokens(&self) -> usize {
+        self.state.prefilled_tokens()
+    }
+
+    /// Number of completed turns.
+    pub fn turns(&self) -> usize {
+        self.turns
+    }
+
+    /// Current cache occupancy statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Appends `tokens` to the session context, pre-filling only them (no
+    /// decoding).  Returns the number of tokens pre-filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no context yet and `tokens` is empty.
+    pub fn prefill(&mut self, tokens: &[usize]) -> usize {
+        let count = prefill(
+            self.engine.model(),
+            &mut self.state,
+            tokens,
+            self.cache.as_mut(),
+            &mut self.faults,
+        );
+        self.context.extend_from_slice(tokens);
+        count
+    }
+
+    /// Runs exactly one decode step, returning the chosen token, its
+    /// distribution and the trace record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been pre-filled yet.
+    pub fn decode_one(&mut self) -> DecodeStep {
+        if let Some(input) = self.state.next_token() {
+            self.context.push(input);
+        }
+        decode_step(
+            self.engine.model(),
+            &mut self.state,
+            None,
+            self.cache.as_mut(),
+            &mut self.faults,
+        )
+    }
+
+    /// Serves one turn: pre-fills the turn's `tokens` (reusing all earlier
+    /// KV state) and decodes `decode_len` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decode_len` is zero, or on the first turn if `tokens` is
+    /// empty.
+    pub fn turn(&mut self, tokens: &[usize], decode_len: usize) -> TurnOutcome {
+        self.turn_streaming(tokens, decode_len, |_| {})
+    }
+
+    /// Like [`turn`](Session::turn), invoking `on_token` as each token is
+    /// generated.
+    pub fn turn_streaming(
+        &mut self,
+        tokens: &[usize],
+        decode_len: usize,
+        on_token: impl FnMut(usize),
+    ) -> TurnOutcome {
+        self.run_turn(tokens, decode_len, "serve", on_token)
+    }
+
+    /// [`turn_streaming`](Session::turn_streaming) with an explicit workload
+    /// label for the hardware report (used by the request-driven entry
+    /// points so `ServeRequest::label` is honoured everywhere).
+    pub(crate) fn run_turn(
+        &mut self,
+        tokens: &[usize],
+        decode_len: usize,
+        label: &'static str,
+        mut on_token: impl FnMut(usize),
+    ) -> TurnOutcome {
+        assert!(decode_len > 0, "decode length must be non-zero");
+        let prefilled = self.prefill(tokens);
+        let mut generated = Vec::with_capacity(decode_len);
+        let mut trace = DecodeTrace::default();
+        for _ in 0..decode_len {
+            let step = self.decode_one();
+            on_token(step.token);
+            generated.push(step.token);
+            trace.steps.push(step.record);
+        }
+        self.finish_turn(generated, trace, prefilled, decode_len, label)
+    }
+
+    /// Assembles a [`TurnOutcome`] from collected decode results, simulates
+    /// the turn's hardware cost and folds it into the engine statistics.
+    /// Shared by [`run_turn`](Session::run_turn) and the batch scheduler.
+    pub(crate) fn finish_turn(
+        &mut self,
+        generated: Vec<usize>,
+        trace: DecodeTrace,
+        prefilled_tokens: usize,
+        decode_len: usize,
+        label: &'static str,
+    ) -> TurnOutcome {
+        let config = self.engine.config();
+        // The decode phase attends over the whole accumulated context, while
+        // pre-fill work covers only this turn's new tokens — the reused
+        // prefix is charged to the turns that built it.
+        let context_at_decode_start = self.state.position().saturating_sub(decode_len).max(1);
+        let reused = context_at_decode_start - prefilled_tokens.min(context_at_decode_start);
+        let workload = InferenceWorkload::new(
+            label,
+            context_at_decode_start,
+            decode_len.max(1),
+            config.batch,
+        )
+        .with_reused_context(reused);
+        let hardware = self.engine.platform().simulate(
+            self.engine.model().config(),
+            &workload,
+            Some(config.hardware_n_prime),
+        );
+        let cache = self.cache.stats();
+        let evictions_delta = cache.evictions - self.recorded_evictions;
+        self.recorded_evictions = cache.evictions;
+        self.turns += 1;
+        let outcome = TurnOutcome {
+            generated,
+            trace,
+            cache,
+            hardware,
+            prefilled_tokens,
+            context_len: self.state.position(),
+            evictions_delta,
+        };
+        self.engine.record_turn(&outcome);
+        outcome
+    }
+}

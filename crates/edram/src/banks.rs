@@ -88,7 +88,11 @@ impl BankedLayout {
     ///
     /// Panics if the bank count is not divisible by the four groups.
     pub fn banks_per_group(&self) -> usize {
-        assert_eq!(self.total_banks % 4, 0, "banks must divide evenly into 4 groups");
+        assert_eq!(
+            self.total_banks % 4,
+            0,
+            "banks must divide evenly into 4 groups"
+        );
         self.total_banks / 4
     }
 

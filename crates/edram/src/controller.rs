@@ -89,11 +89,7 @@ impl EdramController {
     /// Refresh work for *resident* data (the KV cache itself) held for
     /// `duration_s` seconds with the given per-group occupancy
     /// (HST-MSB, HST-LSB, LST-MSB, LST-LSB order).
-    pub fn resident_refresh(
-        &self,
-        bytes_per_group: [u64; 4],
-        duration_s: f64,
-    ) -> RefreshActivity {
+    pub fn resident_refresh(&self, bytes_per_group: [u64; 4], duration_s: f64) -> RefreshActivity {
         let intervals = self.policy.group_intervals_us(&self.retention);
         let mut refreshed_bytes = 0.0;
         let mut energy = 0.0;
@@ -108,7 +104,11 @@ impl EdramController {
         RefreshActivity {
             refreshed_bytes,
             energy_j: energy,
-            power_w: if duration_s > 0.0 { energy / duration_s } else { 0.0 },
+            power_w: if duration_s > 0.0 {
+                energy / duration_s
+            } else {
+                0.0
+            },
         }
     }
 
@@ -131,7 +131,11 @@ impl EdramController {
         RefreshActivity {
             refreshed_bytes: rounds * bytes as f64,
             energy_j: energy,
-            power_w: if lifetime_s > 0.0 { energy / lifetime_s } else { 0.0 },
+            power_w: if lifetime_s > 0.0 {
+                energy / lifetime_s
+            } else {
+                0.0
+            },
         }
     }
 
@@ -148,7 +152,11 @@ mod tests {
     use crate::refresh::RefreshIntervals;
 
     fn controller(policy: RefreshPolicy) -> EdramController {
-        EdramController::new(MemorySpec::kelle_kv_edram(), RetentionModel::default(), policy)
+        EdramController::new(
+            MemorySpec::kelle_kv_edram(),
+            RetentionModel::default(),
+            policy,
+        )
     }
 
     #[test]
@@ -165,7 +173,9 @@ mod tests {
 
     #[test]
     fn two_dimensional_refresh_spends_most_on_hst_msb() {
-        let ctrl = controller(RefreshPolicy::TwoDimensional(RefreshIntervals::paper_default()));
+        let ctrl = controller(RefreshPolicy::TwoDimensional(
+            RefreshIntervals::paper_default(),
+        ));
         let only_hst_msb = ctrl.resident_refresh([1 << 20, 0, 0, 0], 1.0);
         let only_lst_lsb = ctrl.resident_refresh([0, 0, 0, 1 << 20], 1.0);
         assert!(only_hst_msb.energy_j > 10.0 * only_lst_lsb.energy_j);

@@ -99,7 +99,10 @@ impl MemorySpec {
     /// Panics if capacity or bandwidth is zero.
     pub fn new(technology: MemoryTechnology, capacity_bytes: u64, bandwidth_gb_per_s: f64) -> Self {
         assert!(capacity_bytes > 0, "memory capacity must be non-zero");
-        assert!(bandwidth_gb_per_s > 0.0, "memory bandwidth must be positive");
+        assert!(
+            bandwidth_gb_per_s > 0.0,
+            "memory bandwidth must be positive"
+        );
         MemorySpec {
             technology,
             capacity_bytes,
@@ -129,8 +132,7 @@ impl MemorySpec {
 
     /// Area in mm², scaled linearly from the 4 MB Table 1 reference.
     pub fn area_mm2(&self) -> f64 {
-        self.technology.area_mm2_4mb() * self.capacity_bytes as f64
-            / TABLE1_CAPACITY_BYTES as f64
+        self.technology.area_mm2_4mb() * self.capacity_bytes as f64 / TABLE1_CAPACITY_BYTES as f64
     }
 
     /// Leakage power in watts, scaled linearly from the 4 MB reference.
@@ -151,8 +153,7 @@ impl MemorySpec {
 
     /// Energy in joules to refresh `bytes` bytes once.
     pub fn refresh_energy_j(&self, bytes: u64) -> f64 {
-        self.technology.refresh_energy_mj_4mb() * 1e-3 * bytes as f64
-            / TABLE1_CAPACITY_BYTES as f64
+        self.technology.refresh_energy_mj_4mb() * 1e-3 * bytes as f64 / TABLE1_CAPACITY_BYTES as f64
     }
 
     /// Average refresh power in watts when `bytes` bytes are refreshed every

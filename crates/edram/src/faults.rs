@@ -40,7 +40,10 @@ impl GroupBitFlipRates {
 
     /// The worst (largest) per-group rate.
     pub fn max(&self) -> f64 {
-        self.hst_msb.max(self.hst_lsb).max(self.lst_msb).max(self.lst_lsb)
+        self.hst_msb
+            .max(self.hst_lsb)
+            .max(self.lst_msb)
+            .max(self.lst_lsb)
     }
 
     /// Whether every group is corruption-free.

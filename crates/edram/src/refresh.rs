@@ -73,7 +73,12 @@ impl RefreshIntervals {
 
     /// All four intervals in group order (HST-MSB, HST-LSB, LST-MSB, LST-LSB).
     pub fn as_array(&self) -> [f64; 4] {
-        [self.hst_msb_us, self.hst_lsb_us, self.lst_msb_us, self.lst_lsb_us]
+        [
+            self.hst_msb_us,
+            self.hst_lsb_us,
+            self.lst_msb_us,
+            self.lst_lsb_us,
+        ]
     }
 
     /// Harmonic mean of the four intervals — the effective average interval
@@ -216,11 +221,10 @@ mod tests {
         let retention = RetentionModel::default();
         let spec = MemorySpec::kelle_kv_edram();
         let bytes = [1_048_576u64; 4];
-        let conservative =
-            RefreshPolicy::Conservative.refresh_power_w(&spec, &retention, bytes);
-        let uniform =
-            RefreshPolicy::Uniform(1050.0).refresh_power_w(&spec, &retention, bytes);
-        let twod = RefreshPolicy::two_dimensional_default().refresh_power_w(&spec, &retention, bytes);
+        let conservative = RefreshPolicy::Conservative.refresh_power_w(&spec, &retention, bytes);
+        let uniform = RefreshPolicy::Uniform(1050.0).refresh_power_w(&spec, &retention, bytes);
+        let twod =
+            RefreshPolicy::two_dimensional_default().refresh_power_w(&spec, &retention, bytes);
         assert!(conservative > uniform);
         // 2DRP spends slightly more than a uniform policy at the same *average*
         // interval (it refreshes the HST MSB group much more often) but far

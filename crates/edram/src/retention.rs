@@ -75,7 +75,9 @@ impl RetentionModel {
             return self.safe_interval_us;
         }
         let z = inverse_normal_cdf(rate.min(0.999_999));
-        (self.mu_ln_us + self.sigma_ln * z).exp().max(self.safe_interval_us)
+        (self.mu_ln_us + self.sigma_ln * z)
+            .exp()
+            .max(self.safe_interval_us)
     }
 }
 
@@ -90,8 +92,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -105,7 +106,7 @@ fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -189,7 +190,10 @@ mod tests {
         for interval in [500.0, 1000.0, 2000.0, 8000.0] {
             let rate = m.failure_rate(interval);
             let back = m.interval_for_failure_rate(rate);
-            assert!((back - interval).abs() / interval < 0.05, "{interval} -> {back}");
+            assert!(
+                (back - interval).abs() / interval < 0.05,
+                "{interval} -> {back}"
+            );
         }
         assert_eq!(m.interval_for_failure_rate(0.0), m.safe_interval_us);
     }

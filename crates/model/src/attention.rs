@@ -49,7 +49,11 @@ impl<'w> MultiHeadAttention<'w> {
     pub fn new(weights: &'w LayerWeights, heads: usize) -> Self {
         let channels = weights.wq.rows();
         assert_eq!(weights.wq.shape(), (channels, channels));
-        assert_eq!(channels % heads, 0, "channels must divide evenly into heads");
+        assert_eq!(
+            channels % heads,
+            0,
+            "channels must divide evenly into heads"
+        );
         MultiHeadAttention {
             weights,
             heads,

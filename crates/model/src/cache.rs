@@ -131,13 +131,16 @@ pub trait KvCacheBackend: std::fmt::Debug {
     fn name(&self) -> &'static str;
 }
 
+/// Raw (token, key, value) entries stored for one `(layer, head)`.
+type RawEntries = Vec<(TokenId, Vec<f32>, Vec<f32>)>;
+
 /// The uncompressed reference cache: every token of every head is retained as
 /// raw KV vectors.  This corresponds to the paper's "FP16 / full KV cache"
 /// baseline column in Table 2.
 #[derive(Debug, Default)]
 pub struct FullKvCache {
     /// (layer, head) -> ordered list of (token, key, value).
-    store: HashMap<(usize, usize), Vec<(TokenId, Vec<f32>, Vec<f32>)>>,
+    store: HashMap<(usize, usize), RawEntries>,
     /// (layer, head, token) -> accumulated attention score (used only to label
     /// HST/LST groups for fault-injection experiments).
     accumulated: HashMap<(usize, usize), HashMap<TokenId, f32>>,

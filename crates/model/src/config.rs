@@ -362,9 +362,7 @@ mod tests {
     fn gqa_models_have_smaller_kv() {
         let llama2 = ModelConfig::for_kind(ModelKind::Llama2_7b);
         let llama3 = ModelConfig::for_kind(ModelKind::Llama3_8b);
-        assert!(
-            llama3.kv_bytes_per_token_per_layer(16) < llama2.kv_bytes_per_token_per_layer(16)
-        );
+        assert!(llama3.kv_bytes_per_token_per_layer(16) < llama2.kv_bytes_per_token_per_layer(16));
     }
 
     #[test]

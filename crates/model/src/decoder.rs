@@ -118,8 +118,7 @@ impl SurrogateModel {
     /// Builds a surrogate model for the given configuration, generating
     /// deterministic structured weights from `seed`.
     pub fn new(config: ModelConfig, seed: u64) -> Self {
-        let weights =
-            ModelWeights::generate(&config.surrogate, &WeightGenConfig::default(), seed);
+        let weights = ModelWeights::generate(&config.surrogate, &WeightGenConfig::default(), seed);
         SurrogateModel { config, weights }
     }
 

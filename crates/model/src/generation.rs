@@ -1,6 +1,13 @@
 //! Generation driver: pre-fill + auto-regressive decode, reference runs and
 //! side-by-side fidelity evaluation.
 //!
+//! The driver is built from two *resumable* entry points — [`prefill`] and
+//! [`decode_step`] operating on a [`GenerationState`] — so callers that keep a
+//! cache alive across requests (multi-turn sessions, continuous batching in
+//! `kelle-core`) can append context and decode incrementally without
+//! re-processing earlier tokens.  [`run_with`] composes the two into the
+//! classic one-shot run.
+//!
 //! Accuracy-style experiments (Tables 2–6, Fig. 8) compare a *test*
 //! configuration (some cache policy + fault model) against the *reference*
 //! configuration (full cache, no faults) on the same prompt.  To keep the two
@@ -60,7 +67,10 @@ pub struct DecodeTrace {
 impl DecodeTrace {
     /// Total evictions observed at the end of the run.
     pub fn final_evictions(&self) -> u64 {
-        self.steps.last().map(|s| s.cache_stats.evictions).unwrap_or(0)
+        self.steps
+            .last()
+            .map(|s| s.cache_stats.evictions)
+            .unwrap_or(0)
     }
 
     /// Peak number of stored entries (KV + recompute) across the run.
@@ -75,7 +85,10 @@ impl DecodeTrace {
     /// Mean fraction of attended entries that required recomputation.
     pub fn recompute_fraction(&self) -> f64 {
         let (rec, total): (usize, usize) = self.steps.iter().fold((0, 0), |(r, t), s| {
-            (r + s.recomputed_entries, t + s.recomputed_entries + s.kv_entries_read)
+            (
+                r + s.recomputed_entries,
+                t + s.recomputed_entries + s.kv_entries_read,
+            )
         });
         if total == 0 {
             0.0
@@ -96,6 +109,146 @@ pub struct GenerationOutput {
     pub trace: DecodeTrace,
 }
 
+/// Cursor of a resumable generation: the next sequence position, the logits of
+/// the most recently processed token, and cumulative pre-fill/decode counters.
+///
+/// A state always travels with one cache backend and one fault injector; the
+/// caller owns all three and threads them through [`prefill`] and
+/// [`decode_step`].  Positions are global across turns, so a state that
+/// pre-filled 8 tokens and decoded 4 resumes at position 12.
+#[derive(Debug, Clone, Default)]
+pub struct GenerationState {
+    position: usize,
+    last_logits: Vec<f32>,
+    prefilled_tokens: usize,
+    decoded_tokens: usize,
+}
+
+impl GenerationState {
+    /// A fresh state at position zero.
+    pub fn new() -> Self {
+        GenerationState::default()
+    }
+
+    /// The next sequence position (total tokens processed so far).
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Total prompt tokens processed through [`prefill`] across all turns.
+    pub fn prefilled_tokens(&self) -> usize {
+        self.prefilled_tokens
+    }
+
+    /// Total decode steps taken through [`decode_step`].
+    pub fn decoded_tokens(&self) -> usize {
+        self.decoded_tokens
+    }
+
+    /// Whether any token has been processed yet.
+    pub fn has_context(&self) -> bool {
+        !self.last_logits.is_empty()
+    }
+
+    /// The greedy next-token prediction from the current logits, or `None`
+    /// before any token was processed.
+    pub fn next_token(&self) -> Option<usize> {
+        if self.last_logits.is_empty() {
+            None
+        } else {
+            Some(SurrogateModel::argmax(&self.last_logits))
+        }
+    }
+}
+
+/// Everything produced by one [`decode_step`].
+#[derive(Debug, Clone)]
+pub struct DecodeStep {
+    /// Token chosen greedily at this step.
+    pub token: usize,
+    /// Post-softmax next-token distribution.
+    pub probs: Vec<f32>,
+    /// Trace record for this step.
+    pub record: StepRecord,
+}
+
+/// Processes `tokens` as additional context at the state's current position,
+/// inserting their KV pairs into `cache`, and signals the end of pre-filling
+/// so budgeted policies can apply their prefill retention rule.
+///
+/// Returns the number of tokens processed (i.e. `tokens.len()`), which is the
+/// *only* pre-fill work performed — earlier turns' context is reused from the
+/// cache, not re-processed.
+///
+/// # Panics
+///
+/// Panics if the state has no context yet and `tokens` is empty (the first
+/// turn must provide at least one token).
+pub fn prefill(
+    model: &SurrogateModel,
+    state: &mut GenerationState,
+    tokens: &[usize],
+    cache: &mut dyn KvCacheBackend,
+    faults: &mut dyn FaultInjector,
+) -> usize {
+    assert!(
+        state.has_context() || !tokens.is_empty(),
+        "prompt must contain at least one token"
+    );
+    let vocab = model.dims().vocab;
+    for tok in tokens {
+        let (logits, _) = model.forward_token(*tok % vocab, state.position, cache, faults);
+        state.last_logits = logits;
+        state.position += 1;
+    }
+    if !tokens.is_empty() {
+        cache.finish_prefill(state.position);
+    }
+    state.prefilled_tokens += tokens.len();
+    tokens.len()
+}
+
+/// Runs one auto-regressive decode step.
+///
+/// The input token is `forced_input` when given (teacher forcing), otherwise
+/// the state's own greedy prediction.  The chosen token, its distribution and
+/// the per-step trace record are returned; the state advances by one position.
+///
+/// # Panics
+///
+/// Panics if nothing has been pre-filled yet.
+pub fn decode_step(
+    model: &SurrogateModel,
+    state: &mut GenerationState,
+    forced_input: Option<usize>,
+    cache: &mut dyn KvCacheBackend,
+    faults: &mut dyn FaultInjector,
+) -> DecodeStep {
+    let next = state
+        .next_token()
+        .expect("decode_step requires pre-filled context");
+    let vocab = model.dims().vocab;
+    let input_token = forced_input.map(|t| t % vocab).unwrap_or(next);
+    let position = state.position;
+    let (logits, stats) = model.forward_token(input_token, position, cache, faults);
+    let probs = SurrogateModel::probabilities(&logits);
+    let choice = SurrogateModel::argmax(&logits);
+    state.last_logits = logits;
+    state.position += 1;
+    state.decoded_tokens += 1;
+    DecodeStep {
+        token: choice,
+        probs,
+        record: StepRecord {
+            position,
+            token: choice,
+            cache_stats: cache.stats(),
+            recomputed_entries: stats.recomputed_entries,
+            kv_entries_read: stats.kv_entries_read,
+        },
+    }
+}
+
 /// Runs the reference configuration (full cache, no faults) on `prompt`,
 /// decoding `config.decode_len` tokens greedily.
 pub fn run_reference(
@@ -113,6 +266,9 @@ pub fn run_reference(
 /// If `forced_tokens` is provided (typically the reference run's generated
 /// tokens), decoding is teacher-forced on that trajectory; otherwise the run
 /// decodes greedily from its own predictions.
+///
+/// This is the one-shot composition of [`prefill`] and [`decode_step`]; it
+/// assumes a fresh cache and state.
 pub fn run_with(
     model: &SurrogateModel,
     prompt: &[usize],
@@ -122,42 +278,24 @@ pub fn run_with(
     faults: &mut dyn FaultInjector,
 ) -> GenerationOutput {
     assert!(!prompt.is_empty(), "prompt must contain at least one token");
-    let vocab = model.dims().vocab;
-
-    // Pre-filling: process the context tokens one by one (the functional model
-    // has no batched path; the hardware model accounts for prefill parallelism
-    // separately).
-    let mut last_logits = Vec::new();
-    for (pos, tok) in prompt.iter().enumerate() {
-        let (logits, _) = model.forward_token(*tok % vocab, pos, cache, faults);
-        last_logits = logits;
-    }
-    cache.finish_prefill(prompt.len());
+    let mut state = GenerationState::new();
+    prefill(model, &mut state, prompt, cache, faults);
 
     let mut generated = Vec::with_capacity(config.decode_len);
     let mut step_probs = Vec::with_capacity(config.decode_len);
     let mut trace = DecodeTrace::default();
 
-    let mut next_input = SurrogateModel::argmax(&last_logits);
     for step in 0..config.decode_len {
-        let position = prompt.len() + step;
-        let input_token = match forced_tokens {
-            Some(forced) if step > 0 => forced[step - 1] % vocab,
-            _ => next_input,
+        // Teacher forcing replays the reference trajectory from step 1 on;
+        // step 0's input is always the model's own prediction from the prompt.
+        let forced_input = match forced_tokens {
+            Some(forced) if step > 0 => Some(forced[step - 1]),
+            _ => None,
         };
-        let (logits, stats) = model.forward_token(input_token, position, cache, faults);
-        let probs = SurrogateModel::probabilities(&logits);
-        let choice = SurrogateModel::argmax(&logits);
-        generated.push(choice);
-        step_probs.push(probs);
-        trace.steps.push(StepRecord {
-            position,
-            token: choice,
-            cache_stats: cache.stats(),
-            recomputed_entries: stats.recomputed_entries,
-            kv_entries_read: stats.kv_entries_read,
-        });
-        next_input = choice;
+        let step_out = decode_step(model, &mut state, forced_input, cache, faults);
+        generated.push(step_out.token);
+        step_probs.push(step_out.probs);
+        trace.steps.push(step_out.record);
     }
 
     GenerationOutput {
@@ -246,5 +384,50 @@ mod tests {
     fn empty_prompt_panics() {
         let m = model();
         run_reference(&m, &[], GenerationConfig::greedy(1));
+    }
+
+    #[test]
+    fn chained_prefill_decode_matches_one_shot() {
+        let m = model();
+        let config = GenerationConfig::greedy(6);
+        let one_shot = run_reference(&m, &[7, 3, 11, 2, 9, 30], config);
+
+        // Same run, driven incrementally: prompt split across two prefills.
+        let mut cache = FullKvCache::new();
+        let mut faults = NoFaults;
+        let mut state = GenerationState::new();
+        prefill(&m, &mut state, &[7, 3, 11], &mut cache, &mut faults);
+        prefill(&m, &mut state, &[2, 9, 30], &mut cache, &mut faults);
+        assert_eq!(state.prefilled_tokens(), 6);
+        let mut generated = Vec::new();
+        for _ in 0..6 {
+            generated.push(decode_step(&m, &mut state, None, &mut cache, &mut faults).token);
+        }
+        assert_eq!(generated, one_shot.generated);
+        assert_eq!(state.decoded_tokens(), 6);
+        assert_eq!(state.position(), 12);
+    }
+
+    #[test]
+    fn state_reports_next_token_after_prefill() {
+        let m = model();
+        let mut cache = FullKvCache::new();
+        let mut faults = NoFaults;
+        let mut state = GenerationState::new();
+        assert_eq!(state.next_token(), None);
+        assert!(!state.has_context());
+        prefill(&m, &mut state, &[1, 2, 3], &mut cache, &mut faults);
+        assert!(state.has_context());
+        assert!(state.next_token().unwrap() < 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires pre-filled context")]
+    fn decode_without_prefill_panics() {
+        let m = model();
+        let mut cache = FullKvCache::new();
+        let mut faults = NoFaults;
+        let mut state = GenerationState::new();
+        decode_step(&m, &mut state, None, &mut cache, &mut faults);
     }
 }

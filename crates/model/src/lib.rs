@@ -41,7 +41,9 @@ pub use cache::{CacheEntry, CacheStats, EntryPayload, FullKvCache, KvCacheBacken
 pub use config::{ModelConfig, ModelKind, SurrogateDims};
 pub use decoder::{DecoderLayer, SurrogateModel};
 pub use fault::{FaultInjector, FaultStats, NoFaults, SignificanceGroup, TokenGroup};
-pub use generation::{DecodeTrace, GenerationConfig, GenerationOutput, StepRecord};
+pub use generation::{
+    DecodeStep, DecodeTrace, GenerationConfig, GenerationOutput, GenerationState, StepRecord,
+};
 pub use metrics::{FidelityAccumulator, FidelityMetrics};
 
 /// Crate-wide result alias (errors are tensor-shaped failures from the substrate).

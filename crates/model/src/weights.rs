@@ -96,9 +96,9 @@ fn add_low_rank(target: &mut Matrix, rank: usize, scale: f32, rng: &mut rng::Det
         let u: Vec<f32> = (0..rows).map(|_| rng::standard_normal(rng)).collect();
         let v: Vec<f32> = (0..cols).map(|_| rng::standard_normal(rng)).collect();
         let norm = (rows as f32).sqrt() * (cols as f32).sqrt();
-        for r in 0..rows {
-            for c in 0..cols {
-                let val = target.get(r, c) + scale * u[r] * v[c] / norm;
+        for (r, &u_r) in u.iter().enumerate() {
+            for (c, &v_c) in v.iter().enumerate() {
+                let val = target.get(r, c) + scale * u_r * v_c / norm;
                 target.set(r, c, val);
             }
         }
@@ -113,13 +113,23 @@ impl ModelWeights {
             let mut lrng = rng::substream(seed, &format!("layer-{layer}"));
             let wq_base = random_matrix(dims.channels, dims.channels, &mut lrng);
             let mut wq = wq_base.scaled(config.attention_sharpness.sqrt());
-            let mut wk =
-                random_matrix(dims.channels, dims.channels, &mut lrng).scaled(config.attention_sharpness.sqrt());
+            let mut wk = random_matrix(dims.channels, dims.channels, &mut lrng)
+                .scaled(config.attention_sharpness.sqrt());
             // Shared low-rank topic component correlates Q and K spaces.
             let mut topic_rng = rng::substream(seed, &format!("topic-{layer}"));
-            add_low_rank(&mut wq, config.topic_rank, config.attention_sharpness, &mut topic_rng);
+            add_low_rank(
+                &mut wq,
+                config.topic_rank,
+                config.attention_sharpness,
+                &mut topic_rng,
+            );
             let mut topic_rng2 = rng::substream(seed, &format!("topic-{layer}"));
-            add_low_rank(&mut wk, config.topic_rank, config.attention_sharpness, &mut topic_rng2);
+            add_low_rank(
+                &mut wk,
+                config.topic_rank,
+                config.attention_sharpness,
+                &mut topic_rng2,
+            );
             let wv = random_matrix(dims.channels, dims.channels, &mut lrng);
             let wo = random_matrix(dims.channels, dims.channels, &mut lrng);
             let w_gate = random_matrix(dims.ffn_dim, dims.channels, &mut lrng);

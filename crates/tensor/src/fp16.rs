@@ -227,7 +227,7 @@ mod tests {
     fn subnormal_round_trip() {
         let tiny = 3.0e-7f32;
         let r = F16::from_f32(tiny).to_f32();
-        assert!(r >= 0.0 && r < 1e-4);
+        assert!((0.0..1e-4).contains(&r));
     }
 
     #[test]

@@ -31,8 +31,8 @@
 #![warn(missing_debug_implementations)]
 
 mod error;
-mod matrix;
 pub mod fp16;
+mod matrix;
 pub mod ops;
 pub mod quant;
 pub mod rng;

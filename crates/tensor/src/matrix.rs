@@ -156,7 +156,10 @@ impl Matrix {
     ///
     /// Panics if the indices are out of bounds.
     pub fn get(&self, row: usize, col: usize) -> f32 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -166,7 +169,10 @@ impl Matrix {
     ///
     /// Panics if the indices are out of bounds.
     pub fn set(&mut self, row: usize, col: usize, value: f32) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -214,13 +220,13 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in out.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0f32;
             for (a, b) in row.iter().zip(v.iter()) {
                 acc += a * b;
             }
-            out[r] = acc;
+            *slot = acc;
         }
         Ok(out)
     }
@@ -239,8 +245,7 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0f32; self.cols];
-        for r in 0..self.rows {
-            let coeff = v[r];
+        for (r, &coeff) in v.iter().enumerate() {
             if coeff == 0.0 {
                 continue;
             }
@@ -359,7 +364,11 @@ impl Matrix {
 /// Panics if the slices have different lengths; use in inner loops where the
 /// lengths are guaranteed by construction.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot product operands must be equal length");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot product operands must be equal length"
+    );
     a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 

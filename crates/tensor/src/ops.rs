@@ -77,13 +77,20 @@ pub fn silu(x: f32) -> f32 {
 ///
 /// Panics if `x` and `gain` have different lengths.
 pub fn rms_norm(x: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
-    assert_eq!(x.len(), gain.len(), "rms_norm operands must be equal length");
+    assert_eq!(
+        x.len(),
+        gain.len(),
+        "rms_norm operands must be equal length"
+    );
     if x.is_empty() {
         return Vec::new();
     }
     let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
     let denom = (ms + eps).sqrt();
-    x.iter().zip(gain.iter()).map(|(v, g)| v / denom * g).collect()
+    x.iter()
+        .zip(gain.iter())
+        .map(|(v, g)| v / denom * g)
+        .collect()
 }
 
 /// Standard layer normalization with learned gain and bias.
@@ -92,8 +99,16 @@ pub fn rms_norm(x: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
 ///
 /// Panics if the slices have different lengths.
 pub fn layer_norm(x: &[f32], gain: &[f32], bias: &[f32], eps: f32) -> Vec<f32> {
-    assert_eq!(x.len(), gain.len(), "layer_norm operands must be equal length");
-    assert_eq!(x.len(), bias.len(), "layer_norm operands must be equal length");
+    assert_eq!(
+        x.len(),
+        gain.len(),
+        "layer_norm operands must be equal length"
+    );
+    assert_eq!(
+        x.len(),
+        bias.len(),
+        "layer_norm operands must be equal length"
+    );
     if x.is_empty() {
         return Vec::new();
     }
@@ -152,7 +167,11 @@ pub fn cross_entropy(probs: &[f32], target: usize) -> f32 {
 ///
 /// Panics if the slices have different lengths.
 pub fn kl_divergence(p: &[f32], q: &[f32]) -> f32 {
-    assert_eq!(p.len(), q.len(), "kl_divergence operands must be equal length");
+    assert_eq!(
+        p.len(),
+        q.len(),
+        "kl_divergence operands must be equal length"
+    );
     let mut total = 0.0f32;
     for (&pi, &qi) in p.iter().zip(q.iter()) {
         if pi <= 0.0 {

@@ -293,7 +293,9 @@ mod tests {
 
     #[test]
     fn int4_coarser_than_int8() {
-        let values: Vec<f32> = (0..64).map(|i| ((i * 37) % 101) as f32 * 0.01 - 0.5).collect();
+        let values: Vec<f32> = (0..64)
+            .map(|i| ((i * 37) % 101) as f32 * 0.01 - 0.5)
+            .collect();
         let q8 = QuantizedVector::quantize(&values, QuantFormat::Int8).unwrap();
         let q4 = QuantizedVector::quantize(&values, QuantFormat::Int4).unwrap();
         assert!(q4.reconstruction_error(&values) > q8.reconstruction_error(&values));

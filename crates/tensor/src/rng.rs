@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn zipf_prefers_small_indices() {
         let mut rng = seeded(11);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for _ in 0..10_000 {
             counts[zipf_index(&mut rng, 10, 1.2)] += 1;
         }

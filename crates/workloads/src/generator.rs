@@ -77,8 +77,7 @@ impl TokenStreamGenerator {
     /// Generates the `index`-th prompt for a task.
     pub fn prompt(&self, task: TaskKind, index: usize) -> GeneratedPrompt {
         let (prompt_len, decode_len) = task.surrogate_lengths();
-        let mut rng: DetRng =
-            rng::substream(self.seed, &format!("{}-{}", task.label(), index));
+        let mut rng: DetRng = rng::substream(self.seed, &format!("{}-{}", task.label(), index));
 
         // Anchor tokens: rare ids planted early and re-mentioned periodically.
         let anchors: Vec<usize> = (0..self.anchor_count)

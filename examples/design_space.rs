@@ -27,7 +27,10 @@ fn main() {
         ("Org (45us)", RefreshPolicy::Conservative),
         ("Uniform 360us", RefreshPolicy::Uniform(360.0)),
         ("Uniform 1.05ms", RefreshPolicy::Uniform(1050.0)),
-        ("2DRP", RefreshPolicy::TwoDimensional(RefreshIntervals::paper_default())),
+        (
+            "2DRP",
+            RefreshPolicy::TwoDimensional(RefreshIntervals::paper_default()),
+        ),
     ] {
         let mut platform = Platform::preset(PlatformKind::KelleEdram);
         platform.refresh_policy = policy;
@@ -44,9 +47,11 @@ fn main() {
     }
 
     // 3. eDRAM bandwidth ablation (§8.3.7).
-    let (full, halved) =
-        experiment::bandwidth_ablation(model_kind, InferenceWorkload::triviaqa());
-    println!("\neDRAM bandwidth ablation (TriviaQA): full 256 GB/s {:.2}x, halved 128 GB/s {:.2}x", full, halved);
+    let (full, halved) = experiment::bandwidth_ablation(model_kind, InferenceWorkload::triviaqa());
+    println!(
+        "\neDRAM bandwidth ablation (TriviaQA): full 256 GB/s {:.2}x, halved 128 GB/s {:.2}x",
+        full, halved
+    );
 
     // 4. Batch-size sweep (Table 9).
     println!("\nbatch-size sweep (PG19, energy-efficiency gain over Original+SRAM):");
@@ -56,5 +61,20 @@ fn main() {
             .map(|(name, gain)| format!("{name} {gain:.2}x"))
             .collect();
         println!("  batch {:2}: {}", batch, line.join(", "));
+    }
+
+    // 5. Continuous-batching concurrency sweep (serving API).
+    println!(
+        "\nconcurrent-session sweep (continuous batching, 12-token prompts, 8-token decodes):"
+    );
+    for sessions in [1usize, 4, 8] {
+        let summary = experiment::serving_batch(model_kind, sessions, 12, 8);
+        println!(
+            "  {:2} sessions: {:4} tokens, {:9.1} J total, {:6.2} s mean request latency",
+            summary.sessions,
+            summary.tokens_generated,
+            summary.hardware_energy_j,
+            summary.mean_request_latency_s
+        );
     }
 }

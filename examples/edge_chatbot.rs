@@ -3,7 +3,10 @@
 //!
 //! This mirrors the motivation of §1: interactive serving where each turn
 //! appends to the conversation, the KV cache keeps growing, and the device
-//! must stay within a tight latency/energy envelope.
+//! must stay within a tight latency/energy envelope.  Here every turn is
+//! served through a persistent [`kelle::Session`], so only the new tokens are
+//! pre-filled; see `edge_chatbot_multiturn.rs` for a side-by-side comparison
+//! against the old re-prefill-everything strategy.
 //!
 //! Run with `cargo run --example edge_chatbot`.
 
@@ -11,39 +14,42 @@ use kelle::arch::{InferenceWorkload, Platform, PlatformKind};
 use kelle::cache::CacheBudget;
 use kelle::edram::RefreshPolicy;
 use kelle::model::{ModelConfig, ModelKind};
-use kelle::{EngineConfig, KelleEngine};
+use kelle::KelleEngine;
 
 fn main() {
-    // Functional side: serve three conversation turns through the engine.
-    let mut config = EngineConfig::default();
-    config.model = ModelKind::Llama3_2_3b;
-    config.budget = CacheBudget::new(48).with_recent_window(16).with_sink_tokens(2);
-    config.refresh_policy = RefreshPolicy::two_dimensional_default();
-    config.batch = 1;
-    let engine = KelleEngine::new(config);
+    // Functional side: serve three conversation turns through one session.
+    let engine = KelleEngine::builder()
+        .model(ModelKind::Llama3_2_3b)
+        .budget(
+            CacheBudget::new(48)
+                .with_recent_window(16)
+                .with_sink_tokens(2),
+        )
+        .refresh_policy(RefreshPolicy::two_dimensional_default())
+        .batch(1)
+        .build();
 
     let turns: [&[usize]; 3] = [
         &[5, 17, 99, 23, 4, 87, 15, 3],
         &[44, 12, 7, 7, 201, 16],
         &[150, 33, 2, 91, 64, 8, 19],
     ];
-    let mut conversation: Vec<usize> = Vec::new();
+    let mut session = engine.open_session();
     for (i, turn) in turns.iter().enumerate() {
-        conversation.extend_from_slice(turn);
-        let outcome = engine.serve(&conversation, 16);
+        let outcome = session.turn(turn, 16);
         println!(
-            "turn {}: {} prompt tokens -> {} generated, {} evictions, {:.1}% recomputed",
+            "turn {}: {} new prompt tokens pre-filled ({} total context) -> {} generated, {} evictions, {:.1}% recomputed",
             i + 1,
-            conversation.len(),
+            outcome.prefilled_tokens,
+            outcome.context_len,
             outcome.generated.len(),
             outcome.cache.evictions,
             outcome.trace.recompute_fraction() * 100.0
         );
-        conversation.extend_from_slice(&outcome.generated);
     }
     let stats = engine.stats();
     println!(
-        "session: {} requests, {} tokens, modelled energy {:.1} J",
+        "session: {} turns, {} tokens, modelled energy {:.1} J",
         stats.requests, stats.tokens_generated, stats.hardware_energy_j
     );
 

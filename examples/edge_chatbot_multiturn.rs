@@ -1,0 +1,91 @@
+//! Multi-turn variant of the edge chatbot: quantifies what session-level KV
+//! reuse buys over the old strategy of re-pre-filling the whole conversation
+//! on every turn.
+//!
+//! Both strategies serve the same five-turn conversation on the same engine
+//! configuration.  The session pre-fills only each turn's new tokens; the
+//! re-prefill strategy issues an independent request per turn whose prompt is
+//! the entire conversation so far, as `KelleEngine::serve` forced before the
+//! session API existed.
+//!
+//! Run with `cargo run --example edge_chatbot_multiturn`.
+
+use kelle::cache::CacheBudget;
+use kelle::model::ModelKind;
+use kelle::{CachePolicy, KelleEngine};
+
+fn main() {
+    let build_engine = || {
+        KelleEngine::builder()
+            .model(ModelKind::Llama3_2_3b)
+            .policy(CachePolicy::Aerp)
+            .budget(
+                CacheBudget::new(48)
+                    .with_recent_window(16)
+                    .with_sink_tokens(2),
+            )
+            .batch(1)
+            .build()
+    };
+
+    let turns: [&[usize]; 5] = [
+        &[5, 17, 99, 23, 4, 87, 15, 3],
+        &[44, 12, 7, 7, 201, 16],
+        &[150, 33, 2, 91, 64, 8, 19],
+        &[9, 9, 77, 140, 6],
+        &[201, 5, 63, 18, 27, 31],
+    ];
+    let decode_len = 16;
+
+    // Strategy A: one persistent session, KV state reused across turns.
+    let session_engine = build_engine();
+    let mut session = session_engine.open_session();
+    let mut session_prefilled = 0usize;
+    println!("session serving (prefill = new tokens only):");
+    for (i, turn) in turns.iter().enumerate() {
+        let outcome = session.turn(turn, decode_len);
+        session_prefilled += outcome.prefilled_tokens;
+        println!(
+            "  turn {}: prefilled {:3} tokens, context {:3}, latency {:6.2} s",
+            i + 1,
+            outcome.prefilled_tokens,
+            outcome.context_len,
+            outcome.hardware.total_latency_s()
+        );
+    }
+    let session_stats = session_engine.stats();
+
+    // Strategy B: re-prefill the whole conversation each turn (the pre-session
+    // serving model).  The conversation replayed is the session's own context
+    // so both strategies process identical token streams.
+    let replay_engine = build_engine();
+    let full_context = session.context().to_vec();
+    let mut replay_prefilled = 0usize;
+    let mut boundary = 0usize;
+    println!("\nre-prefill serving (prefill = whole conversation each turn):");
+    for (i, turn) in turns.iter().enumerate() {
+        // The conversation up to and including this turn's prompt: everything
+        // the session had processed when this turn's decode began.
+        boundary += turn.len();
+        let prompt = &full_context[..boundary];
+        let outcome = replay_engine.serve(prompt, decode_len);
+        replay_prefilled += prompt.len();
+        println!(
+            "  turn {}: prefilled {:3} tokens, latency {:6.2} s",
+            i + 1,
+            prompt.len(),
+            outcome.hardware.total_latency_s()
+        );
+        boundary += decode_len;
+    }
+    let replay_stats = replay_engine.stats();
+
+    println!(
+        "\nprefill work:  session {session_prefilled} tokens vs re-prefill {replay_prefilled} tokens ({:.1}x less)",
+        replay_prefilled as f64 / session_prefilled.max(1) as f64
+    );
+    println!(
+        "modelled energy: session {:.1} J vs re-prefill {:.1} J",
+        session_stats.hardware_energy_j, replay_stats.hardware_energy_j
+    );
+}

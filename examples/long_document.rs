@@ -17,8 +17,9 @@ fn main() {
     for method in Method::all() {
         let result = evaluate_method(&config, method);
         println!(
-            "  {:6} ppl-proxy-score {:6.2}  top-1 agreement {:5.1}%  mean KL {:.4}",
+            "  {:6} (policy {:13}) ppl-proxy-score {:6.2}  top-1 agreement {:5.1}%  mean KL {:.4}",
             method.name(),
+            method.policy().name(),
             result.score,
             result.fidelity.top1_agreement * 100.0,
             result.fidelity.mean_kl

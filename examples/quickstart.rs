@@ -1,14 +1,15 @@
-//! Quickstart: build the default Kelle system, serve one prompt, and print the
-//! functional and hardware outcomes.
+//! Quickstart: build the default Kelle system with the engine builder, serve
+//! one prompt, and print the functional and hardware outcomes.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use kelle::{EngineConfig, KelleEngine};
+use kelle::{CachePolicy, KelleEngine};
 
 fn main() {
-    // The default configuration emulates LLaMA2-7B on the Kelle+eDRAM
-    // platform with AERP cache management and the 2DRP refresh policy.
-    let engine = KelleEngine::new(EngineConfig::default());
+    // The builder defaults emulate LLaMA2-7B on the Kelle+eDRAM platform with
+    // AERP cache management and the 2DRP refresh policy; every knob can be
+    // overridden fluently.
+    let engine = KelleEngine::builder().policy(CachePolicy::Aerp).build();
 
     let prompt: Vec<usize> = vec![12, 7, 101, 45, 7, 7, 33, 250, 19, 4];
     let outcome = engine.serve(&prompt, 24);

@@ -94,8 +94,18 @@ fn table2_kelle_competitive_with_h2o_and_better_than_streaming() {
     let streaming = evaluate_method(&config, Method::StreamingLlm);
     // Kelle tracks H2O closely (both keep heavy hitters) and does not lose to
     // the recency-only policy (small tolerance for single-prompt proxy noise).
-    assert!(kelle.score >= streaming.score * 0.97, "kelle {} vs streaming {}", kelle.score, streaming.score);
-    assert!(kelle.score >= h2o.score * 0.85, "kelle {} vs h2o {}", kelle.score, h2o.score);
+    assert!(
+        kelle.score >= streaming.score * 0.97,
+        "kelle {} vs streaming {}",
+        kelle.score,
+        streaming.score
+    );
+    assert!(
+        kelle.score >= h2o.score * 0.85,
+        "kelle {} vs h2o {}",
+        kelle.score,
+        h2o.score
+    );
 }
 
 #[test]

@@ -12,12 +12,17 @@ fn figure13_headline_gains_and_ordering() {
     let kelle_eff = summary.mean_energy_efficiency("Kelle+eDRAM");
     // Paper headline: 3.9x / 4.5x. The analytical reproduction must land in
     // the same regime and preserve every pairwise ordering.
-    assert!(kelle_speedup > 2.0 && kelle_speedup < 8.0, "{kelle_speedup}");
+    assert!(
+        kelle_speedup > 2.0 && kelle_speedup < 8.0,
+        "{kelle_speedup}"
+    );
     assert!(kelle_eff > 1.8 && kelle_eff < 8.0, "{kelle_eff}");
     assert!(summary.mean_speedup("AEP+SRAM") > 1.0);
     assert!(summary.mean_speedup("AERP+SRAM") >= summary.mean_speedup("AEP+SRAM"));
     assert!(kelle_speedup > summary.mean_speedup("AERP+SRAM"));
-    assert!(summary.mean_energy_efficiency("AERP+SRAM") > summary.mean_energy_efficiency("AEP+SRAM"));
+    assert!(
+        summary.mean_energy_efficiency("AERP+SRAM") > summary.mean_energy_efficiency("AEP+SRAM")
+    );
     // eDRAM without the co-designed algorithms is faster but wastes energy.
     assert!(summary.mean_speedup("Original+eDRAM") >= 1.0);
     assert!(summary.mean_energy_efficiency("Original+eDRAM") < 1.0);
@@ -114,11 +119,7 @@ fn prefill_is_compute_bound_and_decode_is_memory_bound() {
         &InferenceWorkload::long_input(8192, 128),
         Some(DEFAULT_N_PRIME),
     );
-    let long_decode = platform.simulate(
-        &model,
-        &InferenceWorkload::pg19(),
-        Some(DEFAULT_N_PRIME),
-    );
+    let long_decode = platform.simulate(&model, &InferenceWorkload::pg19(), Some(DEFAULT_N_PRIME));
     assert!(long_prefill.prefill.latency_s > long_prefill.decode.latency_s * 0.1);
     assert!(long_decode.decode.latency_s > long_decode.prefill.latency_s);
 }

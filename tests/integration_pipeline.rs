@@ -1,7 +1,7 @@
 //! End-to-end integration tests spanning the whole stack: surrogate model →
 //! cache policies → fault injection → engine → hardware model.
 
-use kelle::cache::{AerpCache, CacheBudget, FullKvCache, H2oCache, StreamingLlmCache};
+use kelle::cache::{AerpCache, CacheBudget, CachePolicy};
 use kelle::model::generation::{evaluate_against_reference, run_reference};
 use kelle::model::{
     fault::NoFaults, GenerationConfig, KvCacheBackend, ModelConfig, ModelKind, SurrogateModel,
@@ -22,15 +22,12 @@ fn every_cache_policy_runs_through_the_model() {
     let reference = run_reference(&model, &prompt.tokens, config);
 
     let heads = model.dims().heads;
-    let budget = CacheBudget::new(24).with_recent_window(8).with_sink_tokens(2);
-    let mut policies: Vec<Box<dyn KvCacheBackend>> = vec![
-        Box::new(FullKvCache::new()),
-        Box::new(StreamingLlmCache::new(budget)),
-        Box::new(H2oCache::new(budget)),
-        Box::new(AerpCache::new(budget, heads)),
-    ];
+    let budget = CacheBudget::new(24)
+        .with_recent_window(8)
+        .with_sink_tokens(2);
 
-    for cache in policies.iter_mut() {
+    for policy in CachePolicy::all() {
+        let mut cache = policy.build(budget, heads);
         let mut faults = NoFaults;
         let (metrics, trace) = evaluate_against_reference(
             &model,
@@ -41,8 +38,21 @@ fn every_cache_policy_runs_through_the_model() {
             &mut faults,
         );
         assert_eq!(metrics.steps, 16, "policy {}", cache.name());
-        assert!(metrics.top1_agreement > 0.0, "policy {}", cache.name());
+        assert!(metrics.mean_kl.is_finite(), "policy {}", cache.name());
         assert_eq!(trace.steps.len(), 16);
+        // The uncompressed reference policy must reproduce the reference
+        // exactly; quantized full retention stays mostly faithful; budgeted
+        // policies may legitimately diverge once eviction bites, so only
+        // finite metrics are required of them.
+        match policy {
+            CachePolicy::Full => {
+                assert!(metrics.top1_agreement >= 0.99, "policy {}", cache.name())
+            }
+            CachePolicy::QuaRotInt4 => {
+                assert!(metrics.top1_agreement > 0.0, "policy {}", cache.name())
+            }
+            _ => {}
+        }
     }
 }
 
@@ -53,7 +63,9 @@ fn budgeted_policies_stay_within_budget_after_prefill() {
     let prompt = generator.prompt(TaskKind::Qasper, 0);
     let heads = model.dims().heads;
     let layers = model.dims().layers;
-    let budget = CacheBudget::new(16).with_recent_window(4).with_sink_tokens(2);
+    let budget = CacheBudget::new(16)
+        .with_recent_window(4)
+        .with_sink_tokens(2);
 
     let mut cache = AerpCache::new(budget, heads);
     let mut faults = NoFaults;
@@ -80,9 +92,15 @@ fn budgeted_policies_stay_within_budget_after_prefill() {
 
 #[test]
 fn engine_serves_multiple_models() {
-    for kind in [ModelKind::Llama2_7b, ModelKind::Mistral7b, ModelKind::Opt6_7b] {
-        let mut config = EngineConfig::default();
-        config.model = kind;
+    for kind in [
+        ModelKind::Llama2_7b,
+        ModelKind::Mistral7b,
+        ModelKind::Opt6_7b,
+    ] {
+        let config = EngineConfig {
+            model: kind,
+            ..EngineConfig::default()
+        };
         let engine = KelleEngine::new(config);
         let outcome = engine.serve(&[1, 2, 3, 4, 5], 6);
         assert_eq!(outcome.generated.len(), 6, "{kind:?}");
@@ -96,7 +114,9 @@ fn aerp_uses_recompute_storage_and_model_recomputes() {
     let generator = TokenStreamGenerator::new(model.dims().vocab, 9);
     let prompt = generator.prompt(TaskKind::WikiText2, 0);
     let heads = model.dims().heads;
-    let budget = CacheBudget::new(32).with_recent_window(8).with_sink_tokens(2);
+    let budget = CacheBudget::new(32)
+        .with_recent_window(8)
+        .with_sink_tokens(2);
     let mut cache = AerpCache::new(budget, heads);
     let mut faults = NoFaults;
     let config = GenerationConfig::greedy(12);

@@ -3,14 +3,18 @@
 
 use kelle::cache::{AerpCache, CacheBudget, KvCacheBackend};
 use kelle::edram::{RefreshPolicy, RetentionModel};
-use kelle::model::{FullKvCache, ModelConfig, ModelKind, SurrogateModel};
 use kelle::model::fault::NoFaults;
+use kelle::model::{FullKvCache, ModelConfig, ModelKind, SurrogateModel};
 use kelle::tensor::{ops, QuantFormat, QuantizedVector};
 use proptest::prelude::*;
 
 fn surrogate() -> SurrogateModel {
     SurrogateModel::new(ModelConfig::for_kind(ModelKind::Llama2_7b), 17)
 }
+
+/// A pre-computed context token: (position, input vector, per-head keys,
+/// per-head values).
+type PreparedEntry = (usize, Vec<f32>, Vec<Vec<f32>>, Vec<Vec<f32>>);
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -29,7 +33,7 @@ proptest! {
 
         // Pre-compute the per-head KV entries of 8 context tokens once.
         let vocab = model.dims().vocab;
-        let entries: Vec<(usize, Vec<f32>, Vec<Vec<f32>>, Vec<Vec<f32>>)> = (0..8)
+        let entries: Vec<PreparedEntry> = (0..8)
             .map(|position| {
                 let token = ((seed as usize) * 31 + position * 7) % vocab;
                 let x = model.weights().embed(token, position);

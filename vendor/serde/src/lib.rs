@@ -1,0 +1,27 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! `serde` surface the repo actually uses — `use serde::{Serialize,
+//! Deserialize}` plus the derives — is provided locally.  The traits are
+//! markers with blanket implementations; no serialization format is shipped,
+//! and none is needed by the reproduction (reports are printed, not
+//! round-tripped).  Swapping back to the real serde is a manifest-only change.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
