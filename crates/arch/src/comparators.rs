@@ -15,7 +15,8 @@
 //!   management hardware.
 //!
 //! Each comparator is modelled as a set of first-order modifiers applied to
-//! the same step-level traffic/compute accounting used for [`Platform`]: an
+//! the same step-level traffic/compute accounting used for
+//! [`Platform`](crate::Platform): an
 //! effective memory bandwidth, a compute throughput, a pre-fill speedup
 //! factor, a KV-bit width and an energy-per-byte/per-MAC scale.
 

@@ -145,11 +145,24 @@ impl MemorySubsystem {
     /// Splits a total KV working set into (on-chip, DRAM-overflow) bytes given
     /// the KV memory capacity.
     pub fn split_kv_residency(&self, total_bytes: u64) -> (u64, u64) {
+        self.split_kv_residency_capped(total_bytes, None)
+    }
+
+    /// Like [`split_kv_residency`](MemorySubsystem::split_kv_residency), but
+    /// the workload only gets `granted_bytes` of the KV memory (its share
+    /// under capacity arbitration).  The grant is itself capped by the
+    /// physical capacity; `None` grants the whole memory.
+    pub fn split_kv_residency_capped(
+        &self,
+        total_bytes: u64,
+        granted_bytes: Option<u64>,
+    ) -> (u64, u64) {
         let capacity = self.kv_memory.capacity_bytes;
-        if total_bytes <= capacity {
+        let granted = granted_bytes.map_or(capacity, |g| g.min(capacity));
+        if total_bytes <= granted {
             (total_bytes, 0)
         } else {
-            (capacity, total_bytes - capacity)
+            (granted, total_bytes - granted)
         }
     }
 
@@ -206,6 +219,26 @@ mod tests {
         let (resident, overflow) = mem.split_kv_residency(10 * 1024 * 1024);
         assert_eq!(resident, 4 * 1024 * 1024);
         assert_eq!(overflow, 6 * 1024 * 1024);
+    }
+
+    #[test]
+    fn capped_residency_split_respects_grant_and_capacity() {
+        let mem = MemorySubsystem::kelle_default();
+        // A grant below capacity shifts bytes from on-chip to DRAM overflow.
+        assert_eq!(
+            mem.split_kv_residency_capped(3 << 20, Some(1 << 20)),
+            (1 << 20, 2 << 20)
+        );
+        // A grant above capacity is clamped to the physical capacity.
+        assert_eq!(
+            mem.split_kv_residency_capped(10 << 20, Some(64 << 20)),
+            (4 << 20, 6 << 20)
+        );
+        // No grant behaves exactly like the uncapped split.
+        assert_eq!(
+            mem.split_kv_residency_capped(3 << 20, None),
+            mem.split_kv_residency(3 << 20)
+        );
     }
 
     #[test]

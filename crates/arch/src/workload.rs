@@ -23,6 +23,14 @@ pub struct InferenceWorkload {
     /// remaining `context_len - reused_context_len` new tokens; the decode
     /// phase still attends over the full `context_len`.
     pub reused_context_len: usize,
+    /// On-chip KV residency granted to this workload, in bytes.  `None` means
+    /// the workload gets the platform's whole KV memory to itself (the
+    /// single-tenant assumption).  Under shared-capacity arbitration the
+    /// scheduler sets this to the workload's share of the eDRAM; KV bytes
+    /// beyond the share are charged at off-chip DRAM access cost instead of
+    /// eDRAM cost.  The effective residency is always additionally capped by
+    /// the physical KV memory capacity.
+    pub kv_capacity_bytes: Option<u64>,
 }
 
 impl InferenceWorkload {
@@ -41,6 +49,7 @@ impl InferenceWorkload {
             decode_len,
             batch,
             reused_context_len: 0,
+            kv_capacity_bytes: None,
         }
     }
 
@@ -63,6 +72,14 @@ impl InferenceWorkload {
     /// a hand-written out-of-range `reused_context_len` cannot underflow.
     pub fn new_context_len(&self) -> usize {
         self.context_len.saturating_sub(self.reused_context_len)
+    }
+
+    /// Caps the on-chip KV residency granted to this workload (builder
+    /// style).  `None` restores the single-tenant default of the whole KV
+    /// memory.  See [`InferenceWorkload::kv_capacity_bytes`].
+    pub fn with_kv_capacity_bytes(mut self, bytes: Option<u64>) -> Self {
+        self.kv_capacity_bytes = bytes;
+        self
     }
 
     /// Lambada: context 128, decode 512, batch 16 (§8).
@@ -154,6 +171,15 @@ mod tests {
         // Full reuse (a decode-only continuation) is allowed.
         let cont = InferenceWorkload::new("cont", 14, 4, 1).with_reused_context(14);
         assert_eq!(cont.new_context_len(), 0);
+    }
+
+    #[test]
+    fn kv_capacity_cap_is_optional_and_composable() {
+        let w = InferenceWorkload::pg19();
+        assert_eq!(w.kv_capacity_bytes, None);
+        let capped = w.with_kv_capacity_bytes(Some(1 << 20));
+        assert_eq!(capped.kv_capacity_bytes, Some(1 << 20));
+        assert_eq!(capped.with_kv_capacity_bytes(None).kv_capacity_bytes, None);
     }
 
     #[test]

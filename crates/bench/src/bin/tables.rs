@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run -p kelle-bench --bin tables [-- --table <id>]`
 //! where `<id>` is one of `1`, `2`, `3`, `4`, `5`, `6`, `7`, `8`, `9`,
-//! `area-power`, `bandwidth`, or `all` (default).
+//! `area-power`, `bandwidth`, `contention`, or `all` (default).
 
 use kelle::accuracy::{evaluate_all_methods, evaluate_method, AccuracyConfig, Method};
 use kelle::arch::InferenceWorkload;
@@ -56,6 +56,9 @@ fn main() {
     }
     if all || which == "bandwidth" {
         bandwidth();
+    }
+    if all || which == "contention" {
+        contention();
     }
 }
 
@@ -292,4 +295,27 @@ fn bandwidth() {
             workload.name, full, halved, DEFAULT_N_PRIME
         );
     }
+}
+
+fn contention() {
+    header("Serving contention: shared eDRAM capacity vs queue delay and spill");
+    let rows =
+        experiment::serving_contention(ModelKind::Llama2_7b, 6, 16, 8, &[1.0, 0.75, 0.5, 0.25]);
+    println!(
+        "{:>9} {:>14} {:>12} {:>11} {:>14} {:>12} {:>10}",
+        "capacity", "bytes", "mean queue", "max queue", "spill MB", "energy J", "tokens"
+    );
+    for row in rows {
+        println!(
+            "{:>8.0}% {:>14} {:>12.2} {:>11} {:>14.1} {:>12.1} {:>10}",
+            row.capacity_scale * 100.0,
+            row.capacity_bytes,
+            row.mean_queue_ticks,
+            row.max_queue_ticks,
+            row.spill_bytes as f64 / (1024.0 * 1024.0),
+            row.hardware_energy_j,
+            row.tokens_generated
+        );
+    }
+    println!("(token streams are identical at every capacity point; only cost and queueing move)");
 }

@@ -11,6 +11,20 @@
 use serde::{Deserialize, Serialize};
 
 /// Capacity and protection parameters of a budgeted KV cache.
+///
+/// # Validity
+///
+/// A budget is *valid* when `sink_tokens + recent_window <= max_tokens`; a
+/// larger protected set than the budget itself would silently over-protect
+/// (the cache could never evict anything and the effective budget would be
+/// the protected set, not `N'`).  The builder methods and
+/// [`scaled`](CacheBudget::scaled) **clamp** rather than reject — the documented
+/// choice, so budget arithmetic (scaling, partitioning) can never produce an
+/// unusable configuration — with sink tokens taking precedence over the
+/// recent window when both cannot fit.  Because the fields are public, a
+/// hand-assembled struct can still be invalid; consumers normalise through
+/// [`clamped`](CacheBudget::clamped) (the policy factory does this for every
+/// backend it builds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheBudget {
     /// Maximum number of tokens retained per head (`N'`).
@@ -36,15 +50,34 @@ impl CacheBudget {
         }
     }
 
-    /// Sets the number of protected sink tokens (builder style).
+    /// Sets the number of protected sink tokens (builder style), clamped so
+    /// the whole protected set still fits the budget (see
+    /// [Validity](CacheBudget#validity)).
     pub fn with_sink_tokens(mut self, sink_tokens: usize) -> Self {
         self.sink_tokens = sink_tokens;
-        self
+        self.clamped()
     }
 
-    /// Sets the protected recent window (builder style).
+    /// Sets the protected recent window (builder style), clamped so the whole
+    /// protected set still fits the budget (see
+    /// [Validity](CacheBudget#validity)).
     pub fn with_recent_window(mut self, recent_window: usize) -> Self {
         self.recent_window = recent_window;
+        self.clamped()
+    }
+
+    /// Whether the protected sets fit within the budget.
+    pub fn is_valid(&self) -> bool {
+        self.sink_tokens + self.recent_window <= self.max_tokens
+    }
+
+    /// Normalises the budget so `sink_tokens + recent_window <= max_tokens`.
+    /// Sink tokens take precedence (they are few and disproportionately
+    /// important, §4.1.1); the recent window absorbs the remainder.  Valid
+    /// budgets pass through unchanged.
+    pub fn clamped(mut self) -> Self {
+        self.sink_tokens = self.sink_tokens.min(self.max_tokens);
+        self.recent_window = self.recent_window.min(self.max_tokens - self.sink_tokens);
         self
     }
 
@@ -98,6 +131,7 @@ impl CacheBudget {
             sink_tokens: scale(self.sink_tokens),
             recent_window: scale(self.recent_window),
         }
+        .clamped()
     }
 }
 
@@ -159,6 +193,49 @@ mod tests {
         assert!(!b.is_protected(95, 100));
         // Short sequences are fully protected by the window.
         assert!(b.is_protected(1, 3));
+    }
+
+    #[test]
+    fn protected_set_exactly_filling_budget_is_untouched() {
+        // Edge: sink + window == max is valid and must pass through unchanged.
+        let b = CacheBudget::new(8)
+            .with_sink_tokens(3)
+            .with_recent_window(5);
+        assert_eq!((b.max_tokens, b.sink_tokens, b.recent_window), (8, 3, 5));
+        assert!(b.is_valid());
+        assert_eq!(b.clamped(), b);
+    }
+
+    #[test]
+    fn oversized_protected_set_is_clamped_sinks_first() {
+        // Edge: sink + window == max + 1 (one past the boundary) loses one
+        // window token; sinks are kept whole.
+        let b = CacheBudget::new(8)
+            .with_sink_tokens(3)
+            .with_recent_window(6);
+        assert_eq!((b.sink_tokens, b.recent_window), (3, 5));
+        assert!(b.is_valid());
+        // Grossly oversized requests clamp to the budget, sinks first.
+        let huge = CacheBudget::new(4)
+            .with_recent_window(9)
+            .with_sink_tokens(9);
+        assert_eq!((huge.sink_tokens, huge.recent_window), (4, 0));
+        assert!(huge.is_valid());
+        // Order matters only for how the remainder is split, never validity.
+        let other = CacheBudget::new(4)
+            .with_sink_tokens(9)
+            .with_recent_window(9);
+        assert!(other.is_valid());
+        assert_eq!((other.sink_tokens, other.recent_window), (4, 0));
+        // A hand-assembled invalid struct is repaired by clamped().
+        let raw = CacheBudget {
+            max_tokens: 6,
+            sink_tokens: 10,
+            recent_window: 10,
+        };
+        assert!(!raw.is_valid());
+        let fixed = raw.clamped();
+        assert_eq!((fixed.sink_tokens, fixed.recent_window), (6, 0));
     }
 
     #[test]

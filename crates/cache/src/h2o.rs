@@ -1,6 +1,6 @@
 //! H2O-style cache: accumulated-attention heavy hitters + a recent window.
 //!
-//! H2O (Zhang et al., cited as [98] in the paper) keeps the tokens with the
+//! H2O (Zhang et al., cited as \[98\] in the paper) keeps the tokens with the
 //! highest *accumulated* attention scores ("heavy hitters") alongside the most
 //! recent tokens.  It is the closest prior policy to AERP: the difference is
 //! that H2O neither stores input vectors for recomputation nor exploits

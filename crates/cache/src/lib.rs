@@ -5,8 +5,7 @@
 //! All policies implement [`kelle_model::KvCacheBackend`] and can therefore be
 //! plugged into the surrogate model unchanged:
 //!
-//! * [`FullKvCache`](kelle_model::FullKvCache) (re-exported) — the
-//!   uncompressed FP16 reference;
+//! * [`FullKvCache`] (re-exported) — the uncompressed FP16 reference;
 //! * [`StreamingLlmCache`] — StreamingLLM: attention-sink tokens + a recent
 //!   window (Xiao et al.);
 //! * [`H2oCache`] — H2O: accumulated-attention heavy hitters + a recent window
@@ -22,6 +21,9 @@
 //! and the [`CachePolicy`] registry in [`policy`] builds any of the above as
 //! a `Box<dyn KvCacheBackend>` from a budget — the single factory the serving
 //! engine, sessions and accuracy experiments all construct backends through.
+//! When many sessions share one device, [`partition`] derives each admitted
+//! session's effective `N'` share of a common budget (equal-split or
+//! proportional-to-context).
 //!
 //! ## Example
 //!
@@ -41,6 +43,7 @@ pub mod aerp;
 pub mod budget;
 pub mod h2o;
 pub mod importance;
+pub mod partition;
 pub mod policy;
 pub mod quantized;
 pub mod streaming;
@@ -49,6 +52,7 @@ pub use aerp::{AerpCache, AerpConfig};
 pub use budget::CacheBudget;
 pub use h2o::H2oCache;
 pub use importance::ImportanceTracker;
+pub use partition::{BudgetPartitioner, PartitionMode};
 pub use policy::CachePolicy;
 pub use quantized::QuaRotKvCache;
 pub use streaming::StreamingLlmCache;

@@ -1,0 +1,154 @@
+//! Partitioning one shared cache budget across admitted sessions.
+//!
+//! The paper sizes `N'` for a *single* tenant; a serving stack admits many.
+//! When `B` sessions share the device, each session's effective budget is an
+//! `N'/B`-style share of the whole — the algorithmic mirror of the eDRAM
+//! capacity ledger on the hardware side.  [`BudgetPartitioner`] derives those
+//! per-session [`CacheBudget`]s from the admitted set, either statically
+//! (equal split) or dynamically (proportional to each session's live context,
+//! so long conversations get more of the protected capacity than short ones).
+//!
+//! Partitioning only ever *describes* shares: applying a share to a live
+//! session's cache would change its eviction decisions and therefore its
+//! token stream, which the serving layer's equivalence guarantee forbids.
+//! The batch scheduler exposes the shares as observability (and they drive
+//! capacity-planning sweeps); opting a session's cache into its share is an
+//! explicit caller decision.
+
+use crate::budget::CacheBudget;
+use serde::{Deserialize, Serialize};
+
+/// How a shared [`CacheBudget`] is divided among admitted sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionMode {
+    /// Every admitted session gets the same `1/B` share (static).
+    EqualSplit,
+    /// Each session's share is proportional to its live context length
+    /// (dynamic): a session holding twice the context gets twice the share.
+    ProportionalToContext,
+}
+
+/// Derives per-session budget shares from one shared budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetPartitioner {
+    total: CacheBudget,
+    mode: PartitionMode,
+}
+
+impl BudgetPartitioner {
+    /// A partitioner dividing `total` under `mode`.
+    pub fn new(total: CacheBudget, mode: PartitionMode) -> Self {
+        BudgetPartitioner {
+            total: total.clamped(),
+            mode,
+        }
+    }
+
+    /// The shared budget being divided.
+    pub fn total(&self) -> CacheBudget {
+        self.total
+    }
+
+    /// The partitioning mode.
+    pub fn mode(&self) -> PartitionMode {
+        self.mode
+    }
+
+    /// One budget share per session, given each session's live context
+    /// length.  Every share is a valid budget of at least one token; a single
+    /// session always receives the whole budget, and an empty session set
+    /// yields no shares.
+    ///
+    /// Shares are derived with [`CacheBudget::scaled`], so the sink/window
+    /// protections shrink with the capacity they guard (and are re-clamped so
+    /// a share can never over-protect).
+    pub fn shares(&self, context_lens: &[usize]) -> Vec<CacheBudget> {
+        let sessions = context_lens.len();
+        if sessions == 0 {
+            return Vec::new();
+        }
+        if sessions == 1 {
+            return vec![self.total];
+        }
+        match self.mode {
+            PartitionMode::EqualSplit => {
+                let factor = 1.0 / sessions as f64;
+                vec![self.total.scaled(factor); sessions]
+            }
+            PartitionMode::ProportionalToContext => {
+                // Weight degenerate zero-length contexts as 1 token so every
+                // admitted session keeps a non-empty share.
+                let weights: Vec<f64> = context_lens.iter().map(|&c| c.max(1) as f64).collect();
+                let sum: f64 = weights.iter().sum();
+                weights
+                    .into_iter()
+                    .map(|w| self.total.scaled(w / sum))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total() -> CacheBudget {
+        CacheBudget::new(128)
+            .with_recent_window(64)
+            .with_sink_tokens(10)
+    }
+
+    #[test]
+    fn equal_split_divides_evenly() {
+        let partitioner = BudgetPartitioner::new(total(), PartitionMode::EqualSplit);
+        let shares = partitioner.shares(&[5, 9, 3, 40]);
+        assert_eq!(shares.len(), 4);
+        for share in &shares {
+            assert_eq!(share.max_tokens, 32);
+            assert_eq!(share.recent_window, 16);
+            assert_eq!(share.sink_tokens, 2);
+            assert!(share.is_valid());
+        }
+        // Shares never exceed the shared budget in aggregate.
+        assert!(shares.iter().map(|s| s.max_tokens).sum::<usize>() <= 128);
+    }
+
+    #[test]
+    fn proportional_split_follows_context() {
+        let partitioner = BudgetPartitioner::new(total(), PartitionMode::ProportionalToContext);
+        let shares = partitioner.shares(&[30, 10]);
+        // 3:1 context ratio => 3:1 budget ratio.
+        assert_eq!(shares[0].max_tokens, 96);
+        assert_eq!(shares[1].max_tokens, 32);
+        assert!(shares.iter().all(|s| s.is_valid()));
+        // Zero-context sessions are weighted as one token, not zero.
+        let with_empty = partitioner.shares(&[0, 63]);
+        assert!(with_empty[0].max_tokens >= 1);
+    }
+
+    #[test]
+    fn degenerate_session_counts() {
+        let partitioner = BudgetPartitioner::new(total(), PartitionMode::EqualSplit);
+        assert!(partitioner.shares(&[]).is_empty());
+        // A single session gets the whole budget, untouched.
+        assert_eq!(partitioner.shares(&[7]), vec![total()]);
+    }
+
+    #[test]
+    fn tiny_shares_remain_valid_budgets() {
+        // Splitting a small budget many ways still yields >= 1-token, valid
+        // shares (clamping keeps sinks ahead of the window).
+        let partitioner = BudgetPartitioner::new(
+            CacheBudget::new(8)
+                .with_recent_window(4)
+                .with_sink_tokens(2),
+            PartitionMode::EqualSplit,
+        );
+        let shares = partitioner.shares(&[1; 16]);
+        for share in shares {
+            assert!(share.max_tokens >= 1);
+            assert!(share.is_valid());
+        }
+    }
+}

@@ -71,6 +71,10 @@ impl CachePolicy {
     /// `QuaRotInt4`; `heads` is the surrogate attention-head count, needed by
     /// AERP's per-head bookkeeping.
     pub fn build(self, budget: CacheBudget, heads: usize) -> Box<dyn KvCacheBackend> {
+        // Defensive normalisation: `CacheBudget`'s fields are public, so a
+        // hand-assembled budget may over-protect; every backend built through
+        // the registry gets a valid one.
+        let budget = budget.clamped();
         match self {
             CachePolicy::Full => Box::new(FullKvCache::new()),
             CachePolicy::StreamingLlm => Box::new(StreamingLlmCache::new(budget)),

@@ -1,6 +1,6 @@
 //! QuaRot-style low-bit KV-cache quantization baseline.
 //!
-//! QuaRot (Ashkboos et al., cited as [6] in the paper) removes activation
+//! QuaRot (Ashkboos et al., cited as \[6\] in the paper) removes activation
 //! outliers with Hadamard rotations and quantizes the KV cache to 4 bits.  The
 //! paper uses it as the *quantization* point of comparison against eviction
 //! policies, configured so that the storage budgets match (§7.1: eviction

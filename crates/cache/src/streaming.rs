@@ -1,6 +1,6 @@
 //! StreamingLLM-style cache: attention sinks + a sliding recent window.
 //!
-//! StreamingLLM (Xiao et al., cited as [83] in the paper) observes that the
+//! StreamingLLM (Xiao et al., cited as \[83\] in the paper) observes that the
 //! first few tokens of a sequence act as *attention sinks* and must be kept,
 //! and otherwise retains only the most recent tokens.  It requires no score
 //! bookkeeping, which makes it cheap but lossy on tasks that need long-range

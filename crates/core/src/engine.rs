@@ -3,18 +3,22 @@
 //! [`KelleEngine`] binds together the surrogate model, a pluggable KV-cache
 //! policy (via the [`CachePolicy`] registry), the 2DRP retention-fault model
 //! and the hardware platform model.  Construction goes through
-//! [`EngineBuilder`]; serving goes through three entry points of increasing
+//! [`EngineBuilder`]; serving goes through four entry points of increasing
 //! generality:
 //!
 //! * [`KelleEngine::serve`] — one blocking request (a thin wrapper over a
-//!   one-shot [`Session`](crate::Session));
+//!   one-shot [`Session`]);
 //! * [`KelleEngine::open_session`] — a persistent session whose KV cache
 //!   survives across turns, so multi-turn chat pre-fills only each turn's new
 //!   tokens;
 //! * [`KelleEngine::serve_batch`] — a continuous-batching scheduler that
-//!   interleaves decode steps across many sessions round-robin.
+//!   interleaves decode steps across many sessions round-robin;
+//! * [`KelleEngine::serve_batch_with`] — the same scheduler under
+//!   shared-eDRAM capacity arbitration: requests queue behind an admission
+//!   policy and contended requests are costed against their slice of the
+//!   device (same token streams, different cost and ordering).
 
-use crate::scheduler::{BatchOutcome, BatchScheduler};
+use crate::scheduler::{BatchOutcome, BatchScheduler, SchedulerConfig};
 use crate::session::{ServeRequest, Session, TurnOutcome};
 use kelle_arch::{Platform, PlatformKind, PlatformReport};
 use kelle_cache::{CacheBudget, CachePolicy};
@@ -303,12 +307,26 @@ impl KelleEngine {
             .into()
     }
 
-    /// Serves many requests under the continuous-batching scheduler: all
-    /// requests are admitted (pre-filled) up front, then decode steps are
-    /// interleaved round-robin so every active request makes progress each
-    /// scheduler step.
+    /// Full-scale KV footprint in bytes of a request retaining `tokens`
+    /// tokens, under the configured platform's cache policy, hardware budget
+    /// `N'` and batch size — the unit of account of the capacity ledger used
+    /// by [`serve_batch_with`](KelleEngine::serve_batch_with), and the same
+    /// per-token byte cost the hardware step simulation charges.
+    pub fn kv_footprint_bytes(&self, tokens: usize) -> u64 {
+        let resident = self
+            .platform
+            .cache_policy
+            .resident_tokens(tokens, Some(self.config.hardware_n_prime));
+        self.platform
+            .kv_footprint_bytes(self.model.config(), resident, self.config.batch)
+    }
+
+    /// Serves many requests under the continuous-batching scheduler with
+    /// unbounded capacity: every request is admitted (pre-filled) up front,
+    /// then decode steps are interleaved round-robin so every active request
+    /// makes progress each scheduler step.
     ///
-    /// Returns per-request outcomes in admission order plus the batch's
+    /// Returns per-request outcomes in submission order plus the batch's
     /// aggregate statistics, which equal the component-wise sum of serving
     /// the same requests sequentially.
     pub fn serve_batch(&self, requests: Vec<ServeRequest>) -> BatchOutcome {
@@ -321,18 +339,38 @@ impl KelleEngine {
     pub fn serve_batch_streaming(
         &self,
         requests: Vec<ServeRequest>,
-        mut on_token: impl FnMut(usize, usize),
+        on_token: impl FnMut(usize, usize),
     ) -> BatchOutcome {
-        let mut scheduler = BatchScheduler::new(self);
+        self.serve_batch_streaming_with(requests, SchedulerConfig::default(), on_token)
+    }
+
+    /// Serves many requests under shared-capacity arbitration: requests
+    /// queue until the configured admission policy can host their prefill
+    /// footprint in the shared KV budget, and each request's hardware cost
+    /// reflects the eDRAM share it actually got (the excess is charged at
+    /// DRAM cost).  Per-request *token streams* are identical to
+    /// [`serve_batch`](KelleEngine::serve_batch) for any capacity — only
+    /// cost, ordering and the queueing metrics change.
+    pub fn serve_batch_with(
+        &self,
+        requests: Vec<ServeRequest>,
+        config: SchedulerConfig,
+    ) -> BatchOutcome {
+        self.serve_batch_streaming_with(requests, config, |_, _| {})
+    }
+
+    /// Streaming variant of [`serve_batch_with`](KelleEngine::serve_batch_with).
+    pub fn serve_batch_streaming_with(
+        &self,
+        requests: Vec<ServeRequest>,
+        config: SchedulerConfig,
+        on_token: impl FnMut(usize, usize),
+    ) -> BatchOutcome {
+        let mut scheduler = BatchScheduler::with_config(self, config);
         for request in requests {
-            scheduler.admit(request);
+            scheduler.submit(request);
         }
-        while !scheduler.is_idle() {
-            for event in scheduler.step() {
-                on_token(event.request, event.token);
-            }
-        }
-        scheduler.finish()
+        scheduler.run_to_completion_streaming(on_token)
     }
 
     /// Folds one completed turn into the lifetime statistics.

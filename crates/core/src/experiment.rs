@@ -5,6 +5,7 @@
 //! benchmark harness prints and the integration tests assert on.
 
 use crate::engine::KelleEngine;
+use crate::scheduler::SchedulerConfig;
 use crate::session::ServeRequest;
 use kelle_arch::{
     AreaBreakdown, Comparator, ComparatorKind, InferenceWorkload, Platform, PlatformKind,
@@ -438,6 +439,90 @@ pub fn serving_batch(
     }
 }
 
+/// One capacity point of the serving-contention sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ContentionRow {
+    /// Arbitrated capacity as a fraction of the batch's total final KV
+    /// footprint (1.0 = everything fits at once).
+    pub capacity_scale: f64,
+    /// Arbitrated capacity in full-scale bytes.
+    pub capacity_bytes: u64,
+    /// Mean scheduler ticks requests spent in the waiting queue.
+    pub mean_queue_ticks: f64,
+    /// Longest any request waited.
+    pub max_queue_ticks: u64,
+    /// KV bytes charged at DRAM cost because they exceeded their request's
+    /// eDRAM share.
+    pub spill_bytes: u64,
+    /// Ledger high-water mark across the batch.
+    pub peak_residency_bytes: u64,
+    /// Total modelled hardware energy in joules.
+    pub hardware_energy_j: f64,
+    /// Total modelled DRAM energy in joules (grows as residency shrinks).
+    pub dram_energy_j: f64,
+    /// Total tokens generated (identical at every capacity point — the
+    /// equivalence guarantee).
+    pub tokens_generated: u64,
+}
+
+/// Sweeps shared eDRAM capacity for a fixed request mix: `sessions`
+/// deterministic synthetic requests contend for `scale x` the batch's total
+/// final KV footprint, for each `scale` in `capacity_scales`.  Reports queue
+/// delay, spill bytes and energy per capacity point.  Token streams are
+/// identical at every point (asserted by the integration tests); only cost
+/// and queueing move.
+pub fn serving_contention(
+    model: ModelKind,
+    sessions: usize,
+    prompt_len: usize,
+    decode_len: usize,
+    capacity_scales: &[f64],
+) -> Vec<ContentionRow> {
+    assert!(sessions > 0, "need at least one session");
+    let engine = KelleEngine::builder().model(model).build();
+    let vocab = engine.model().dims().vocab;
+    let requests: Vec<ServeRequest> = (0..sessions)
+        .map(|i| {
+            let prompt: Vec<usize> = (0..prompt_len.max(1))
+                .map(|p| (i * 131 + p * 7 + 3) % vocab)
+                .collect();
+            ServeRequest::builder(prompt)
+                .decode_len(decode_len.max(1))
+                .label("contention")
+                .build()
+        })
+        .collect();
+    let total_footprint: u64 = requests
+        .iter()
+        .map(|r| engine.kv_footprint_bytes(r.prompt().len() + r.decode_len()))
+        .sum();
+    capacity_scales
+        .iter()
+        .map(|&scale| {
+            assert!(scale > 0.0, "capacity scale must be positive");
+            let capacity_bytes = ((total_footprint as f64 * scale) as u64).max(1);
+            let config = SchedulerConfig::default().with_kv_capacity_bytes(capacity_bytes);
+            let batch = engine.serve_batch_with(requests.clone(), config);
+            let dram_energy_j = batch
+                .outcomes
+                .iter()
+                .map(|o| o.hardware.total_energy().dram_j)
+                .sum();
+            ContentionRow {
+                capacity_scale: scale,
+                capacity_bytes,
+                mean_queue_ticks: batch.contention.mean_queue_ticks(),
+                max_queue_ticks: batch.contention.max_queue_ticks,
+                spill_bytes: batch.contention.spill_bytes,
+                peak_residency_bytes: batch.contention.peak_residency_bytes,
+                hardware_energy_j: batch.stats.hardware_energy_j,
+                dram_energy_j,
+                tokens_generated: batch.stats.tokens_generated,
+            }
+        })
+        .collect()
+}
+
 /// §8.3.7: halved eDRAM bandwidth ablation.  Returns `(full_bw_gain,
 /// halved_bw_gain)` energy-efficiency gains over Original+SRAM.
 pub fn bandwidth_ablation(model: ModelKind, workload: InferenceWorkload) -> (f64, f64) {
@@ -532,6 +617,25 @@ mod tests {
         assert_eq!(summary.tokens_generated, 12);
         assert!(summary.hardware_energy_j > 0.0);
         assert!(summary.mean_request_latency_s > 0.0);
+    }
+
+    #[test]
+    fn serving_contention_sweep_trades_queueing_for_capacity() {
+        let rows = serving_contention(ModelKind::Llama2_7b, 3, 12, 6, &[1.0, 0.5]);
+        assert_eq!(rows.len(), 2);
+        let ample = &rows[0];
+        let scarce = &rows[1];
+        // Everything fits at scale 1.0: no queueing, no spill.
+        assert_eq!(ample.max_queue_ticks, 0);
+        assert_eq!(ample.spill_bytes, 0);
+        // At half capacity the third request queues behind the first two,
+        // whose decode growth oversubscribes the shared budget and spills...
+        assert!(scarce.max_queue_ticks > 0);
+        assert!(scarce.spill_bytes > 0);
+        assert!(scarce.dram_energy_j > ample.dram_energy_j);
+        // ...but the functional output is unchanged.
+        assert_eq!(ample.tokens_generated, scarce.tokens_generated);
+        assert_eq!(ample.tokens_generated, 18);
     }
 
     #[test]

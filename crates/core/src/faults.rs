@@ -3,8 +3,8 @@
 //!
 //! `kelle-edram` expresses retention failures as per-group bit-flip rates
 //! ([`GroupBitFlipRates`]); `kelle-model` consumes them as a
-//! [`FaultInjector`].  Keeping the conversion here avoids a dependency between
-//! the two substrate crates.
+//! [`FaultInjector`](kelle_model::fault::FaultInjector).  Keeping the
+//! conversion here avoids a dependency between the two substrate crates.
 
 use kelle_edram::{GroupBitFlipRates, RefreshPolicy, RetentionModel};
 use kelle_model::fault::{BitFlipRates, ProbabilisticFaults};

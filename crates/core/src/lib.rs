@@ -39,11 +39,27 @@
 //!     ServeRequest::new(vec![7, 8, 9], 4),
 //!     ServeRequest::builder(vec![10, 11]).decode_len(4).policy(CachePolicy::Full).build(),
 //! ];
-//! let batch = engine.serve_batch_streaming(requests, |request, _token| {
+//! let batch = engine.serve_batch_streaming(requests.clone(), |request, _token| {
 //!     assert!(request < 2);
 //! });
 //! assert_eq!(batch.outcomes.len(), 2);
 //! assert_eq!(batch.stats.tokens_generated, 8);
+//!
+//! // Shared-capacity arbitration: the same requests contend for one eDRAM
+//! // budget — they may queue (admission control) and spill to DRAM (cost
+//! // model), but their token streams never change.
+//! use kelle::SchedulerConfig;
+//! let capacity: u64 = requests
+//!     .iter()
+//!     .map(|r| engine.kv_footprint_bytes(r.prompt().len() + r.decode_len()))
+//!     .sum();
+//! let contended = engine.serve_batch_with(
+//!     requests,
+//!     SchedulerConfig::default().with_kv_capacity_bytes(capacity / 2),
+//! );
+//! for (a, b) in batch.outcomes.iter().zip(contended.outcomes.iter()) {
+//!     assert_eq!(a.generated, b.generated);
+//! }
 //! ```
 //!
 //! The main entry points are:
@@ -53,7 +69,10 @@
 //!   latency/energy;
 //! * [`Session`] / [`ServeRequest`] — multi-turn serving with KV-cache reuse
 //!   and per-request policy/budget/seed overrides;
-//! * [`scheduler`] — the continuous-batching scheduler behind `serve_batch`;
+//! * [`scheduler`] — the continuous-batching admission pipeline behind
+//!   `serve_batch`: waiting queue, [`AdmissionPolicy`], the shared
+//!   [`CapacityLedger`](kelle_edram::CapacityLedger) and the contention
+//!   metrics of [`BatchOutcome`];
 //! * [`CachePolicy`] — the registry all cache backends are built from;
 //! * [`accuracy`] — the functional-fidelity experiments behind Tables 2–6 and
 //!   Fig. 8;
@@ -75,7 +94,10 @@ pub use engine::{EngineBuilder, EngineConfig, EngineStats, KelleEngine, ServeOut
 pub use experiment::{EndToEndRow, EndToEndSummary};
 pub use faults::fault_injector_for_policy;
 pub use kelle_cache::CachePolicy;
-pub use scheduler::{BatchOutcome, BatchScheduler, StepEvent};
+pub use scheduler::{
+    AdmissionPolicy, BatchIncomplete, BatchOutcome, BatchScheduler, ContentionMetrics,
+    RequestTiming, SchedulerConfig, StepEvent,
+};
 pub use session::{ServeRequest, ServeRequestBuilder, Session, TurnOutcome};
 
 pub use kelle_arch as arch;

@@ -1,27 +1,131 @@
-//! Continuous-batching scheduler.
+//! Continuous-batching scheduler with shared-capacity admission control.
 //!
-//! [`BatchScheduler`] keeps many [`Session`]s in flight at once.  Admission
-//! pre-fills a request's prompt; each [`step`](BatchScheduler::step) then runs
-//! *one* decode step for *every* unfinished request, in admission order
-//! (round-robin), so no request can starve while another drains its decode
-//! budget.  This is the serving shape the paper targets on edge accelerators:
-//! a shared hardware budget advanced one token per sequence per scheduler
-//! tick, instead of head-of-line blocking behind whole requests.
+//! [`BatchScheduler`] keeps many [`Session`]s in flight at once, arbitrating
+//! one shared eDRAM budget across them.  Serving is a three-stage pipeline:
+//!
+//! 1. **Submit** — [`submit`](BatchScheduler::submit) enqueues a request into
+//!    the waiting queue.  It does *not* guarantee immediate service.
+//! 2. **Admit** — a configurable [`AdmissionPolicy`] promotes waiting
+//!    requests into active decode slots whenever the [`CapacityLedger`] can
+//!    host their prefill KV footprint (computed at full hardware scale, the
+//!    same per-token byte cost [`Platform::simulate`](kelle_arch::Platform)
+//!    charges).  Admission pre-fills the prompt and opens a capacity lease.
+//! 3. **Step** — each [`step`](BatchScheduler::step) runs one decode step for
+//!    every active request in admission order (round-robin fairness), grows
+//!    each lease by the decoded token's KV bytes, releases capacity when a
+//!    request completes, and back-fills from the waiting queue.
+//!
+//! # Equivalence guarantee
 //!
 //! Sessions are functionally independent (each owns its cache and fault
-//! stream), so interleaving decode steps does not change any request's token
-//! stream — the scheduler's aggregate statistics provably equal the sum of
-//! serving the same requests sequentially, which the integration tests
-//! assert.
+//! stream), so *capacity arbitration changes cost and ordering, never sampled
+//! tokens*: for any capacity and admission policy, every request's generated
+//! token stream is byte-identical to serving it alone or through the
+//! unbounded scheduler — the integration and property tests assert this for
+//! random request mixes.  Contention shows up in two places only: the
+//! hardware cost model (a request whose peak-concurrency share of the eDRAM
+//! is smaller than its working set has the excess charged at DRAM access
+//! cost) and the queueing metrics of [`BatchOutcome::contention`].
+//!
+//! # Capacity model
+//!
+//! The ledger tracks each session's *full-scale* KV bytes — per-token bytes
+//! under the platform's cache policy (AERP stores popular tokens as input
+//! vectors at half cost) times layers, times the hardware batch size, with
+//! the token count capped at the hardware budget `N'`.  Admission checks the
+//! prompt's prefill footprint; decode growth is never refused (a live request
+//! cannot be paused mid-token), so the ledger may oversubscribe.  A request
+//! whose peak concurrency exceeded the arbitrated capacity is costed against
+//! a proportional slice of the on-chip KV memory,
+//! `min(capacity, physical) x my_bytes / peak_concurrent_bytes`, instead of
+//! the whole device; the bytes that lose on-chip residency are reported as
+//! spill and charged at [`DramSpec`](kelle_edram::DramSpec) cost.  With
+//! unbounded capacity (the default) every request is admitted at submit time
+//! with the whole memory granted, reproducing the PR 1 scheduler exactly.
 
 use crate::engine::{EngineStats, KelleEngine, ServeOutcome};
 use crate::session::{ServeRequest, Session};
+use kelle_cache::{BudgetPartitioner, CacheBudget, PartitionMode};
+use kelle_edram::{CapacityLedger, LeaseId};
 use kelle_model::DecodeTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which waiting request the admission stage promotes next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Strict first-come-first-served: only the head of the queue is ever
+    /// considered, so a large request at the head blocks everything behind it
+    /// (no starvation, head-of-line blocking possible).
+    #[default]
+    Fcfs,
+    /// Shortest-prompt-first: the waiting request with the smallest prefill
+    /// footprint is considered first (better queue latency for small
+    /// requests; a large request can be overtaken indefinitely).
+    ShortestPromptFirst,
+    /// First-fit: the queue is scanned in arrival order and every request
+    /// whose footprint fits is admitted, skipping over those that do not.
+    CapacityFit,
+}
+
+impl AdmissionPolicy {
+    /// All policies, for sweeps.
+    pub fn all() -> [AdmissionPolicy; 3] {
+        [
+            AdmissionPolicy::Fcfs,
+            AdmissionPolicy::ShortestPromptFirst,
+            AdmissionPolicy::CapacityFit,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Fcfs => "fcfs",
+            AdmissionPolicy::ShortestPromptFirst => "shortest-prompt-first",
+            AdmissionPolicy::CapacityFit => "capacity-fit",
+        }
+    }
+}
+
+/// Configuration of the admission pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Shared KV-memory budget concurrent requests contend for, in full-scale
+    /// bytes.  `None` (the default) is the unbounded single-tenant model of
+    /// the PR 1 scheduler: every request is admitted at submit time and
+    /// costed against the whole KV memory.
+    pub kv_capacity_bytes: Option<u64>,
+    /// How waiting requests are promoted when capacity frees up.
+    pub admission: AdmissionPolicy,
+}
+
+impl SchedulerConfig {
+    /// Unbounded capacity, FCFS admission (the PR 1-equivalent default).
+    pub fn unbounded() -> Self {
+        SchedulerConfig::default()
+    }
+
+    /// Contend for `bytes` of shared KV capacity (builder style).  A zero
+    /// capacity (easily produced by scaling a footprint down to nothing) is
+    /// clamped to one byte — the most starved budget expressible — instead
+    /// of panicking deep inside the ledger.
+    pub fn with_kv_capacity_bytes(mut self, bytes: u64) -> Self {
+        self.kv_capacity_bytes = Some(bytes.max(1));
+        self
+    }
+
+    /// Sets the admission policy (builder style).
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+}
 
 /// One token generated during a scheduler step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepEvent {
-    /// Index of the request (admission order) that produced the token.
+    /// Index of the request (submission order) that produced the token.
     pub request: usize,
     /// The generated token.
     pub token: usize,
@@ -29,16 +133,104 @@ pub struct StepEvent {
     pub finished: bool,
 }
 
+/// Queueing and capacity accounting for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestTiming {
+    /// Scheduler tick at which the request was submitted.
+    pub submitted_tick: u64,
+    /// Tick at which admission promoted it into a decode slot.
+    pub admitted_tick: u64,
+    /// Tick at which its last token was generated.
+    pub finished_tick: u64,
+    /// Ticks spent in the waiting queue (`admitted - submitted`).
+    pub queue_ticks: u64,
+    /// Final full-scale KV footprint of the request in bytes.
+    pub kv_bytes: u64,
+    /// Peak total live bytes observed on the ledger while this request was
+    /// active — the contention it actually experienced.
+    pub peak_concurrent_bytes: u64,
+    /// On-chip KV residency granted by the arbiter (`None` when the request
+    /// was never contended and got the whole memory).
+    pub granted_bytes: Option<u64>,
+    /// KV bytes that lost on-chip residency to contention (relative to the
+    /// single-tenant residency), served from DRAM instead.
+    pub spill_bytes: u64,
+}
+
+/// Batch-level contention metrics.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ContentionMetrics {
+    /// The arbitrated capacity (`None` = unbounded).
+    pub capacity_bytes: Option<u64>,
+    /// Ledger high-water mark: peak live KV bytes across the whole batch.
+    pub peak_residency_bytes: u64,
+    /// Total KV bytes charged at DRAM cost because contention shrank their
+    /// requests' on-chip shares.
+    pub spill_bytes: u64,
+    /// Sum of queue ticks across requests.
+    pub total_queue_ticks: u64,
+    /// Longest time any request spent queueing.
+    pub max_queue_ticks: u64,
+    /// Per-request timings, in submission order.
+    pub per_request: Vec<RequestTiming>,
+}
+
+impl ContentionMetrics {
+    /// Mean ticks a request spent in the waiting queue.
+    pub fn mean_queue_ticks(&self) -> f64 {
+        if self.per_request.is_empty() {
+            0.0
+        } else {
+            self.total_queue_ticks as f64 / self.per_request.len() as f64
+        }
+    }
+}
+
 /// Everything produced by a batch of requests.
 #[derive(Debug)]
 pub struct BatchOutcome {
-    /// Per-request outcomes, in admission order.
+    /// Per-request outcomes, in submission order.
     pub outcomes: Vec<ServeOutcome>,
     /// Aggregate statistics of the batch: the component-wise sum of the
     /// per-request outcomes, equal to what serving the batch sequentially
     /// would have added to [`KelleEngine::stats`].
     pub stats: EngineStats,
+    /// Queueing and shared-capacity accounting.
+    pub contention: ContentionMetrics,
 }
+
+/// Error returned by [`BatchScheduler::finish`] when requests are still
+/// waiting or decoding.  The scheduler is handed back inside the error —
+/// nothing in flight is lost — so the caller can
+/// [`resume`](BatchIncomplete::resume) it and keep stepping.
+#[derive(Debug)]
+pub struct BatchIncomplete<'e> {
+    /// Requests still decoding.
+    pub active: usize,
+    /// Requests still in the waiting queue.
+    pub waiting: usize,
+    scheduler: Box<BatchScheduler<'e>>,
+}
+
+impl<'e> BatchIncomplete<'e> {
+    /// Recovers the scheduler, with every queued and in-flight request
+    /// intact, so it can be driven to completion.
+    pub fn resume(self) -> BatchScheduler<'e> {
+        *self.scheduler
+    }
+}
+
+impl std::fmt::Display for BatchIncomplete<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch is not finished: {} request(s) still decoding, {} waiting",
+            self.active, self.waiting
+        )
+    }
+}
+
+impl std::error::Error for BatchIncomplete<'_> {}
 
 struct Slot<'e> {
     request: ServeRequest,
@@ -47,121 +239,402 @@ struct Slot<'e> {
     generated: Vec<usize>,
     trace: DecodeTrace,
     remaining: usize,
+    lease: LeaseId,
+    peak_concurrent_bytes: u64,
 }
 
-/// Interleaves decode steps across many in-flight serving sessions.
+enum RequestState<'e> {
+    Waiting(ServeRequest),
+    Active(Box<Slot<'e>>),
+    Finished(ServeOutcome),
+    /// Transient placeholder while ownership moves through
+    /// activation/completion; never observable between public calls.
+    Taken,
+}
+
+/// Interleaves decode steps across many in-flight serving sessions under
+/// shared-capacity admission control (see the [module docs](self)).
 pub struct BatchScheduler<'e> {
     engine: &'e KelleEngine,
-    slots: Vec<Slot<'e>>,
-    finished: Vec<Option<ServeOutcome>>,
+    config: SchedulerConfig,
+    ledger: CapacityLedger,
+    states: Vec<RequestState<'e>>,
+    timings: Vec<RequestTiming>,
+    waiting: VecDeque<usize>,
     stats: EngineStats,
+    tick: u64,
+    spill_bytes: u64,
 }
 
 impl<'e> BatchScheduler<'e> {
-    /// A scheduler with no admitted requests.
+    /// A scheduler with unbounded capacity and FCFS admission: every
+    /// submitted request is promoted immediately, exactly reproducing the
+    /// pre-arbitration scheduler.
     pub fn new(engine: &'e KelleEngine) -> Self {
+        BatchScheduler::with_config(engine, SchedulerConfig::default())
+    }
+
+    /// A scheduler arbitrating the configured shared capacity.  A
+    /// hand-assembled zero capacity is clamped to one byte, like in
+    /// [`SchedulerConfig::with_kv_capacity_bytes`].
+    pub fn with_config(engine: &'e KelleEngine, config: SchedulerConfig) -> Self {
+        // An unbounded scheduler still runs the ledger (at u64::MAX capacity)
+        // so high-water accounting works identically in both modes.
+        let ledger = CapacityLedger::new(config.kv_capacity_bytes.unwrap_or(u64::MAX).max(1));
         BatchScheduler {
             engine,
-            slots: Vec::new(),
-            finished: Vec::new(),
+            config,
+            ledger,
+            states: Vec::new(),
+            timings: Vec::new(),
+            waiting: VecDeque::new(),
             stats: EngineStats::default(),
+            tick: 0,
+            spill_bytes: 0,
         }
     }
 
-    /// Admits a request: opens its session (honouring per-request overrides)
-    /// and pre-fills the prompt.  Returns the request's index, which later
-    /// [`StepEvent`]s and the final outcome vector refer to.
+    /// The admission configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// The capacity ledger (live bytes, high-water mark, oversubscription).
+    pub fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+
+    /// Full-scale KV footprint of `tokens` retained tokens — the unit of
+    /// account of the capacity ledger, identical to what the hardware step
+    /// simulation charges per token (capped at the hardware budget `N'`).
+    pub fn kv_footprint_bytes(&self, tokens: usize) -> u64 {
+        self.engine.kv_footprint_bytes(tokens)
+    }
+
+    /// Enqueues a request into the waiting queue and immediately pumps
+    /// admission (so with room available — always, when unbounded — the
+    /// request is pre-filled right away).  Returns the request's index, which
+    /// later [`StepEvent`]s, timings and the final outcome vector refer to.
+    pub fn submit(&mut self, request: ServeRequest) -> usize {
+        let index = self.states.len();
+        self.states.push(RequestState::Waiting(request));
+        self.timings.push(RequestTiming {
+            submitted_tick: self.tick,
+            admitted_tick: 0,
+            finished_tick: 0,
+            queue_ticks: 0,
+            kv_bytes: 0,
+            peak_concurrent_bytes: 0,
+            granted_bytes: None,
+            spill_bytes: 0,
+        });
+        self.waiting.push_back(index);
+        self.pump_admission();
+        index
+    }
+
+    /// Alias of [`submit`](BatchScheduler::submit), kept for source
+    /// compatibility with the pre-admission-pipeline scheduler.
     pub fn admit(&mut self, request: ServeRequest) -> usize {
+        self.submit(request)
+    }
+
+    /// Number of requests currently decoding.
+    pub fn active(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, RequestState::Active(_)))
+            .count()
+    }
+
+    /// Number of requests still in the waiting queue.
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Whether every submitted request has finished.
+    pub fn is_idle(&self) -> bool {
+        self.active() == 0 && self.waiting.is_empty()
+    }
+
+    /// Prefill KV footprint of a waiting request.
+    fn prefill_footprint(&self, index: usize) -> u64 {
+        match &self.states[index] {
+            RequestState::Waiting(request) => self.kv_footprint_bytes(request.prompt().len()),
+            _ => unreachable!("only waiting requests are sized for admission"),
+        }
+    }
+
+    /// Promotes waiting requests into decode slots while the ledger can host
+    /// their prefill footprint, in the order the admission policy dictates.
+    /// When nothing is active and nothing fits, the next candidate is
+    /// force-admitted so a request larger than the whole capacity still makes
+    /// progress instead of deadlocking the queue.
+    fn pump_admission(&mut self) {
+        loop {
+            let candidate = match self.config.admission {
+                AdmissionPolicy::Fcfs => self.waiting.front().map(|&index| (0, index)),
+                AdmissionPolicy::ShortestPromptFirst => self
+                    .waiting
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &index)| match &self.states[index] {
+                        RequestState::Waiting(request) => (request.prompt().len(), index),
+                        _ => unreachable!("waiting queue holds only waiting requests"),
+                    })
+                    .map(|(pos, &index)| (pos, index)),
+                AdmissionPolicy::CapacityFit => self
+                    .waiting
+                    .iter()
+                    .enumerate()
+                    .find(|&(_, &index)| self.ledger.can_fit(self.prefill_footprint(index)))
+                    .or(self.waiting.front().map(|front| (0, front)))
+                    .map(|(pos, &index)| (pos, index)),
+            };
+            let Some((queue_pos, index)) = candidate else {
+                return;
+            };
+            let footprint = self.prefill_footprint(index);
+            let lease = if self.ledger.can_fit(footprint) {
+                self.ledger.reserve(footprint).expect("can_fit checked")
+            } else if self.active() == 0 {
+                // Forward-progress guarantee: an empty machine admits the
+                // candidate even if it oversubscribes on its own.
+                self.ledger.force_reserve(footprint)
+            } else {
+                return;
+            };
+            self.waiting.remove(queue_pos);
+            self.activate(index, lease);
+        }
+    }
+
+    /// Opens the session for an admitted request and pre-fills its prompt.
+    fn activate(&mut self, index: usize, lease: LeaseId) {
+        let request = match std::mem::replace(&mut self.states[index], RequestState::Taken) {
+            RequestState::Waiting(request) => request,
+            _ => unreachable!("only waiting requests are activated"),
+        };
         let mut session = self.engine.open_session_for(&request);
         let prefilled = session.prefill(request.prompt());
         let remaining = request.decode_len();
-        self.slots.push(Slot {
+        self.timings[index].admitted_tick = self.tick;
+        self.timings[index].queue_ticks = self.tick - self.timings[index].submitted_tick;
+        self.states[index] = RequestState::Active(Box::new(Slot {
             request,
             session,
             prefilled,
             generated: Vec::with_capacity(remaining),
             trace: DecodeTrace::default(),
             remaining,
-        });
-        self.finished.push(None);
-        self.slots.len() - 1
+            lease,
+            peak_concurrent_bytes: self.ledger.live_bytes(),
+        }));
     }
 
-    /// Number of admitted requests still decoding.
-    pub fn active(&self) -> usize {
-        self.slots.iter().filter(|s| s.remaining > 0).count()
-    }
-
-    /// Whether every admitted request has finished.
-    pub fn is_idle(&self) -> bool {
-        self.active() == 0
-    }
-
-    /// Runs one decode step for every unfinished request, in admission order.
+    /// Runs one decode step for every active request, in submission order.
     /// Returns one [`StepEvent`] per request that made progress (every active
-    /// request does — the fairness property the tests assert).
+    /// request does — the fairness property the tests assert).  Completed
+    /// requests release their capacity and the waiting queue is back-filled
+    /// before the call returns.
     pub fn step(&mut self) -> Vec<StepEvent> {
+        self.tick += 1;
         let mut events = Vec::new();
-        for (index, slot) in self.slots.iter_mut().enumerate() {
-            if slot.remaining == 0 {
+        let mut completed = Vec::new();
+        for index in 0..self.states.len() {
+            let RequestState::Active(slot) = &mut self.states[index] else {
                 continue;
-            }
+            };
+            let tokens_before = slot.session.position();
             let step = slot.session.decode_one();
             slot.generated.push(step.token);
             slot.trace.steps.push(step.record);
             slot.remaining -= 1;
+            // Grow the lease by the decoded token's full-scale KV bytes
+            // (zero once the hardware budget N' saturates).
+            let growth = self
+                .engine
+                .kv_footprint_bytes(slot.session.position())
+                .saturating_sub(self.engine.kv_footprint_bytes(tokens_before));
+            let lease = slot.lease;
             let finished = slot.remaining == 0;
+            self.ledger.grow(lease, growth);
             events.push(StepEvent {
                 request: index,
                 token: step.token,
                 finished,
             });
             if finished {
-                let generated = std::mem::take(&mut slot.generated);
-                let trace = std::mem::take(&mut slot.trace);
-                let turn = slot.session.finish_turn(
-                    generated,
-                    trace,
-                    slot.prefilled,
-                    slot.request.decode_len(),
-                    slot.request.label(),
-                );
-                self.stats = self.stats.merged(EngineStats::from_turn(&turn));
-                self.finished[index] = Some(turn.into());
+                completed.push(index);
             }
         }
+        // All of this step's growth is on the ledger: record the concurrency
+        // every active request experienced this tick.
+        let live = self.ledger.live_bytes();
+        for state in &mut self.states {
+            if let RequestState::Active(slot) = state {
+                slot.peak_concurrent_bytes = slot.peak_concurrent_bytes.max(live);
+            }
+        }
+        for index in completed {
+            self.complete(index);
+        }
+        // Freed capacity back-fills the waiting queue; the newly admitted
+        // requests are pre-filled now and decode from the next tick.
+        self.pump_admission();
         events
+    }
+
+    /// Finalises a request: derives its capacity grant from the contention it
+    /// experienced, simulates its hardware cost, and releases its lease.
+    fn complete(&mut self, index: usize) {
+        let state = std::mem::replace(&mut self.states[index], RequestState::Taken);
+        let RequestState::Active(mut slot) = state else {
+            unreachable!("only active requests complete");
+        };
+        let kv_bytes = self.ledger.lease_bytes(slot.lease);
+        let peak = slot.peak_concurrent_bytes;
+        let capacity = self.ledger.capacity_bytes();
+        // Uncontended (peak within the arbitrated capacity), the request is
+        // costed like a single tenant: the whole KV memory (`None`).  Under
+        // contention it gets its proportional slice `my_bytes / peak` of the
+        // on-chip KV memory (further bounded by the arbitrated capacity, so
+        // a budget below the physical memory models a smaller device), and
+        // the bytes that thereby lose on-chip residency are the spill the
+        // outcome reports — they are charged at DRAM access cost.
+        let physical = self.engine.platform().memory.kv_memory.capacity_bytes;
+        let (granted, spill) = if peak > capacity {
+            let onchip = capacity.min(physical);
+            let granted = ((onchip as u128 * kv_bytes as u128) / peak as u128) as u64;
+            let uncontended_resident = kv_bytes.min(physical);
+            let contended_resident = kv_bytes.min(granted);
+            (Some(granted), uncontended_resident - contended_resident)
+        } else {
+            (None, 0)
+        };
+        let timing = &mut self.timings[index];
+        timing.finished_tick = self.tick;
+        timing.kv_bytes = kv_bytes;
+        timing.peak_concurrent_bytes = peak;
+        timing.granted_bytes = granted;
+        timing.spill_bytes = spill;
+        self.spill_bytes += spill;
+
+        let generated = std::mem::take(&mut slot.generated);
+        let trace = std::mem::take(&mut slot.trace);
+        let turn = slot.session.finish_turn(
+            generated,
+            trace,
+            slot.prefilled,
+            slot.request.decode_len(),
+            slot.request.label(),
+            granted,
+        );
+        self.stats = self.stats.merged(EngineStats::from_turn(&turn));
+        self.ledger.release(slot.lease);
+        self.states[index] = RequestState::Finished(turn.into());
+    }
+
+    /// Effective per-session `N'` shares of the engine's cache budget for the
+    /// currently active sessions, derived from their live context lengths —
+    /// the algorithmic view of the same contention the ledger arbitrates.
+    /// Purely observational: shares are never applied to live caches (that
+    /// would change token streams and break the equivalence guarantee).
+    pub fn partitioned_budgets(&self, mode: PartitionMode) -> Vec<(usize, CacheBudget)> {
+        let active: Vec<(usize, usize)> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter_map(|(index, state)| match state {
+                RequestState::Active(slot) => Some((index, slot.session.position())),
+                _ => None,
+            })
+            .collect();
+        let contexts: Vec<usize> = active.iter().map(|&(_, context)| context).collect();
+        let partitioner = BudgetPartitioner::new(self.engine.config().budget, mode);
+        active
+            .iter()
+            .map(|&(index, _)| index)
+            .zip(partitioner.shares(&contexts))
+            .collect()
+    }
+
+    /// Drives [`step`](BatchScheduler::step) until every submitted request
+    /// has finished, then collects the outcome.  This is the panic-free
+    /// driver behind [`KelleEngine::serve_batch`].
+    pub fn run_to_completion(self) -> BatchOutcome {
+        self.run_to_completion_streaming(|_, _| {})
+    }
+
+    /// Like [`run_to_completion`](BatchScheduler::run_to_completion),
+    /// invoking `on_token` with `(request_index, token)` as tokens are
+    /// generated.
+    pub fn run_to_completion_streaming(
+        mut self,
+        mut on_token: impl FnMut(usize, usize),
+    ) -> BatchOutcome {
+        while !self.is_idle() {
+            for event in self.step() {
+                on_token(event.request, event.token);
+            }
+        }
+        self.finish()
+            .expect("scheduler is idle, finish cannot fail")
     }
 
     /// Collects the per-request outcomes and the batch aggregate.
     ///
-    /// # Panics
-    ///
-    /// Panics if any admitted request has not finished yet (drive
-    /// [`step`](BatchScheduler::step) until [`is_idle`](BatchScheduler::is_idle)).
-    pub fn finish(self) -> BatchOutcome {
-        assert!(
-            self.is_idle(),
-            "finish() called with {} request(s) still active",
-            self.active()
-        );
+    /// Returns [`BatchIncomplete`] if any submitted request is still waiting
+    /// or decoding; the error hands the scheduler back
+    /// ([`BatchIncomplete::resume`]) so the batch can still be driven with
+    /// [`step`](BatchScheduler::step) until
+    /// [`is_idle`](BatchScheduler::is_idle) — or use
+    /// [`run_to_completion`](BatchScheduler::run_to_completion) and never
+    /// deal with the error at all.
+    pub fn finish(self) -> Result<BatchOutcome, BatchIncomplete<'e>> {
+        if !self.is_idle() {
+            return Err(BatchIncomplete {
+                active: self.active(),
+                waiting: self.waiting.len(),
+                scheduler: Box::new(self),
+            });
+        }
         let outcomes: Vec<ServeOutcome> = self
-            .finished
+            .states
             .into_iter()
-            .map(|o| o.expect("finished request has an outcome"))
+            .map(|state| match state {
+                RequestState::Finished(outcome) => outcome,
+                _ => unreachable!("idle scheduler holds only finished requests"),
+            })
             .collect();
-        BatchOutcome {
+        let contention = ContentionMetrics {
+            capacity_bytes: self.config.kv_capacity_bytes,
+            peak_residency_bytes: self.ledger.high_water_bytes(),
+            spill_bytes: self.spill_bytes,
+            total_queue_ticks: self.timings.iter().map(|t| t.queue_ticks).sum(),
+            max_queue_ticks: self
+                .timings
+                .iter()
+                .map(|t| t.queue_ticks)
+                .max()
+                .unwrap_or(0),
+            per_request: self.timings,
+        };
+        Ok(BatchOutcome {
             outcomes,
             stats: self.stats,
-        }
+            contention,
+        })
     }
 }
 
 impl std::fmt::Debug for BatchScheduler<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BatchScheduler")
-            .field("admitted", &self.slots.len())
+            .field("submitted", &self.states.len())
+            .field("waiting", &self.waiting.len())
             .field("active", &self.active())
+            .field("live_bytes", &self.ledger.live_bytes())
             .finish()
     }
 }
@@ -179,9 +652,10 @@ mod tests {
     fn scheduler_round_robins_until_done() {
         let engine = engine();
         let mut scheduler = BatchScheduler::new(&engine);
-        scheduler.admit(ServeRequest::new(vec![1, 2, 3], 2));
-        scheduler.admit(ServeRequest::new(vec![4, 5, 6], 4));
+        scheduler.submit(ServeRequest::new(vec![1, 2, 3], 2));
+        scheduler.submit(ServeRequest::new(vec![4, 5, 6], 4));
         assert_eq!(scheduler.active(), 2);
+        assert_eq!(scheduler.waiting(), 0);
 
         // Both requests progress in the first two steps; only the longer one
         // afterwards.
@@ -196,20 +670,156 @@ mod tests {
         scheduler.step();
         assert!(scheduler.is_idle());
 
-        let outcome = scheduler.finish();
+        let outcome = scheduler.finish().expect("batch is idle");
         assert_eq!(outcome.outcomes.len(), 2);
         assert_eq!(outcome.outcomes[0].generated.len(), 2);
         assert_eq!(outcome.outcomes[1].generated.len(), 4);
         assert_eq!(outcome.stats.requests, 2);
         assert_eq!(outcome.stats.tokens_generated, 6);
+        // Unbounded: nobody queued, nothing spilled, but the high-water mark
+        // still saw both requests' bytes.
+        assert_eq!(outcome.contention.total_queue_ticks, 0);
+        assert_eq!(outcome.contention.spill_bytes, 0);
+        assert!(outcome.contention.peak_residency_bytes > 0);
+        assert!(outcome
+            .contention
+            .per_request
+            .iter()
+            .all(|t| t.kv_bytes > 0));
     }
 
     #[test]
-    #[should_panic(expected = "still active")]
-    fn finish_before_idle_panics() {
+    fn finish_before_idle_is_a_recoverable_error() {
         let engine = engine();
         let mut scheduler = BatchScheduler::new(&engine);
-        scheduler.admit(ServeRequest::new(vec![1, 2], 3));
-        scheduler.finish();
+        scheduler.submit(ServeRequest::new(vec![1, 2], 3));
+        let err = scheduler.finish().unwrap_err();
+        assert_eq!((err.active, err.waiting), (1, 0));
+        assert!(err.to_string().contains("1 request(s) still decoding"));
+        // Nothing in flight was lost: the scheduler comes back out of the
+        // error and the batch still completes.
+        let outcome = err.resume().run_to_completion();
+        assert_eq!(outcome.outcomes[0].generated.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_not_a_panic() {
+        let config = SchedulerConfig::default().with_kv_capacity_bytes(0);
+        assert_eq!(config.kv_capacity_bytes, Some(1));
+        // A hand-assembled zero is clamped at construction too.
+        let engine = engine();
+        let raw = SchedulerConfig {
+            kv_capacity_bytes: Some(0),
+            admission: AdmissionPolicy::Fcfs,
+        };
+        let scheduler = BatchScheduler::with_config(&engine, raw);
+        assert_eq!(scheduler.ledger().capacity_bytes(), 1);
+    }
+
+    #[test]
+    fn bounded_capacity_queues_and_backfills() {
+        let engine = engine();
+        // Room for exactly one 4-token prompt at a time (the second request's
+        // decode growth will oversubscribe, which is allowed).
+        let capacity = engine.kv_footprint_bytes(4);
+        let config = SchedulerConfig::default().with_kv_capacity_bytes(capacity);
+        let mut scheduler = BatchScheduler::with_config(&engine, config);
+        scheduler.submit(ServeRequest::new(vec![1, 2, 3, 4], 2));
+        scheduler.submit(ServeRequest::new(vec![5, 6, 7, 8], 2));
+        // Only the first fits; the second waits.
+        assert_eq!(scheduler.active(), 1);
+        assert_eq!(scheduler.waiting(), 1);
+
+        let s1 = scheduler.step();
+        assert_eq!(s1.len(), 1);
+        let s2 = scheduler.step();
+        assert!(s2[0].finished);
+        // The release back-filled the queue within the same step call.
+        assert_eq!(scheduler.active(), 1);
+        assert_eq!(scheduler.waiting(), 0);
+        scheduler.step();
+        scheduler.step();
+        assert!(scheduler.is_idle());
+        let outcome = scheduler.finish().expect("batch is idle");
+        let timing = &outcome.contention.per_request[1];
+        assert_eq!(timing.queue_ticks, 2);
+        assert_eq!(outcome.contention.total_queue_ticks, 2);
+        assert_eq!(outcome.contention.max_queue_ticks, 2);
+    }
+
+    #[test]
+    fn oversized_request_is_force_admitted() {
+        let engine = engine();
+        // Capacity smaller than even a single token's footprint.
+        let config = SchedulerConfig::default().with_kv_capacity_bytes(1);
+        let mut scheduler = BatchScheduler::with_config(&engine, config);
+        scheduler.submit(ServeRequest::new(vec![1, 2, 3], 2));
+        assert_eq!(scheduler.active(), 1, "empty machine must force-admit");
+        let outcome = scheduler.run_to_completion();
+        assert_eq!(outcome.outcomes[0].generated.len(), 2);
+        // Everything beyond the 1-byte capacity spilled.
+        assert!(outcome.contention.spill_bytes > 0);
+        let timing = &outcome.contention.per_request[0];
+        assert_eq!(timing.granted_bytes, Some(1));
+    }
+
+    #[test]
+    fn shortest_prompt_first_overtakes() {
+        let engine = engine();
+        let capacity = engine.kv_footprint_bytes(8);
+        let config = SchedulerConfig::default()
+            .with_kv_capacity_bytes(capacity)
+            .with_admission(AdmissionPolicy::ShortestPromptFirst);
+        let mut scheduler = BatchScheduler::with_config(&engine, config);
+        // The 8-token prompt fills the machine; then a long and a short
+        // request queue behind it.
+        scheduler.submit(ServeRequest::new(vec![1; 8], 1));
+        scheduler.submit(ServeRequest::new(vec![2; 6], 1));
+        scheduler.submit(ServeRequest::new(vec![3; 2], 1));
+        assert_eq!(scheduler.waiting(), 2);
+        let outcome = scheduler.run_to_completion();
+        let timings = &outcome.contention.per_request;
+        // The short prompt (submitted last) was admitted no later than the
+        // 6-token one.
+        assert!(timings[2].admitted_tick <= timings[1].admitted_tick);
+        // Outcomes stay in submission order regardless of admission order.
+        assert_eq!(outcome.outcomes[0].generated.len(), 1);
+        assert_eq!(outcome.outcomes.len(), 3);
+    }
+
+    #[test]
+    fn capacity_fit_skips_blocked_head() {
+        let engine = engine();
+        let capacity = engine.kv_footprint_bytes(8);
+        let config = SchedulerConfig::default()
+            .with_kv_capacity_bytes(capacity)
+            .with_admission(AdmissionPolicy::CapacityFit);
+        let mut scheduler = BatchScheduler::with_config(&engine, config);
+        // 6 tokens active; a 7-token head would need 13 total, but the
+        // 2-token request behind it fits alongside.
+        scheduler.submit(ServeRequest::new(vec![1; 6], 4));
+        scheduler.submit(ServeRequest::new(vec![2; 7], 1));
+        scheduler.submit(ServeRequest::new(vec![3; 2], 1));
+        assert_eq!(scheduler.active(), 2, "first-fit admits around the head");
+        let outcome = scheduler.run_to_completion();
+        let timings = &outcome.contention.per_request;
+        assert_eq!(timings[2].queue_ticks, 0);
+        assert!(timings[1].queue_ticks > 0);
+    }
+
+    #[test]
+    fn partitioned_budgets_reflect_active_sessions() {
+        let engine = engine();
+        let mut scheduler = BatchScheduler::new(&engine);
+        scheduler.submit(ServeRequest::new(vec![1; 6], 4));
+        scheduler.submit(ServeRequest::new(vec![2; 2], 4));
+        let equal = scheduler.partitioned_budgets(PartitionMode::EqualSplit);
+        assert_eq!(equal.len(), 2);
+        assert_eq!(equal[0].1, equal[1].1);
+        let proportional = scheduler.partitioned_budgets(PartitionMode::ProportionalToContext);
+        // The 6-token session holds more context, so it gets the larger N'.
+        assert!(proportional[0].1.max_tokens > proportional[1].1.max_tokens);
+        let total: usize = proportional.iter().map(|(_, b)| b.max_tokens).sum();
+        assert!(total <= engine.config().budget.max_tokens);
     }
 }

@@ -345,12 +345,18 @@ impl<'e> Session<'e> {
             generated.push(step.token);
             trace.steps.push(step.record);
         }
-        self.finish_turn(generated, trace, prefilled, decode_len, label)
+        self.finish_turn(generated, trace, prefilled, decode_len, label, None)
     }
 
     /// Assembles a [`TurnOutcome`] from collected decode results, simulates
     /// the turn's hardware cost and folds it into the engine statistics.
     /// Shared by [`run_turn`](Session::run_turn) and the batch scheduler.
+    ///
+    /// `kv_capacity_bytes` is the on-chip KV residency granted to this turn
+    /// under shared-capacity arbitration (`None` = the whole KV memory, the
+    /// single-tenant default): KV bytes beyond the grant are charged at DRAM
+    /// access cost.  The grant only changes the *hardware* cost model — the
+    /// generated tokens were already sampled and are never affected.
     pub(crate) fn finish_turn(
         &mut self,
         generated: Vec<usize>,
@@ -358,6 +364,7 @@ impl<'e> Session<'e> {
         prefilled_tokens: usize,
         decode_len: usize,
         label: &'static str,
+        kv_capacity_bytes: Option<u64>,
     ) -> TurnOutcome {
         let config = self.engine.config();
         // The decode phase attends over the whole accumulated context, while
@@ -371,7 +378,8 @@ impl<'e> Session<'e> {
             decode_len.max(1),
             config.batch,
         )
-        .with_reused_context(reused);
+        .with_reused_context(reused)
+        .with_kv_capacity_bytes(kv_capacity_bytes);
         let hardware = self.engine.platform().simulate(
             self.engine.model().config(),
             &workload,

@@ -1,0 +1,303 @@
+//! Shared eDRAM capacity accounting for concurrent serving sessions.
+//!
+//! The paper's KV policies exist because on-chip capacity is scarce (§4.1):
+//! one 4 MB eDRAM array holds the KV working sets of *every* request decoding
+//! on the accelerator at once.  [`CapacityLedger`] is the single source of
+//! truth for that shared budget.  Each admitted session holds a *lease* whose
+//! byte count grows as its context grows; the ledger tracks the total live
+//! bytes against the device capacity, the lifetime high-water mark, and the
+//! bytes oversubscribed past capacity (which a serving stack must spill to
+//! off-chip DRAM and charge at [`DramSpec`](crate::DramSpec) cost).
+//!
+//! Two reservation paths exist on purpose:
+//!
+//! * [`reserve`](CapacityLedger::reserve) is *checked* — it refuses to admit a
+//!   footprint that does not fit in the remaining capacity.  Admission control
+//!   uses this: the ledger never exceeds capacity through `reserve` alone.
+//! * [`force_reserve`](CapacityLedger::force_reserve) and
+//!   [`grow`](CapacityLedger::grow) are *unchecked* — decoding a token grows a
+//!   live session's KV no matter how full the device is, so growth may
+//!   oversubscribe.  The excess is reported as
+//!   [`oversubscribed_bytes`](CapacityLedger::oversubscribed_bytes) rather
+//!   than rejected.
+
+use serde::{Deserialize, Serialize};
+
+/// Handle to one session's reservation inside a [`CapacityLedger`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LeaseId(usize);
+
+/// Why a checked reservation was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerError {
+    /// The requested bytes do not fit in the remaining capacity.
+    InsufficientCapacity {
+        /// Bytes the caller asked for.
+        requested: u64,
+        /// Bytes still available below the capacity line.
+        available: u64,
+    },
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::InsufficientCapacity {
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot reserve {requested} bytes: only {available} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Tracks live KV bytes per session against one shared memory capacity.
+///
+/// Invariants (asserted by the property tests):
+///
+/// * `live_bytes` always equals the sum of all outstanding lease sizes, so it
+///   can never go negative and `release` always returns exactly what the
+///   lease held;
+/// * `reserve` never pushes `live_bytes` past `capacity_bytes` — only
+///   `force_reserve`/`grow` can oversubscribe, and the excess is reported via
+///   `oversubscribed_bytes`;
+/// * `high_water_bytes` is monotone non-decreasing and always `>= live_bytes`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapacityLedger {
+    capacity_bytes: u64,
+    leases: Vec<Option<u64>>,
+    live_bytes: u64,
+    high_water_bytes: u64,
+    peak_oversubscription_bytes: u64,
+}
+
+impl CapacityLedger {
+    /// A ledger arbitrating `capacity_bytes` of shared memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "ledger capacity must be non-zero");
+        CapacityLedger {
+            capacity_bytes,
+            leases: Vec::new(),
+            live_bytes: 0,
+            high_water_bytes: 0,
+            peak_oversubscription_bytes: 0,
+        }
+    }
+
+    /// A ledger sized to a memory device's capacity.
+    pub fn for_memory(memory: &crate::MemorySpec) -> Self {
+        CapacityLedger::new(memory.capacity_bytes)
+    }
+
+    /// The arbitrated capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently held by outstanding leases.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Bytes still available below the capacity line (zero when
+    /// oversubscribed).
+    pub fn available_bytes(&self) -> u64 {
+        self.capacity_bytes.saturating_sub(self.live_bytes)
+    }
+
+    /// Whether a checked reservation of `bytes` would succeed right now.
+    pub fn can_fit(&self, bytes: u64) -> bool {
+        bytes <= self.available_bytes()
+    }
+
+    /// Highest `live_bytes` ever observed.
+    pub fn high_water_bytes(&self) -> u64 {
+        self.high_water_bytes
+    }
+
+    /// Bytes currently held past capacity — the working set a serving stack
+    /// must spill to off-chip DRAM.
+    pub fn oversubscribed_bytes(&self) -> u64 {
+        self.live_bytes.saturating_sub(self.capacity_bytes)
+    }
+
+    /// Highest oversubscription ever observed.
+    pub fn peak_oversubscription_bytes(&self) -> u64 {
+        self.peak_oversubscription_bytes
+    }
+
+    /// Fraction of capacity currently in use (may exceed 1.0 when
+    /// oversubscribed).
+    pub fn utilization(&self) -> f64 {
+        self.live_bytes as f64 / self.capacity_bytes as f64
+    }
+
+    /// Number of outstanding leases.
+    pub fn active_leases(&self) -> usize {
+        self.leases.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Bytes held by one lease.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lease was already released.
+    pub fn lease_bytes(&self, lease: LeaseId) -> u64 {
+        self.leases[lease.0].expect("lease already released")
+    }
+
+    fn open_lease(&mut self, bytes: u64) -> LeaseId {
+        self.live_bytes += bytes;
+        self.high_water_bytes = self.high_water_bytes.max(self.live_bytes);
+        self.peak_oversubscription_bytes = self
+            .peak_oversubscription_bytes
+            .max(self.oversubscribed_bytes());
+        self.leases.push(Some(bytes));
+        LeaseId(self.leases.len() - 1)
+    }
+
+    /// Checked reservation: opens a lease of `bytes` only if it fits in the
+    /// remaining capacity.  This is the admission-control path — the ledger
+    /// can never exceed capacity through `reserve` alone.
+    pub fn reserve(&mut self, bytes: u64) -> Result<LeaseId, LedgerError> {
+        if !self.can_fit(bytes) {
+            return Err(LedgerError::InsufficientCapacity {
+                requested: bytes,
+                available: self.available_bytes(),
+            });
+        }
+        Ok(self.open_lease(bytes))
+    }
+
+    /// Unchecked reservation: opens a lease of `bytes` even if it
+    /// oversubscribes the device.  Used to guarantee forward progress when a
+    /// single request is larger than the whole capacity.
+    pub fn force_reserve(&mut self, bytes: u64) -> LeaseId {
+        self.open_lease(bytes)
+    }
+
+    /// Grows a live lease by `additional_bytes` (KV growth during decoding).
+    /// Growth is never refused; the excess past capacity shows up in
+    /// [`oversubscribed_bytes`](CapacityLedger::oversubscribed_bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lease was already released.
+    pub fn grow(&mut self, lease: LeaseId, additional_bytes: u64) {
+        let slot = self.leases[lease.0]
+            .as_mut()
+            .expect("lease already released");
+        *slot += additional_bytes;
+        self.live_bytes += additional_bytes;
+        self.high_water_bytes = self.high_water_bytes.max(self.live_bytes);
+        self.peak_oversubscription_bytes = self
+            .peak_oversubscription_bytes
+            .max(self.oversubscribed_bytes());
+    }
+
+    /// Releases a lease, returning the bytes it held.  Releasing is what lets
+    /// admission control back-fill waiting requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lease was already released.
+    pub fn release(&mut self, lease: LeaseId) -> u64 {
+        let bytes = self.leases[lease.0].take().expect("lease already released");
+        self.live_bytes -= bytes;
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemorySpec;
+
+    #[test]
+    fn reserve_release_roundtrip() {
+        let mut ledger = CapacityLedger::new(100);
+        let a = ledger.reserve(40).unwrap();
+        let b = ledger.reserve(60).unwrap();
+        assert_eq!(ledger.live_bytes(), 100);
+        assert_eq!(ledger.available_bytes(), 0);
+        assert_eq!(ledger.active_leases(), 2);
+        assert_eq!(ledger.release(a), 40);
+        assert_eq!(ledger.live_bytes(), 60);
+        assert_eq!(ledger.release(b), 60);
+        assert_eq!(ledger.live_bytes(), 0);
+        assert_eq!(ledger.high_water_bytes(), 100);
+    }
+
+    #[test]
+    fn checked_reserve_refuses_overflow() {
+        let mut ledger = CapacityLedger::new(100);
+        ledger.reserve(80).unwrap();
+        let err = ledger.reserve(30).unwrap_err();
+        assert_eq!(
+            err,
+            LedgerError::InsufficientCapacity {
+                requested: 30,
+                available: 20
+            }
+        );
+        // The failed reservation left no trace.
+        assert_eq!(ledger.live_bytes(), 80);
+        assert_eq!(ledger.active_leases(), 1);
+    }
+
+    #[test]
+    fn growth_oversubscribes_instead_of_failing() {
+        let mut ledger = CapacityLedger::new(100);
+        let lease = ledger.reserve(90).unwrap();
+        ledger.grow(lease, 30);
+        assert_eq!(ledger.live_bytes(), 120);
+        assert_eq!(ledger.oversubscribed_bytes(), 20);
+        assert_eq!(ledger.peak_oversubscription_bytes(), 20);
+        assert_eq!(ledger.lease_bytes(lease), 120);
+        assert!((ledger.utilization() - 1.2).abs() < 1e-12);
+        ledger.release(lease);
+        assert_eq!(ledger.oversubscribed_bytes(), 0);
+        // Peak statistics persist after release.
+        assert_eq!(ledger.peak_oversubscription_bytes(), 20);
+        assert_eq!(ledger.high_water_bytes(), 120);
+    }
+
+    #[test]
+    fn force_reserve_admits_requests_larger_than_capacity() {
+        let mut ledger = CapacityLedger::new(10);
+        let lease = ledger.force_reserve(25);
+        assert_eq!(ledger.oversubscribed_bytes(), 15);
+        assert!(!ledger.can_fit(1));
+        ledger.release(lease);
+        assert!(ledger.can_fit(10));
+    }
+
+    #[test]
+    fn for_memory_uses_device_capacity() {
+        let ledger = CapacityLedger::for_memory(&MemorySpec::kelle_kv_edram());
+        assert_eq!(ledger.capacity_bytes(), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "lease already released")]
+    fn double_release_panics() {
+        let mut ledger = CapacityLedger::new(10);
+        let lease = ledger.reserve(5).unwrap();
+        ledger.release(lease);
+        ledger.release(lease);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        CapacityLedger::new(0);
+    }
+}

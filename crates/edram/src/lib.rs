@@ -14,7 +14,11 @@
 //! * the **banked KV-cache layout** of §5.1 (32 banks split across Key/Value ×
 //!   MSB/LSB groups) with bandwidth and conflict accounting;
 //! * the **eDRAM controller** (refresh + eviction controllers) that turns a
-//!   policy and an occupancy trace into refresh-operation counts and energy.
+//!   policy and an occupancy trace into refresh-operation counts and energy;
+//! * the **capacity ledger** ([`CapacityLedger`]) that arbitrates one shared
+//!   eDRAM budget across concurrent serving sessions: checked admission
+//!   reservations, unchecked decode-time growth, high-water and
+//!   spill-to-DRAM (oversubscription) accounting.
 //!
 //! The original paper characterises its arrays with Destiny and Cacti at 65 nm
 //! / 105 °C; neither tool is available here, so the models are analytical and
@@ -27,6 +31,7 @@ pub mod banks;
 pub mod controller;
 pub mod device;
 pub mod faults;
+pub mod ledger;
 pub mod refresh;
 pub mod retention;
 
@@ -34,5 +39,6 @@ pub use banks::{BankGroup, BankedLayout};
 pub use controller::{EdramController, RefreshActivity};
 pub use device::{DramSpec, MemorySpec, MemoryTechnology};
 pub use faults::GroupBitFlipRates;
+pub use ledger::{CapacityLedger, LeaseId, LedgerError};
 pub use refresh::{RefreshIntervals, RefreshPolicy};
 pub use retention::RetentionModel;

@@ -2,7 +2,7 @@
 //!
 //! Per-cell retention times in gain-cell eDRAM follow a heavy-tailed
 //! distribution across a die (threshold-voltage variation; Kong et al.,
-//! cited as [38]).  The probability that a cell's stored bit decays before the
+//! cited as \[38\]).  The probability that a cell's stored bit decays before the
 //! next refresh is the CDF of that distribution evaluated at the refresh
 //! interval.  Fig. 4 of the paper plots this failure rate at 105 °C for the
 //! 65 nm array; the curve spans ~1e-6 at tens of microseconds to ~1e-1 at

@@ -2,10 +2,11 @@
 //! reproduction, spanning several crates.
 
 use kelle::cache::{AerpCache, CacheBudget, KvCacheBackend};
-use kelle::edram::{RefreshPolicy, RetentionModel};
+use kelle::edram::{CapacityLedger, RefreshPolicy, RetentionModel};
 use kelle::model::fault::NoFaults;
 use kelle::model::{FullKvCache, ModelConfig, ModelKind, SurrogateModel};
 use kelle::tensor::{ops, QuantFormat, QuantizedVector};
+use kelle::{AdmissionPolicy, CachePolicy, KelleEngine, SchedulerConfig, ServeRequest};
 use proptest::prelude::*;
 
 fn surrogate() -> SurrogateModel {
@@ -143,5 +144,125 @@ proptest! {
             .expect("non-empty candidates");
         let min = scores.iter().copied().fold(f32::INFINITY, f32::min);
         prop_assert!((scores[victim] - min).abs() < 1e-6);
+    }
+
+    /// The capacity ledger's accounting invariants hold for any interleaving
+    /// of reserve / force-reserve / grow / release: live bytes equal the sum
+    /// of outstanding leases (so they can never go negative), checked
+    /// reservations never push the ledger past capacity, and the high-water
+    /// mark is a monotone upper bound on live bytes.
+    #[test]
+    fn ledger_accounting_invariants(
+        capacity in 1u64..10_000,
+        ops_seed in proptest::collection::vec(0u64..1_000_000, 1..60),
+    ) {
+        let mut ledger = CapacityLedger::new(capacity);
+        let mut live: Vec<(kelle::edram::LeaseId, u64)> = Vec::new();
+        let mut expected_live: u64 = 0;
+        let mut last_high_water = 0u64;
+        for op in ops_seed {
+            match op % 4 {
+                0 => {
+                    let bytes = op % (capacity * 2) + 1;
+                    let before = ledger.live_bytes();
+                    match ledger.reserve(bytes) {
+                        Ok(lease) => {
+                            prop_assert!(before + bytes <= capacity,
+                                "checked reserve exceeded capacity");
+                            live.push((lease, bytes));
+                            expected_live += bytes;
+                        }
+                        Err(_) => {
+                            prop_assert!(before + bytes > capacity,
+                                "fitting reservation was refused");
+                            prop_assert_eq!(ledger.live_bytes(), before);
+                        }
+                    }
+                }
+                1 => {
+                    let bytes = op % (capacity * 2) + 1;
+                    let lease = ledger.force_reserve(bytes);
+                    live.push((lease, bytes));
+                    expected_live += bytes;
+                }
+                2 => {
+                    if let Some(entry) = live.last_mut() {
+                        let growth = op % 500;
+                        ledger.grow(entry.0, growth);
+                        entry.1 += growth;
+                        expected_live += growth;
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let (lease, bytes) = live.swap_remove((op as usize / 4) % live.len());
+                        prop_assert_eq!(ledger.release(lease), bytes);
+                        expected_live -= bytes;
+                    }
+                }
+            }
+            prop_assert_eq!(ledger.live_bytes(), expected_live);
+            prop_assert_eq!(
+                ledger.oversubscribed_bytes(),
+                expected_live.saturating_sub(capacity)
+            );
+            prop_assert!(ledger.high_water_bytes() >= ledger.live_bytes());
+            prop_assert!(ledger.high_water_bytes() >= last_high_water);
+            last_high_water = ledger.high_water_bytes();
+            prop_assert_eq!(ledger.active_leases(), live.len());
+        }
+    }
+}
+
+proptest! {
+    // Each case drives full surrogate-model decoding for several requests
+    // twice, so keep the sample count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The serving equivalence guarantee, property-tested: for random request
+    /// mixes, random shared-capacity limits and every admission policy,
+    /// capacity-limited serving yields per-request token streams identical to
+    /// the unbounded scheduler (contention changes cost and ordering, never
+    /// sampled tokens).
+    #[test]
+    fn capacity_limited_serving_matches_unbounded_streams(
+        seed in 0u64..1000,
+        sessions in 1usize..4,
+        capacity_denominator in 1u64..6,
+        policy_pick in 0usize..3,
+    ) {
+        let engine = KelleEngine::builder().policy(CachePolicy::Aerp).seed(7).build();
+        let vocab = engine.model().dims().vocab;
+        let requests: Vec<ServeRequest> = (0..sessions)
+            .map(|i| {
+                let prompt_len = 2 + ((seed as usize + i * 3) % 6);
+                let decode_len = 1 + ((seed as usize * 7 + i) % 4);
+                let prompt: Vec<usize> = (0..prompt_len)
+                    .map(|p| (seed as usize * 31 + i * 131 + p * 7) % vocab)
+                    .collect();
+                ServeRequest::new(prompt, decode_len)
+            })
+            .collect();
+
+        let unbounded = engine.serve_batch(requests.clone());
+
+        let total: u64 = requests
+            .iter()
+            .map(|r| engine.kv_footprint_bytes(r.prompt().len() + r.decode_len()))
+            .sum();
+        let config = SchedulerConfig::default()
+            .with_kv_capacity_bytes((total / capacity_denominator).max(1))
+            .with_admission(AdmissionPolicy::all()[policy_pick]);
+        let bounded = engine.serve_batch_with(requests, config);
+
+        for (a, b) in unbounded.outcomes.iter().zip(bounded.outcomes.iter()) {
+            prop_assert_eq!(&a.generated, &b.generated);
+            prop_assert_eq!(&a.cache, &b.cache);
+        }
+        prop_assert_eq!(
+            unbounded.stats.tokens_generated,
+            bounded.stats.tokens_generated
+        );
+        prop_assert_eq!(unbounded.stats.evictions, bounded.stats.evictions);
     }
 }

@@ -3,7 +3,9 @@
 
 use kelle::accuracy::Method;
 use kelle::cache::CacheBudget;
-use kelle::{CachePolicy, EngineStats, KelleEngine, ServeRequest};
+use kelle::{
+    AdmissionPolicy, CachePolicy, EngineStats, KelleEngine, SchedulerConfig, ServeRequest,
+};
 
 fn engine_with_policy(policy: CachePolicy) -> KelleEngine {
     KelleEngine::builder().policy(policy).seed(7).build()
@@ -156,7 +158,7 @@ fn batch_scheduler_is_fair() {
     }
     assert_eq!(steps_taken.to_vec(), decode_lens.to_vec());
 
-    let outcome = scheduler.finish();
+    let outcome = scheduler.finish().expect("all requests finished");
     for (i, served) in outcome.outcomes.iter().enumerate() {
         assert_eq!(served.generated.len(), decode_lens[i]);
     }
@@ -257,6 +259,148 @@ fn streaming_callback_observes_every_token() {
     assert_eq!(streamed[1].0, 1);
     assert_eq!(streamed[2].0, 0);
     assert_eq!(streamed[3].0, 1);
+}
+
+/// Four requests whose decode growth dominates their prompts, so that at
+/// half capacity the first three are admitted together (prefills fit) and
+/// then oversubscribe the budget while a fourth queues behind them.
+fn contention_request_mix() -> Vec<ServeRequest> {
+    vec![
+        ServeRequest::new(vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3], 12),
+        ServeRequest::builder(vec![2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9, 0, 4, 5])
+            .decode_len(10)
+            .policy(CachePolicy::Full)
+            .build(),
+        ServeRequest::new(vec![1, 6, 1, 8, 0, 3, 3, 9, 8, 8, 7, 4, 9, 8, 9, 4], 14),
+        ServeRequest::builder(vec![5, 7, 7, 2, 1, 5, 6, 6, 4, 9, 6, 9, 2, 0, 9, 1])
+            .decode_len(8)
+            .seed(99)
+            .build(),
+    ]
+}
+
+/// Acceptance criterion of the capacity-arbitration refactor, part 1: with
+/// the shared eDRAM capacity sized to hold every admitted request's final
+/// footprint, `serve_batch_with` reproduces the unbounded scheduler exactly —
+/// same tokens, same traces, same aggregate stats, and zero queueing/spill.
+#[test]
+fn ample_capacity_reproduces_unbounded_serving_exactly() {
+    let requests = contention_request_mix();
+
+    let unbounded_engine = engine_with_policy(CachePolicy::Aerp);
+    let unbounded = unbounded_engine.serve_batch(requests.clone());
+    assert_eq!(unbounded.contention.capacity_bytes, None);
+
+    let bounded_engine = engine_with_policy(CachePolicy::Aerp);
+    let total: u64 = requests
+        .iter()
+        .map(|r| bounded_engine.kv_footprint_bytes(r.prompt().len() + r.decode_len()))
+        .sum();
+    let bounded = bounded_engine.serve_batch_with(
+        requests,
+        SchedulerConfig::default().with_kv_capacity_bytes(total),
+    );
+
+    assert_eq!(bounded.contention.capacity_bytes, Some(total));
+    assert_eq!(bounded.contention.total_queue_ticks, 0);
+    assert_eq!(bounded.contention.spill_bytes, 0);
+    for (a, b) in unbounded.outcomes.iter().zip(bounded.outcomes.iter()) {
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.cache, b.cache);
+        assert!((a.hardware.total_energy_j() - b.hardware.total_energy_j()).abs() < 1e-12);
+        assert!((a.hardware.total_latency_s() - b.hardware.total_latency_s()).abs() < 1e-12);
+    }
+    assert_eq!(unbounded.stats, bounded.stats);
+}
+
+/// Acceptance criterion, part 2: with capacity halved, requests queue and the
+/// outcome reports nonzero time-in-queue and spill bytes — while every
+/// per-request token stream stays byte-identical to unbounded serving.
+#[test]
+fn halved_capacity_queues_and_spills_without_changing_tokens() {
+    let requests = contention_request_mix();
+
+    let unbounded_engine = engine_with_policy(CachePolicy::Aerp);
+    let unbounded = unbounded_engine.serve_batch(requests.clone());
+
+    let bounded_engine = engine_with_policy(CachePolicy::Aerp);
+    let total: u64 = requests
+        .iter()
+        .map(|r| bounded_engine.kv_footprint_bytes(r.prompt().len() + r.decode_len()))
+        .sum();
+    let halved = bounded_engine.serve_batch_with(
+        requests,
+        SchedulerConfig::default().with_kv_capacity_bytes(total / 2),
+    );
+
+    // Contention shows up in the metrics...
+    assert!(
+        halved.contention.total_queue_ticks > 0,
+        "requests must queue at half capacity"
+    );
+    assert!(
+        halved.contention.spill_bytes > 0,
+        "oversubscribed decode growth must spill"
+    );
+    assert!(halved.contention.peak_residency_bytes > total / 2);
+    assert!(halved.contention.max_queue_ticks >= 1);
+    let queued = halved
+        .contention
+        .per_request
+        .iter()
+        .filter(|t| t.queue_ticks > 0)
+        .count();
+    assert!(queued > 0);
+    // ...and in the hardware cost model: contended requests were costed
+    // against a slice of the eDRAM, so their DRAM traffic grew.
+    let dram = |batch: &kelle::BatchOutcome| -> f64 {
+        batch
+            .outcomes
+            .iter()
+            .map(|o| o.hardware.total_energy().dram_j)
+            .sum()
+    };
+    assert!(dram(&halved) > dram(&unbounded));
+    // ...but never in the functional output.
+    for (a, b) in unbounded.outcomes.iter().zip(halved.outcomes.iter()) {
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.cache, b.cache);
+    }
+    assert_eq!(unbounded.stats.requests, halved.stats.requests);
+    assert_eq!(
+        unbounded.stats.tokens_generated,
+        halved.stats.tokens_generated
+    );
+    assert_eq!(unbounded.stats.evictions, halved.stats.evictions);
+}
+
+/// Admission policies reorder *service*, never *results*: outcomes stay in
+/// submission order and token streams are unchanged under every policy.
+#[test]
+fn admission_policies_preserve_streams_and_order() {
+    let requests = contention_request_mix();
+    let reference = engine_with_policy(CachePolicy::Aerp).serve_batch(requests.clone());
+    let engine = engine_with_policy(CachePolicy::Aerp);
+    let total: u64 = requests
+        .iter()
+        .map(|r| engine.kv_footprint_bytes(r.prompt().len() + r.decode_len()))
+        .sum();
+    for admission in AdmissionPolicy::all() {
+        let config = SchedulerConfig::default()
+            .with_kv_capacity_bytes(total / 2)
+            .with_admission(admission);
+        let batch = engine.serve_batch_with(requests.clone(), config);
+        for (a, b) in reference.outcomes.iter().zip(batch.outcomes.iter()) {
+            assert_eq!(a.generated, b.generated, "{admission:?}");
+        }
+        assert_eq!(
+            batch.contention.per_request.len(),
+            requests.len(),
+            "{admission:?}"
+        );
+    }
 }
 
 /// Per-request overrides are honoured: a `Full` policy request never evicts
