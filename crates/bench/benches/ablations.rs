@@ -52,9 +52,9 @@ fn bench_popularity_threshold(c: &mut Criterion) {
                 );
                 cache.finish_prefill(0);
                 for t in 0..128usize {
-                    let keys: Vec<Vec<f32>> = (0..8).map(|h| vec![(t + h) as f32; 8]).collect();
+                    let keys: Vec<f32> = (0..8).flat_map(|h| vec![(t + h) as f32; 8]).collect();
                     let values = keys.clone();
-                    cache.insert(0, t, &[t as f32; 64], &keys, &values);
+                    cache.insert(0, t, &[t as f32; 64], &keys, &values, 8);
                     let scores: Vec<(usize, f32)> = cache
                         .entries(0, 0)
                         .iter()

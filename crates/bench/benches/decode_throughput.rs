@@ -1,0 +1,33 @@
+//! Criterion micro-benchmark of the decode hot path: the borrowed-view
+//! arena pipeline vs. the pre-arena materializing baseline, per cache policy.
+//!
+//! The end-to-end numbers (and the `BENCH_decode.json` artifact) come from
+//! the `bench_decode` binary; this harness tracks the same comparison at
+//! criterion granularity so regressions show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kelle::cache::CachePolicy;
+use kelle_bench::decode_perf::{measure_policy, DecodePerfConfig};
+
+fn bench_decode_paths(c: &mut Criterion) {
+    let config = DecodePerfConfig {
+        prompt_len: 48,
+        decode_len: 8,
+        repeats: 1,
+        seed: 11,
+    };
+    let mut group = c.benchmark_group("decode_throughput");
+    for policy in CachePolicy::all() {
+        group.bench_function(format!("{}_paths", policy.name()), |b| {
+            b.iter(|| measure_policy(&config, policy))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decode_paths
+}
+criterion_main!(benches);

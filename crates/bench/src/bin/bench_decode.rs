@@ -1,0 +1,58 @@
+//! Decode-throughput benchmark binary: measures the zero-allocation arena
+//! hot path against the pre-arena materializing baseline *in the same run*
+//! (so the speedup is always relative to a live baseline), prints a table,
+//! and emits the `BENCH_decode.json` artifact consumed by CI.
+//!
+//! Usage: `cargo run --release -p kelle-bench --bin bench_decode -- \
+//!     [--quick] [--out BENCH_decode.json]`
+
+use kelle_bench::decode_perf::{self, DecodePerfConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_decode.json"));
+
+    let config = if quick {
+        DecodePerfConfig::quick()
+    } else {
+        DecodePerfConfig::full()
+    };
+    println!(
+        "decode throughput on edge_chatbot (prompt {}, decode {}, best of {}){}",
+        config.prompt_len,
+        config.decode_len,
+        config.repeats,
+        if quick { " [quick]" } else { "" }
+    );
+
+    let report = decode_perf::run(config);
+    println!(
+        "{:>14} {:>16} {:>16} {:>9}",
+        "policy", "baseline tok/s", "optimized tok/s", "speedup"
+    );
+    for row in &report.rows {
+        println!(
+            "{:>14} {:>16.1} {:>16.1} {:>8.2}x",
+            row.policy.name(),
+            row.baseline_tokens_per_sec,
+            row.optimized_tokens_per_sec,
+            row.speedup
+        );
+    }
+    println!("geomean speedup: {:.2}x", report.geomean_speedup());
+
+    match report.write_json(&out) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(err) => {
+            eprintln!("failed to write {}: {err}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

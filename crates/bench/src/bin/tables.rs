@@ -2,7 +2,8 @@
 //!
 //! Usage: `cargo run -p kelle-bench --bin tables [-- --table <id>]`
 //! where `<id>` is one of `1`, `2`, `3`, `4`, `5`, `6`, `7`, `8`, `9`,
-//! `area-power`, `bandwidth`, `contention`, or `all` (default).
+//! `area-power`, `bandwidth`, `contention`, `decode_perf`, or `all`
+//! (default).
 
 use kelle::accuracy::{evaluate_all_methods, evaluate_method, AccuracyConfig, Method};
 use kelle::arch::InferenceWorkload;
@@ -59,6 +60,9 @@ fn main() {
     }
     if all || which == "contention" {
         contention();
+    }
+    if all || which == "decode_perf" {
+        decode_perf();
     }
 }
 
@@ -318,4 +322,27 @@ fn contention() {
         );
     }
     println!("(token streams are identical at every capacity point; only cost and queueing move)");
+}
+
+fn decode_perf() {
+    header("Decode throughput: arena hot path vs pre-arena materializing baseline");
+    let report = kelle_bench::decode_perf::run(kelle_bench::decode_perf::DecodePerfConfig::quick());
+    println!(
+        "{:>14} {:>16} {:>16} {:>9}",
+        "policy", "baseline tok/s", "optimized tok/s", "speedup"
+    );
+    for row in &report.rows {
+        println!(
+            "{:>14} {:>16.1} {:>16.1} {:>8.2}x",
+            row.policy.name(),
+            row.baseline_tokens_per_sec,
+            row.optimized_tokens_per_sec,
+            row.speedup
+        );
+    }
+    println!(
+        "geomean speedup: {:.2}x on the {} workload (streams verified identical)",
+        report.geomean_speedup(),
+        report.workload
+    );
 }

@@ -1,11 +1,14 @@
 //! # kelle-bench
 //!
-//! Benchmark harness for the Kelle reproduction.  The interesting artefacts
-//! are the targets, not this library:
+//! Benchmark harness for the Kelle reproduction:
 //!
 //! * `benches/` — criterion micro-benchmarks over the platform simulations,
 //!   accuracy experiments and device models;
 //! * `src/bin/tables.rs` / `src/bin/figures.rs` — regenerate every table and
-//!   figure of the paper from the reproduction models.
+//!   figure of the paper from the reproduction models;
+//! * `src/bin/bench_decode.rs` — the decode-throughput comparison emitting
+//!   `BENCH_decode.json`, built on [`decode_perf`].
 
 #![warn(missing_docs)]
+
+pub mod decode_perf;

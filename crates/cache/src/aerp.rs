@@ -17,16 +17,29 @@
 //! 3. **Prefill retention** (§4.1.1): after pre-filling, each head keeps the
 //!    top-`N'` tokens by importance (plus sinks and the recent window).
 //!
+//! Storage layout: each head owns a [`KvArena`] holding the KV-format tokens
+//! in retained order; input vectors live once per layer in an [`InputSlab`]
+//! (slot-recycling, so eviction churn is allocation-free).  The per-head
+//! `retained` list is the single source of entry order; because the arena
+//! holds exactly the retained KV-format tokens in that same order, entry
+//! visitation walks the list with a monotone arena cursor — no per-token map
+//! lookups on the hot path, and popular tokens borrow their `x` straight from
+//! the slab.
+//!
 //! The storage-footprint accounting (`CacheStats::bytes_fp16`) reflects the
-//! policy's *declared* storage: popular tokens cost `C` elements per layer,
-//! unpopular retained tokens cost `2 × C/H` elements per retaining head — the
-//! quantity the eDRAM capacity/refresh model consumes downstream.
+//! policy's *declared* storage: popular tokens cost `C` elements **once per
+//! layer** (the input vector is shared across heads), unpopular retained
+//! tokens cost `2 × C/H` elements per retaining head — live entries only,
+//! never retired arena capacity — the quantity the eDRAM capacity/refresh
+//! model consumes downstream.
 
 use crate::budget::CacheBudget;
 use crate::importance::ImportanceTracker;
-use kelle_model::{CacheEntry, CacheStats, EntryPayload, KvCacheBackend, TokenId};
+use kelle_model::{
+    CacheStats, EntryRef, FastHashMap, FastHashSet, InputSlab, KvArena, KvCacheBackend, PayloadRef,
+    TokenId,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 
 /// Configuration of the AERP policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -65,34 +78,29 @@ impl AerpConfig {
     }
 }
 
-/// Per-head stored KV pair.
-#[derive(Debug, Clone)]
-struct StoredKv {
-    key: Vec<f32>,
-    value: Vec<f32>,
-}
-
 /// Per-layer state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct LayerState {
-    /// Which tokens each head currently retains (insertion-ordered).
+    /// Which tokens each head currently retains (insertion-ordered; the
+    /// single source of entry order).
     retained: Vec<Vec<TokenId>>,
-    /// Per-head KV storage for tokens stored in KV format.
-    kv: Vec<HashMap<TokenId, StoredKv>>,
+    /// Per-head contiguous KV storage, holding exactly the retained
+    /// KV-format (non-popular) tokens in retained order.
+    kv: Vec<KvArena>,
     /// Input vectors of all currently retained tokens (needed both for
     /// recomputation storage and for potential later conversion).
-    inputs: HashMap<TokenId, Vec<f32>>,
+    inputs: InputSlab,
     /// Tokens currently stored in input-vector (recompute) format.
-    popular: HashSet<TokenId>,
+    popular: FastHashSet<TokenId>,
 }
 
 impl LayerState {
-    fn with_heads(heads: usize) -> Self {
+    fn new(heads: usize, head_dim: usize, channels: usize) -> Self {
         LayerState {
             retained: vec![Vec::new(); heads],
-            kv: vec![HashMap::new(); heads],
-            inputs: HashMap::new(),
-            popular: HashSet::new(),
+            kv: (0..heads).map(|_| KvArena::new(head_dim)).collect(),
+            inputs: InputSlab::new(channels),
+            popular: FastHashSet::default(),
         }
     }
 
@@ -101,10 +109,10 @@ impl LayerState {
     }
 
     fn drop_token_everywhere(&mut self, token: TokenId) {
-        self.inputs.remove(&token);
+        self.inputs.remove(token);
         self.popular.remove(&token);
         for kv in &mut self.kv {
-            kv.remove(&token);
+            kv.remove_token(token);
         }
     }
 }
@@ -114,7 +122,7 @@ impl LayerState {
 pub struct AerpCache {
     config: AerpConfig,
     heads: usize,
-    layers: HashMap<usize, LayerState>,
+    layers: FastHashMap<usize, LayerState>,
     importance: ImportanceTracker,
     current_len: usize,
     /// While true (until [`KvCacheBackend::finish_prefill`]), insertions do not
@@ -145,7 +153,7 @@ impl AerpCache {
         AerpCache {
             config,
             heads,
-            layers: HashMap::new(),
+            layers: FastHashMap::default(),
             importance: ImportanceTracker::new(),
             current_len: 0,
             in_prefill: true,
@@ -165,11 +173,11 @@ impl AerpCache {
         self.layers.get(&layer).map_or(0, |l| l.popular.len())
     }
 
-    fn layer_mut(&mut self, layer: usize) -> &mut LayerState {
+    fn layer_mut(&mut self, layer: usize, head_dim: usize) -> &mut LayerState {
         let heads = self.heads;
         self.layers
             .entry(layer)
-            .or_insert_with(|| LayerState::with_heads(heads))
+            .or_insert_with(|| LayerState::new(heads, head_dim, heads * head_dim))
     }
 
     /// Evicts the minimum-importance unprotected token from a full head.
@@ -183,14 +191,13 @@ impl AerpCache {
             if state.retained[head].len() <= budget.max_tokens {
                 return;
             }
-            let candidates: Vec<TokenId> = state.retained[head]
+            let candidates = state.retained[head]
                 .iter()
                 .copied()
-                .filter(|&t| Some(t) != incoming && !budget.is_protected(t, current_len))
-                .collect();
+                .filter(|&t| Some(t) != incoming && !budget.is_protected(t, current_len));
             let victim = self
                 .importance
-                .min_score_token(layer, head, candidates.iter().copied())
+                .min_score_token(layer, head, candidates)
                 .or_else(|| {
                     state.retained[head]
                         .iter()
@@ -199,9 +206,12 @@ impl AerpCache {
                 });
             let Some(victim) = victim else { return };
 
-            let state = self.layer_mut(layer);
+            let state = self
+                .layers
+                .get_mut(&layer)
+                .expect("layer state existence checked above");
             state.retained[head].retain(|&t| t != victim);
-            state.kv[head].remove(&victim);
+            state.kv[head].remove_token(victim);
             if state.retaining_heads(victim) == 0 {
                 state.drop_token_everywhere(victim);
             }
@@ -221,8 +231,21 @@ impl AerpCache {
             return;
         }
         let threshold = (self.config.popularity_threshold * self.heads as f64).ceil() as usize;
-        let state = self.layer_mut(layer);
-        let tokens: Vec<TokenId> = state.inputs.keys().copied().collect();
+        let Some(state) = self.layers.get_mut(&layer) else {
+            return;
+        };
+        // Retained order is the scan order; a token appears in `inputs` for as
+        // long as any head retains it.  Dedup via a set so the union build
+        // stays linear in the retained population.
+        let mut tokens: Vec<TokenId> = Vec::new();
+        let mut seen: FastHashSet<TokenId> = FastHashSet::default();
+        for retained in &state.retained {
+            for &t in retained {
+                if seen.insert(t) {
+                    tokens.push(t);
+                }
+            }
+        }
         for token in tokens {
             if state.popular.contains(&token) {
                 continue;
@@ -232,7 +255,7 @@ impl AerpCache {
                 state.popular.insert(token);
                 // KV copies are dropped; the input vector alone is stored.
                 for kv in &mut state.kv {
-                    kv.remove(&token);
+                    kv.remove_token(token);
                 }
             }
         }
@@ -245,26 +268,25 @@ impl KvCacheBackend for AerpCache {
         layer: usize,
         token: TokenId,
         x: &[f32],
-        keys: &[Vec<f32>],
-        values: &[Vec<f32>],
+        keys: &[f32],
+        values: &[f32],
+        head_dim: usize,
     ) {
         assert_eq!(
             keys.len(),
-            self.heads,
+            self.heads * head_dim,
             "per-head keys must match head count"
         );
         self.current_len = self.current_len.max(token + 1);
-        let state = self.layer_mut(layer);
-        state.inputs.insert(token, x.to_vec());
-        for (head, (k, v)) in keys.iter().zip(values.iter()).enumerate() {
+        let state = self.layer_mut(layer, head_dim);
+        state.inputs.insert(token, x);
+        for (head, (k, v)) in keys
+            .chunks_exact(head_dim)
+            .zip(values.chunks_exact(head_dim))
+            .enumerate()
+        {
             state.retained[head].push(token);
-            state.kv[head].insert(
-                token,
-                StoredKv {
-                    key: k.clone(),
-                    value: v.clone(),
-                },
-            );
+            state.kv[head].push(token, k, v);
         }
         for head in 0..self.heads {
             self.importance.register(layer, head, token);
@@ -276,37 +298,88 @@ impl KvCacheBackend for AerpCache {
         self.insertions += 1;
     }
 
-    fn entries(&self, layer: usize, head: usize) -> Vec<CacheEntry> {
+    fn for_each_entry(
+        &self,
+        layer: usize,
+        head: usize,
+        visit: &mut dyn for<'e> FnMut(EntryRef<'e>),
+    ) {
+        static EMPTY: [f32; 0] = [];
         let Some(state) = self.layers.get(&layer) else {
-            return Vec::new();
+            return;
         };
-        state.retained[head]
-            .iter()
-            .map(|&token| {
-                let high_score = self.importance.is_high_score(layer, head, token);
-                let payload = if state.popular.contains(&token) {
-                    EntryPayload::Recompute {
-                        x: state.inputs.get(&token).cloned().unwrap_or_default(),
-                    }
-                } else if let Some(kv) = state.kv[head].get(&token) {
-                    EntryPayload::Kv {
-                        key: kv.key.clone(),
-                        value: kv.value.clone(),
-                    }
-                } else {
-                    // Defensive fallback: if the KV copy is missing (should not
-                    // happen), fall back to recompute storage.
-                    EntryPayload::Recompute {
-                        x: state.inputs.get(&token).cloned().unwrap_or_default(),
-                    }
-                };
-                CacheEntry {
-                    token,
-                    payload,
-                    high_score,
+        let arena = &state.kv[head];
+        // One median computation per traversal (not per token), and a
+        // monotone cursor pairing each retained-list entry with its arena
+        // slot (the arena holds exactly the KV-format retained tokens in
+        // retained order).
+        let median = self.importance.median_threshold(layer, head);
+        let mut cursor = 0usize;
+        for &token in &state.retained[head] {
+            let high_score = median.is_none_or(|m| self.importance.score(layer, head, token) >= m);
+            let payload = if state.popular.contains(&token) {
+                PayloadRef::Recompute {
+                    x: state.inputs.get(token).unwrap_or(&EMPTY),
                 }
-            })
-            .collect()
+            } else if cursor < arena.len() && arena.token_at(cursor) == token {
+                let p = PayloadRef::Kv {
+                    key: arena.key(cursor),
+                    value: arena.value(cursor),
+                };
+                cursor += 1;
+                p
+            } else {
+                // Defensive fallback: if the KV copy is missing (should not
+                // happen), fall back to recompute storage.
+                PayloadRef::Recompute {
+                    x: state.inputs.get(token).unwrap_or(&EMPTY),
+                }
+            };
+            visit(EntryRef {
+                token,
+                payload,
+                high_score,
+            });
+        }
+    }
+
+    fn for_each_payload(
+        &self,
+        layer: usize,
+        head: usize,
+        visit: &mut dyn for<'e> FnMut(PayloadRef<'e>),
+    ) {
+        // Value-accumulation traversal: same cursor walk as for_each_entry,
+        // minus the importance labelling.
+        static EMPTY: [f32; 0] = [];
+        let Some(state) = self.layers.get(&layer) else {
+            return;
+        };
+        let arena = &state.kv[head];
+        let mut cursor = 0usize;
+        for &token in &state.retained[head] {
+            if state.popular.contains(&token) {
+                visit(PayloadRef::Recompute {
+                    x: state.inputs.get(token).unwrap_or(&EMPTY),
+                });
+            } else if cursor < arena.len() && arena.token_at(cursor) == token {
+                visit(PayloadRef::Kv {
+                    key: arena.key(cursor),
+                    value: arena.value(cursor),
+                });
+                cursor += 1;
+            } else {
+                visit(PayloadRef::Recompute {
+                    x: state.inputs.get(token).unwrap_or(&EMPTY),
+                });
+            }
+        }
+    }
+
+    fn entry_count(&self, layer: usize, head: usize) -> usize {
+        self.layers
+            .get(&layer)
+            .map_or(0, |state| state.retained[head].len())
     }
 
     fn observe_attention(&mut self, layer: usize, head: usize, scores: &[(TokenId, f32)]) {
@@ -330,16 +403,13 @@ impl KvCacheBackend for AerpCache {
         let mut recompute_entries = 0usize;
         let mut bytes = 0usize;
         for state in self.layers.values() {
+            // Recompute payloads count once per layer: the input vector is
+            // shared by every retaining head.
             recompute_entries += state.popular.len();
-            for token in &state.popular {
-                bytes += 2 * state.inputs.get(token).map_or(0, Vec::len);
-            }
+            bytes += state.popular.len() * 2 * state.inputs.width();
             for kv in &state.kv {
                 kv_entries += kv.len();
-                bytes += kv
-                    .values()
-                    .map(|s| 2 * (s.key.len() + s.value.len()))
-                    .sum::<usize>();
+                bytes += kv.bytes_fp16();
             }
         }
         CacheStats {
@@ -369,11 +439,18 @@ mod tests {
     const CHANNELS: usize = HEADS * HEAD_DIM;
 
     fn insert_token(cache: &mut AerpCache, layer: usize, token: usize) {
-        let keys: Vec<Vec<f32>> = (0..HEADS)
-            .map(|h| vec![(token + h) as f32; HEAD_DIM])
+        let keys: Vec<f32> = (0..HEADS)
+            .flat_map(|h| vec![(token + h) as f32; HEAD_DIM])
             .collect();
         let values = keys.clone();
-        cache.insert(layer, token, &[token as f32; CHANNELS], &keys, &values);
+        cache.insert(
+            layer,
+            token,
+            &[token as f32; CHANNELS],
+            &keys,
+            &values,
+            HEAD_DIM,
+        );
     }
 
     #[test]
@@ -399,8 +476,9 @@ mod tests {
                 0,
                 token,
                 &[token as f32; HEAD_DIM],
-                &[vec![token as f32; HEAD_DIM]],
-                &[vec![token as f32; HEAD_DIM]],
+                &[token as f32; HEAD_DIM],
+                &[token as f32; HEAD_DIM],
+                HEAD_DIM,
             );
         };
         insert(&mut cache, 0);
@@ -428,8 +506,9 @@ mod tests {
                 0,
                 token,
                 &[token as f32; 8],
-                &[vec![1.0; HEAD_DIM], vec![1.0; HEAD_DIM]],
-                &[vec![1.0; HEAD_DIM], vec![1.0; HEAD_DIM]],
+                &[1.0; 2 * HEAD_DIM],
+                &[1.0; 2 * HEAD_DIM],
+                HEAD_DIM,
             );
         };
         for t in 0..3 {
@@ -495,6 +574,21 @@ mod tests {
     }
 
     #[test]
+    fn recompute_bytes_counted_once_per_layer() {
+        // Regression for the stats contract: a popular token's input vector
+        // is shared across every retaining head, so it must contribute
+        // exactly `2 × channels` bytes per layer — not per head.
+        let mut cache = AerpCache::new(CacheBudget::new(8), HEADS);
+        for t in 0..3 {
+            insert_token(&mut cache, 0, t);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.recompute_entries, 3);
+        assert_eq!(stats.kv_entries, 0);
+        assert_eq!(stats.bytes_fp16, 3 * 2 * CHANNELS);
+    }
+
+    #[test]
     fn full_eviction_drops_input_vector() {
         let mut cache = AerpCache::new(CacheBudget::new(2).with_recent_window(1), 1);
         cache.finish_prefill(0);
@@ -503,8 +597,9 @@ mod tests {
                 0,
                 token,
                 &[token as f32; HEAD_DIM],
-                &[vec![token as f32; HEAD_DIM]],
-                &[vec![token as f32; HEAD_DIM]],
+                &[token as f32; HEAD_DIM],
+                &[token as f32; HEAD_DIM],
+                HEAD_DIM,
             );
         };
         for t in 0..6 {
@@ -526,8 +621,9 @@ mod tests {
                 0,
                 t,
                 &[t as f32; HEAD_DIM],
-                &[vec![t as f32; HEAD_DIM]],
-                &[vec![t as f32; HEAD_DIM]],
+                &[t as f32; HEAD_DIM],
+                &[t as f32; HEAD_DIM],
+                HEAD_DIM,
             );
             let obs: Vec<(usize, f32)> = cache
                 .entries(0, 0)

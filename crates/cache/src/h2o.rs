@@ -7,24 +7,19 @@
 //! per-head popularity (§4.1.2), and in Kelle the score accumulation and
 //! minimum search are offloaded to the systolic evictor rather than recomputed
 //! on the host.
+//!
+//! Storage is one contiguous [`KvArena`](kelle_model::KvArena) per `(layer, head)` in insertion
+//! order; evictions splice in place, reads are borrowed slices.
 
 use crate::budget::CacheBudget;
 use crate::importance::ImportanceTracker;
-use kelle_model::{CacheEntry, CacheStats, EntryPayload, KvCacheBackend, TokenId};
-use std::collections::HashMap;
-
-#[derive(Debug, Clone)]
-struct Stored {
-    token: TokenId,
-    key: Vec<f32>,
-    value: Vec<f32>,
-}
+use kelle_model::{ArenaGrid, CacheStats, EntryRef, KvCacheBackend, PayloadRef, TokenId};
 
 /// The H2O (heavy-hitter oracle) cache policy.
 #[derive(Debug)]
 pub struct H2oCache {
     budget: CacheBudget,
-    store: HashMap<(usize, usize), Vec<Stored>>,
+    store: ArenaGrid,
     importance: ImportanceTracker,
     current_len: usize,
     /// While true, insertions do not trigger evictions (prefill keeps all
@@ -39,7 +34,7 @@ impl H2oCache {
     pub fn new(budget: CacheBudget) -> Self {
         H2oCache {
             budget,
-            store: HashMap::new(),
+            store: ArenaGrid::new(),
             importance: ImportanceTracker::new(),
             current_len: 0,
             in_prefill: true,
@@ -60,25 +55,23 @@ impl H2oCache {
     /// `(N'+1)`-th token evicts one of the *previous* `N'` tokens).
     fn enforce(&mut self, layer: usize, head: usize, incoming: Option<TokenId>) {
         loop {
-            let Some(entries) = self.store.get(&(layer, head)) else {
+            let Some(arena) = self.store.get(layer, head) else {
                 return;
             };
-            if entries.len() <= self.budget.max_tokens {
+            if arena.len() <= self.budget.max_tokens {
                 return;
             }
-            let candidates: Vec<TokenId> = entries
-                .iter()
-                .map(|e| e.token)
-                .filter(|&t| Some(t) != incoming && !self.budget.is_protected(t, self.current_len))
-                .collect();
+            let candidates =
+                arena.tokens().iter().copied().filter(|&t| {
+                    Some(t) != incoming && !self.budget.is_protected(t, self.current_len)
+                });
             let victim = self
                 .importance
-                .min_score_token(layer, head, candidates.iter().copied())
-                .or_else(|| entries.first().map(|e| e.token));
+                .min_score_token(layer, head, candidates)
+                .or_else(|| arena.tokens().first().copied());
             let Some(victim) = victim else { return };
-            if let Some(entries) = self.store.get_mut(&(layer, head)) {
-                if let Some(pos) = entries.iter().position(|e| e.token == victim) {
-                    entries.remove(pos);
+            if let Some(arena) = self.store.get_mut(layer, head) {
+                if arena.remove_token(victim) {
                     self.importance.remove(layer, head, victim);
                     self.evictions += 1;
                 } else {
@@ -95,16 +88,22 @@ impl KvCacheBackend for H2oCache {
         layer: usize,
         token: TokenId,
         _x: &[f32],
-        keys: &[Vec<f32>],
-        values: &[Vec<f32>],
+        keys: &[f32],
+        values: &[f32],
+        head_dim: usize,
     ) {
         self.current_len = self.current_len.max(token + 1);
-        for (head, (k, v)) in keys.iter().zip(values.iter()).enumerate() {
-            self.store.entry((layer, head)).or_default().push(Stored {
-                token,
-                key: k.clone(),
-                value: v.clone(),
-            });
+        let heads = keys.len() / head_dim;
+        for (head, (k, v)) in keys
+            .chunks_exact(head_dim)
+            .zip(values.chunks_exact(head_dim))
+            .enumerate()
+        {
+            self.store
+                .get_or_create(layer, head, head_dim)
+                .push(token, k, v);
+        }
+        for head in 0..heads {
             self.importance.register(layer, head, token);
             if !self.in_prefill {
                 self.enforce(layer, head, Some(token));
@@ -113,23 +112,51 @@ impl KvCacheBackend for H2oCache {
         self.insertions += 1;
     }
 
-    fn entries(&self, layer: usize, head: usize) -> Vec<CacheEntry> {
-        self.store
-            .get(&(layer, head))
-            .map(|entries| {
-                entries
-                    .iter()
-                    .map(|e| CacheEntry {
-                        token: e.token,
-                        payload: EntryPayload::Kv {
-                            key: e.key.clone(),
-                            value: e.value.clone(),
-                        },
-                        high_score: self.importance.is_high_score(layer, head, e.token),
-                    })
-                    .collect()
-            })
-            .unwrap_or_default()
+    fn for_each_entry(
+        &self,
+        layer: usize,
+        head: usize,
+        visit: &mut dyn for<'e> FnMut(EntryRef<'e>),
+    ) {
+        let Some(arena) = self.store.get(layer, head) else {
+            return;
+        };
+        // One median computation per traversal (not per token).
+        let median = self.importance.median_threshold(layer, head);
+        for i in 0..arena.len() {
+            let token = arena.token_at(i);
+            visit(EntryRef {
+                token,
+                payload: PayloadRef::Kv {
+                    key: arena.key(i),
+                    value: arena.value(i),
+                },
+                high_score: median.is_none_or(|m| self.importance.score(layer, head, token) >= m),
+            });
+        }
+    }
+
+    fn for_each_payload(
+        &self,
+        layer: usize,
+        head: usize,
+        visit: &mut dyn for<'e> FnMut(PayloadRef<'e>),
+    ) {
+        // Value-accumulation traversal: no importance labelling (and so no
+        // median computation) needed.
+        let Some(arena) = self.store.get(layer, head) else {
+            return;
+        };
+        for i in 0..arena.len() {
+            visit(PayloadRef::Kv {
+                key: arena.key(i),
+                value: arena.value(i),
+            });
+        }
+    }
+
+    fn entry_count(&self, layer: usize, head: usize) -> usize {
+        self.store.get(layer, head).map_or(0, |a| a.len())
     }
 
     fn observe_attention(&mut self, layer: usize, head: usize, scores: &[(TokenId, f32)]) {
@@ -140,26 +167,19 @@ impl KvCacheBackend for H2oCache {
         self.in_prefill = false;
         self.current_len = self.current_len.max(context_len);
         // Retain only the top-N' tokens (plus protected ones) per head.
-        let keys: Vec<(usize, usize)> = self.store.keys().copied().collect();
+        let keys: Vec<(usize, usize)> = self.store.keys().collect();
         for (layer, head) in keys {
             self.enforce(layer, head, None);
         }
     }
 
     fn stats(&self) -> CacheStats {
-        let kv_entries: usize = self.store.values().map(Vec::len).sum();
-        let bytes: usize = self
-            .store
-            .values()
-            .flat_map(|v| v.iter())
-            .map(|e| 2 * (e.key.len() + e.value.len()))
-            .sum();
         CacheStats {
-            kv_entries,
+            kv_entries: self.store.total_entries(),
             recompute_entries: 0,
             evictions: self.evictions,
             insertions: self.insertions,
-            bytes_fp16: bytes,
+            bytes_fp16: self.store.bytes_fp16(),
         }
     }
 
@@ -173,9 +193,9 @@ mod tests {
     use super::*;
 
     fn insert_token(cache: &mut H2oCache, token: usize, heads: usize) {
-        let keys: Vec<Vec<f32>> = (0..heads).map(|_| vec![token as f32; 4]).collect();
+        let keys: Vec<f32> = (0..heads).flat_map(|_| vec![token as f32; 4]).collect();
         let values = keys.clone();
-        cache.insert(0, token, &[0.0; 8], &keys, &values);
+        cache.insert(0, token, &[0.0; 8], &keys, &values, 4);
     }
 
     #[test]
@@ -241,6 +261,17 @@ mod tests {
         let tokens: Vec<usize> = cache.entries(0, 0).iter().map(|e| e.token).collect();
         assert!(tokens.contains(&0));
         assert!(!tokens.contains(&1));
+    }
+
+    #[test]
+    fn bytes_track_live_arena_footprint() {
+        let mut cache = H2oCache::new(CacheBudget::new(2));
+        cache.finish_prefill(0);
+        for t in 0..20 {
+            insert_token(&mut cache, t, 1);
+        }
+        // 2 live entries × 2 vectors × 4 elements × 2 bytes.
+        assert_eq!(cache.stats().bytes_fp16, 2 * 2 * 4 * 2);
     }
 
     #[test]

@@ -7,13 +7,12 @@
 //! bookkeeping is the systolic evictor (§5.3); the functional realisation is
 //! this tracker.
 
-use kelle_model::TokenId;
-use std::collections::HashMap;
+use kelle_model::{FastHashMap, TokenId};
 
 /// Per-`(layer, head)` accumulated attention scores.
 #[derive(Debug, Clone, Default)]
 pub struct ImportanceTracker {
-    scores: HashMap<(usize, usize), HashMap<TokenId, f32>>,
+    scores: FastHashMap<(usize, usize), FastHashMap<TokenId, f32>>,
 }
 
 impl ImportanceTracker {
@@ -97,24 +96,35 @@ impl ImportanceTracker {
         scored.into_iter().take(n).map(|(t, _)| t).collect()
     }
 
-    /// Whether a token ranks in the upper half of scores for `(layer, head)` —
-    /// the HST/LST classification used by 2DRP (§4.2).
-    pub fn is_high_score(&self, layer: usize, head: usize, token: TokenId) -> bool {
-        let Some(acc) = self.scores.get(&(layer, head)) else {
-            return true;
-        };
+    /// The median accumulated score for `(layer, head)` — the HST/LST split
+    /// point of 2DRP (§4.2) — or `None` when nothing is tracked (every token
+    /// then classifies as high-score, the conservative refresh default).
+    ///
+    /// Entry-visitation hot paths compute this **once per traversal** and
+    /// compare each token's score against it, instead of paying the
+    /// sort-per-token cost of [`is_high_score`](ImportanceTracker::is_high_score).
+    pub fn median_threshold(&self, layer: usize, head: usize) -> Option<f32> {
+        let acc = self.scores.get(&(layer, head))?;
         if acc.is_empty() {
-            return true;
+            return None;
         }
         let mut values: Vec<f32> = acc.values().copied().collect();
         values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let median = values[values.len() / 2];
-        self.score(layer, head, token) >= median
+        Some(values[values.len() / 2])
+    }
+
+    /// Whether a token ranks in the upper half of scores for `(layer, head)` —
+    /// the HST/LST classification used by 2DRP (§4.2).
+    pub fn is_high_score(&self, layer: usize, head: usize, token: TokenId) -> bool {
+        match self.median_threshold(layer, head) {
+            Some(median) => self.score(layer, head, token) >= median,
+            None => true,
+        }
     }
 
     /// Number of tracked tokens for `(layer, head)`.
     pub fn tracked(&self, layer: usize, head: usize) -> usize {
-        self.scores.get(&(layer, head)).map_or(0, HashMap::len)
+        self.scores.get(&(layer, head)).map_or(0, FastHashMap::len)
     }
 }
 

@@ -57,4 +57,7 @@ pub use policy::CachePolicy;
 pub use quantized::QuaRotKvCache;
 pub use streaming::StreamingLlmCache;
 
-pub use kelle_model::{CacheEntry, CacheStats, EntryPayload, FullKvCache, KvCacheBackend, TokenId};
+pub use kelle_model::{
+    ArenaGrid, CacheEntry, CacheStats, EntryPayload, EntryRef, FullKvCache, InputSlab, KvArena,
+    KvCacheBackend, PayloadRef, TokenId,
+};

@@ -129,14 +129,8 @@ mod tests {
             let mut backend = policy.build(budget(), 2);
             backend.finish_prefill(0);
             for t in 0..40 {
-                let k = vec![t as f32; 4];
-                backend.insert(
-                    0,
-                    t,
-                    &[t as f32; 8],
-                    &[k.clone(), k.clone()],
-                    &[k.clone(), k],
-                );
+                let k: Vec<f32> = vec![t as f32; 8];
+                backend.insert(0, t, &[t as f32; 8], &k, &k.clone(), 4);
                 let scores: Vec<(usize, f32)> = backend
                     .entries(0, 0)
                     .iter()

@@ -7,23 +7,28 @@
 //! baselines keep `N'` tokens at 16 bits, QuaRot keeps all tokens at 4 bits).
 //!
 //! The reproduction keeps the essential mechanism — per-vector symmetric
-//! quantization of stored keys/values to a configurable bit width, with
-//! dequantization on every read — and omits the Hadamard rotation (the
-//! surrogate model has no outlier structure to remove; the quantization error
-//! itself is what drives the accuracy comparison).
+//! quantization of stored keys/values to a configurable bit width, with the
+//! quantization error visible to every read — and omits the Hadamard rotation
+//! (the surrogate model has no outlier structure to remove; the quantization
+//! error itself is what drives the accuracy comparison).
+//!
+//! Storage-wise the backend keeps the *dequantized image* of every vector in
+//! a contiguous [`KvArena`](kelle_model::KvArena) per `(layer, head)`: quantize-then-dequantize is
+//! deterministic, so materializing it once at insert time yields bit-for-bit
+//! the values the old dequantize-on-every-read implementation produced, while
+//! reads become borrowed slices.  [`CacheStats::bytes_fp16`] still reports
+//! the *quantized* footprint (`bytes_for(head_dim)` per stored vector) — the
+//! quantity the eDRAM capacity model consumes.
 
-use kelle_model::{CacheEntry, CacheStats, EntryPayload, KvCacheBackend, TokenId};
+use kelle_model::{ArenaGrid, CacheStats, EntryRef, KvCacheBackend, PayloadRef, TokenId};
 use kelle_tensor::{QuantFormat, QuantizedVector};
-use std::collections::HashMap;
-
-/// Quantized (token, key, value) entries stored for one `(layer, head)`.
-type QuantizedEntries = Vec<(TokenId, QuantizedVector, QuantizedVector)>;
 
 /// A full-retention KV cache that stores keys and values in a low-bit format.
 #[derive(Debug)]
 pub struct QuaRotKvCache {
     format: QuantFormat,
-    store: HashMap<(usize, usize), QuantizedEntries>,
+    /// Dequantized image of the stored vectors, contiguous per (layer, head).
+    store: ArenaGrid,
     insertions: u64,
 }
 
@@ -33,7 +38,7 @@ impl QuaRotKvCache {
     pub fn new(format: QuantFormat) -> Self {
         QuaRotKvCache {
             format,
-            store: HashMap::new(),
+            store: ArenaGrid::new(),
             insertions: 0,
         }
     }
@@ -61,39 +66,68 @@ impl KvCacheBackend for QuaRotKvCache {
         layer: usize,
         token: TokenId,
         _x: &[f32],
-        keys: &[Vec<f32>],
-        values: &[Vec<f32>],
+        keys: &[f32],
+        values: &[f32],
+        head_dim: usize,
     ) {
-        for (head, (k, v)) in keys.iter().zip(values.iter()).enumerate() {
+        for (head, (k, v)) in keys
+            .chunks_exact(head_dim)
+            .zip(values.chunks_exact(head_dim))
+            .enumerate()
+        {
             let qk = QuantizedVector::quantize(k, self.format)
                 .expect("key vectors are non-empty by construction");
             let qv = QuantizedVector::quantize(v, self.format)
                 .expect("value vectors are non-empty by construction");
-            self.store
-                .entry((layer, head))
-                .or_default()
-                .push((token, qk, qv));
+            self.store.get_or_create(layer, head, head_dim).push(
+                token,
+                &qk.dequantize(),
+                &qv.dequantize(),
+            );
         }
         self.insertions += 1;
     }
 
-    fn entries(&self, layer: usize, head: usize) -> Vec<CacheEntry> {
-        self.store
-            .get(&(layer, head))
-            .map(|entries| {
-                entries
-                    .iter()
-                    .map(|(token, qk, qv)| CacheEntry {
-                        token: *token,
-                        payload: EntryPayload::Kv {
-                            key: qk.dequantize(),
-                            value: qv.dequantize(),
-                        },
-                        high_score: true,
-                    })
-                    .collect()
-            })
-            .unwrap_or_default()
+    fn for_each_entry(
+        &self,
+        layer: usize,
+        head: usize,
+        visit: &mut dyn for<'e> FnMut(EntryRef<'e>),
+    ) {
+        let Some(arena) = self.store.get(layer, head) else {
+            return;
+        };
+        for i in 0..arena.len() {
+            visit(EntryRef {
+                token: arena.token_at(i),
+                payload: PayloadRef::Kv {
+                    key: arena.key(i),
+                    value: arena.value(i),
+                },
+                high_score: true,
+            });
+        }
+    }
+
+    fn for_each_payload(
+        &self,
+        layer: usize,
+        head: usize,
+        visit: &mut dyn for<'e> FnMut(PayloadRef<'e>),
+    ) {
+        let Some(arena) = self.store.get(layer, head) else {
+            return;
+        };
+        for i in 0..arena.len() {
+            visit(PayloadRef::Kv {
+                key: arena.key(i),
+                value: arena.value(i),
+            });
+        }
+    }
+
+    fn entry_count(&self, layer: usize, head: usize) -> usize {
+        self.store.get(layer, head).map_or(0, |a| a.len())
     }
 
     fn observe_attention(&mut self, _layer: usize, _head: usize, _scores: &[(TokenId, f32)]) {
@@ -101,12 +135,13 @@ impl KvCacheBackend for QuaRotKvCache {
     }
 
     fn stats(&self) -> CacheStats {
-        let kv_entries: usize = self.store.values().map(Vec::len).sum();
+        let kv_entries = self.store.total_entries();
+        // Quantized footprint of the live entries: two vectors of `head_dim`
+        // codes each, at the format's bit width.
         let bytes: usize = self
             .store
-            .values()
-            .flat_map(|v| v.iter())
-            .map(|(_, qk, qv)| qk.storage_bytes() + qv.storage_bytes())
+            .iter()
+            .map(|(_, arena)| arena.len() * 2 * self.format.bytes_for(arena.head_dim()))
             .sum();
         CacheStats {
             kv_entries,
@@ -129,11 +164,12 @@ impl KvCacheBackend for QuaRotKvCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kelle_model::EntryPayload;
 
     fn insert_token(cache: &mut QuaRotKvCache, token: usize) {
         let key = vec![0.31 * (token as f32 + 1.0); 8];
         let value = vec![-0.17 * (token as f32 + 1.0); 8];
-        cache.insert(0, token, &[0.0; 8], &[key], &[value]);
+        cache.insert(0, token, &[0.0; 8], &key, &value, 8);
     }
 
     #[test]
@@ -157,6 +193,27 @@ mod tests {
         for k in key {
             assert!((k - 0.31 * 4.0).abs() < 0.02);
         }
+    }
+
+    #[test]
+    fn stored_image_matches_fresh_dequantization() {
+        // The arena keeps dequantize(quantize(x)); a fresh round trip must
+        // reproduce it bit for bit (determinism of the quantizer).
+        let mut cache = QuaRotKvCache::int4();
+        let key = vec![0.9, -0.4, 0.12, 0.7];
+        let value = vec![-0.2, 0.33, 0.5, -0.9];
+        cache.insert(0, 0, &[0.0; 4], &key, &value, 4);
+        let fresh = QuantizedVector::quantize(&key, QuantFormat::Int4)
+            .unwrap()
+            .dequantize();
+        let entries = cache.entries(0, 0);
+        let EntryPayload::Kv { key: stored, .. } = &entries[0].payload else {
+            panic!("expected KV payload");
+        };
+        assert_eq!(
+            stored.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            fresh.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

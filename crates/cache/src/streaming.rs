@@ -6,25 +6,20 @@
 //! bookkeeping, which makes it cheap but lossy on tasks that need long-range
 //! retrieval — exactly the behaviour Table 2 shows (large WK2/A-e degradation
 //! relative to H2O and Kelle).
+//!
+//! Storage is one contiguous [`KvArena`](kelle_model::KvArena) per `(layer, head)`; evictions
+//! splice the arena in place (order-preserving), so reads are borrowed slices
+//! and steady-state decoding allocates nothing.
 
 use crate::budget::CacheBudget;
-use kelle_model::{CacheEntry, CacheStats, EntryPayload, KvCacheBackend, TokenId};
-use std::collections::HashMap;
-
-/// Per-head stored KV pair.
-#[derive(Debug, Clone)]
-struct Stored {
-    token: TokenId,
-    key: Vec<f32>,
-    value: Vec<f32>,
-}
+use kelle_model::{ArenaGrid, CacheStats, EntryRef, KvCacheBackend, PayloadRef, TokenId};
 
 /// The StreamingLLM cache policy.
 #[derive(Debug)]
 pub struct StreamingLlmCache {
     budget: CacheBudget,
-    /// (layer, head) -> retained entries ordered by insertion.
-    store: HashMap<(usize, usize), Vec<Stored>>,
+    /// (layer, head) -> retained entries in insertion order.
+    store: ArenaGrid,
     evictions: u64,
     insertions: u64,
 }
@@ -36,7 +31,7 @@ impl StreamingLlmCache {
     pub fn new(budget: CacheBudget) -> Self {
         StreamingLlmCache {
             budget,
-            store: HashMap::new(),
+            store: ArenaGrid::new(),
             evictions: 0,
             insertions: 0,
         }
@@ -50,11 +45,11 @@ impl StreamingLlmCache {
     fn enforce(&mut self, layer: usize, head: usize) {
         let sink = self.budget.sink_tokens;
         let max = self.budget.max_tokens;
-        if let Some(entries) = self.store.get_mut(&(layer, head)) {
-            while entries.len() > max {
+        if let Some(arena) = self.store.get_mut(layer, head) {
+            while arena.len() > max {
                 // Evict the oldest non-sink entry.
-                let victim_index = entries.iter().position(|e| e.token >= sink).unwrap_or(0);
-                entries.remove(victim_index);
+                let victim_index = arena.tokens().iter().position(|&t| t >= sink).unwrap_or(0);
+                arena.remove_at(victim_index);
                 self.evictions += 1;
             }
         }
@@ -67,39 +62,66 @@ impl KvCacheBackend for StreamingLlmCache {
         layer: usize,
         token: TokenId,
         _x: &[f32],
-        keys: &[Vec<f32>],
-        values: &[Vec<f32>],
+        keys: &[f32],
+        values: &[f32],
+        head_dim: usize,
     ) {
-        for (head, (k, v)) in keys.iter().zip(values.iter()).enumerate() {
-            self.store.entry((layer, head)).or_default().push(Stored {
-                token,
-                key: k.clone(),
-                value: v.clone(),
-            });
+        for (head, (k, v)) in keys
+            .chunks_exact(head_dim)
+            .zip(values.chunks_exact(head_dim))
+            .enumerate()
+        {
+            self.store
+                .get_or_create(layer, head, head_dim)
+                .push(token, k, v);
             self.enforce(layer, head);
         }
         self.insertions += 1;
     }
 
-    fn entries(&self, layer: usize, head: usize) -> Vec<CacheEntry> {
-        self.store
-            .get(&(layer, head))
-            .map(|entries| {
-                entries
-                    .iter()
-                    .map(|e| CacheEntry {
-                        token: e.token,
-                        payload: EntryPayload::Kv {
-                            key: e.key.clone(),
-                            value: e.value.clone(),
-                        },
-                        // StreamingLLM keeps no score state; sinks and recent
-                        // tokens are its notion of "important".
-                        high_score: e.token < self.budget.sink_tokens,
-                    })
-                    .collect()
-            })
-            .unwrap_or_default()
+    fn for_each_entry(
+        &self,
+        layer: usize,
+        head: usize,
+        visit: &mut dyn for<'e> FnMut(EntryRef<'e>),
+    ) {
+        let Some(arena) = self.store.get(layer, head) else {
+            return;
+        };
+        for i in 0..arena.len() {
+            let token = arena.token_at(i);
+            visit(EntryRef {
+                token,
+                payload: PayloadRef::Kv {
+                    key: arena.key(i),
+                    value: arena.value(i),
+                },
+                // StreamingLLM keeps no score state; sinks and recent
+                // tokens are its notion of "important".
+                high_score: token < self.budget.sink_tokens,
+            });
+        }
+    }
+
+    fn for_each_payload(
+        &self,
+        layer: usize,
+        head: usize,
+        visit: &mut dyn for<'e> FnMut(PayloadRef<'e>),
+    ) {
+        let Some(arena) = self.store.get(layer, head) else {
+            return;
+        };
+        for i in 0..arena.len() {
+            visit(PayloadRef::Kv {
+                key: arena.key(i),
+                value: arena.value(i),
+            });
+        }
+    }
+
+    fn entry_count(&self, layer: usize, head: usize) -> usize {
+        self.store.get(layer, head).map_or(0, |a| a.len())
     }
 
     fn observe_attention(&mut self, _layer: usize, _head: usize, _scores: &[(TokenId, f32)]) {
@@ -107,19 +129,12 @@ impl KvCacheBackend for StreamingLlmCache {
     }
 
     fn stats(&self) -> CacheStats {
-        let kv_entries: usize = self.store.values().map(Vec::len).sum();
-        let bytes: usize = self
-            .store
-            .values()
-            .flat_map(|v| v.iter())
-            .map(|e| 2 * (e.key.len() + e.value.len()))
-            .sum();
         CacheStats {
-            kv_entries,
+            kv_entries: self.store.total_entries(),
             recompute_entries: 0,
             evictions: self.evictions,
             insertions: self.insertions,
-            bytes_fp16: bytes,
+            bytes_fp16: self.store.bytes_fp16(),
         }
     }
 
@@ -133,11 +148,11 @@ mod tests {
     use super::*;
 
     fn insert_token(cache: &mut StreamingLlmCache, token: usize, heads: usize) {
-        let keys: Vec<Vec<f32>> = (0..heads)
-            .map(|h| vec![token as f32 + h as f32; 4])
+        let keys: Vec<f32> = (0..heads)
+            .flat_map(|h| vec![token as f32 + h as f32; 4])
             .collect();
         let values = keys.clone();
-        cache.insert(0, token, &[0.0; 8], &keys, &values);
+        cache.insert(0, token, &[0.0; 8], &keys, &values, 4);
     }
 
     #[test]
@@ -187,6 +202,21 @@ mod tests {
         let entries = cache.entries(0, 0);
         assert!(entries.iter().find(|e| e.token == 0).unwrap().high_score);
         assert!(!entries.iter().find(|e| e.token == 3).unwrap().high_score);
+    }
+
+    #[test]
+    fn bytes_reflect_live_entries_not_retired_capacity() {
+        // Regression for the stats contract: after heavy eviction churn the
+        // reported footprint must be stride × live entries, not the peak the
+        // arena buffers grew to.
+        let mut cache = StreamingLlmCache::new(CacheBudget::new(4).with_sink_tokens(1));
+        for t in 0..64 {
+            insert_token(&mut cache, t, 1);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.kv_entries, 4);
+        // 4 entries × 2 vectors × 4 elements × 2 bytes.
+        assert_eq!(stats.bytes_fp16, 4 * 2 * 4 * 2);
     }
 
     #[test]

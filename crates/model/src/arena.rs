@@ -1,0 +1,411 @@
+//! Contiguous arena storage backing the KV-cache policies.
+//!
+//! The original storage layer kept every cached token as a pair of boxed
+//! `Vec<f32>`s inside per-token structs, so each decode step chased pointers
+//! all over the heap and every read materialized fresh clones.  The arenas in
+//! this module are the replacement: one flat `f32` buffer per `(layer, head)`
+//! strided by `head_dim` for KV pairs ([`KvArena`]), and one slot-recycling
+//! slab per layer for AERP's recompute-format input vectors ([`InputSlab`]).
+//!
+//! The allocation discipline is:
+//!
+//! * **insert** appends to the arena tail (amortized O(1); the buffers warm
+//!   up to the policy budget and then stop growing);
+//! * **evict** removes the entry while *preserving order* (`copy_within` +
+//!   truncate), so entry iteration order — and therefore the floating-point
+//!   accumulation order of attention — is identical to the historical
+//!   per-token-`Vec` storage; and
+//! * **read** hands out borrowed `&[f32]` slices straight into the arena; the
+//!   steady-state decode path never clones a key or value.
+//!
+//! Eq. 1/2 are order-invariant (§2.2), so *correctness* does not depend on
+//! the order-preserving eviction; bitwise reproducibility of token streams
+//! against the materializing reference adapter (and against the historical
+//! entry order) does, which is why the arenas do not use `swap_remove`.
+
+use crate::cache::TokenId;
+use crate::hash::FastHashMap;
+
+/// Bytes per stored element under the logical FP16 storage format the cache
+/// statistics report.
+pub const FP16_BYTES: usize = 2;
+
+/// Contiguous KV storage for one `(layer, head)`: a token list plus two flat
+/// `f32` buffers (keys and values) strided by `head_dim`.
+///
+/// Entry `i` owns `keys[i*head_dim .. (i+1)*head_dim]` and the corresponding
+/// `values` range; `tokens[i]` is its sequence position.  Entries stay in
+/// insertion order across evictions (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct KvArena {
+    head_dim: usize,
+    tokens: Vec<TokenId>,
+    keys: Vec<f32>,
+    values: Vec<f32>,
+}
+
+impl KvArena {
+    /// Creates an empty arena for vectors of length `head_dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim == 0`.
+    pub fn new(head_dim: usize) -> Self {
+        assert!(head_dim > 0, "arena stride must be non-zero");
+        KvArena {
+            head_dim,
+            tokens: Vec::new(),
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The per-entry stride (elements per key or value vector).
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the arena holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The stored token ids, in entry order.
+    pub fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    /// The token id of entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn token_at(&self, i: usize) -> TokenId {
+        self.tokens[i]
+    }
+
+    /// Borrows the key vector of entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn key(&self, i: usize) -> &[f32] {
+        &self.keys[i * self.head_dim..(i + 1) * self.head_dim]
+    }
+
+    /// Borrows the value vector of entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn value(&self, i: usize) -> &[f32] {
+        &self.values[i * self.head_dim..(i + 1) * self.head_dim]
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` or `value` length differs from the arena stride.
+    pub fn push(&mut self, token: TokenId, key: &[f32], value: &[f32]) {
+        assert_eq!(key.len(), self.head_dim, "key length must match stride");
+        assert_eq!(value.len(), self.head_dim, "value length must match stride");
+        self.tokens.push(token);
+        self.keys.extend_from_slice(key);
+        self.values.extend_from_slice(value);
+    }
+
+    /// The entry index currently holding `token`, if present.
+    pub fn position(&self, token: TokenId) -> Option<usize> {
+        self.tokens.iter().position(|&t| t == token)
+    }
+
+    /// Removes entry `i`, preserving the order of the remaining entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn remove_at(&mut self, i: usize) {
+        let n = self.len();
+        assert!(i < n, "arena index out of bounds");
+        self.tokens.remove(i);
+        let d = self.head_dim;
+        self.keys.copy_within((i + 1) * d.., i * d);
+        self.keys.truncate((n - 1) * d);
+        self.values.copy_within((i + 1) * d.., i * d);
+        self.values.truncate((n - 1) * d);
+    }
+
+    /// Removes the entry holding `token`, if present.  Returns whether an
+    /// entry was removed.
+    pub fn remove_token(&mut self, token: TokenId) -> bool {
+        match self.position(token) {
+            Some(i) => {
+                self.remove_at(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops all entries (capacity is retained for reuse).
+    pub fn clear(&mut self) {
+        self.tokens.clear();
+        self.keys.clear();
+        self.values.clear();
+    }
+
+    /// Logical FP16 footprint of the *live* entries: `stride × live entries ×
+    /// 2 vectors × 2 bytes`.  Deliberately independent of the buffers'
+    /// retained capacity — retired slots cost nothing (the
+    /// `CacheStats::bytes_fp16` contract).
+    pub fn bytes_fp16(&self) -> usize {
+        self.len() * 2 * self.head_dim * FP16_BYTES
+    }
+}
+
+/// A keyed collection of [`KvArena`]s, one per `(layer, head)`, with lazy
+/// creation at a fixed stride.  Thin convenience wrapper shared by the cache
+/// policies.
+#[derive(Debug, Clone, Default)]
+pub struct ArenaGrid {
+    arenas: FastHashMap<(usize, usize), KvArena>,
+}
+
+impl ArenaGrid {
+    /// Creates an empty grid.
+    pub fn new() -> Self {
+        ArenaGrid::default()
+    }
+
+    /// The arena for `(layer, head)`, if any entries were ever inserted.
+    pub fn get(&self, layer: usize, head: usize) -> Option<&KvArena> {
+        self.arenas.get(&(layer, head))
+    }
+
+    /// Mutable access to the arena for `(layer, head)`, if present.
+    pub fn get_mut(&mut self, layer: usize, head: usize) -> Option<&mut KvArena> {
+        self.arenas.get_mut(&(layer, head))
+    }
+
+    /// The arena for `(layer, head)`, created at `head_dim` stride on first
+    /// use.
+    pub fn get_or_create(&mut self, layer: usize, head: usize, head_dim: usize) -> &mut KvArena {
+        self.arenas
+            .entry((layer, head))
+            .or_insert_with(|| KvArena::new(head_dim))
+    }
+
+    /// Iterates over all arenas.
+    pub fn iter(&self) -> impl Iterator<Item = (&(usize, usize), &KvArena)> {
+        self.arenas.iter()
+    }
+
+    /// The `(layer, head)` keys present in the grid.
+    pub fn keys(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.arenas.keys().copied()
+    }
+
+    /// Total live entries across all arenas.
+    pub fn total_entries(&self) -> usize {
+        self.arenas.values().map(KvArena::len).sum()
+    }
+
+    /// Total logical FP16 footprint across all arenas (live entries only).
+    pub fn bytes_fp16(&self) -> usize {
+        self.arenas.values().map(KvArena::bytes_fp16).sum()
+    }
+}
+
+/// Slot-recycling storage for per-layer input vectors (`x`, length
+/// `channels`), used by AERP's recomputation format.
+///
+/// Removing a token pushes its slot onto a free list instead of freeing the
+/// backing memory, so steady-state insert/evict churn performs no heap
+/// traffic at all once the slab has warmed up to the policy budget.
+#[derive(Debug, Clone, Default)]
+pub struct InputSlab {
+    width: usize,
+    data: Vec<f32>,
+    index: FastHashMap<TokenId, usize>,
+    free: Vec<usize>,
+}
+
+impl InputSlab {
+    /// Creates an empty slab for vectors of length `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "slab width must be non-zero");
+        InputSlab {
+            width,
+            data: Vec::new(),
+            index: FastHashMap::default(),
+            free: Vec::new(),
+        }
+    }
+
+    /// The vector length the slab stores.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the slab holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `token` is stored.
+    pub fn contains(&self, token: TokenId) -> bool {
+        self.index.contains_key(&token)
+    }
+
+    /// Stores (or overwrites) the vector for `token`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` length differs from the slab width.
+    pub fn insert(&mut self, token: TokenId, x: &[f32]) {
+        assert_eq!(x.len(), self.width, "input length must match slab width");
+        let slot = match self.index.get(&token) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.free.pop().unwrap_or_else(|| {
+                    let slot = self.data.len() / self.width;
+                    self.data.resize(self.data.len() + self.width, 0.0);
+                    slot
+                });
+                self.index.insert(token, slot);
+                slot
+            }
+        };
+        self.data[slot * self.width..(slot + 1) * self.width].copy_from_slice(x);
+    }
+
+    /// Borrows the vector stored for `token`, if present.
+    pub fn get(&self, token: TokenId) -> Option<&[f32]> {
+        self.index
+            .get(&token)
+            .map(|&slot| &self.data[slot * self.width..(slot + 1) * self.width])
+    }
+
+    /// Removes `token`, recycling its slot.  Returns whether it was present.
+    pub fn remove(&mut self, token: TokenId) -> bool {
+        match self.index.remove(&token) {
+            Some(slot) => {
+                self.free.push(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Logical FP16 footprint of the live entries (`width × live entries × 2
+    /// bytes`), independent of recycled-slot capacity.
+    pub fn bytes_fp16(&self) -> usize {
+        self.len() * self.width * FP16_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena_with(entries: &[(TokenId, f32)]) -> KvArena {
+        let mut arena = KvArena::new(4);
+        for &(t, v) in entries {
+            arena.push(t, &[v; 4], &[-v; 4]);
+        }
+        arena
+    }
+
+    #[test]
+    fn push_and_borrow() {
+        let arena = arena_with(&[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.tokens(), &[0, 1, 2]);
+        assert_eq!(arena.key(1), &[2.0; 4]);
+        assert_eq!(arena.value(2), &[-3.0; 4]);
+    }
+
+    #[test]
+    fn remove_preserves_order() {
+        let mut arena = arena_with(&[(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]);
+        arena.remove_at(1);
+        assert_eq!(arena.tokens(), &[0, 2, 3]);
+        assert_eq!(arena.key(1), &[3.0; 4]);
+        assert_eq!(arena.value(2), &[-4.0; 4]);
+        assert!(arena.remove_token(3));
+        assert!(!arena.remove_token(99));
+        assert_eq!(arena.tokens(), &[0, 2]);
+    }
+
+    #[test]
+    fn bytes_reflect_live_entries_not_capacity() {
+        let mut arena = arena_with(&[]);
+        for t in 0..100 {
+            arena.push(t, &[0.5; 4], &[0.5; 4]);
+        }
+        while arena.len() > 4 {
+            arena.remove_at(0);
+        }
+        // 4 entries × 2 vectors × 4 elements × 2 bytes, regardless of the
+        // capacity the buffers retain from their 100-entry peak.
+        assert_eq!(arena.bytes_fp16(), 4 * 2 * 4 * 2);
+        assert!(arena.keys.capacity() >= 100 * 4);
+    }
+
+    #[test]
+    fn grid_lazily_creates() {
+        let mut grid = ArenaGrid::new();
+        assert!(grid.get(0, 0).is_none());
+        grid.get_or_create(0, 0, 4).push(7, &[1.0; 4], &[2.0; 4]);
+        assert_eq!(grid.get(0, 0).unwrap().len(), 1);
+        assert_eq!(grid.total_entries(), 1);
+        assert_eq!(grid.bytes_fp16(), 2 * 4 * 2);
+    }
+
+    #[test]
+    fn slab_recycles_slots() {
+        let mut slab = InputSlab::new(3);
+        slab.insert(0, &[1.0, 2.0, 3.0]);
+        slab.insert(1, &[4.0, 5.0, 6.0]);
+        assert_eq!(slab.get(0), Some(&[1.0, 2.0, 3.0][..]));
+        assert!(slab.remove(0));
+        assert!(!slab.remove(0));
+        let backing = slab.data.len();
+        slab.insert(2, &[7.0, 8.0, 9.0]);
+        // Token 2 reused token 0's slot; the backing store did not grow.
+        assert_eq!(slab.data.len(), backing);
+        assert_eq!(slab.get(2), Some(&[7.0, 8.0, 9.0][..]));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.bytes_fp16(), 2 * 3 * 2);
+    }
+
+    #[test]
+    fn slab_overwrite_keeps_one_slot() {
+        let mut slab = InputSlab::new(2);
+        slab.insert(5, &[1.0, 1.0]);
+        slab.insert(5, &[2.0, 2.0]);
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.get(5), Some(&[2.0, 2.0][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be non-zero")]
+    fn zero_stride_panics() {
+        KvArena::new(0);
+    }
+}

@@ -1,19 +1,52 @@
-//! The KV-cache backend abstraction and the full (uncompressed) reference cache.
+//! The KV-cache backend abstraction and the full (uncompressed) reference
+//! cache.
 //!
 //! During decoding, the model inserts the current token's per-head key/value
 //! vectors into the cache (paper Fig. 1b) and then attends over whatever the
-//! cache returns.  Different *policies* (full cache, StreamingLLM, H2O, Kelle's
-//! AERP) decide which tokens survive and whether a token is stored as KV
-//! vectors or as the input vector `x` to be recomputed (§4.1.2).  Those
+//! cache exposes.  Different *policies* (full cache, StreamingLLM, H2O,
+//! Kelle's AERP) decide which tokens survive and whether a token is stored as
+//! KV vectors or as the input vector `x` to be recomputed (§4.1.2).  Those
 //! policies live in the `kelle-cache` crate and implement [`KvCacheBackend`].
 //!
-//! The trait is deliberately payload-centric: the attention code does not care
-//! *why* a token survived, only what is stored for it.  Eq. 1 and Eq. 2 are
-//! invariant to the relative order of KV pairs (§2.2), so `entries` may return
-//! tokens in any order — a property the proptest suite checks explicitly.
+//! # Arena layout and the decode allocation discipline
+//!
+//! Kelle treats the KV cache as a first-order, contiguously laid out memory
+//! object — that is the whole premise of co-designing it with eDRAM — and the
+//! storage layer mirrors that.  Every policy backs each `(layer, head)` with
+//! a [`KvArena`](crate::arena::KvArena): one `Vec<TokenId>` plus two flat
+//! `Vec<f32>` buffers strided by `head_dim`, entry `i` owning elements
+//! `[i·head_dim, (i+1)·head_dim)`.  AERP's recompute-format input vectors
+//! live in a per-layer slot-recycling [`InputSlab`](crate::arena::InputSlab).
+//! The discipline for the decode hot path is:
+//!
+//! * **reads are borrows**: [`for_each_entry`](KvCacheBackend::for_each_entry)
+//!   visits [`EntryRef`] views whose key/value/`x` slices point straight into
+//!   the arenas — zero copies, zero allocation;
+//! * **inserts append**: flat per-head slices are copied onto the arena tail;
+//!   buffers warm up to the policy budget and then stop growing;
+//! * **evictions splice in place** (order-preserving `copy_within`), so the
+//!   entry iteration order — and therefore the floating-point accumulation
+//!   order of attention — is the same as the historical per-token-`Vec`
+//!   storage produced.
+//!
+//! The materializing [`entries`](KvCacheBackend::entries) adapter (a provided
+//! trait method building owned [`CacheEntry`] values through
+//! `for_each_entry`) survives as the *reference surface*: tests prove the
+//! borrowed path computes **bit-for-bit identical** token streams and
+//! probability distributions to decoding through this adapter, and the
+//! benchmark suite uses it as the allocation-heavy pre-arena baseline.
+//! (Absolute numeric results differ from pre-rewrite *binaries* only through
+//! the independently documented [`dot`](kelle_tensor::dot) reference
+//! ordering, which both paths share.)
+//!
+//! The trait is deliberately payload-centric: the attention code does not
+//! care *why* a token survived, only what is stored for it.  Eq. 1 and Eq. 2
+//! are invariant to the relative order of KV pairs (§2.2), so entries may be
+//! visited in any order — a property the proptest suite checks explicitly.
 
+use crate::arena::ArenaGrid;
+use crate::hash::FastHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Index of a token within the full (pre-eviction) sequence.
 pub type TokenId = usize;
@@ -44,7 +77,12 @@ impl EntryPayload {
     }
 }
 
-/// A single cached token entry for one `(layer, head)` pair.
+/// A single cached token entry for one `(layer, head)` pair, with owned
+/// payload buffers.
+///
+/// This is the *materialized* form produced by the
+/// [`entries`](KvCacheBackend::entries) reference adapter; the decode hot
+/// path works on borrowed [`EntryRef`] views instead.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CacheEntry {
     /// The original sequence index of the token.
@@ -55,6 +93,70 @@ pub struct CacheEntry {
     /// (heavy-hitter) token.  Used by the fault injector to apply the
     /// HST/LST-dependent corruption rates of 2DRP.
     pub high_score: bool,
+}
+
+/// Borrowed view of a cached token's stored payload: slices pointing straight
+/// into the backing arena (or input slab), valid for the duration of one
+/// [`for_each_entry`](KvCacheBackend::for_each_entry) visit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PayloadRef<'a> {
+    /// Key and value vectors stored directly (each of length `head_dim`).
+    Kv {
+        /// Stored key vector.
+        key: &'a [f32],
+        /// Stored value vector.
+        value: &'a [f32],
+    },
+    /// Only the layer-input vector `x` (length `channels`) is stored.
+    Recompute {
+        /// Stored input vector for the token.
+        x: &'a [f32],
+    },
+}
+
+impl PayloadRef<'_> {
+    /// Whether this payload requires recomputation.
+    pub fn needs_recompute(&self) -> bool {
+        matches!(self, PayloadRef::Recompute { .. })
+    }
+
+    /// Deep-copies the payload into its owned form.
+    pub fn to_owned_payload(&self) -> EntryPayload {
+        match *self {
+            PayloadRef::Kv { key, value } => EntryPayload::Kv {
+                key: key.to_vec(),
+                value: value.to_vec(),
+            },
+            PayloadRef::Recompute { x } => EntryPayload::Recompute { x: x.to_vec() },
+        }
+    }
+}
+
+/// Borrowed view of a single cached token entry for one `(layer, head)`.
+///
+/// The zero-copy counterpart of [`CacheEntry`]: produced by
+/// [`KvCacheBackend::for_each_entry`] and consumed by the fused attention
+/// pass without touching the allocator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntryRef<'a> {
+    /// The original sequence index of the token.
+    pub token: TokenId,
+    /// Stored data, borrowed from the backend.
+    pub payload: PayloadRef<'a>,
+    /// Whether the policy currently classifies this token as a high-score
+    /// (heavy-hitter) token.
+    pub high_score: bool,
+}
+
+impl EntryRef<'_> {
+    /// Deep-copies the view into an owned [`CacheEntry`].
+    pub fn to_owned_entry(&self) -> CacheEntry {
+        CacheEntry {
+            token: self.token,
+            payload: self.payload.to_owned_payload(),
+            high_score: self.high_score,
+        }
+    }
 }
 
 /// Aggregate occupancy statistics reported by a cache backend.
@@ -70,6 +172,13 @@ pub struct CacheStats {
     /// Total tokens inserted so far (per layer insertions counted once).
     pub insertions: u64,
     /// Logical storage footprint in bytes assuming 16-bit elements.
+    ///
+    /// This is the **arena footprint of live data**: `stride × live entries ×
+    /// 2 bytes` per stored vector, with `Recompute` payloads counted once per
+    /// layer (the input vector is shared across heads).  Retired arena
+    /// capacity — slots kept warm for reuse after evictions — is explicitly
+    /// *not* counted; the figure feeds the eDRAM capacity/refresh model,
+    /// which cares about bits that must be retained, not allocator bookkeeping.
     pub bytes_fp16: usize,
 }
 
@@ -88,31 +197,89 @@ impl CacheStats {
 /// The call sequence per generated token and layer is:
 ///
 /// 1. [`insert`](KvCacheBackend::insert) with the token's input vector and
-///    per-head keys/values;
-/// 2. [`entries`](KvCacheBackend::entries) for each head, returning the tokens
-///    to attend over;
+///    the per-head keys/values as flat `channels`-length slices;
+/// 2. [`for_each_entry`](KvCacheBackend::for_each_entry) for each head,
+///    visiting borrowed views of the tokens to attend over;
 /// 3. [`observe_attention`](KvCacheBackend::observe_attention) for each head
-///    with the post-softmax probabilities assigned to the returned entries, so
+///    with the post-softmax probabilities assigned to the visited entries, so
 ///    importance-tracking policies (H2O, AERP) can update their scores.
 ///
 /// After pre-filling, [`finish_prefill`](KvCacheBackend::finish_prefill) lets
-/// policies apply their prefill retention rule (e.g. keep the top-`N'` tokens).
+/// policies apply their prefill retention rule (e.g. keep the top-`N'`
+/// tokens).
+///
+/// Within one logical step, consecutive `for_each_entry` calls for the same
+/// `(layer, head)` with no intervening `&mut` access must visit the same
+/// entries in the same order (the fused attention pass traverses twice:
+/// scores, then value accumulation).
 pub trait KvCacheBackend: std::fmt::Debug {
     /// Inserts the current token for `layer`.
     ///
-    /// `x` is the layer-input vector (length `channels`); `keys[h]` /
-    /// `values[h]` are the per-head projections (length `head_dim`).
+    /// `x` is the layer-input vector (length `channels`); `keys` / `values`
+    /// are the per-head projections laid out head-major as flat slices of
+    /// length `heads × head_dim` (head `h` owns
+    /// `[h·head_dim, (h+1)·head_dim)`).
     fn insert(
         &mut self,
         layer: usize,
         token: TokenId,
         x: &[f32],
-        keys: &[Vec<f32>],
-        values: &[Vec<f32>],
+        keys: &[f32],
+        values: &[f32],
+        head_dim: usize,
     );
 
-    /// Returns the cached entries to attend over for `(layer, head)`.
-    fn entries(&self, layer: usize, head: usize) -> Vec<CacheEntry>;
+    /// Visits every cached entry of `(layer, head)` in the backend's entry
+    /// order, handing the visitor borrowed [`EntryRef`] views into the
+    /// backing storage.
+    fn for_each_entry(
+        &self,
+        layer: usize,
+        head: usize,
+        visit: &mut dyn for<'e> FnMut(EntryRef<'e>),
+    );
+
+    /// Visits only the stored payloads of `(layer, head)`, in the same entry
+    /// order as [`for_each_entry`](KvCacheBackend::for_each_entry).
+    ///
+    /// This is the second (value-accumulation) traversal of the fused
+    /// attention pass, which needs no token ids or importance labels;
+    /// backends that pay per-entry cost to classify HST/LST tokens (median
+    /// lookups in score-tracking policies) should override it to skip that
+    /// work.  The default delegates to `for_each_entry`.
+    fn for_each_payload(
+        &self,
+        layer: usize,
+        head: usize,
+        visit: &mut dyn for<'e> FnMut(PayloadRef<'e>),
+    ) {
+        self.for_each_entry(layer, head, &mut |e| visit(e.payload));
+    }
+
+    /// Number of cached entries for `(layer, head)`.
+    ///
+    /// The default implementation counts through
+    /// [`for_each_entry`](KvCacheBackend::for_each_entry); backends with O(1)
+    /// knowledge should override it.
+    fn entry_count(&self, layer: usize, head: usize) -> usize {
+        let mut n = 0;
+        self.for_each_entry(layer, head, &mut |_| n += 1);
+        n
+    }
+
+    /// Materializes the cached entries of `(layer, head)` as owned values.
+    ///
+    /// This is the *reference adapter* over
+    /// [`for_each_entry`](KvCacheBackend::for_each_entry): it deep-copies
+    /// every visited view, which makes it convenient for tests, assertions
+    /// and offline tooling — and exactly as allocation-heavy as the
+    /// pre-arena storage layer, which is why the decode benchmark uses it as
+    /// the baseline.  Hot paths must use `for_each_entry` directly.
+    fn entries(&self, layer: usize, head: usize) -> Vec<CacheEntry> {
+        let mut out = Vec::with_capacity(self.entry_count(layer, head));
+        self.for_each_entry(layer, head, &mut |e| out.push(e.to_owned_entry()));
+        out
+    }
 
     /// Reports the post-softmax attention probabilities assigned to cached
     /// tokens during the current step.
@@ -131,19 +298,16 @@ pub trait KvCacheBackend: std::fmt::Debug {
     fn name(&self) -> &'static str;
 }
 
-/// Raw (token, key, value) entries stored for one `(layer, head)`.
-type RawEntries = Vec<(TokenId, Vec<f32>, Vec<f32>)>;
-
 /// The uncompressed reference cache: every token of every head is retained as
-/// raw KV vectors.  This corresponds to the paper's "FP16 / full KV cache"
-/// baseline column in Table 2.
+/// raw KV vectors in per-`(layer, head)` arenas.  This corresponds to the
+/// paper's "FP16 / full KV cache" baseline column in Table 2.
 #[derive(Debug, Default)]
 pub struct FullKvCache {
-    /// (layer, head) -> ordered list of (token, key, value).
-    store: HashMap<(usize, usize), RawEntries>,
+    /// (layer, head) -> contiguous KV arena in insertion order.
+    store: ArenaGrid,
     /// (layer, head, token) -> accumulated attention score (used only to label
     /// HST/LST groups for fault-injection experiments).
-    accumulated: HashMap<(usize, usize), HashMap<TokenId, f32>>,
+    accumulated: FastHashMap<(usize, usize), FastHashMap<TokenId, f32>>,
     insertions: u64,
 }
 
@@ -153,7 +317,7 @@ impl FullKvCache {
         Self::default()
     }
 
-    fn median_score(scores: &HashMap<TokenId, f32>) -> f32 {
+    fn median_score(scores: &FastHashMap<TokenId, f32>) -> f32 {
         if scores.is_empty() {
             return 0.0;
         }
@@ -169,40 +333,68 @@ impl KvCacheBackend for FullKvCache {
         layer: usize,
         token: TokenId,
         _x: &[f32],
-        keys: &[Vec<f32>],
-        values: &[Vec<f32>],
+        keys: &[f32],
+        values: &[f32],
+        head_dim: usize,
     ) {
-        for (head, (k, v)) in keys.iter().zip(values.iter()).enumerate() {
+        for (head, (k, v)) in keys
+            .chunks_exact(head_dim)
+            .zip(values.chunks_exact(head_dim))
+            .enumerate()
+        {
             self.store
-                .entry((layer, head))
-                .or_default()
-                .push((token, k.clone(), v.clone()));
+                .get_or_create(layer, head, head_dim)
+                .push(token, k, v);
         }
         self.insertions += 1;
     }
 
-    fn entries(&self, layer: usize, head: usize) -> Vec<CacheEntry> {
+    fn for_each_entry(
+        &self,
+        layer: usize,
+        head: usize,
+        visit: &mut dyn for<'e> FnMut(EntryRef<'e>),
+    ) {
+        let Some(arena) = self.store.get(layer, head) else {
+            return;
+        };
         let scores = self.accumulated.get(&(layer, head));
         let median = scores.map(Self::median_score).unwrap_or(0.0);
-        self.store
-            .get(&(layer, head))
-            .map(|entries| {
-                entries
-                    .iter()
-                    .map(|(token, k, v)| CacheEntry {
-                        token: *token,
-                        payload: EntryPayload::Kv {
-                            key: k.clone(),
-                            value: v.clone(),
-                        },
-                        high_score: scores
-                            .and_then(|s| s.get(token))
-                            .map(|s| *s >= median)
-                            .unwrap_or(true),
-                    })
-                    .collect()
-            })
-            .unwrap_or_default()
+        for i in 0..arena.len() {
+            let token = arena.token_at(i);
+            visit(EntryRef {
+                token,
+                payload: PayloadRef::Kv {
+                    key: arena.key(i),
+                    value: arena.value(i),
+                },
+                high_score: scores
+                    .and_then(|s| s.get(&token))
+                    .map(|s| *s >= median)
+                    .unwrap_or(true),
+            });
+        }
+    }
+
+    fn for_each_payload(
+        &self,
+        layer: usize,
+        head: usize,
+        visit: &mut dyn for<'e> FnMut(PayloadRef<'e>),
+    ) {
+        let Some(arena) = self.store.get(layer, head) else {
+            return;
+        };
+        for i in 0..arena.len() {
+            visit(PayloadRef::Kv {
+                key: arena.key(i),
+                value: arena.value(i),
+            });
+        }
+    }
+
+    fn entry_count(&self, layer: usize, head: usize) -> usize {
+        self.store.get(layer, head).map_or(0, |a| a.len())
     }
 
     fn observe_attention(&mut self, layer: usize, head: usize, scores: &[(TokenId, f32)]) {
@@ -213,19 +405,12 @@ impl KvCacheBackend for FullKvCache {
     }
 
     fn stats(&self) -> CacheStats {
-        let kv_entries: usize = self.store.values().map(Vec::len).sum();
-        let bytes: usize = self
-            .store
-            .values()
-            .flat_map(|v| v.iter())
-            .map(|(_, k, v)| 2 * (k.len() + v.len()))
-            .sum();
         CacheStats {
-            kv_entries,
+            kv_entries: self.store.total_entries(),
             recompute_entries: 0,
             evictions: 0,
             insertions: self.insertions,
-            bytes_fp16: bytes,
+            bytes_fp16: self.store.bytes_fp16(),
         }
     }
 
@@ -242,16 +427,25 @@ mod tests {
         (vec![token as f32; 4], vec![-(token as f32); 4])
     }
 
+    /// Two-head insert helper using the flat head-major layout.
+    fn insert2(cache: &mut FullKvCache, token: usize) {
+        let (k, v) = kv(token);
+        let keys: Vec<f32> = k.iter().chain(k.iter()).copied().collect();
+        let values: Vec<f32> = v.iter().chain(v.iter()).copied().collect();
+        cache.insert(0, token, &[0.0; 8], &keys, &values, 4);
+    }
+
     #[test]
     fn full_cache_retains_everything() {
         let mut cache = FullKvCache::new();
         for t in 0..10 {
-            let (k, v) = kv(t);
-            cache.insert(0, t, &[0.0; 8], &[k.clone(), k], &[v.clone(), v]);
+            insert2(&mut cache, t);
         }
         assert_eq!(cache.entries(0, 0).len(), 10);
         assert_eq!(cache.entries(0, 1).len(), 10);
         assert_eq!(cache.entries(1, 0).len(), 0);
+        assert_eq!(cache.entry_count(0, 0), 10);
+        assert_eq!(cache.entry_count(1, 0), 0);
         assert_eq!(cache.stats().kv_entries, 20);
         assert_eq!(cache.stats().evictions, 0);
     }
@@ -260,7 +454,7 @@ mod tests {
     fn full_cache_stats_bytes() {
         let mut cache = FullKvCache::new();
         let (k, v) = kv(0);
-        cache.insert(0, 0, &[0.0; 8], &[k], &[v]);
+        cache.insert(0, 0, &[0.0; 8], &k, &v, 4);
         // One head, key+value of 4 elements each at 2 bytes.
         assert_eq!(cache.stats().bytes_fp16, 16);
     }
@@ -270,7 +464,7 @@ mod tests {
         let mut cache = FullKvCache::new();
         for t in 0..4 {
             let (k, v) = kv(t);
-            cache.insert(0, t, &[0.0; 8], &[k], &[v]);
+            cache.insert(0, t, &[0.0; 8], &k, &v, 4);
         }
         // Token 2 receives most of the attention mass.
         cache.observe_attention(0, 0, &[(0, 0.05), (1, 0.05), (2, 0.8), (3, 0.1)]);
@@ -282,6 +476,19 @@ mod tests {
     }
 
     #[test]
+    fn borrowed_views_match_materialized_entries() {
+        let mut cache = FullKvCache::new();
+        for t in 0..6 {
+            insert2(&mut cache, t);
+        }
+        cache.observe_attention(0, 0, &[(0, 0.7), (3, 0.1)]);
+        let owned = cache.entries(0, 0);
+        let mut visited = Vec::new();
+        cache.for_each_entry(0, 0, &mut |e| visited.push(e.to_owned_entry()));
+        assert_eq!(owned, visited);
+    }
+
+    #[test]
     fn payload_kind_query() {
         let kv = EntryPayload::Kv {
             key: vec![1.0],
@@ -290,6 +497,15 @@ mod tests {
         let rc = EntryPayload::Recompute { x: vec![1.0] };
         assert!(!kv.needs_recompute());
         assert!(rc.needs_recompute());
+        let kv_ref = PayloadRef::Kv {
+            key: &[1.0],
+            value: &[2.0],
+        };
+        let rc_ref = PayloadRef::Recompute { x: &[1.0] };
+        assert!(!kv_ref.needs_recompute());
+        assert!(rc_ref.needs_recompute());
+        assert_eq!(kv_ref.to_owned_payload(), kv);
+        assert_eq!(rc_ref.to_owned_payload(), rc);
     }
 
     #[test]

@@ -6,8 +6,15 @@
 //! traffic goes through the [`KvCacheBackend`] passed by the caller, and all
 //! cache reads pass through the [`FaultInjector`], so accuracy experiments can
 //! swap policies and corruption models without touching the model code.
+//!
+//! The hot entry points ([`DecoderLayer::forward_with`],
+//! [`SurrogateModel::forward_token_with`]) mutate the residual stream in
+//! place and stage every intermediate in a caller-owned [`DecodeScratch`], so
+//! steady-state decoding allocates nothing.  The `*_via_entries` variants
+//! preserve the historical allocate-everything implementation as the bitwise
+//! reference (see [`crate::attention`]).
 
-use crate::attention::MultiHeadAttention;
+use crate::attention::{DecodeScratch, MultiHeadAttention};
 use crate::cache::{KvCacheBackend, TokenId};
 use crate::config::{ModelConfig, SurrogateDims};
 use crate::fault::FaultInjector;
@@ -28,11 +35,107 @@ impl<'w> DecoderLayer<'w> {
         DecoderLayer { weights, heads }
     }
 
+    /// Runs the layer for one token through the reusable `scratch`, updating
+    /// the residual stream `hidden` in place.
+    ///
+    /// Returns `(recomputed_entries, kv_entries_read)`; the per-head
+    /// attention labels of the step remain available in
+    /// [`DecodeScratch::attention_labels`].
+    #[allow(clippy::too_many_arguments)] // the decode-step contract: position + data + 3 collaborators
+    pub fn forward_with(
+        &self,
+        layer_index: usize,
+        token: TokenId,
+        position: usize,
+        hidden: &mut [f32],
+        cache: &mut dyn KvCacheBackend,
+        faults: &mut dyn FaultInjector,
+        scratch: &mut DecodeScratch,
+    ) -> (usize, usize) {
+        let attn = MultiHeadAttention::new(self.weights, self.heads);
+
+        // `normed` is taken out of the scratch for the duration of the
+        // attention call (which needs `&mut scratch` alongside the normalized
+        // input) and restored afterwards; the buffer itself is reused across
+        // steps either way.
+        let mut normed = std::mem::take(&mut scratch.normed);
+        ops::rms_norm_into(hidden, &self.weights.attn_norm, 1e-5, &mut normed);
+        let counters = attn.forward_with(
+            layer_index,
+            token,
+            position,
+            &normed,
+            cache,
+            faults,
+            scratch,
+        );
+        for (r, a) in hidden.iter_mut().zip(scratch.attn_out.iter()) {
+            *r += a;
+        }
+
+        ops::rms_norm_into(hidden, &self.weights.ffn_norm, 1e-5, &mut normed);
+        self.weights
+            .w_gate
+            .matvec_into(&normed, &mut scratch.gate)
+            .expect("ffn input matches channel dimension");
+        self.weights
+            .w_up
+            .matvec_into(&normed, &mut scratch.up)
+            .expect("ffn input matches channel dimension");
+        for (g, u) in scratch.gate.iter_mut().zip(scratch.up.iter()) {
+            *g = ops::silu(*g) * u;
+        }
+        self.weights
+            .w_down
+            .matvec_into(&scratch.gate, &mut scratch.ffn)
+            .expect("gated activation matches ffn dimension");
+        for (r, d) in hidden.iter_mut().zip(scratch.ffn.iter()) {
+            *r += d;
+        }
+        scratch.normed = normed;
+
+        counters
+    }
+
     /// Runs the layer for one token, reading and updating the KV cache.
     ///
     /// Returns the residual-stream output and the per-head attention
     /// probabilities (for importance tracking by callers that need them).
+    /// Allocating convenience wrapper over
+    /// [`forward_with`](DecoderLayer::forward_with).
     pub fn forward(
+        &self,
+        layer_index: usize,
+        token: TokenId,
+        position: usize,
+        hidden: &[f32],
+        cache: &mut dyn KvCacheBackend,
+        faults: &mut dyn FaultInjector,
+    ) -> LayerStep {
+        let mut scratch = DecodeScratch::new();
+        let mut out = hidden.to_vec();
+        let (recomputed_entries, kv_entries_read) = self.forward_with(
+            layer_index,
+            token,
+            position,
+            &mut out,
+            cache,
+            faults,
+            &mut scratch,
+        );
+        LayerStep {
+            hidden: out,
+            attention: scratch.attention,
+            recomputed_entries,
+            kv_entries_read,
+        }
+    }
+
+    /// The historical allocate-everything layer forward, driving attention
+    /// through the materializing [`entries`](KvCacheBackend::entries)
+    /// adapter.  Reference implementation for equivalence tests and the
+    /// decode benchmark baseline.
+    pub fn forward_via_entries(
         &self,
         layer_index: usize,
         token: TokenId,
@@ -43,7 +146,8 @@ impl<'w> DecoderLayer<'w> {
     ) -> LayerStep {
         let normed = ops::rms_norm(hidden, &self.weights.attn_norm, 1e-5);
         let attn = MultiHeadAttention::new(self.weights, self.heads);
-        let attn_out = attn.forward(layer_index, token, position, &normed, cache, faults);
+        let attn_out =
+            attn.forward_via_entries(layer_index, token, position, &normed, cache, faults);
 
         let mut residual: Vec<f32> = hidden
             .iter()
@@ -144,12 +248,75 @@ impl SurrogateModel {
         &self.weights
     }
 
-    /// Runs the full decoder stack for one token and returns the logits over
-    /// the surrogate vocabulary plus forward-pass statistics.
+    /// Runs the full decoder stack for one token through the reusable
+    /// `scratch`, leaving the logits over the surrogate vocabulary in
+    /// [`DecodeScratch::logits`] and returning the forward-pass statistics.
     ///
     /// `token` is the vocabulary id of the input token, `position` its
     /// sequence position (which doubles as the [`TokenId`] used by caches).
+    /// This is the allocation-free hot path; steady-state decoding performs
+    /// no heap allocation inside this call.
+    pub fn forward_token_with(
+        &self,
+        token: usize,
+        position: usize,
+        cache: &mut dyn KvCacheBackend,
+        faults: &mut dyn FaultInjector,
+        scratch: &mut DecodeScratch,
+    ) -> ForwardStats {
+        let dims = &self.config.surrogate;
+        let mut hidden = std::mem::take(&mut scratch.hidden);
+        self.weights
+            .embed_into(token % dims.vocab, position, &mut hidden);
+        let mut stats = ForwardStats::default();
+        for (layer_index, layer_weights) in self.weights.layers.iter().enumerate() {
+            let layer = DecoderLayer::new(layer_weights, dims.heads);
+            let (recomputed, read) = layer.forward_with(
+                layer_index,
+                position,
+                position,
+                &mut hidden,
+                cache,
+                faults,
+                scratch,
+            );
+            stats.recomputed_entries += recomputed;
+            stats.kv_entries_read += read;
+        }
+        let mut normed = std::mem::take(&mut scratch.normed);
+        ops::rms_norm_into(&hidden, &self.weights.final_norm, 1e-5, &mut normed);
+        self.weights
+            .embedding
+            .matvec_into(&normed, &mut scratch.logits)
+            .expect("hidden state matches channel dimension");
+        scratch.normed = normed;
+        scratch.hidden = hidden;
+        stats
+    }
+
+    /// Runs the full decoder stack for one token and returns the logits over
+    /// the surrogate vocabulary plus forward-pass statistics.
+    ///
+    /// Allocating convenience wrapper over
+    /// [`forward_token_with`](SurrogateModel::forward_token_with); resumable
+    /// callers hold a [`DecodeScratch`] (via
+    /// [`GenerationState`](crate::generation::GenerationState)) instead.
     pub fn forward_token(
+        &self,
+        token: usize,
+        position: usize,
+        cache: &mut dyn KvCacheBackend,
+        faults: &mut dyn FaultInjector,
+    ) -> (Vec<f32>, ForwardStats) {
+        let mut scratch = DecodeScratch::new();
+        let stats = self.forward_token_with(token, position, cache, faults, &mut scratch);
+        (scratch.logits, stats)
+    }
+
+    /// The historical allocate-everything forward pass through the
+    /// materializing entries adapter; reference for equivalence tests and the
+    /// decode benchmark baseline.
+    pub fn forward_token_via_entries(
         &self,
         token: usize,
         position: usize,
@@ -161,7 +328,8 @@ impl SurrogateModel {
         let mut stats = ForwardStats::default();
         for (layer_index, layer_weights) in self.weights.layers.iter().enumerate() {
             let layer = DecoderLayer::new(layer_weights, dims.heads);
-            let step = layer.forward(layer_index, position, position, &hidden, cache, faults);
+            let step =
+                layer.forward_via_entries(layer_index, position, position, &hidden, cache, faults);
             hidden = step.hidden;
             stats.recomputed_entries += step.recomputed_entries;
             stats.kv_entries_read += step.kv_entries_read;
@@ -263,6 +431,30 @@ mod tests {
         }
         // 2 layers * 4 heads * 6 tokens
         assert_eq!(cache.stats().kv_entries, 48);
+    }
+
+    #[test]
+    fn scratch_path_matches_via_entries_bitwise() {
+        let model = SurrogateModel::new(small_config(), 9);
+        let tokens = [3usize, 17, 42, 8, 61];
+        let run = |fused: bool| -> Vec<u32> {
+            let mut cache = FullKvCache::new();
+            let mut faults = NoFaults;
+            let mut scratch = DecodeScratch::new();
+            let mut last = Vec::new();
+            for (pos, tok) in tokens.iter().enumerate() {
+                if fused {
+                    model.forward_token_with(*tok, pos, &mut cache, &mut faults, &mut scratch);
+                    last = scratch.logits().to_vec();
+                } else {
+                    last = model
+                        .forward_token_via_entries(*tok, pos, &mut cache, &mut faults)
+                        .0;
+                }
+            }
+            last.iter().map(|f| f.to_bits()).collect()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -87,6 +87,23 @@ pub trait FaultInjector: std::fmt::Debug {
         }
     }
 
+    /// Whether this injector is guaranteed to never change a value *and*
+    /// never update its counters, for any input.
+    ///
+    /// The decode hot path consults this once per attention pass: when it
+    /// returns `true`, cached keys and values are read by reference straight
+    /// out of the storage arenas with zero copies; otherwise each read is
+    /// staged through scratch buffers so the stored bits stay pristine while
+    /// the attention math sees the corrupted view.  Defaults to `false`
+    /// (conservative: the staging path is always correct, merely slower).
+    ///
+    /// Implementations must not return `true` if skipping `corrupt` calls
+    /// would be observable — e.g. [`ProbabilisticFaults`] keeps returning
+    /// `false` even for all-zero rates because it counts examined words.
+    fn is_noop(&self) -> bool {
+        false
+    }
+
     /// Corruption counters accumulated so far.
     fn stats(&self) -> FaultStats;
 }
@@ -98,6 +115,10 @@ pub struct NoFaults;
 impl FaultInjector for NoFaults {
     fn corrupt(&mut self, value: f32, _group: TokenGroup) -> f32 {
         value
+    }
+
+    fn is_noop(&self) -> bool {
+        true
     }
 
     fn stats(&self) -> FaultStats {

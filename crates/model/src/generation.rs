@@ -16,6 +16,7 @@
 //! metric is how much the test run's output distribution drifts (see
 //! [`crate::metrics`]).
 
+use crate::attention::DecodeScratch;
 use crate::cache::{CacheStats, FullKvCache, KvCacheBackend, TokenId};
 use crate::decoder::SurrogateModel;
 use crate::fault::{FaultInjector, NoFaults};
@@ -116,12 +117,18 @@ pub struct GenerationOutput {
 /// caller owns all three and threads them through [`prefill`] and
 /// [`decode_step`].  Positions are global across turns, so a state that
 /// pre-filled 8 tokens and decoded 4 resumes at position 12.
+///
+/// The state also owns the [`DecodeScratch`] its forward passes run through:
+/// the scratch buffers warm up during pre-fill and the first decode steps and
+/// are reused verbatim afterwards, which is what makes steady-state decoding
+/// allocation-free.
 #[derive(Debug, Clone, Default)]
 pub struct GenerationState {
     position: usize,
     last_logits: Vec<f32>,
     prefilled_tokens: usize,
     decoded_tokens: usize,
+    scratch: DecodeScratch,
 }
 
 impl GenerationState {
@@ -158,6 +165,11 @@ impl GenerationState {
         } else {
             Some(SurrogateModel::argmax(&self.last_logits))
         }
+    }
+
+    /// The reusable scratch the state's forward passes run through.
+    pub fn scratch_mut(&mut self) -> &mut DecodeScratch {
+        &mut self.scratch
     }
 }
 
@@ -197,8 +209,15 @@ pub fn prefill(
     );
     let vocab = model.dims().vocab;
     for tok in tokens {
-        let (logits, _) = model.forward_token(*tok % vocab, state.position, cache, faults);
-        state.last_logits = logits;
+        model.forward_token_with(
+            *tok % vocab,
+            state.position,
+            cache,
+            faults,
+            &mut state.scratch,
+        );
+        state.last_logits.clear();
+        state.last_logits.extend_from_slice(&state.scratch.logits);
         state.position += 1;
     }
     if !tokens.is_empty() {
@@ -230,10 +249,11 @@ pub fn decode_step(
     let vocab = model.dims().vocab;
     let input_token = forced_input.map(|t| t % vocab).unwrap_or(next);
     let position = state.position;
-    let (logits, stats) = model.forward_token(input_token, position, cache, faults);
-    let probs = SurrogateModel::probabilities(&logits);
-    let choice = SurrogateModel::argmax(&logits);
-    state.last_logits = logits;
+    let stats = model.forward_token_with(input_token, position, cache, faults, &mut state.scratch);
+    let probs = SurrogateModel::probabilities(&state.scratch.logits);
+    let choice = SurrogateModel::argmax(&state.scratch.logits);
+    state.last_logits.clear();
+    state.last_logits.extend_from_slice(&state.scratch.logits);
     state.position += 1;
     state.decoded_tokens += 1;
     DecodeStep {
@@ -296,6 +316,67 @@ pub fn run_with(
         generated.push(step_out.token);
         step_probs.push(step_out.probs);
         trace.steps.push(step_out.record);
+    }
+
+    GenerationOutput {
+        generated,
+        step_probs,
+        trace,
+    }
+}
+
+/// [`run_with`], driven through the historical materialize-then-compute
+/// forward pass ([`SurrogateModel::forward_token_via_entries`]).
+///
+/// Every cached key/value is deep-cloned on every read and every intermediate
+/// is freshly allocated — the storage layer's behaviour before the arena
+/// rewrite.  The equivalence suite asserts its outputs (tokens *and*
+/// per-step probability bits) are identical to [`run_with`]; the decode
+/// benchmark reports the hot path's throughput win over it as the in-run
+/// pre-arena baseline.
+pub fn run_with_via_entries(
+    model: &SurrogateModel,
+    prompt: &[usize],
+    config: GenerationConfig,
+    forced_tokens: Option<&[usize]>,
+    cache: &mut dyn KvCacheBackend,
+    faults: &mut dyn FaultInjector,
+) -> GenerationOutput {
+    assert!(!prompt.is_empty(), "prompt must contain at least one token");
+    let vocab = model.dims().vocab;
+    let mut position = 0usize;
+    let mut last_logits = Vec::new();
+    for tok in prompt {
+        let (logits, _) = model.forward_token_via_entries(*tok % vocab, position, cache, faults);
+        last_logits = logits;
+        position += 1;
+    }
+    cache.finish_prefill(position);
+
+    let mut generated = Vec::with_capacity(config.decode_len);
+    let mut step_probs = Vec::with_capacity(config.decode_len);
+    let mut trace = DecodeTrace::default();
+
+    for step in 0..config.decode_len {
+        let forced_input = match forced_tokens {
+            Some(forced) if step > 0 => Some(forced[step - 1] % vocab),
+            _ => None,
+        };
+        let input_token = forced_input.unwrap_or_else(|| SurrogateModel::argmax(&last_logits));
+        let (logits, stats) = model.forward_token_via_entries(input_token, position, cache, faults);
+        let probs = SurrogateModel::probabilities(&logits);
+        let choice = SurrogateModel::argmax(&logits);
+        generated.push(choice);
+        step_probs.push(probs);
+        trace.steps.push(StepRecord {
+            position,
+            token: choice,
+            cache_stats: cache.stats(),
+            recomputed_entries: stats.recomputed_entries,
+            kv_entries_read: stats.kv_entries_read,
+        });
+        last_logits = logits;
+        position += 1;
     }
 
     GenerationOutput {

@@ -27,23 +27,30 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod attention;
 pub mod cache;
 pub mod config;
 pub mod decoder;
 pub mod fault;
 pub mod generation;
+pub mod hash;
 pub mod metrics;
 pub mod weights;
 
-pub use attention::{AttentionOutput, MultiHeadAttention};
-pub use cache::{CacheEntry, CacheStats, EntryPayload, FullKvCache, KvCacheBackend, TokenId};
+pub use arena::{ArenaGrid, InputSlab, KvArena};
+pub use attention::{AttentionOutput, DecodeScratch, MultiHeadAttention};
+pub use cache::{
+    CacheEntry, CacheStats, EntryPayload, EntryRef, FullKvCache, KvCacheBackend, PayloadRef,
+    TokenId,
+};
 pub use config::{ModelConfig, ModelKind, SurrogateDims};
 pub use decoder::{DecoderLayer, SurrogateModel};
 pub use fault::{FaultInjector, FaultStats, NoFaults, SignificanceGroup, TokenGroup};
 pub use generation::{
     DecodeStep, DecodeTrace, GenerationConfig, GenerationOutput, GenerationState, StepRecord,
 };
+pub use hash::{FastHashMap, FastHashSet};
 pub use metrics::{FidelityAccumulator, FidelityMetrics};
 
 /// Crate-wide result alias (errors are tensor-shaped failures from the substrate).

@@ -169,17 +169,29 @@ impl ModelWeights {
     ///
     /// Panics if `token` is outside the vocabulary.
     pub fn embed(&self, token: usize, position: usize) -> Vec<f32> {
+        let mut x = Vec::new();
+        self.embed_into(token, position, &mut x);
+        x
+    }
+
+    /// [`embed`](ModelWeights::embed) into a caller-owned buffer (cleared and
+    /// refilled), so the decode hot path can reuse its allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is outside the vocabulary.
+    pub fn embed_into(&self, token: usize, position: usize, out: &mut Vec<f32>) {
         let row = self
             .embedding
             .row(token)
             .expect("token id within surrogate vocabulary");
-        let mut x = row.to_vec();
+        out.clear();
+        out.extend_from_slice(row);
         if position == 0 {
-            for (xi, s) in x.iter_mut().zip(self.sink_direction.iter()) {
+            for (xi, s) in out.iter_mut().zip(self.sink_direction.iter()) {
                 *xi += s;
             }
         }
-        x
     }
 
     /// Number of layers.

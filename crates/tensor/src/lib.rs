@@ -39,7 +39,7 @@ pub mod rng;
 
 pub use error::TensorError;
 pub use fp16::F16;
-pub use matrix::{dot, Matrix, Vector};
+pub use matrix::{dot, Matrix, Vector, DOT_LANES};
 pub use quant::{QuantFormat, QuantizedMatrix, QuantizedVector};
 
 /// Crate-wide result alias.

@@ -212,6 +212,23 @@ impl Matrix {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f32]) -> Result<Vector> {
+        let mut out = Vec::new();
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-vector product into a caller-owned buffer (cleared and
+    /// refilled), so hot loops can reuse one allocation across calls.
+    ///
+    /// Each output element is [`dot`] of the corresponding row with `v`, and
+    /// therefore follows the documented multi-accumulator reference ordering;
+    /// [`Matrix::matvec`] is a thin allocating wrapper with bitwise-identical
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `v.len() != self.cols()`.
+    pub fn matvec_into(&self, v: &[f32], out: &mut Vec<f32>) -> Result<()> {
         if v.len() != self.cols {
             return Err(TensorError::ShapeMismatch {
                 op: "matvec",
@@ -219,16 +236,50 @@ impl Matrix {
                 rhs: (v.len(), 1),
             });
         }
-        let mut out = vec![0.0f32; self.rows];
-        for (r, slot) in out.iter_mut().enumerate() {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let mut acc = 0.0f32;
-            for (a, b) in row.iter().zip(v.iter()) {
-                acc += a * b;
-            }
-            *slot = acc;
+        out.clear();
+        out.extend(self.data.chunks_exact(self.cols).map(|row| dot(row, v)));
+        Ok(())
+    }
+
+    /// Matrix-vector product restricted to the row range `rows`, into a
+    /// caller-owned buffer (cleared and refilled with `rows.len()` elements).
+    ///
+    /// Each output element is bitwise identical to the corresponding element
+    /// of a full [`Matrix::matvec`] (rows are independent [`dot`] products),
+    /// so callers that only need a slice of the output — e.g. a single
+    /// attention head's rows of a projection — can skip the rest of the work
+    /// without changing any result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `v.len() != self.cols()` and
+    /// [`TensorError::IndexOutOfBounds`] if the range exceeds the row count.
+    pub fn matvec_rows_into(
+        &self,
+        rows: std::ops::Range<usize>,
+        v: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        if v.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_rows",
+                lhs: (self.rows, self.cols),
+                rhs: (v.len(), 1),
+            });
         }
-        Ok(out)
+        if rows.end > self.rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: rows.end,
+                len: self.rows,
+            });
+        }
+        out.clear();
+        out.extend(
+            self.data[rows.start * self.cols..rows.end * self.cols]
+                .chunks_exact(self.cols)
+                .map(|row| dot(row, v)),
+        );
+        Ok(())
     }
 
     /// Vector-matrix product `v^T * self`, i.e. treating `v` as a row vector.
@@ -357,7 +408,29 @@ impl Matrix {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Number of independent accumulators (and the chunk width) used by [`dot`].
+pub const DOT_LANES: usize = 4;
+
+/// Dot product of two equal-length slices, unrolled into [`DOT_LANES`]
+/// independent accumulator chains so LLVM can keep the multiplies in flight
+/// (and auto-vectorize) instead of serializing on one floating-point add per
+/// element.
+///
+/// # Reference ordering
+///
+/// Floating-point addition is not associative, so the accumulation order is
+/// part of the function's contract.  The *documented reference ordering* is:
+///
+/// 1. split the inputs into consecutive chunks of [`DOT_LANES`] elements;
+/// 2. lane `j` accumulates the products at offset `j` of every chunk, in
+///    chunk order: `acc[j] = Σ_c a[DOT_LANES·c + j] · b[DOT_LANES·c + j]`;
+/// 3. the trailing remainder elements (fewer than [`DOT_LANES`]) are added to
+///    lanes `0..rem` in order;
+/// 4. lanes reduce pairwise: `(acc[0] + acc[1]) + (acc[2] + acc[3])`.
+///
+/// The property suite checks this implementation bitwise against an
+/// independently written realization of the same ordering, so the result is
+/// reproducible across platforms and refactors.
 ///
 /// # Panics
 ///
@@ -369,7 +442,20 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         b.len(),
         "dot product operands must be equal length"
     );
-    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    let mut acc = [0.0f32; DOT_LANES];
+    let chunks_a = a.chunks_exact(DOT_LANES);
+    let chunks_b = b.chunks_exact(DOT_LANES);
+    let rem_a = chunks_a.remainder();
+    let rem_b = chunks_b.remainder();
+    for (ca, cb) in chunks_a.zip(chunks_b) {
+        for j in 0..DOT_LANES {
+            acc[j] += ca[j] * cb[j];
+        }
+    }
+    for (j, (x, y)) in rem_a.iter().zip(rem_b.iter()).enumerate() {
+        acc[j] += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
 }
 
 #[cfg(test)]
@@ -440,6 +526,81 @@ mod tests {
     #[test]
     fn dot_product() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        // A length crossing several chunks plus a remainder.
+        let a: Vec<f32> = (0..11).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..11).map(|i| (i as f32) * 0.5).collect();
+        let expected: f32 = (0..11).map(|i| (i * i) as f32 * 0.5).sum();
+        assert!((dot(&a, &b) - expected).abs() < 1e-3);
+    }
+
+    /// An independently written realization of the documented reference
+    /// ordering (index arithmetic instead of chunk iterators); `dot` must
+    /// match it bit for bit.  The proptest suite extends this over random
+    /// inputs.
+    fn dot_reference_ordering(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; DOT_LANES];
+        let full = a.len() / DOT_LANES;
+        for c in 0..full {
+            for (j, lane) in acc.iter_mut().enumerate() {
+                *lane += a[DOT_LANES * c + j] * b[DOT_LANES * c + j];
+            }
+        }
+        for (j, lane) in acc.iter_mut().enumerate().take(a.len() % DOT_LANES) {
+            let i = DOT_LANES * full + j;
+            *lane += a[i] * b[i];
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3])
+    }
+
+    #[test]
+    fn dot_matches_reference_ordering_bitwise() {
+        for len in [0usize, 1, 3, 4, 5, 8, 13, 64, 97] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).sin() * 3.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 1.3).cos() * 2.0).collect();
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                dot_reference_ordering(&a, &b).to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn matvec_rows_into_matches_full_matvec_bitwise() {
+        let m = Matrix::from_rows(vec![
+            vec![0.3, -1.2, 4.5],
+            vec![1.0, 2.0, 3.0],
+            vec![-0.5, 0.25, 9.0],
+            vec![2.0, -2.0, 0.5],
+        ])
+        .unwrap();
+        let v = vec![0.11, -0.5, 2.5];
+        let full = m.matvec(&v).unwrap();
+        let mut slice = Vec::new();
+        m.matvec_rows_into(1..3, &v, &mut slice).unwrap();
+        assert_eq!(slice.len(), 2);
+        assert_eq!(slice[0].to_bits(), full[1].to_bits());
+        assert_eq!(slice[1].to_bits(), full[2].to_bits());
+        assert!(m.matvec_rows_into(3..5, &v, &mut slice).is_err());
+        assert!(m.matvec_rows_into(0..1, &[1.0], &mut slice).is_err());
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_bitwise() {
+        let m = Matrix::from_rows(vec![
+            vec![0.3, -1.2, 4.5, 2.2, -0.7],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        ])
+        .unwrap();
+        let v = vec![0.11, -0.5, 2.5, 0.0, 1.75];
+        let alloc = m.matvec(&v).unwrap();
+        let mut buf = vec![7.0; 3];
+        m.matvec_into(&v, &mut buf).unwrap();
+        assert_eq!(
+            alloc.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            buf.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert!(m.matvec_into(&[1.0], &mut buf).is_err());
     }
 
     #[test]

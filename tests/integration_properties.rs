@@ -13,9 +13,9 @@ fn surrogate() -> SurrogateModel {
     SurrogateModel::new(ModelConfig::for_kind(ModelKind::Llama2_7b), 17)
 }
 
-/// A pre-computed context token: (position, input vector, per-head keys,
-/// per-head values).
-type PreparedEntry = (usize, Vec<f32>, Vec<Vec<f32>>, Vec<Vec<f32>>);
+/// A pre-computed context token: (position, input vector, flat head-major
+/// keys, flat head-major values).
+type PreparedEntry = (usize, Vec<f32>, Vec<f32>, Vec<f32>);
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -43,12 +43,13 @@ proptest! {
             })
             .collect();
 
+        let head_dim = model.dims().channels / heads;
         let output_for = |order: &[usize]| {
             let mut cache = FullKvCache::new();
             let mut faults = NoFaults;
             for &idx in order {
                 let (position, x, k, v) = &entries[idx];
-                cache.insert(0, *position, x, k, v);
+                cache.insert(0, *position, x, k, v, head_dim);
             }
             let query_x = model.weights().embed(3 % vocab, 8);
             attn.forward(0, 8, 8, &query_x, &mut cache, &mut faults).output
@@ -72,9 +73,11 @@ proptest! {
         cache.finish_prefill(0);
         let head_dim = 4;
         for t in 0..tokens {
-            let keys: Vec<Vec<f32>> = (0..heads).map(|h| vec![(t + h) as f32; head_dim]).collect();
+            let keys: Vec<f32> = (0..heads)
+                .flat_map(|h| vec![(t + h) as f32; head_dim])
+                .collect();
             let values = keys.clone();
-            cache.insert(0, t, &vec![t as f32; head_dim * heads], &keys, &values);
+            cache.insert(0, t, &vec![t as f32; head_dim * heads], &keys, &values, head_dim);
             let scores: Vec<(usize, f32)> = cache
                 .entries(0, 0)
                 .iter()
@@ -106,17 +109,37 @@ proptest! {
         }
     }
 
-    /// Softmax output is always a probability distribution, and the online
-    /// (Softermax-style) formulation agrees with the two-pass one.
+    /// Softmax output is always a probability distribution, and the
+    /// consolidated kernel agrees with an independently written streaming
+    /// (Softermax-style, running-max with rescaled sums) realization — the
+    /// hardware-friendly formulation `softmax_online` used to implement
+    /// before it became a wrapper over `softmax_into`.
     #[test]
     fn softmax_invariants(logits in proptest::collection::vec(-30.0f32..30.0, 1..128)) {
         let probs = ops::softmax(&logits);
-        let online = ops::softmax_online(&logits);
         let sum: f32 = probs.iter().sum();
         prop_assert!((sum - 1.0).abs() < 1e-4);
         prop_assert!(probs.iter().all(|p| *p >= 0.0));
+
+        // Independent streaming realization (single pass, running rescale).
+        let mut running_max = f32::NEG_INFINITY;
+        let mut running_sum = 0.0f32;
+        for &x in &logits {
+            if x > running_max {
+                running_sum *= (running_max - x).exp();
+                running_max = x;
+            }
+            running_sum += (x - running_max).exp();
+        }
+        for (x, p) in logits.iter().zip(probs.iter()) {
+            let streaming = (x - running_max).exp() / running_sum;
+            prop_assert!((streaming - p).abs() < 1e-4);
+        }
+
+        // The public wrapper stays bitwise identical to the kernel.
+        let online = ops::softmax_online(&logits);
         for (a, b) in probs.iter().zip(online.iter()) {
-            prop_assert!((a - b).abs() < 1e-4);
+            prop_assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 
@@ -264,5 +287,120 @@ proptest! {
             bounded.stats.tokens_generated
         );
         prop_assert_eq!(unbounded.stats.evictions, bounded.stats.evictions);
+    }
+}
+
+proptest! {
+    // Each case decodes twice (hot path + reference adapter) across all five
+    // policies; keep the sample count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The borrowed `EntryRef` visitation API must produce attention outputs
+    /// — and therefore whole token streams and per-step probability bits —
+    /// identical to the materializing `Vec<CacheEntry>` reference adapter,
+    /// for every cache policy under random prompts, budgets and the eviction
+    /// schedules they induce.  This is the Eq. 1/2 order-invariance guarantee
+    /// carried over to the zero-copy storage layer.
+    #[test]
+    fn borrowed_entry_views_match_reference_adapter(
+        seed in 0u64..1000,
+        budget in 4usize..20,
+        window in 1usize..6,
+        prompt_len in 4usize..20,
+        decode_len in 1usize..8,
+    ) {
+        use kelle::model::generation::{run_with, run_with_via_entries, GenerationConfig};
+        use kelle::model::{SurrogateDims, SurrogateModel as Surrogate};
+
+        let config = ModelConfig::for_kind(ModelKind::Llama2_7b).with_surrogate(SurrogateDims {
+            layers: 2,
+            heads: 4,
+            channels: 32,
+            ffn_dim: 64,
+            vocab: 96,
+        });
+        let model = Surrogate::new(config, seed);
+        let heads = model.dims().heads;
+        let vocab = model.dims().vocab;
+        let prompt: Vec<usize> = (0..prompt_len)
+            .map(|p| (seed as usize * 131 + p * 17 + 5) % vocab)
+            .collect();
+        let budget = kelle::cache::CacheBudget::new(budget)
+            .with_recent_window(window)
+            .with_sink_tokens(1);
+        let gen_config = GenerationConfig::greedy(decode_len);
+
+        for policy in CachePolicy::all() {
+            let mut cache_fast = policy.build(budget, heads);
+            let mut cache_ref = policy.build(budget, heads);
+            let mut faults_fast = NoFaults;
+            let mut faults_ref = NoFaults;
+            let fast = run_with(
+                &model, &prompt, gen_config, None, cache_fast.as_mut(), &mut faults_fast,
+            );
+            let reference = run_with_via_entries(
+                &model, &prompt, gen_config, None, cache_ref.as_mut(), &mut faults_ref,
+            );
+            prop_assert_eq!(
+                &fast.generated, &reference.generated,
+                "policy {} diverged", policy.name()
+            );
+            for (a, b) in fast.step_probs.iter().zip(reference.step_probs.iter()) {
+                let a_bits: Vec<u32> = a.iter().map(|f| f.to_bits()).collect();
+                let b_bits: Vec<u32> = b.iter().map(|f| f.to_bits()).collect();
+                prop_assert_eq!(a_bits, b_bits, "policy {} probability bits", policy.name());
+            }
+            prop_assert_eq!(cache_fast.stats(), cache_ref.stats());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `kelle_tensor::dot` follows its documented multi-accumulator reference
+    /// ordering bit for bit (an independently written realization of the same
+    /// ordering must agree exactly), and `Matrix::matvec` rows are plain
+    /// `dot` applications of the same kernel.
+    #[test]
+    fn dot_is_bitwise_stable_against_reference_ordering(
+        xs in proptest::collection::vec(-8.0f32..8.0, 0..96),
+        ys in proptest::collection::vec(-8.0f32..8.0, 0..96),
+    ) {
+        use kelle::tensor::{dot, DOT_LANES};
+
+        let n = xs.len().min(ys.len());
+        let a: Vec<f32> = xs[..n].to_vec();
+        let b: Vec<f32> = ys[..n].to_vec();
+
+        // Independent realization of the documented ordering.
+        let mut acc = [0.0f32; DOT_LANES];
+        let full = a.len() / DOT_LANES;
+        for c in 0..full {
+            for (j, lane) in acc.iter_mut().enumerate() {
+                *lane += a[DOT_LANES * c + j] * b[DOT_LANES * c + j];
+            }
+        }
+        for (j, lane) in acc.iter_mut().enumerate().take(a.len() % DOT_LANES) {
+            let i = DOT_LANES * full + j;
+            *lane += a[i] * b[i];
+        }
+        let reference = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+
+        prop_assert_eq!(dot(&a, &b).to_bits(), reference.to_bits());
+
+        // The result is also within float tolerance of the plain sequential
+        // sum (same quantity, different association).
+        let sequential: f64 = a.iter().zip(b.iter()).map(|(x, y)| f64::from(x * y)).sum();
+        let magnitude: f64 = a.iter().zip(b.iter()).map(|(x, y)| f64::from((x * y).abs())).sum();
+        prop_assert!((f64::from(dot(&a, &b)) - sequential).abs() <= 1e-4 * (1.0 + magnitude));
+
+        // Matrix-vector rows are dot() of the row with the operand.
+        if !a.is_empty() {
+            let m = kelle::tensor::Matrix::from_rows(vec![a.clone(), b.clone()]).unwrap();
+            let out = m.matvec(&b).unwrap();
+            prop_assert_eq!(out[0].to_bits(), dot(&a, &b).to_bits());
+            prop_assert_eq!(out[1].to_bits(), dot(&b, &b).to_bits());
+        }
     }
 }
