@@ -1,0 +1,49 @@
+//! Criterion micro-benchmark pinning the radix prefix index's lookup cost:
+//! O(matched prefix length), independent of the number of published
+//! prefixes.  The satellite regression this guards: a naive store would scan
+//! all published entries per lookup, turning every session admission into an
+//! O(store-size) walk.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kelle::prefix::RadixPrefixIndex;
+
+/// Builds an index holding `entries` published prefixes of `len` tokens,
+/// fanning out at the first token so the store is wide.
+fn build_index(entries: usize, len: usize) -> RadixPrefixIndex<usize> {
+    let mut index = RadixPrefixIndex::new();
+    for i in 0..entries {
+        let seq: Vec<usize> = (0..len).map(|p| i * 131 + p * 7).collect();
+        index.values_at_mut(&seq).push(i);
+    }
+    index
+}
+
+fn bench_lookup_scaling(c: &mut Criterion) {
+    let query: Vec<usize> = (0..64).map(|p| p * 7).collect();
+    let mut group = c.benchmark_group("prefix_lookup");
+    for &entries in &[10usize, 1000] {
+        let index = build_index(entries, 64);
+        group.bench_function(format!("{entries}_published"), |b| {
+            b.iter(|| black_box(index.longest_match(black_box(&query), |_| true)))
+        });
+    }
+    // Deep store sharing the query's whole prefix: cost tracks the matched
+    // length, not the 1000 boundaries hanging off it.
+    let mut deep = RadixPrefixIndex::new();
+    for i in 0..1000usize {
+        let mut seq: Vec<usize> = (0..64).map(|p| p * 7).collect();
+        seq.push(100_000 + i);
+        deep.values_at_mut(&seq).push(i);
+    }
+    group.bench_function("1000_published_shared_spine", |b| {
+        b.iter(|| black_box(deep.longest_match(black_box(&query), |_| true)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lookup_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Prefix-sharing benchmark binary: serves the shared-system-prompt fleet
+//! with and without cross-session prefix sharing *in the same run* (streams
+//! asserted identical while being timed), prints a table, and emits the
+//! `BENCH_prefix.json` artifact consumed by CI.
+//!
+//! Usage: `cargo run --release -p kelle-bench --bin bench_prefix -- \
+//!     [--quick] [--out BENCH_prefix.json]`
+
+use kelle_bench::prefix_perf::{self, PrefixPerfConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_prefix.json"));
+
+    let config = if quick {
+        PrefixPerfConfig::quick()
+    } else {
+        PrefixPerfConfig::full()
+    };
+    println!(
+        "prefix sharing on shared_system_prompt (system {}, user {}, decode {}){}",
+        config.system_tokens,
+        config.user_tokens,
+        config.decode_len,
+        if quick { " [quick]" } else { "" }
+    );
+
+    let report = prefix_perf::run(config);
+    println!(
+        "{:>8} {:>15} {:>15} {:>14} {:>14} {:>8} {:>12} {:>12}",
+        "sessions",
+        "cold tok (pf)",
+        "shared tok (pf)",
+        "cold tok/s",
+        "shared tok/s",
+        "speedup",
+        "cold KV MB",
+        "shared KV MB"
+    );
+    for row in &report.rows {
+        println!(
+            "{:>8} {:>15} {:>15} {:>14.0} {:>14.0} {:>7.2}x {:>12.2} {:>12.2}",
+            row.sessions,
+            row.baseline_prefill_tokens,
+            row.shared_prefill_tokens,
+            row.baseline_prefill_tokens_per_sec,
+            row.shared_prefill_tokens_per_sec,
+            row.speedup,
+            row.baseline_resident_kv_bytes as f64 / (1024.0 * 1024.0),
+            row.shared_resident_kv_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
+    println!("(streams verified identical on every row; prefix compute runs once per fleet)");
+
+    match report.write_json(&out) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(err) => {
+            eprintln!("failed to write {}: {err}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! Usage: `cargo run -p kelle-bench --bin tables [-- --table <id>]`
 //! where `<id>` is one of `1`, `2`, `3`, `4`, `5`, `6`, `7`, `8`, `9`,
-//! `area-power`, `bandwidth`, `contention`, `decode_perf`, or `all`
-//! (default).
+//! `area-power`, `bandwidth`, `contention`, `decode_perf`, `prefix`, or
+//! `all` (default).
 
 use kelle::accuracy::{evaluate_all_methods, evaluate_method, AccuracyConfig, Method};
 use kelle::arch::InferenceWorkload;
@@ -63,6 +63,9 @@ fn main() {
     }
     if all || which == "decode_perf" {
         decode_perf();
+    }
+    if all || which == "prefix" {
+        prefix();
     }
 }
 
@@ -345,4 +348,33 @@ fn decode_perf() {
         report.geomean_speedup(),
         report.workload
     );
+}
+
+fn prefix() {
+    header("Prefix sharing: shared-system-prompt fleet, with vs without sharing");
+    let report = kelle_bench::prefix_perf::run(kelle_bench::prefix_perf::PrefixPerfConfig::quick());
+    println!(
+        "{:>8} {:>16} {:>16} {:>9} {:>14} {:>14} {:>12}",
+        "sessions",
+        "cold prefill tok",
+        "shared pf tok",
+        "speedup",
+        "cold KV MB",
+        "shared KV MB",
+        "dedup MB"
+    );
+    for row in &report.rows {
+        println!(
+            "{:>8} {:>16} {:>16} {:>8.2}x {:>14.2} {:>14.2} {:>12.2}",
+            row.sessions,
+            row.baseline_prefill_tokens,
+            row.shared_prefill_tokens,
+            row.speedup,
+            row.baseline_resident_kv_bytes as f64 / (1024.0 * 1024.0),
+            row.shared_resident_kv_bytes as f64 / (1024.0 * 1024.0),
+            row.deduplicated_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
+    println!("(the shared prefix is computed once and ledger-charged once per fleet;");
+    println!(" token streams are verified identical on every row)");
 }

@@ -7,8 +7,11 @@
 //! * `src/bin/tables.rs` / `src/bin/figures.rs` — regenerate every table and
 //!   figure of the paper from the reproduction models;
 //! * `src/bin/bench_decode.rs` — the decode-throughput comparison emitting
-//!   `BENCH_decode.json`, built on [`decode_perf`].
+//!   `BENCH_decode.json`, built on [`decode_perf`];
+//! * `src/bin/bench_prefix.rs` — the cross-session prefix-sharing sweep
+//!   emitting `BENCH_prefix.json`, built on [`prefix_perf`].
 
 #![warn(missing_docs)]
 
 pub mod decode_perf;
+pub mod prefix_perf;

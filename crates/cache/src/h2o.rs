@@ -61,14 +61,13 @@ impl H2oCache {
             if arena.len() <= self.budget.max_tokens {
                 return;
             }
-            let candidates =
-                arena.tokens().iter().copied().filter(|&t| {
-                    Some(t) != incoming && !self.budget.is_protected(t, self.current_len)
-                });
+            let candidates = arena
+                .iter_tokens()
+                .filter(|&t| Some(t) != incoming && !self.budget.is_protected(t, self.current_len));
             let victim = self
                 .importance
                 .min_score_token(layer, head, candidates)
-                .or_else(|| arena.tokens().first().copied());
+                .or_else(|| arena.first_token());
             let Some(victim) = victim else { return };
             if let Some(arena) = self.store.get_mut(layer, head) {
                 if arena.remove_token(victim) {
@@ -173,14 +172,23 @@ impl KvCacheBackend for H2oCache {
         }
     }
 
+    fn attach_shared_prefix(&mut self, prefix: &kelle_model::SharedKv) {
+        // H2O stores raw KV and defers evictions until `finish_prefill`, so
+        // the replayed prefix is adopted zero-copy; the prefill-retention
+        // pass (or a later decode eviction) reaching into the shared region
+        // privatizes it (copy-on-evict).
+        self.store.attach_base(prefix);
+    }
+
     fn stats(&self) -> CacheStats {
-        CacheStats {
-            kv_entries: self.store.total_entries(),
-            recompute_entries: 0,
-            evictions: self.evictions,
-            insertions: self.insertions,
-            bytes_fp16: self.store.bytes_fp16(),
-        }
+        CacheStats::with_split(
+            self.store.total_entries(),
+            0,
+            self.evictions,
+            self.insertions,
+            self.store.shared_bytes_fp16(),
+            self.store.private_bytes_fp16(),
+        )
     }
 
     fn name(&self) -> &'static str {

@@ -18,6 +18,7 @@
 //!   policy and contended requests are costed against their slice of the
 //!   device (same token streams, different cost and ordering).
 
+use crate::prefix::{PrefixHit, PrefixKey, PrefixSharingConfig, PrefixStore, PrefixStoreStats};
 use crate::scheduler::{BatchOutcome, BatchScheduler, SchedulerConfig};
 use crate::session::{ServeRequest, Session, TurnOutcome};
 use kelle_arch::{Platform, PlatformKind, PlatformReport};
@@ -26,6 +27,7 @@ use kelle_edram::RefreshPolicy;
 use kelle_model::{CacheStats, DecodeTrace, ModelConfig, ModelKind, SurrogateModel};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of a [`KelleEngine`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,6 +48,8 @@ pub struct EngineConfig {
     pub batch: usize,
     /// RNG seed for weights and fault injection.
     pub seed: u64,
+    /// Cross-session prefix KV sharing (see [`crate::prefix`]).
+    pub prefix: PrefixSharingConfig,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +65,7 @@ impl Default for EngineConfig {
             hardware_n_prime: 2048,
             batch: 16,
             seed: 7,
+            prefix: PrefixSharingConfig::default(),
         }
     }
 }
@@ -145,6 +150,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Configures cross-session prefix KV sharing (see [`crate::prefix`]).
+    pub fn prefix_sharing(mut self, prefix: PrefixSharingConfig) -> Self {
+        self.config.prefix = prefix;
+        self
+    }
+
+    /// Enables prefix sharing with explicit publication
+    /// ([`PrefixSharingConfig::enabled`]).
+    pub fn enable_prefix_sharing(self) -> Self {
+        self.prefix_sharing(PrefixSharingConfig::enabled())
+    }
+
     /// Builds the engine.
     pub fn build(self) -> KelleEngine {
         KelleEngine::new(self.config)
@@ -163,6 +180,12 @@ pub struct ServeOutcome {
     /// Hardware latency/energy for the equivalent full-scale request on the
     /// configured platform.
     pub hardware: PlatformReport,
+    /// Prompt tokens whose prefill was actually computed (a prefix-cache hit
+    /// skips the matched tokens).
+    pub prefilled_tokens: usize,
+    /// Prompt tokens served from a shared prefix segment instead of being
+    /// recomputed.
+    pub prefix_hit_tokens: usize,
 }
 
 impl From<TurnOutcome> for ServeOutcome {
@@ -172,6 +195,8 @@ impl From<TurnOutcome> for ServeOutcome {
             trace: turn.trace,
             cache: turn.cache,
             hardware: turn.hardware,
+            prefilled_tokens: turn.prefilled_tokens,
+            prefix_hit_tokens: turn.prefix_hit_tokens,
         }
     }
 }
@@ -190,6 +215,9 @@ pub struct EngineStats {
     pub evictions: u64,
     /// Total modelled hardware energy in joules.
     pub hardware_energy_j: f64,
+    /// Total prompt tokens served from shared prefix segments (prefill
+    /// compute skipped).
+    pub prefix_hit_tokens: u64,
 }
 
 impl EngineStats {
@@ -200,6 +228,7 @@ impl EngineStats {
             tokens_generated: self.tokens_generated + other.tokens_generated,
             evictions: self.evictions + other.evictions,
             hardware_energy_j: self.hardware_energy_j + other.hardware_energy_j,
+            prefix_hit_tokens: self.prefix_hit_tokens + other.prefix_hit_tokens,
         }
     }
 
@@ -212,6 +241,7 @@ impl EngineStats {
             tokens_generated: turn.generated.len() as u64,
             evictions: turn.evictions_delta,
             hardware_energy_j: turn.hardware.total_energy_j(),
+            prefix_hit_tokens: turn.prefix_hit_tokens as u64,
         }
     }
 }
@@ -223,6 +253,7 @@ pub struct KelleEngine {
     model: SurrogateModel,
     platform: Platform,
     stats: Mutex<EngineStats>,
+    prefix: Mutex<PrefixStore>,
 }
 
 impl KelleEngine {
@@ -236,6 +267,7 @@ impl KelleEngine {
             model,
             platform,
             stats: Mutex::new(EngineStats::default()),
+            prefix: Mutex::new(PrefixStore::new()),
         }
     }
 
@@ -262,6 +294,105 @@ impl KelleEngine {
     /// Aggregate statistics since construction.
     pub fn stats(&self) -> EngineStats {
         *self.stats.lock()
+    }
+
+    /// Prefix-store statistics (publications, hits, deduplicated tokens).
+    pub fn prefix_stats(&self) -> PrefixStoreStats {
+        self.prefix.lock().stats()
+    }
+
+    /// The engine's prefix-sharing configuration.
+    pub fn prefix_config(&self) -> &PrefixSharingConfig {
+        &self.config.prefix
+    }
+
+    /// Publishes `tokens` as a shared prefix boundary under the engine's
+    /// default policy, budget and seed: one cold pre-fill is recorded into a
+    /// [`SharedSegment`](kelle_model::SharedSegment) — the *only* time the
+    /// prefix's transformer compute runs — and every later session whose
+    /// first prompt starts with `tokens` (same configuration) replays it.
+    ///
+    /// Returns `false` without doing any work when sharing is disabled, the
+    /// prefix is shorter than the configured minimum, or an identical
+    /// boundary is already published.
+    pub fn publish_prefix(&self, tokens: &[usize]) -> bool {
+        self.publish_prefix_keyed(tokens, None)
+    }
+
+    /// Like [`publish_prefix`](KelleEngine::publish_prefix), honouring a
+    /// request's policy/budget/seed overrides (the request's own prompt and
+    /// decode length are ignored).
+    pub fn publish_prefix_for(&self, tokens: &[usize], request: &ServeRequest) -> bool {
+        self.publish_prefix_keyed(tokens, Some(request))
+    }
+
+    fn publish_prefix_keyed(&self, tokens: &[usize], request: Option<&ServeRequest>) -> bool {
+        if !self.config.prefix.enabled || tokens.len() < self.config.prefix.min_tokens {
+            return false;
+        }
+        // Duplicate check before any session machinery is built: defensive
+        // per-fleet publish calls should cost one radix walk, not a cache
+        // backend + fault injector construction.
+        let key = match request {
+            Some(request) => self.prefix_key_for(request),
+            None => PrefixKey {
+                policy: self.config.policy,
+                budget: self.config.budget.clamped(),
+                seed: self.config.seed,
+            },
+        };
+        if self.prefix.lock().contains(tokens, &key) {
+            return false;
+        }
+        let mut session = match request {
+            Some(request) => Session::for_request(self, request),
+            None => Session::with_defaults(self),
+        };
+        debug_assert_eq!(*session.prefix_key(), key, "key derivations agree");
+        let segment = session.record_prefix(tokens);
+        self.prefix.lock().publish(tokens, key, segment).is_some()
+    }
+
+    /// Longest published prefix of `tokens` under `key`, updating hit/miss
+    /// statistics.  `None` when sharing is disabled.
+    pub(crate) fn prefix_lookup(&self, tokens: &[usize], key: &PrefixKey) -> Option<PrefixHit> {
+        if !self.config.prefix.enabled {
+            return None;
+        }
+        self.prefix.lock().lookup(tokens, key)
+    }
+
+    /// Statistics-free prefix probe: `(entry id, matched tokens)` for the
+    /// longest published prefix of `tokens` under `key`.  Used by the batch
+    /// scheduler to size admission footprints.
+    pub(crate) fn prefix_probe(&self, tokens: &[usize], key: &PrefixKey) -> Option<(u64, usize)> {
+        if !self.config.prefix.enabled {
+            return None;
+        }
+        self.prefix
+            .lock()
+            .probe(tokens, key)
+            .map(|(id, matched, _)| (id, matched))
+    }
+
+    /// The effective prefix-sharing fingerprint a session opened for
+    /// `request` will use (the scheduler probes with it before activation).
+    pub(crate) fn prefix_key_for(&self, request: &ServeRequest) -> PrefixKey {
+        PrefixKey {
+            policy: request.policy().unwrap_or(self.config.policy),
+            budget: request.budget().unwrap_or(self.config.budget).clamped(),
+            seed: request.seed().unwrap_or(self.config.seed),
+        }
+    }
+
+    /// Publishes an already recorded segment (the auto-publish path).
+    pub(crate) fn prefix_publish(
+        &self,
+        tokens: &[usize],
+        key: PrefixKey,
+        segment: Arc<kelle_model::SharedSegment>,
+    ) -> Option<u64> {
+        self.prefix.lock().publish(tokens, key, segment)
     }
 
     /// Opens a persistent serving session with the engine's default policy,
@@ -466,12 +597,107 @@ mod tests {
     }
 
     #[test]
+    fn published_prefix_hit_skips_compute_and_matches_cold_stream() {
+        use crate::prefix::PrefixSharingConfig;
+        let prefix: Vec<usize> = (0..24).map(|i| (i * 7 + 3) % 512).collect();
+        let suffix = [9, 8, 7, 6];
+        let prompt: Vec<usize> = prefix.iter().chain(suffix.iter()).copied().collect();
+
+        let cold = engine().serve(&prompt, 6);
+
+        let sharing = KelleEngine::builder()
+            .prefix_sharing(PrefixSharingConfig::enabled())
+            .build();
+        assert!(sharing.publish_prefix(&prefix));
+        assert!(
+            !sharing.publish_prefix(&prefix),
+            "duplicate publish is a no-op"
+        );
+        let hit = sharing.serve(&prompt, 6);
+
+        assert_eq!(
+            hit.generated, cold.generated,
+            "streams must be bit-identical"
+        );
+        assert_eq!(hit.prefix_hit_tokens, prefix.len());
+        assert_eq!(hit.prefilled_tokens, suffix.len());
+        assert_eq!(cold.prefix_hit_tokens, 0);
+        let stats = sharing.prefix_stats();
+        assert_eq!(stats.published, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.hit_tokens, prefix.len() as u64);
+        assert_eq!(sharing.stats().prefix_hit_tokens, prefix.len() as u64);
+    }
+
+    #[test]
+    fn auto_publish_warms_the_store_for_later_sessions() {
+        use crate::prefix::PrefixSharingConfig;
+        let system: Vec<usize> = (0..16).map(|i| (i * 5 + 1) % 512).collect();
+        let engine = KelleEngine::builder()
+            .prefix_sharing(PrefixSharingConfig::enabled().with_auto_publish(system.len()))
+            .build();
+        let mut first: Vec<usize> = system.clone();
+        first.extend([1, 2, 3]);
+        let mut second: Vec<usize> = system.clone();
+        second.extend([4, 5]);
+
+        let a = engine.serve(&first, 4);
+        assert_eq!(a.prefix_hit_tokens, 0, "first session is the publisher");
+        let b = engine.serve(&second, 4);
+        assert_eq!(b.prefix_hit_tokens, system.len(), "second session hits");
+        assert_eq!(b.prefilled_tokens, 2);
+
+        // Identical to a cold engine without sharing.
+        let cold = KelleEngine::new(EngineConfig::default()).serve(&second, 4);
+        assert_eq!(b.generated, cold.generated);
+    }
+
+    #[test]
+    fn auto_publish_deepens_past_a_shorter_published_prefix() {
+        use crate::prefix::PrefixSharingConfig;
+        let system: Vec<usize> = (0..24).map(|i| (i * 11 + 2) % 512).collect();
+        let engine = KelleEngine::builder()
+            .prefix_sharing(PrefixSharingConfig::enabled().with_auto_publish(system.len()))
+            .build();
+        // A shallower boundary is already published (e.g. a shared preamble
+        // of the system prompt).
+        assert!(engine.publish_prefix(&system[..8]));
+
+        let mut prompt = system.clone();
+        prompt.extend([3, 1, 4]);
+        // The first session must not settle for the 8-token hit: it runs
+        // cold once and publishes the configured 24-token boundary.
+        let first = engine.serve(&prompt, 2);
+        assert_eq!(first.prefix_hit_tokens, 0);
+        assert_eq!(engine.prefix_stats().published, 2);
+        // From then on the fleet hits the deep boundary.
+        let second = engine.serve(&prompt, 2);
+        assert_eq!(second.prefix_hit_tokens, system.len());
+        assert_eq!(second.prefilled_tokens, 3);
+        // Still bit-identical to a cold engine.
+        let cold = KelleEngine::new(EngineConfig::default()).serve(&prompt, 2);
+        assert_eq!(first.generated, cold.generated);
+        assert_eq!(second.generated, cold.generated);
+    }
+
+    #[test]
+    fn sharing_disabled_never_publishes_or_hits() {
+        let engine = engine();
+        assert!(!engine.publish_prefix(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        let stats = engine.prefix_stats();
+        assert_eq!(stats.published, 0);
+        engine.serve(&[1, 2, 3, 4, 5, 6, 7, 8], 2);
+        assert_eq!(engine.prefix_stats().hits + engine.prefix_stats().misses, 0);
+    }
+
+    #[test]
     fn stats_merge_componentwise() {
         let a = EngineStats {
             requests: 1,
             tokens_generated: 2,
             evictions: 3,
             hardware_energy_j: 4.0,
+            prefix_hit_tokens: 5,
         };
         let b = a;
         let sum = a.merged(b);

@@ -73,6 +73,10 @@
 //!   `serve_batch`: waiting queue, [`AdmissionPolicy`], the shared
 //!   [`CapacityLedger`](kelle_edram::CapacityLedger) and the contention
 //!   metrics of [`BatchOutcome`];
+//! * [`prefix`] — cross-session prefix KV sharing: publish a common system
+//!   prompt once ([`KelleEngine::publish_prefix`]) and every session whose
+//!   prompt starts with it replays the shared segment (bit-identical
+//!   streams, prefill compute skipped, ledger bytes charged once);
 //! * [`CachePolicy`] — the registry all cache backends are built from;
 //! * [`accuracy`] — the functional-fidelity experiments behind Tables 2–6 and
 //!   Fig. 8;
@@ -86,6 +90,7 @@ pub mod accuracy;
 pub mod engine;
 pub mod experiment;
 pub mod faults;
+pub mod prefix;
 pub mod scheduler;
 pub mod session;
 
@@ -94,9 +99,12 @@ pub use engine::{EngineBuilder, EngineConfig, EngineStats, KelleEngine, ServeOut
 pub use experiment::{EndToEndRow, EndToEndSummary};
 pub use faults::fault_injector_for_policy;
 pub use kelle_cache::CachePolicy;
+pub use prefix::{
+    PrefixHit, PrefixKey, PrefixSharingConfig, PrefixStore, PrefixStoreStats, RadixPrefixIndex,
+};
 pub use scheduler::{
     AdmissionPolicy, BatchIncomplete, BatchOutcome, BatchScheduler, ContentionMetrics,
-    RequestTiming, SchedulerConfig, StepEvent,
+    PrefixBatchMetrics, RequestTiming, SchedulerConfig, StepEvent,
 };
 pub use session::{ServeRequest, ServeRequestBuilder, Session, TurnOutcome};
 

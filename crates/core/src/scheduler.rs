@@ -144,7 +144,10 @@ pub struct RequestTiming {
     pub finished_tick: u64,
     /// Ticks spent in the waiting queue (`admitted - submitted`).
     pub queue_ticks: u64,
-    /// Final full-scale KV footprint of the request in bytes.
+    /// Final full-scale KV footprint of the request's *private* lease in
+    /// bytes (prompt suffix + decode growth).  Bytes of a matched shared
+    /// prefix are charged once batch-wide through the ledger's shared pool
+    /// and reported in [`PrefixBatchMetrics`], not here.
     pub kv_bytes: u64,
     /// Peak total live bytes observed on the ledger while this request was
     /// active — the contention it actually experienced.
@@ -155,6 +158,26 @@ pub struct RequestTiming {
     /// KV bytes that lost on-chip residency to contention (relative to the
     /// single-tenant residency), served from DRAM instead.
     pub spill_bytes: u64,
+}
+
+/// Batch-level prefix-sharing metrics (see [`crate::prefix`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PrefixBatchMetrics {
+    /// Requests whose first prompt matched a published prefix.
+    pub hit_requests: u64,
+    /// Prompt tokens served from shared segments instead of being
+    /// recomputed.
+    pub hit_tokens: u64,
+    /// Full-scale KV bytes this batch charged to the shared pool — one
+    /// charge per prefix *residency period*.  While any session holds a
+    /// prefix it is charged once regardless of how many attach; a prefix
+    /// whose last session detaches and that is later re-attached opens a
+    /// new residency period and charges (and counts here) again.
+    pub shared_bytes: u64,
+    /// Full-scale KV bytes deduplication kept off the ledger: every
+    /// attachment that joined an already-charged prefix would have
+    /// re-charged it in a sharing-oblivious stack.
+    pub deduplicated_bytes: u64,
 }
 
 /// Batch-level contention metrics.
@@ -197,6 +220,8 @@ pub struct BatchOutcome {
     pub stats: EngineStats,
     /// Queueing and shared-capacity accounting.
     pub contention: ContentionMetrics,
+    /// Prefix-sharing accounting (all zeros when sharing is disabled).
+    pub prefix: PrefixBatchMetrics,
 }
 
 /// Error returned by [`BatchScheduler::finish`] when requests are still
@@ -241,6 +266,18 @@ struct Slot<'e> {
     remaining: usize,
     lease: LeaseId,
     peak_concurrent_bytes: u64,
+    /// Shared-pool attachment for the request's prefix hit, if any:
+    /// `(tag, full-scale bytes)`.
+    shared: Option<(u64, u64)>,
+}
+
+/// Admission sizing of a waiting request: the bytes charged privately plus
+/// the shared-pool attachment (charged once across the batch).
+#[derive(Debug, Clone, Copy)]
+struct AdmissionFootprint {
+    private_bytes: u64,
+    /// `(tag, bytes)` of the prefix the request will attach to.
+    shared: Option<(u64, u64)>,
 }
 
 enum RequestState<'e> {
@@ -264,6 +301,7 @@ pub struct BatchScheduler<'e> {
     stats: EngineStats,
     tick: u64,
     spill_bytes: u64,
+    prefix: PrefixBatchMetrics,
 }
 
 impl<'e> BatchScheduler<'e> {
@@ -291,6 +329,7 @@ impl<'e> BatchScheduler<'e> {
             stats: EngineStats::default(),
             tick: 0,
             spill_bytes: 0,
+            prefix: PrefixBatchMetrics::default(),
         }
     }
 
@@ -357,12 +396,45 @@ impl<'e> BatchScheduler<'e> {
         self.active() == 0 && self.waiting.is_empty()
     }
 
-    /// Prefill KV footprint of a waiting request.
-    fn prefill_footprint(&self, index: usize) -> u64 {
-        match &self.states[index] {
-            RequestState::Waiting(request) => self.kv_footprint_bytes(request.prompt().len()),
+    /// Prefill KV footprint of a waiting request, split into the bytes the
+    /// request will hold privately and the shared-prefix attachment it will
+    /// make.  A prefix hit's matched tokens are charged through the ledger's
+    /// shared pool — once per published prefix, however many requests attach
+    /// — so admission sees the *true* device footprint.  (The full-scale
+    /// footprint caps at the hardware budget `N'`; for prompts beyond it the
+    /// shared/private split is proportional on capped bytes, a documented
+    /// approximation.)
+    fn prefill_footprint(&self, index: usize) -> AdmissionFootprint {
+        let request = match &self.states[index] {
+            RequestState::Waiting(request) => request,
             _ => unreachable!("only waiting requests are sized for admission"),
+        };
+        let total = self.kv_footprint_bytes(request.prompt().len());
+        let key = self.engine.prefix_key_for(request);
+        match self.engine.prefix_probe(request.prompt(), &key) {
+            Some((tag, matched)) if matched > 0 => {
+                let shared_bytes = self.kv_footprint_bytes(matched).min(total);
+                AdmissionFootprint {
+                    private_bytes: total - shared_bytes,
+                    shared: Some((tag, shared_bytes)),
+                }
+            }
+            _ => AdmissionFootprint {
+                private_bytes: total,
+                shared: None,
+            },
         }
+    }
+
+    /// Bytes a waiting request would newly charge against capacity right
+    /// now: its private footprint, plus the shared prefix *only if no other
+    /// session charged it yet*.
+    fn admission_charge(&self, footprint: &AdmissionFootprint) -> u64 {
+        let shared_charge = match footprint.shared {
+            Some((tag, bytes)) if !self.ledger.has_shared(tag) => bytes,
+            _ => 0,
+        };
+        footprint.private_bytes + shared_charge
     }
 
     /// Promotes waiting requests into decode slots while the ledger can host
@@ -387,7 +459,10 @@ impl<'e> BatchScheduler<'e> {
                     .waiting
                     .iter()
                     .enumerate()
-                    .find(|&(_, &index)| self.ledger.can_fit(self.prefill_footprint(index)))
+                    .find(|&(_, &index)| {
+                        let footprint = self.prefill_footprint(index);
+                        self.ledger.can_fit(self.admission_charge(&footprint))
+                    })
                     .or(self.waiting.front().map(|front| (0, front)))
                     .map(|(pos, &index)| (pos, index)),
             };
@@ -395,28 +470,43 @@ impl<'e> BatchScheduler<'e> {
                 return;
             };
             let footprint = self.prefill_footprint(index);
-            let lease = if self.ledger.can_fit(footprint) {
-                self.ledger.reserve(footprint).expect("can_fit checked")
+            let charge = self.admission_charge(&footprint);
+            let lease = if self.ledger.can_fit(charge) {
+                self.ledger
+                    .reserve(footprint.private_bytes)
+                    .expect("can_fit covered the private bytes")
             } else if self.active() == 0 {
                 // Forward-progress guarantee: an empty machine admits the
                 // candidate even if it oversubscribes on its own.
-                self.ledger.force_reserve(footprint)
+                self.ledger.force_reserve(footprint.private_bytes)
             } else {
                 return;
             };
+            if let Some((tag, bytes)) = footprint.shared {
+                let charged = self.ledger.attach_shared(tag, bytes);
+                if charged {
+                    self.prefix.shared_bytes += bytes;
+                } else {
+                    self.prefix.deduplicated_bytes += bytes;
+                }
+            }
             self.waiting.remove(queue_pos);
-            self.activate(index, lease);
+            self.activate(index, lease, footprint.shared);
         }
     }
 
     /// Opens the session for an admitted request and pre-fills its prompt.
-    fn activate(&mut self, index: usize, lease: LeaseId) {
+    fn activate(&mut self, index: usize, lease: LeaseId, shared: Option<(u64, u64)>) {
         let request = match std::mem::replace(&mut self.states[index], RequestState::Taken) {
             RequestState::Waiting(request) => request,
             _ => unreachable!("only waiting requests are activated"),
         };
         let mut session = self.engine.open_session_for(&request);
         let prefilled = session.prefill(request.prompt());
+        if session.prefix_hit_tokens() > 0 {
+            self.prefix.hit_requests += 1;
+            self.prefix.hit_tokens += session.prefix_hit_tokens() as u64;
+        }
         let remaining = request.decode_len();
         self.timings[index].admitted_tick = self.tick;
         self.timings[index].queue_ticks = self.tick - self.timings[index].submitted_tick;
@@ -429,6 +519,7 @@ impl<'e> BatchScheduler<'e> {
             remaining,
             lease,
             peak_concurrent_bytes: self.ledger.live_bytes(),
+            shared,
         }));
     }
 
@@ -502,13 +593,22 @@ impl<'e> BatchScheduler<'e> {
         // a budget below the physical memory models a smaller device), and
         // the bytes that thereby lose on-chip residency are the spill the
         // outcome reports — they are charged at DRAM access cost.
+        //
+        // A shared prefix attachment is resident once on behalf of *all* its
+        // sessions, so it rides on top of the proportional private grant
+        // (clamped to the on-chip size); the proportional split itself runs
+        // over private bytes only, keeping Σ private grants ≤ on-chip.
         let physical = self.engine.platform().memory.kv_memory.capacity_bytes;
+        let shared_bytes = slot.shared.map_or(0, |(_, bytes)| bytes);
         let (granted, spill) = if peak > capacity {
             let onchip = capacity.min(physical);
             let granted = ((onchip as u128 * kv_bytes as u128) / peak as u128) as u64;
             let uncontended_resident = kv_bytes.min(physical);
             let contended_resident = kv_bytes.min(granted);
-            (Some(granted), uncontended_resident - contended_resident)
+            (
+                Some((granted + shared_bytes).min(onchip)),
+                uncontended_resident - contended_resident,
+            )
         } else {
             (None, 0)
         };
@@ -532,6 +632,9 @@ impl<'e> BatchScheduler<'e> {
         );
         self.stats = self.stats.merged(EngineStats::from_turn(&turn));
         self.ledger.release(slot.lease);
+        if let Some((tag, _)) = slot.shared {
+            self.ledger.detach_shared(tag);
+        }
         self.states[index] = RequestState::Finished(turn.into());
     }
 
@@ -624,6 +727,7 @@ impl<'e> BatchScheduler<'e> {
             outcomes,
             stats: self.stats,
             contention,
+            prefix: self.prefix,
         })
     }
 }
@@ -805,6 +909,107 @@ mod tests {
         let timings = &outcome.contention.per_request;
         assert_eq!(timings[2].queue_ticks, 0);
         assert!(timings[1].queue_ticks > 0);
+    }
+
+    #[test]
+    fn shared_prefix_is_charged_once_across_the_batch() {
+        use crate::prefix::PrefixSharingConfig;
+        let engine = KelleEngine::builder()
+            .prefix_sharing(PrefixSharingConfig::enabled())
+            .build();
+        let prefix: Vec<usize> = (0..12).map(|i| (i * 3 + 2) % 512).collect();
+        assert!(engine.publish_prefix(&prefix));
+        let shared_footprint = engine.kv_footprint_bytes(prefix.len());
+
+        let requests: Vec<ServeRequest> = (0..3)
+            .map(|i| {
+                let mut prompt = prefix.clone();
+                prompt.extend([100 + i, 200 + i]);
+                ServeRequest::new(prompt, 2)
+            })
+            .collect();
+        let total_private: u64 = requests
+            .iter()
+            .map(|r| engine.kv_footprint_bytes(r.prompt().len()) - shared_footprint)
+            .sum();
+
+        let mut scheduler = BatchScheduler::new(&engine);
+        for request in requests {
+            scheduler.submit(request);
+        }
+        // All three are active; the ledger charges the prefix once.
+        assert_eq!(scheduler.active(), 3);
+        assert_eq!(
+            scheduler.ledger().live_bytes(),
+            shared_footprint + total_private
+        );
+        assert_eq!(scheduler.ledger().shared_bytes(), shared_footprint);
+        assert_eq!(
+            scheduler.ledger().dedup_savings_bytes(),
+            2 * shared_footprint
+        );
+        let outcome = scheduler.run_to_completion();
+        assert_eq!(outcome.prefix.hit_requests, 3);
+        assert_eq!(outcome.prefix.hit_tokens, 3 * prefix.len() as u64);
+        assert_eq!(outcome.prefix.shared_bytes, shared_footprint);
+        assert_eq!(outcome.prefix.deduplicated_bytes, 2 * shared_footprint);
+        assert_eq!(outcome.stats.prefix_hit_tokens, 3 * prefix.len() as u64);
+        // Every request reports its own hit in the per-request outcome.
+        assert!(outcome
+            .outcomes
+            .iter()
+            .all(|o| o.prefix_hit_tokens == prefix.len() && o.prefilled_tokens == 2));
+    }
+
+    #[test]
+    fn shared_prefix_admission_fits_more_sessions() {
+        use crate::prefix::PrefixSharingConfig;
+        let prefix: Vec<usize> = (0..10).collect();
+        let build = |sharing: bool| {
+            let mut builder = KelleEngine::builder();
+            if sharing {
+                builder = builder.prefix_sharing(PrefixSharingConfig::enabled());
+            }
+            builder.build()
+        };
+        let make_requests = || -> Vec<ServeRequest> {
+            (0..2)
+                .map(|i| {
+                    let mut prompt = prefix.clone();
+                    prompt.push(400 + i);
+                    ServeRequest::new(prompt, 1)
+                })
+                .collect()
+        };
+
+        let sharing = build(true);
+        assert!(sharing.publish_prefix(&prefix));
+        // Capacity: one full prompt plus one suffix — enough for both
+        // requests only when the prefix is deduplicated.
+        let capacity = sharing.kv_footprint_bytes(prefix.len() + 1)
+            + (sharing.kv_footprint_bytes(prefix.len() + 1)
+                - sharing.kv_footprint_bytes(prefix.len()));
+        let config = SchedulerConfig::default().with_kv_capacity_bytes(capacity);
+
+        let mut with = BatchScheduler::with_config(&sharing, config);
+        for request in make_requests() {
+            with.submit(request);
+        }
+        assert_eq!(with.active(), 2, "dedup makes both prompts fit at once");
+
+        let cold = build(false);
+        let mut without = BatchScheduler::with_config(&cold, config);
+        for request in make_requests() {
+            without.submit(request);
+        }
+        assert_eq!(without.active(), 1, "without sharing the second queues");
+        // Streams are identical either way.
+        let a = with.run_to_completion();
+        let b = without.run_to_completion();
+        for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+            assert_eq!(x.generated, y.generated);
+        }
+        assert_eq!(b.prefix, PrefixBatchMetrics::default());
     }
 
     #[test]

@@ -10,12 +10,14 @@
 
 use crate::engine::KelleEngine;
 use crate::faults::fault_injector_for_policy;
+use crate::prefix::PrefixKey;
 use kelle_arch::{InferenceWorkload, PlatformReport};
 use kelle_cache::{CacheBudget, CachePolicy};
 use kelle_edram::RetentionModel;
-use kelle_model::fault::ProbabilisticFaults;
-use kelle_model::generation::{decode_step, prefill, DecodeStep, GenerationState};
-use kelle_model::{CacheStats, DecodeTrace, KvCacheBackend};
+use kelle_model::fault::{FaultInjector, FaultStats, ProbabilisticFaults};
+use kelle_model::generation::{decode_step, prefill, prefill_extend, DecodeStep, GenerationState};
+use kelle_model::{CacheStats, DecodeTrace, KvCacheBackend, SegmentRecorder, SharedSegment};
+use std::sync::Arc;
 
 /// One unit of serving work.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,13 +167,19 @@ pub struct TurnOutcome {
     /// Hardware cost of this turn: pre-fill of the *new* tokens only, plus
     /// the decode steps, on the configured platform.
     pub hardware: PlatformReport,
-    /// Pre-fill work actually performed this turn (new tokens only).
+    /// Pre-fill work actually performed this turn (new tokens only; tokens
+    /// served from a shared prefix segment are excluded — their compute was
+    /// paid once, at publication).
     pub prefilled_tokens: usize,
     /// Total context length (all processed tokens) after the turn.
     pub context_len: usize,
     /// Evictions performed during this turn (as opposed to the session-wide
     /// cumulative count in `cache.evictions`).
     pub evictions_delta: u64,
+    /// Prompt tokens served from a shared prefix segment during this turn
+    /// (non-zero only on the session's first turn, where prefix lookup
+    /// happens).
+    pub prefix_hit_tokens: usize,
 }
 
 /// A persistent serving session: one conversation's KV cache, fault stream
@@ -191,6 +199,15 @@ pub struct Session<'e> {
     context: Vec<usize>,
     turns: usize,
     recorded_evictions: u64,
+    /// The session's effective configuration fingerprint for prefix sharing.
+    key: PrefixKey,
+    /// Tokens adopted from a shared prefix segment on the first pre-fill.
+    prefix_hit_tokens: usize,
+    /// Keeps the matched segment (and its refcount) alive while this
+    /// session may still read its arenas zero-copy.
+    prefix_segment: Option<Arc<SharedSegment>>,
+    /// Prefix-hit tokens not yet attributed to a finished turn.
+    pending_prefix_hit: usize,
 }
 
 impl<'e> Session<'e> {
@@ -230,6 +247,16 @@ impl<'e> Session<'e> {
             context: Vec::new(),
             turns: 0,
             recorded_evictions: 0,
+            // The registry clamps budgets when building backends; the key
+            // must fingerprint the same effective budget.
+            key: PrefixKey {
+                policy,
+                budget: budget.clamped(),
+                seed,
+            },
+            prefix_hit_tokens: 0,
+            prefix_segment: None,
+            pending_prefix_hit: 0,
         }
     }
 
@@ -266,13 +293,48 @@ impl<'e> Session<'e> {
         self.cache.stats()
     }
 
+    /// Fault-injection counters accumulated by this session (words examined,
+    /// bits flipped).  A prefix-cache hit resumes the publication snapshot's
+    /// stream, so these match a cold session's counters bit for bit.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
+    }
+
+    /// Prompt tokens this session served from a shared prefix segment (zero
+    /// when sharing is disabled or the first prompt missed).
+    pub fn prefix_hit_tokens(&self) -> usize {
+        self.prefix_hit_tokens
+    }
+
+    /// The session's effective configuration fingerprint for prefix sharing.
+    pub(crate) fn prefix_key(&self) -> &PrefixKey {
+        &self.key
+    }
+
     /// Appends `tokens` to the session context, pre-filling only them (no
-    /// decoding).  Returns the number of tokens pre-filled.
+    /// decoding).  Returns the number of tokens whose prefill was actually
+    /// *computed*: on the session's first pre-fill with prefix sharing
+    /// enabled, a store hit replays the matched prefix from its shared
+    /// segment (bit-identical state, zero model compute) and only the
+    /// unmatched suffix is computed.
     ///
     /// # Panics
     ///
     /// Panics if the session has no context yet and `tokens` is empty.
     pub fn prefill(&mut self, tokens: &[usize]) -> usize {
+        if self.context.is_empty() && !tokens.is_empty() {
+            // Publishing the configured boundary takes precedence over
+            // hitting a *shorter* published prefix: one cold pass here and
+            // the whole fleet hits the deeper boundary from now on.  (The
+            // boundary check probes the exact boundary, so once it is
+            // published this arm stays cold.)
+            if let Some(boundary) = self.auto_publish_boundary(tokens) {
+                return self.prefill_publishing(tokens, boundary);
+            }
+            if let Some(computed) = self.try_prefill_shared(tokens) {
+                return computed;
+            }
+        }
         let count = prefill(
             self.engine.model(),
             &mut self.state,
@@ -282,6 +344,124 @@ impl<'e> Session<'e> {
         );
         self.context.extend_from_slice(tokens);
         count
+    }
+
+    /// The prefix-store hit path: replay the matched segment, compute only
+    /// the suffix, and finish pre-fill once (the cold call sequence).
+    /// Returns the computed token count, or `None` on a miss / sharing
+    /// disabled.
+    fn try_prefill_shared(&mut self, tokens: &[usize]) -> Option<usize> {
+        let hit = self.engine.prefix_lookup(tokens, &self.key)?;
+        let matched = hit.matched;
+        debug_assert_eq!(
+            hit.segment.len(),
+            matched,
+            "store hands out exact boundaries"
+        );
+        hit.segment.attach_and_replay(self.cache.as_mut());
+        self.state.adopt_prefix(matched, hit.segment.logits());
+        self.faults = hit.segment.faults_snapshot();
+        self.context.extend_from_slice(&tokens[..matched]);
+        let rest = &tokens[matched..];
+        let computed = if rest.is_empty() {
+            0
+        } else {
+            let computed = prefill_extend(
+                self.engine.model(),
+                &mut self.state,
+                rest,
+                self.cache.as_mut(),
+                &mut self.faults,
+            );
+            self.context.extend_from_slice(rest);
+            computed
+        };
+        self.cache.finish_prefill(self.state.position());
+        self.prefix_hit_tokens = matched;
+        self.pending_prefix_hit = matched;
+        self.prefix_segment = Some(hit.segment);
+        Some(computed)
+    }
+
+    /// Whether this cold first prompt should auto-publish a boundary, and
+    /// where.
+    fn auto_publish_boundary(&self, tokens: &[usize]) -> Option<usize> {
+        let config = self.engine.prefix_config();
+        if !config.enabled {
+            return None;
+        }
+        let boundary = config.auto_publish_tokens?;
+        if boundary < config.min_tokens || tokens.len() < boundary {
+            return None;
+        }
+        // Probe the exact boundary: once it is published, sessions take the
+        // hit path instead of re-recording.  A *shorter* published match
+        // deliberately still returns `Some` — the fleet should deepen to
+        // the configured boundary rather than keep hitting the shallow one.
+        match self.engine.prefix_probe(&tokens[..boundary], &self.key) {
+            Some((_, matched)) if matched == boundary => None,
+            _ => Some(boundary),
+        }
+    }
+
+    /// Cold first pre-fill that records and publishes `tokens[..boundary]`
+    /// as a shared boundary while serving normally.
+    fn prefill_publishing(&mut self, tokens: &[usize], boundary: usize) -> usize {
+        let segment = {
+            let mut recorder = SegmentRecorder::new(self.cache.as_mut());
+            prefill_extend(
+                self.engine.model(),
+                &mut self.state,
+                &tokens[..boundary],
+                &mut recorder,
+                &mut self.faults,
+            );
+            recorder
+        };
+        let segment = Arc::new(segment.finish(self.state.last_logits(), self.faults.clone()));
+        self.engine
+            .prefix_publish(&tokens[..boundary], self.key, segment);
+        let rest = &tokens[boundary..];
+        let mut count = boundary;
+        if !rest.is_empty() {
+            count += prefill_extend(
+                self.engine.model(),
+                &mut self.state,
+                rest,
+                self.cache.as_mut(),
+                &mut self.faults,
+            );
+        }
+        self.cache.finish_prefill(self.state.position());
+        self.context.extend_from_slice(tokens);
+        count
+    }
+
+    /// Records a publication pre-fill of `tokens` on this fresh session and
+    /// returns the frozen segment (the engine's `publish_prefix` driver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session already has context or `tokens` is empty.
+    pub(crate) fn record_prefix(&mut self, tokens: &[usize]) -> Arc<SharedSegment> {
+        assert!(
+            self.context.is_empty(),
+            "prefix publication requires a fresh session"
+        );
+        assert!(!tokens.is_empty(), "cannot publish an empty prefix");
+        let recorder = {
+            let mut recorder = SegmentRecorder::new(self.cache.as_mut());
+            prefill_extend(
+                self.engine.model(),
+                &mut self.state,
+                tokens,
+                &mut recorder,
+                &mut self.faults,
+            );
+            recorder
+        };
+        self.context.extend_from_slice(tokens);
+        Arc::new(recorder.finish(self.state.last_logits(), self.faults.clone()))
     }
 
     /// Runs exactly one decode step, returning the chosen token, its
@@ -397,6 +577,7 @@ impl<'e> Session<'e> {
             prefilled_tokens,
             context_len: self.state.position(),
             evictions_delta,
+            prefix_hit_tokens: std::mem::take(&mut self.pending_prefix_hit),
         };
         self.engine.record_turn(&outcome);
         outcome

@@ -20,6 +20,15 @@
 //!   oversubscribe.  The excess is reported as
 //!   [`oversubscribed_bytes`](CapacityLedger::oversubscribed_bytes) rather
 //!   than rejected.
+//!
+//! Besides per-session leases, the ledger arbitrates a **shared pool** for
+//! cross-session prefix sharing: a published prefix's KV bytes are charged
+//! against capacity *once*, however many sessions attach to it
+//! ([`attach_shared`](CapacityLedger::attach_shared) /
+//! [`detach_shared`](CapacityLedger::detach_shared) refcount the entry), and
+//! every attachment beyond the first accrues
+//! [`dedup_savings_bytes`](CapacityLedger::dedup_savings_bytes) — the bytes
+//! deduplication kept off the device.
 
 use serde::{Deserialize, Serialize};
 
@@ -73,6 +82,19 @@ pub struct CapacityLedger {
     live_bytes: u64,
     high_water_bytes: u64,
     peak_oversubscription_bytes: u64,
+    shared: Vec<SharedPoolEntry>,
+    dedup_savings_bytes: u64,
+}
+
+/// One refcounted shared-pool entry (a published prefix's resident bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct SharedPoolEntry {
+    /// Caller-chosen identity of the shared object (the prefix entry id).
+    tag: u64,
+    /// Resident bytes, charged once.
+    bytes: u64,
+    /// Sessions currently attached.
+    refs: usize,
 }
 
 impl CapacityLedger {
@@ -89,6 +111,8 @@ impl CapacityLedger {
             live_bytes: 0,
             high_water_bytes: 0,
             peak_oversubscription_bytes: 0,
+            shared: Vec::new(),
+            dedup_savings_bytes: 0,
         }
     }
 
@@ -214,6 +238,82 @@ impl CapacityLedger {
         self.live_bytes -= bytes;
         bytes
     }
+
+    /// Whether the shared pool currently holds `tag`.
+    pub fn has_shared(&self, tag: u64) -> bool {
+        self.shared.iter().any(|e| e.tag == tag)
+    }
+
+    /// Bytes the shared pool currently charges against capacity (each tag
+    /// counted once).
+    pub fn shared_bytes(&self) -> u64 {
+        self.shared.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Cumulative bytes kept off the device by shared-pool deduplication:
+    /// every attachment beyond a tag's first adds the tag's bytes here (a
+    /// single-tenant stack would have charged them again).
+    pub fn dedup_savings_bytes(&self) -> u64 {
+        self.dedup_savings_bytes
+    }
+
+    /// Attaches a session to the shared-pool entry `tag` of `bytes` bytes.
+    ///
+    /// The first attachment charges the bytes against capacity (unchecked,
+    /// like [`force_reserve`](CapacityLedger::force_reserve): the shared data
+    /// already physically exists); every further attachment only bumps the
+    /// refcount and records the deduplication saving.  Returns `true` when
+    /// this call was the charging one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is already pooled with a different byte size (a tag
+    /// identifies one immutable published object).
+    pub fn attach_shared(&mut self, tag: u64, bytes: u64) -> bool {
+        if let Some(entry) = self.shared.iter_mut().find(|e| e.tag == tag) {
+            assert_eq!(
+                entry.bytes, bytes,
+                "shared tag re-attached with a different size"
+            );
+            entry.refs += 1;
+            self.dedup_savings_bytes += bytes;
+            return false;
+        }
+        self.shared.push(SharedPoolEntry {
+            tag,
+            bytes,
+            refs: 1,
+        });
+        self.live_bytes += bytes;
+        self.high_water_bytes = self.high_water_bytes.max(self.live_bytes);
+        self.peak_oversubscription_bytes = self
+            .peak_oversubscription_bytes
+            .max(self.oversubscribed_bytes());
+        true
+    }
+
+    /// Detaches a session from shared-pool entry `tag`.  The last detachment
+    /// releases the charged bytes.  Returns `true` when the entry was fully
+    /// released.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is not pooled.
+    pub fn detach_shared(&mut self, tag: u64) -> bool {
+        let index = self
+            .shared
+            .iter()
+            .position(|e| e.tag == tag)
+            .expect("detach of an unpooled shared tag");
+        self.shared[index].refs -= 1;
+        if self.shared[index].refs == 0 {
+            self.live_bytes -= self.shared[index].bytes;
+            self.shared.remove(index);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 #[cfg(test)]
@@ -299,5 +399,58 @@ mod tests {
     #[should_panic(expected = "capacity must be non-zero")]
     fn zero_capacity_panics() {
         CapacityLedger::new(0);
+    }
+
+    #[test]
+    fn shared_pool_charges_once_and_refcounts() {
+        let mut ledger = CapacityLedger::new(100);
+        assert!(ledger.attach_shared(7, 40), "first attach charges");
+        assert!(!ledger.attach_shared(7, 40), "second attach only refcounts");
+        assert!(!ledger.attach_shared(7, 40));
+        assert_eq!(ledger.live_bytes(), 40);
+        assert_eq!(ledger.shared_bytes(), 40);
+        assert_eq!(ledger.dedup_savings_bytes(), 80);
+        assert!(ledger.has_shared(7));
+        // Private leases coexist with the pool.
+        let lease = ledger.reserve(30).unwrap();
+        assert_eq!(ledger.live_bytes(), 70);
+        assert!(!ledger.detach_shared(7));
+        assert!(!ledger.detach_shared(7));
+        assert!(ledger.detach_shared(7), "last detach releases");
+        assert!(!ledger.has_shared(7));
+        assert_eq!(ledger.live_bytes(), 30);
+        ledger.release(lease);
+        assert_eq!(ledger.live_bytes(), 0);
+        // Savings are cumulative and persist after release.
+        assert_eq!(ledger.dedup_savings_bytes(), 80);
+        assert_eq!(ledger.high_water_bytes(), 70);
+    }
+
+    #[test]
+    fn shared_pool_counts_toward_admission_capacity() {
+        let mut ledger = CapacityLedger::new(100);
+        ledger.attach_shared(1, 60);
+        // Admission sees the true footprint: only 40 bytes remain.
+        assert!(!ledger.can_fit(41));
+        assert!(ledger.can_fit(40));
+        // The pool can oversubscribe like force_reserve (the data exists).
+        ledger.attach_shared(2, 70);
+        assert_eq!(ledger.oversubscribed_bytes(), 30);
+        assert_eq!(ledger.peak_oversubscription_bytes(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "different size")]
+    fn shared_tag_size_is_immutable() {
+        let mut ledger = CapacityLedger::new(100);
+        ledger.attach_shared(3, 10);
+        ledger.attach_shared(3, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpooled shared tag")]
+    fn detach_unknown_tag_panics() {
+        let mut ledger = CapacityLedger::new(100);
+        ledger.detach_shared(9);
     }
 }

@@ -176,7 +176,12 @@ impl BitFlipRates {
 }
 
 /// A probabilistic fault injector driven by per-group bit-flip rates.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the full injector state (rates, RNG position and
+/// counters); the prefix-sharing machinery uses this to capture the exact
+/// post-prefix fault stream so a cache-hit session resumes the stream
+/// bit-identically to a cold one.
+#[derive(Debug, Clone)]
 pub struct ProbabilisticFaults {
     rates: BitFlipRates,
     rng: DetRng,

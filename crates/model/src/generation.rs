@@ -171,6 +171,36 @@ impl GenerationState {
     pub fn scratch_mut(&mut self) -> &mut DecodeScratch {
         &mut self.scratch
     }
+
+    /// The logits of the most recently processed token (empty before any
+    /// token was processed).
+    pub fn last_logits(&self) -> &[f32] {
+        &self.last_logits
+    }
+
+    /// Restores the cursor of a fresh state to the end of a replayed shared
+    /// prefix: `tokens` positions are marked processed and `logits` become
+    /// the last-token logits, exactly as if the prefix had been pre-filled
+    /// through the model.  The replayed tokens are **not** counted as
+    /// pre-fill work ([`prefilled_tokens`](GenerationState::prefilled_tokens)
+    /// reports computed tokens only — the compute was paid once, at
+    /// publication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has already processed tokens, or if `tokens` is
+    /// zero / `logits` is empty (a prefix snapshot always has both).
+    pub fn adopt_prefix(&mut self, tokens: usize, logits: &[f32]) {
+        assert_eq!(
+            self.position, 0,
+            "a prefix can only be adopted by a fresh state"
+        );
+        assert!(tokens > 0, "a shared prefix holds at least one token");
+        assert!(!logits.is_empty(), "a prefix snapshot carries logits");
+        self.position = tokens;
+        self.last_logits.clear();
+        self.last_logits.extend_from_slice(logits);
+    }
 }
 
 /// Everything produced by one [`decode_step`].
@@ -203,6 +233,35 @@ pub fn prefill(
     cache: &mut dyn KvCacheBackend,
     faults: &mut dyn FaultInjector,
 ) -> usize {
+    let count = prefill_extend(model, state, tokens, cache, faults);
+    if !tokens.is_empty() {
+        cache.finish_prefill(state.position);
+    }
+    count
+}
+
+/// Like [`prefill`], but **without** signalling
+/// [`finish_prefill`](KvCacheBackend::finish_prefill) — the context tokens
+/// are processed and inserted, and the cache stays in its pre-fill phase.
+///
+/// This is the building block of prefix sharing: a published prefix is
+/// recorded through `prefill_extend` (the snapshot captures the cache
+/// *mid-prefill*, before any prefill-retention rule fires), and a cache-hit
+/// session replays the prefix, `prefill_extend`s its remaining prompt tokens
+/// and only then finishes pre-fill once — the exact call sequence of a cold
+/// single-call prefill, which is what makes the resulting backend state
+/// bit-identical.
+///
+/// # Panics
+///
+/// Panics if the state has no context yet and `tokens` is empty.
+pub fn prefill_extend(
+    model: &SurrogateModel,
+    state: &mut GenerationState,
+    tokens: &[usize],
+    cache: &mut dyn KvCacheBackend,
+    faults: &mut dyn FaultInjector,
+) -> usize {
     assert!(
         state.has_context() || !tokens.is_empty(),
         "prompt must contain at least one token"
@@ -219,9 +278,6 @@ pub fn prefill(
         state.last_logits.clear();
         state.last_logits.extend_from_slice(&state.scratch.logits);
         state.position += 1;
-    }
-    if !tokens.is_empty() {
-        cache.finish_prefill(state.position);
     }
     state.prefilled_tokens += tokens.len();
     tokens.len()

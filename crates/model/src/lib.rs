@@ -36,9 +36,10 @@ pub mod fault;
 pub mod generation;
 pub mod hash;
 pub mod metrics;
+pub mod segment;
 pub mod weights;
 
-pub use arena::{ArenaGrid, InputSlab, KvArena};
+pub use arena::{ArenaGrid, InputSlab, KvArena, SharedKv};
 pub use attention::{AttentionOutput, DecodeScratch, MultiHeadAttention};
 pub use cache::{
     CacheEntry, CacheStats, EntryPayload, EntryRef, FullKvCache, KvCacheBackend, PayloadRef,
@@ -52,6 +53,7 @@ pub use generation::{
 };
 pub use hash::{FastHashMap, FastHashSet};
 pub use metrics::{FidelityAccumulator, FidelityMetrics};
+pub use segment::{SegmentRecorder, SharedSegment};
 
 /// Crate-wide result alias (errors are tensor-shaped failures from the substrate).
 pub type Result<T> = std::result::Result<T, kelle_tensor::TensorError>;

@@ -16,7 +16,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod generator;
+pub mod scenario;
 pub mod task;
 
 pub use generator::{GeneratedPrompt, TokenStreamGenerator};
+pub use scenario::SharedPromptScenario;
 pub use task::{TaskKind, TaskMetric};

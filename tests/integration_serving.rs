@@ -211,6 +211,7 @@ fn serve_batch_matches_sequential_serving() {
             tokens_generated: after.tokens_generated - before.tokens_generated,
             evictions: after.evictions - before.evictions,
             hardware_energy_j: after.hardware_energy_j - before.hardware_energy_j,
+            prefix_hit_tokens: after.prefix_hit_tokens - before.prefix_hit_tokens,
         });
     }
 
