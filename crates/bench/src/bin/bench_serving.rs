@@ -1,0 +1,71 @@
+//! Threaded-serving benchmark binary: serves the shared-prompt fleet through
+//! the single-threaded scheduler and the `kelle::parallel` worker pool at
+//! every configured worker count *in the same run* (streams asserted
+//! identical while being timed), prints a table, and emits the
+//! `BENCH_serving.json` artifact consumed by CI.
+//!
+//! Usage: `cargo run --release -p kelle-bench --bin bench_serving -- \
+//!     [--quick] [--out BENCH_serving.json]`
+
+use kelle_bench::serving_perf::{self, ServingPerfConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_serving.json"));
+
+    let config = if quick {
+        ServingPerfConfig::quick()
+    } else {
+        ServingPerfConfig::full()
+    };
+    let fleet = &config.scenario.fleet;
+    println!(
+        "threaded serving on parallel_shared_prompt ({} sessions, system {}, user {}, decode {}){}",
+        fleet.sessions,
+        fleet.system_tokens,
+        fleet.user_tokens,
+        fleet.decode_len,
+        if quick { " [quick]" } else { "" }
+    );
+
+    let report = serving_perf::run(config);
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>14} {:>9}",
+        "workers", "decode tok", "prefill s", "decode s", "decode tok/s", "speedup"
+    );
+    for row in &report.rows {
+        let workers = row
+            .workers
+            .map(|w| w.to_string())
+            .unwrap_or_else(|| "sequential".to_string());
+        let speedup = row
+            .speedup_vs_one_worker
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:>12} {:>12} {:>12.4} {:>12.4} {:>14.0} {:>9}",
+            workers,
+            row.decode_tokens,
+            row.prefill_seconds,
+            row.decode_seconds,
+            row.decode_tokens_per_sec,
+            speedup,
+        );
+    }
+    println!("(streams verified bit-identical on every row, including fault statistics)");
+
+    match report.write_json(&out) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(err) => {
+            eprintln!("failed to write {}: {err}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

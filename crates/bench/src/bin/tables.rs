@@ -2,8 +2,8 @@
 //!
 //! Usage: `cargo run -p kelle-bench --bin tables [-- --table <id>]`
 //! where `<id>` is one of `1`, `2`, `3`, `4`, `5`, `6`, `7`, `8`, `9`,
-//! `area-power`, `bandwidth`, `contention`, `decode_perf`, `prefix`, or
-//! `all` (default).
+//! `area-power`, `bandwidth`, `contention`, `decode_perf`, `prefix`,
+//! `serving`, or `all` (default).
 
 use kelle::accuracy::{evaluate_all_methods, evaluate_method, AccuracyConfig, Method};
 use kelle::arch::InferenceWorkload;
@@ -66,6 +66,9 @@ fn main() {
     }
     if all || which == "prefix" {
         prefix();
+    }
+    if all || which == "serving" {
+        serving();
     }
 }
 
@@ -377,4 +380,30 @@ fn prefix() {
     }
     println!("(the shared prefix is computed once and ledger-charged once per fleet;");
     println!(" token streams are verified identical on every row)");
+}
+
+fn serving() {
+    header("Threaded serving: decode throughput vs worker count, shared-prompt fleet");
+    let report =
+        kelle_bench::serving_perf::run(kelle_bench::serving_perf::ServingPerfConfig::quick());
+    println!(
+        "{:>12} {:>12} {:>12} {:>14} {:>9}",
+        "workers", "decode tok", "decode s", "decode tok/s", "speedup"
+    );
+    for row in &report.rows {
+        let workers = row
+            .workers
+            .map(|w| w.to_string())
+            .unwrap_or_else(|| "sequential".to_string());
+        let speedup = row
+            .speedup_vs_one_worker
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:>12} {:>12} {:>12.4} {:>14.0} {:>9}",
+            workers, row.decode_tokens, row.decode_seconds, row.decode_tokens_per_sec, speedup,
+        );
+    }
+    println!("(token streams and fault statistics are bit-identical on every row;");
+    println!(" speedup requires a multi-core host — workers only move wall-clock time)");
 }

@@ -9,9 +9,12 @@
 //! * `src/bin/bench_decode.rs` — the decode-throughput comparison emitting
 //!   `BENCH_decode.json`, built on [`decode_perf`];
 //! * `src/bin/bench_prefix.rs` — the cross-session prefix-sharing sweep
-//!   emitting `BENCH_prefix.json`, built on [`prefix_perf`].
+//!   emitting `BENCH_prefix.json`, built on [`prefix_perf`];
+//! * `src/bin/bench_serving.rs` — the threaded-serving worker-count sweep
+//!   emitting `BENCH_serving.json`, built on [`serving_perf`].
 
 #![warn(missing_docs)]
 
 pub mod decode_perf;
 pub mod prefix_perf;
+pub mod serving_perf;

@@ -18,12 +18,14 @@
 //!   policy and contended requests are costed against their slice of the
 //!   device (same token streams, different cost and ordering).
 
+use crate::parallel;
 use crate::prefix::{PrefixHit, PrefixKey, PrefixSharingConfig, PrefixStore, PrefixStoreStats};
 use crate::scheduler::{BatchOutcome, BatchScheduler, SchedulerConfig};
 use crate::session::{ServeRequest, Session, TurnOutcome};
 use kelle_arch::{Platform, PlatformKind, PlatformReport};
 use kelle_cache::{CacheBudget, CachePolicy};
 use kelle_edram::RefreshPolicy;
+use kelle_model::fault::FaultStats;
 use kelle_model::{CacheStats, DecodeTrace, ModelConfig, ModelKind, SurrogateModel};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -50,6 +52,11 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Cross-session prefix KV sharing (see [`crate::prefix`]).
     pub prefix: PrefixSharingConfig,
+    /// Worker threads used by the `serve_batch_parallel*` entry points (see
+    /// [`crate::parallel`]).  `1` (the default) still runs the full
+    /// coordinator/worker protocol on a single worker; token streams and
+    /// batch metrics are bit-identical for every value.
+    pub workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +73,7 @@ impl Default for EngineConfig {
             batch: 16,
             seed: 7,
             prefix: PrefixSharingConfig::default(),
+            workers: 1,
         }
     }
 }
@@ -162,6 +170,16 @@ impl EngineBuilder {
         self.prefix_sharing(PrefixSharingConfig::enabled())
     }
 
+    /// Sets the number of worker threads the `serve_batch_parallel*` entry
+    /// points fan per-session prefill/decode steps out to (see
+    /// [`crate::parallel`] for the threading model).  Clamped to at least 1;
+    /// the worker count never changes token streams, fault statistics or
+    /// batch metrics — only wall-clock time.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers.max(1);
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> KelleEngine {
         KelleEngine::new(self.config)
@@ -186,6 +204,11 @@ pub struct ServeOutcome {
     /// Prompt tokens served from a shared prefix segment instead of being
     /// recomputed.
     pub prefix_hit_tokens: usize,
+    /// Fault-injection counters of the serving session at the end of the
+    /// request (words examined, bits flipped).  Deterministic per seed; the
+    /// parallel-equivalence suite asserts these bit-match single-threaded
+    /// serving for every worker count.
+    pub faults: FaultStats,
 }
 
 impl From<TurnOutcome> for ServeOutcome {
@@ -197,6 +220,7 @@ impl From<TurnOutcome> for ServeOutcome {
             hardware: turn.hardware,
             prefilled_tokens: turn.prefilled_tokens,
             prefix_hit_tokens: turn.prefix_hit_tokens,
+            faults: turn.faults,
         }
     }
 }
@@ -502,6 +526,54 @@ impl KelleEngine {
             scheduler.submit(request);
         }
         scheduler.run_to_completion_streaming(on_token)
+    }
+
+    /// [`serve_batch`](KelleEngine::serve_batch) with per-session
+    /// prefill/decode steps fanned out across the engine's configured
+    /// [`workers`](EngineBuilder::workers) (see [`crate::parallel`]).
+    ///
+    /// Token streams, probability bits, fault statistics and every
+    /// [`BatchOutcome`] metric are **bit-identical** to the single-threaded
+    /// scheduler for any worker count: workers only execute per-session
+    /// compute, while admission, the capacity ledger and the prefix store
+    /// commit each tick on the coordinating thread in submission order.
+    pub fn serve_batch_parallel(&self, requests: Vec<ServeRequest>) -> BatchOutcome {
+        self.serve_batch_parallel_streaming(requests, |_, _| {})
+    }
+
+    /// [`serve_batch_parallel`](KelleEngine::serve_batch_parallel) under
+    /// shared-capacity arbitration (the parallel counterpart of
+    /// [`serve_batch_with`](KelleEngine::serve_batch_with)).
+    pub fn serve_batch_parallel_with(
+        &self,
+        requests: Vec<ServeRequest>,
+        config: SchedulerConfig,
+    ) -> BatchOutcome {
+        self.serve_batch_parallel_streaming_with(requests, config, |_, _| {})
+    }
+
+    /// Streaming variant of
+    /// [`serve_batch_parallel`](KelleEngine::serve_batch_parallel):
+    /// `on_token` runs on the coordinating thread and observes `(request,
+    /// token)` pairs in exactly the order single-threaded serving would
+    /// deliver them.
+    pub fn serve_batch_parallel_streaming(
+        &self,
+        requests: Vec<ServeRequest>,
+        on_token: impl FnMut(usize, usize),
+    ) -> BatchOutcome {
+        self.serve_batch_parallel_streaming_with(requests, SchedulerConfig::default(), on_token)
+    }
+
+    /// Streaming variant of
+    /// [`serve_batch_parallel_with`](KelleEngine::serve_batch_parallel_with).
+    pub fn serve_batch_parallel_streaming_with(
+        &self,
+        requests: Vec<ServeRequest>,
+        config: SchedulerConfig,
+        on_token: impl FnMut(usize, usize),
+    ) -> BatchOutcome {
+        parallel::serve_batch_parallel(self, requests, config, self.config.workers, on_token)
     }
 
     /// Folds one completed turn into the lifetime statistics.

@@ -73,6 +73,11 @@
 //!   `serve_batch`: waiting queue, [`AdmissionPolicy`], the shared
 //!   [`CapacityLedger`](kelle_edram::CapacityLedger) and the contention
 //!   metrics of [`BatchOutcome`];
+//! * [`parallel`] — the threaded serving front-end:
+//!   [`KelleEngine::serve_batch_parallel`] fans per-session prefill/decode
+//!   compute across [`EngineBuilder::workers`] worker threads with
+//!   bit-identical token streams, fault statistics and batch metrics for
+//!   every worker count;
 //! * [`prefix`] — cross-session prefix KV sharing: publish a common system
 //!   prompt once ([`KelleEngine::publish_prefix`]) and every session whose
 //!   prompt starts with it replays the shared segment (bit-identical
@@ -90,6 +95,7 @@ pub mod accuracy;
 pub mod engine;
 pub mod experiment;
 pub mod faults;
+pub mod parallel;
 pub mod prefix;
 pub mod scheduler;
 pub mod session;
@@ -99,6 +105,7 @@ pub use engine::{EngineBuilder, EngineConfig, EngineStats, KelleEngine, ServeOut
 pub use experiment::{EndToEndRow, EndToEndSummary};
 pub use faults::fault_injector_for_policy;
 pub use kelle_cache::CachePolicy;
+pub use parallel::{InlineExecutor, SessionTask, StepExecutor, TaskOutput, WorkerPool};
 pub use prefix::{
     PrefixHit, PrefixKey, PrefixSharingConfig, PrefixStore, PrefixStoreStats, RadixPrefixIndex,
 };

@@ -1,0 +1,512 @@
+//! Threaded serving front-end: deterministic multi-worker decode over the
+//! batch scheduler.
+//!
+//! Kelle's edge-serving story assumes the accelerator pipeline is kept busy
+//! by many concurrent sessions.  On the functional side that means the
+//! per-session prefill/decode compute of [`serve_batch`] — by far the
+//! dominant cost — should spread across host cores, *without* the
+//! nondeterminism that usually comes with threading.  This module is that
+//! front-end: a work-stealing worker pool plus the task protocol the
+//! [`BatchScheduler`] fans compute out through.
+//!
+//! # Threading model
+//!
+//! **Sharded per worker (moves):** whole [`Session`]s — the KV-cache backend
+//! over its arenas, the fault-RNG stream, the generation cursor.  Sessions
+//! are `Send` and mutually independent: a decode step touches only its own
+//! session plus shared *read-only* state (the model weights through
+//! `&KelleEngine`, and published prefix segments through their
+//! `Arc<ArenaGrid>` bases — reads need no lock).  A session is owned by
+//! exactly one task at a time, so workers never contend on session state.
+//!
+//! **Coordinator-owned (never crosses threads):** the admission pipeline,
+//! the waiting queue, the [`CapacityLedger`](kelle_edram::CapacityLedger),
+//! the prefix store's index and statistics, request timings and the engine's
+//! lifetime statistics.  All mutations of shared serving state happen on the
+//! coordinating thread, batched into a **per-tick commit** in request
+//! submission order.
+//!
+//! # Why determinism holds
+//!
+//! Each scheduler tick is a fan-out/commit cycle
+//! ([`BatchScheduler::step_with`]):
+//!
+//! 1. every active session moves into a [`SessionTask`]; workers steal tasks
+//!    from a shared injector queue and run them in whatever order the OS
+//!    schedules — which is fine, because task results are a pure function of
+//!    the session they own;
+//! 2. the coordinator collects all outputs, sorts them by request index, and
+//!    commits the tick — token/trace bookkeeping, one batched ledger commit
+//!    ([`commit_growth`](kelle_edram::CapacityLedger::commit_growth)),
+//!    completions (hardware simulation + engine statistics, still in index
+//!    order, so even f64 accumulation order is preserved) and admission
+//!    back-fill — exactly as single-threaded serving would.
+//!
+//! Admission prefills follow the same split ([`BatchScheduler`]'s admission
+//! pump): candidate selection, ledger reservations and the prefix-store
+//! *plan* run on the coordinator in admission order; only the planned
+//! compute fans out.  A plan that will publish a prefix boundary
+//! (auto-publish) is flushed before the next admission is planned, so store
+//! visibility matches the sequential order too.
+//!
+//! The result: token streams, probability bits, fault statistics and every
+//! [`BatchOutcome`] metric are **bit-identical to single-threaded serving
+//! for every worker count** — pinned by the `integration_parallel` suite
+//! (all five cache policies, prefix hits, contention-limited admission) and
+//! re-checked in CI at `--workers 1,2,4` by the determinism gate.
+//! Throughput scaling lives in `BENCH_serving.json` (emitted by the
+//! `bench_serving` binary: aggregate decode tokens/s vs worker count on the
+//! 8-session shared-prompt fleet).
+//!
+//! # Entry points
+//!
+//! Most callers want [`KelleEngine::serve_batch_parallel`] (and its
+//! `_with`/`_streaming` variants) plus [`EngineBuilder::workers`]; driving a
+//! [`BatchScheduler`] manually with a [`WorkerPool`] — as
+//! [`serve_batch_parallel`] does — is the low-level interface benchmarks
+//! use to time individual phases.
+//!
+//! [`serve_batch`]: KelleEngine::serve_batch
+//! [`EngineBuilder::workers`]: crate::engine::EngineBuilder::workers
+
+use crate::engine::KelleEngine;
+use crate::scheduler::{BatchOutcome, BatchScheduler, SchedulerConfig};
+use crate::session::{PrefillPlan, ServeRequest, Session};
+use kelle_model::DecodeStep;
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::Scope;
+
+/// One unit of per-session compute: a session together with the prefill or
+/// decode step to run on it.
+///
+/// Tasks are created by the [`BatchScheduler`]'s fan-out phases and consumed
+/// by a [`StepExecutor`]; an executor's only obligation is to call
+/// [`run`](SessionTask::run) on every task exactly once (on any thread — the
+/// task owns everything it needs) and hand all outputs back.
+#[derive(Debug)]
+pub struct SessionTask<'e> {
+    index: usize,
+    session: Session<'e>,
+    work: Work,
+}
+
+#[derive(Debug)]
+enum Work {
+    /// One decode step ([`Session::decode_one`]).
+    Decode,
+    /// A planned prefill of the request's prompt (the plan was resolved on
+    /// the coordinator; `Cold`/`Hit` executions touch no shared state).
+    Prefill {
+        tokens: Vec<usize>,
+        plan: PrefillPlan,
+    },
+}
+
+impl<'e> SessionTask<'e> {
+    /// A decode-step task for request `index`.
+    pub(crate) fn decode(index: usize, session: Session<'e>) -> Self {
+        SessionTask {
+            index,
+            session,
+            work: Work::Decode,
+        }
+    }
+
+    /// A planned-prefill task for request `index`.
+    pub(crate) fn prefill(
+        index: usize,
+        session: Session<'e>,
+        tokens: Vec<usize>,
+        plan: PrefillPlan,
+    ) -> Self {
+        SessionTask {
+            index,
+            session,
+            work: Work::Prefill { tokens, plan },
+        }
+    }
+
+    /// The request index (submission order) this task belongs to.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Executes the task, consuming it and returning the session inside the
+    /// output.
+    pub fn run(self) -> TaskOutput<'e> {
+        let SessionTask {
+            index,
+            mut session,
+            work,
+        } = self;
+        let payload = match work {
+            Work::Decode => {
+                let tokens_before = session.position();
+                let step = session.decode_one();
+                Payload::Decode {
+                    step,
+                    tokens_before,
+                }
+            }
+            Work::Prefill { tokens, plan } => Payload::Prefill {
+                computed: session.prefill_planned(&tokens, plan),
+            },
+        };
+        TaskOutput {
+            index,
+            session,
+            payload,
+        }
+    }
+}
+
+/// The result of running one [`SessionTask`]: the session comes back to the
+/// coordinator together with what the step produced.
+#[derive(Debug)]
+pub struct TaskOutput<'e> {
+    index: usize,
+    session: Session<'e>,
+    payload: Payload,
+}
+
+#[derive(Debug)]
+enum Payload {
+    Decode {
+        step: DecodeStep,
+        /// Session position before the step (for the lease-growth delta).
+        tokens_before: usize,
+    },
+    Prefill {
+        /// Prompt tokens whose prefill was actually computed.
+        computed: usize,
+    },
+}
+
+impl<'e> TaskOutput<'e> {
+    /// The request index this output belongs to (the scheduler sorts outputs
+    /// by it before committing a tick).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    pub(crate) fn into_decode(self) -> (usize, Session<'e>, DecodeStep, usize) {
+        match self.payload {
+            Payload::Decode {
+                step,
+                tokens_before,
+            } => (self.index, self.session, step, tokens_before),
+            Payload::Prefill { .. } => unreachable!("decode fan-out produced a prefill output"),
+        }
+    }
+
+    pub(crate) fn into_prefill(self) -> (usize, Session<'e>, usize) {
+        match self.payload {
+            Payload::Prefill { computed } => (self.index, self.session, computed),
+            Payload::Decode { .. } => unreachable!("admission fan-out produced a decode output"),
+        }
+    }
+}
+
+/// Executes batches of [`SessionTask`]s for the [`BatchScheduler`].
+///
+/// The contract is deliberately loose — outputs may come back in any order,
+/// tasks may run on any thread — because the scheduler re-establishes
+/// determinism at commit time by sorting outputs on request index.  The two
+/// stock executors are [`InlineExecutor`] (sequential, the default behind
+/// [`BatchScheduler::step`]) and [`WorkerPool`].
+pub trait StepExecutor<'e> {
+    /// Runs every task exactly once and returns all outputs (any order).
+    fn execute(&mut self, tasks: Vec<SessionTask<'e>>) -> Vec<TaskOutput<'e>>;
+}
+
+/// Runs every task inline on the calling thread, in order — the executor
+/// behind the classic single-threaded [`BatchScheduler::step`] /
+/// [`BatchScheduler::submit`](crate::scheduler::BatchScheduler::submit).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InlineExecutor;
+
+impl<'e> StepExecutor<'e> for InlineExecutor {
+    fn execute(&mut self, tasks: Vec<SessionTask<'e>>) -> Vec<TaskOutput<'e>> {
+        tasks.into_iter().map(SessionTask::run).collect()
+    }
+}
+
+/// The shared injector queue workers steal tasks from.
+#[derive(Debug)]
+struct TaskQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    tasks: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> TaskQueue<T> {
+    fn new() -> Self {
+        TaskQueue {
+            state: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Injects a batch of tasks and wakes every worker.
+    fn push_all(&self, items: Vec<T>) {
+        let mut state = self.state.lock().expect("task queue poisoned");
+        state.tasks.extend(items);
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Steals the next task; blocks while the queue is open but empty,
+    /// returns `None` once it is closed and drained.
+    fn steal(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("task queue poisoned");
+        loop {
+            if let Some(task) = state.tasks.pop_front() {
+                return Some(task);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("task queue poisoned");
+        }
+    }
+
+    /// Closes the queue: workers drain what is left and exit.
+    fn close(&self) {
+        let mut state = self.state.lock().expect("task queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
+/// A work-stealing pool of scoped worker threads executing [`SessionTask`]s.
+///
+/// Tasks go into one shared injector queue; idle workers steal from it (the
+/// degenerate — and provably balanced — form of work stealing: a single
+/// global deque), run the task they won, and send the output back over a
+/// channel.  Dynamic stealing rather than static sharding is what keeps all
+/// workers busy when sessions finish at different ticks and the active set
+/// shrinks unevenly.
+///
+/// The pool is tied to a [`std::thread::scope`] so tasks may borrow the
+/// engine (`Session<'e>` holds `&'e KelleEngine`) without any `'static`
+/// gymnastics; dropping the pool closes the queue and the scope joins the
+/// workers.  A panic inside a task is caught on the worker, carried back,
+/// and resurfaced on the coordinating thread by
+/// [`execute`](StepExecutor::execute) — a crashed task can therefore never
+/// deadlock the coordinator waiting for a result that will not come.
+#[derive(Debug)]
+pub struct WorkerPool<'e> {
+    queue: Arc<TaskQueue<SessionTask<'e>>>,
+    results: Receiver<std::thread::Result<TaskOutput<'e>>>,
+    workers: usize,
+}
+
+impl<'e> WorkerPool<'e> {
+    /// Spawns `workers` (clamped to at least 1) scoped worker threads.
+    pub fn start<'scope>(scope: &'scope Scope<'scope, '_>, workers: usize) -> WorkerPool<'e>
+    where
+        'e: 'scope,
+    {
+        let workers = workers.max(1);
+        let queue = Arc::new(TaskQueue::new());
+        let (sender, results) = channel::<std::thread::Result<TaskOutput<'e>>>();
+        for _ in 0..workers {
+            let queue: Arc<TaskQueue<SessionTask<'e>>> = Arc::clone(&queue);
+            let sender: Sender<std::thread::Result<TaskOutput<'e>>> = sender.clone();
+            scope.spawn(move || {
+                while let Some(task) = queue.steal() {
+                    let output = std::panic::catch_unwind(AssertUnwindSafe(|| task.run()));
+                    if sender.send(output).is_err() {
+                        // The coordinator is gone; nothing left to work for.
+                        break;
+                    }
+                }
+            });
+        }
+        WorkerPool {
+            queue,
+            results,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl<'e> StepExecutor<'e> for WorkerPool<'e> {
+    fn execute(&mut self, tasks: Vec<SessionTask<'e>>) -> Vec<TaskOutput<'e>> {
+        let count = tasks.len();
+        if count == 0 {
+            return Vec::new();
+        }
+        self.queue.push_all(tasks);
+        let mut outputs = Vec::with_capacity(count);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        // Every task sends exactly one result (panics are caught and carried
+        // back), so draining `count` results — even past the first panic —
+        // leaves the channel empty and the pool reusable by a caller that
+        // catches the resurfaced panic.
+        for _ in 0..count {
+            match self.results.recv() {
+                Ok(Ok(output)) => outputs.push(output),
+                Ok(Err(cause)) => panic = panic.or(Some(cause)),
+                Err(_) => unreachable!("workers outlive the pool (scoped) and senders persist"),
+            }
+        }
+        if let Some(cause) = panic {
+            // Resurface the first task panic so the failure mode matches
+            // single-threaded serving.
+            std::panic::resume_unwind(cause);
+        }
+        outputs
+    }
+}
+
+impl Drop for WorkerPool<'_> {
+    fn drop(&mut self) {
+        self.queue.close();
+    }
+}
+
+/// Serves `requests` through a [`BatchScheduler`] whose per-session compute
+/// fans out across `workers` threads — the driver behind
+/// [`KelleEngine::serve_batch_parallel`] and friends.
+///
+/// `on_token` runs on the coordinating thread and observes `(request,
+/// token)` pairs in exactly the single-threaded order.  The outcome is
+/// bit-identical to
+/// [`serve_batch_with`](KelleEngine::serve_batch_with) for every worker
+/// count.
+pub fn serve_batch_parallel(
+    engine: &KelleEngine,
+    requests: Vec<ServeRequest>,
+    config: SchedulerConfig,
+    workers: usize,
+    on_token: impl FnMut(usize, usize),
+) -> BatchOutcome {
+    std::thread::scope(|scope| {
+        let mut pool = WorkerPool::start(scope, workers);
+        let mut scheduler = BatchScheduler::with_config(engine, config);
+        for request in requests {
+            scheduler.submit_with(request, &mut pool);
+        }
+        scheduler.run_to_completion_streaming_with(&mut pool, on_token)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn engine() -> KelleEngine {
+        KelleEngine::new(EngineConfig::default())
+    }
+
+    fn requests() -> Vec<ServeRequest> {
+        vec![
+            ServeRequest::new(vec![1, 2, 3, 4], 3),
+            ServeRequest::new(vec![5, 6], 5),
+            ServeRequest::new(vec![7, 8, 9], 2),
+        ]
+    }
+
+    #[test]
+    fn pool_matches_inline_execution_for_any_worker_count() {
+        let engine = engine();
+        let baseline = engine.serve_batch(requests());
+        for workers in [1, 2, 4] {
+            let parallel = serve_batch_parallel(
+                &engine,
+                requests(),
+                SchedulerConfig::default(),
+                workers,
+                |_, _| {},
+            );
+            for (a, b) in baseline.outcomes.iter().zip(parallel.outcomes.iter()) {
+                assert_eq!(a.generated, b.generated, "workers={workers}");
+                assert_eq!(a.faults, b.faults, "workers={workers}");
+            }
+            assert_eq!(baseline.stats, parallel.stats, "workers={workers}");
+            assert_eq!(
+                baseline.contention, parallel.contention,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_order_is_the_sequential_order() {
+        let engine = engine();
+        let mut sequential = Vec::new();
+        engine.serve_batch_streaming(requests(), |request, token| {
+            sequential.push((request, token));
+        });
+        let mut parallel = Vec::new();
+        serve_batch_parallel(
+            &engine,
+            requests(),
+            SchedulerConfig::default(),
+            4,
+            |request, token| parallel.push((request, token)),
+        );
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_one() {
+        std::thread::scope(|scope| {
+            let pool: WorkerPool<'_> = WorkerPool::start(scope, 0);
+            assert_eq!(pool.workers(), 1);
+        });
+    }
+
+    #[test]
+    fn empty_task_batch_is_a_no_op() {
+        std::thread::scope(|scope| {
+            let mut pool: WorkerPool<'_> = WorkerPool::start(scope, 2);
+            assert!(StepExecutor::execute(&mut pool, Vec::new()).is_empty());
+        });
+    }
+
+    #[test]
+    fn worker_panics_propagate_and_leave_the_pool_reusable() {
+        let engine = engine();
+        std::thread::scope(|scope| {
+            let mut pool = WorkerPool::start(scope, 2);
+            let mut session = engine.open_session();
+            session.prefill(&[1, 2, 3]);
+            // An un-prefilled session panics inside decode_one; the pool
+            // must resurface that panic instead of deadlocking.
+            let broken = engine.open_session();
+            let tasks = vec![
+                SessionTask::decode(0, session),
+                SessionTask::decode(1, broken),
+            ];
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| pool.execute(tasks)));
+            assert!(result.is_err(), "the task panic must reach the caller");
+            // The failed batch was fully drained: a fresh batch on the same
+            // pool sees only its own outputs.
+            let mut healthy = engine.open_session();
+            healthy.prefill(&[4, 5, 6]);
+            let outputs = pool.execute(vec![SessionTask::decode(7, healthy)]);
+            assert_eq!(outputs.len(), 1);
+            assert_eq!(outputs[0].index(), 7);
+        });
+    }
+}

@@ -44,6 +44,7 @@
 //! with the whole memory granted, reproducing the PR 1 scheduler exactly.
 
 use crate::engine::{EngineStats, KelleEngine, ServeOutcome};
+use crate::parallel::{InlineExecutor, SessionTask, StepExecutor, TaskOutput};
 use crate::session::{ServeRequest, Session};
 use kelle_cache::{BudgetPartitioner, CacheBudget, PartitionMode};
 use kelle_edram::{CapacityLedger, LeaseId};
@@ -259,7 +260,9 @@ impl std::error::Error for BatchIncomplete<'_> {}
 
 struct Slot<'e> {
     request: ServeRequest,
-    session: Session<'e>,
+    /// `Some` between public calls; taken while the session is out on a
+    /// worker executing this tick's decode step.
+    session: Option<Session<'e>>,
     prefilled: usize,
     generated: Vec<usize>,
     trace: DecodeTrace,
@@ -269,6 +272,28 @@ struct Slot<'e> {
     /// Shared-pool attachment for the request's prefix hit, if any:
     /// `(tag, full-scale bytes)`.
     shared: Option<(u64, u64)>,
+}
+
+impl<'e> Slot<'e> {
+    fn session(&self) -> &Session<'e> {
+        self.session
+            .as_ref()
+            .expect("session is resident between steps")
+    }
+}
+
+/// An admitted request whose prefill is executing (possibly on a worker):
+/// the ledger state was committed at admission time, the session comes back
+/// through the executor.
+struct Admitted {
+    request: ServeRequest,
+    lease: LeaseId,
+    shared: Option<(u64, u64)>,
+    /// Ledger live bytes right after this admission's reservations — the
+    /// value sequential serving records as the slot's initial
+    /// `peak_concurrent_bytes` (captured here because later admissions in
+    /// the same pump land on the ledger before the prefill returns).
+    live_at_admission: u64,
 }
 
 /// Admission sizing of a waiting request: the bytes charged privately plus
@@ -282,6 +307,9 @@ struct AdmissionFootprint {
 
 enum RequestState<'e> {
     Waiting(ServeRequest),
+    /// Admission committed, prefill in flight through the executor; never
+    /// observable between public calls (admission pumps always flush).
+    Admitted(Box<Admitted>),
     Active(Box<Slot<'e>>),
     Finished(ServeOutcome),
     /// Transient placeholder while ownership moves through
@@ -355,6 +383,20 @@ impl<'e> BatchScheduler<'e> {
     /// request is pre-filled right away).  Returns the request's index, which
     /// later [`StepEvent`]s, timings and the final outcome vector refer to.
     pub fn submit(&mut self, request: ServeRequest) -> usize {
+        self.submit_with(request, &mut InlineExecutor)
+    }
+
+    /// [`submit`](BatchScheduler::submit) running admission prefills through
+    /// `executor` (e.g. a [`WorkerPool`](crate::parallel::WorkerPool)) — the
+    /// threaded front-end's submission path.  Admission decisions, ledger
+    /// reservations and prefix-store planning stay on the calling thread in
+    /// admission order; only the prefill compute fans out, so the resulting
+    /// state is bit-identical to [`submit`](BatchScheduler::submit).
+    pub fn submit_with(
+        &mut self,
+        request: ServeRequest,
+        executor: &mut dyn StepExecutor<'e>,
+    ) -> usize {
         let index = self.states.len();
         self.states.push(RequestState::Waiting(request));
         self.timings.push(RequestTiming {
@@ -368,7 +410,7 @@ impl<'e> BatchScheduler<'e> {
             spill_bytes: 0,
         });
         self.waiting.push_back(index);
-        self.pump_admission();
+        self.pump_admission(executor);
         index
     }
 
@@ -442,7 +484,24 @@ impl<'e> BatchScheduler<'e> {
     /// When nothing is active and nothing fits, the next candidate is
     /// force-admitted so a request larger than the whole capacity still makes
     /// progress instead of deadlocking the queue.
-    fn pump_admission(&mut self) {
+    ///
+    /// Admission is a two-phase pipeline so prefill compute can fan out to
+    /// an executor's workers without changing any observable state:
+    ///
+    /// 1. **Commit (coordinator, admission order)** — candidate selection,
+    ///    ledger reservation, shared-pool attachment and the session's
+    ///    prefix-store *plan* ([`Session::plan_prefill`]) all happen here,
+    ///    in exactly the sequence single-threaded serving performs them.
+    /// 2. **Execute (any worker)** — the planned prefills run concurrently;
+    ///    `Cold`/`Hit` plans never touch shared state.  A `Publish` plan
+    ///    writes the store when it completes, so the pump flushes (barriers
+    ///    on) it immediately: the next candidate's plan — which in
+    ///    sequential serving runs after the publication — still observes it.
+    ///
+    /// Every admission pumped in one call is flushed before it returns, so
+    /// the `Admitted` state is never observable between public calls.
+    fn pump_admission(&mut self, executor: &mut dyn StepExecutor<'e>) {
+        let mut pending: Vec<SessionTask<'e>> = Vec::new();
         loop {
             let candidate = match self.config.admission {
                 AdmissionPolicy::Fcfs => self.waiting.front().map(|&index| (0, index)),
@@ -467,7 +526,7 @@ impl<'e> BatchScheduler<'e> {
                     .map(|(pos, &index)| (pos, index)),
             };
             let Some((queue_pos, index)) = candidate else {
-                return;
+                break;
             };
             let footprint = self.prefill_footprint(index);
             let charge = self.admission_charge(&footprint);
@@ -475,12 +534,12 @@ impl<'e> BatchScheduler<'e> {
                 self.ledger
                     .reserve(footprint.private_bytes)
                     .expect("can_fit covered the private bytes")
-            } else if self.active() == 0 {
+            } else if self.active() == 0 && pending.is_empty() {
                 // Forward-progress guarantee: an empty machine admits the
                 // candidate even if it oversubscribes on its own.
                 self.ledger.force_reserve(footprint.private_bytes)
             } else {
-                return;
+                break;
             };
             if let Some((tag, bytes)) = footprint.shared {
                 let charged = self.ledger.attach_shared(tag, bytes);
@@ -491,34 +550,98 @@ impl<'e> BatchScheduler<'e> {
                 }
             }
             self.waiting.remove(queue_pos);
-            self.activate(index, lease, footprint.shared);
+            let publishes = self.commit_admission(index, lease, footprint.shared, &mut pending);
+            if publishes {
+                // The prefill will publish a prefix boundary; later
+                // candidates' plans must observe the publication, exactly as
+                // they would after a sequential activation.  Flush before
+                // planning anything else.
+                self.flush_admissions(executor, &mut pending);
+            }
+        }
+        self.flush_admissions(executor, &mut pending);
+    }
+
+    /// Commits the admission of a waiting request: opens the session, plans
+    /// its first prefill against the prefix store (coordinator-side, in
+    /// admission order) and queues the compute as an executor task.  Returns
+    /// whether the planned prefill will publish a prefix boundary.
+    fn commit_admission(
+        &mut self,
+        index: usize,
+        lease: LeaseId,
+        shared: Option<(u64, u64)>,
+        pending: &mut Vec<SessionTask<'e>>,
+    ) -> bool {
+        let request = match std::mem::replace(&mut self.states[index], RequestState::Taken) {
+            RequestState::Waiting(request) => request,
+            _ => unreachable!("only waiting requests are admitted"),
+        };
+        let mut session = self.engine.open_session_for(&request);
+        let plan = session.plan_prefill(request.prompt());
+        let publishes = plan.publishes();
+        self.timings[index].admitted_tick = self.tick;
+        self.timings[index].queue_ticks = self.tick - self.timings[index].submitted_tick;
+        pending.push(SessionTask::prefill(
+            index,
+            session,
+            request.prompt().to_vec(),
+            plan,
+        ));
+        self.states[index] = RequestState::Admitted(Box::new(Admitted {
+            request,
+            lease,
+            shared,
+            live_at_admission: self.ledger.live_bytes(),
+        }));
+        publishes
+    }
+
+    /// Executes all pending admission prefills and activates their slots in
+    /// submission order.
+    fn flush_admissions(
+        &mut self,
+        executor: &mut dyn StepExecutor<'e>,
+        pending: &mut Vec<SessionTask<'e>>,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let mut outputs = executor.execute(std::mem::take(pending));
+        outputs.sort_by_key(TaskOutput::index);
+        for output in outputs {
+            self.activate(output);
         }
     }
 
-    /// Opens the session for an admitted request and pre-fills its prompt.
-    fn activate(&mut self, index: usize, lease: LeaseId, shared: Option<(u64, u64)>) {
-        let request = match std::mem::replace(&mut self.states[index], RequestState::Taken) {
-            RequestState::Waiting(request) => request,
-            _ => unreachable!("only waiting requests are activated"),
+    /// Installs an admitted request's pre-filled session into its decode
+    /// slot.
+    fn activate(&mut self, output: TaskOutput<'e>) {
+        let (index, session, prefilled) = output.into_prefill();
+        let admitted = match std::mem::replace(&mut self.states[index], RequestState::Taken) {
+            RequestState::Admitted(admitted) => admitted,
+            _ => unreachable!("only admitted requests are activated"),
         };
-        let mut session = self.engine.open_session_for(&request);
-        let prefilled = session.prefill(request.prompt());
+        let Admitted {
+            request,
+            lease,
+            shared,
+            live_at_admission,
+        } = *admitted;
         if session.prefix_hit_tokens() > 0 {
             self.prefix.hit_requests += 1;
             self.prefix.hit_tokens += session.prefix_hit_tokens() as u64;
         }
         let remaining = request.decode_len();
-        self.timings[index].admitted_tick = self.tick;
-        self.timings[index].queue_ticks = self.tick - self.timings[index].submitted_tick;
         self.states[index] = RequestState::Active(Box::new(Slot {
             request,
-            session,
+            session: Some(session),
             prefilled,
             generated: Vec::with_capacity(remaining),
             trace: DecodeTrace::default(),
             remaining,
             lease,
-            peak_concurrent_bytes: self.ledger.live_bytes(),
+            peak_concurrent_bytes: live_at_admission,
             shared,
         }));
     }
@@ -529,27 +652,63 @@ impl<'e> BatchScheduler<'e> {
     /// requests release their capacity and the waiting queue is back-filled
     /// before the call returns.
     pub fn step(&mut self) -> Vec<StepEvent> {
+        self.step_with(&mut InlineExecutor)
+    }
+
+    /// [`step`](BatchScheduler::step) with the per-session decode compute
+    /// fanned out through `executor` — the tick protocol of the threaded
+    /// front-end (see [`crate::parallel`]):
+    ///
+    /// 1. **Fan out** — every active session moves into a decode task;
+    ///    sessions are mutually independent, so workers may execute them in
+    ///    any order and produce bit-identical results.
+    /// 2. **Commit (coordinator, submission order)** — returned steps are
+    ///    applied in request-index order: token/trace bookkeeping, one
+    ///    batched ledger commit
+    ///    ([`CapacityLedger::commit_growth`]), the
+    ///    per-request concurrency peaks, completions (hardware simulation,
+    ///    engine statistics, lease release) and finally admission back-fill.
+    ///
+    /// Every observable — events, metrics, f64 accumulation order — matches
+    /// [`step`](BatchScheduler::step) exactly; only wall-clock time differs.
+    pub fn step_with(&mut self, executor: &mut dyn StepExecutor<'e>) -> Vec<StepEvent> {
         self.tick += 1;
-        let mut events = Vec::new();
-        let mut completed = Vec::new();
+        // Per-tick buffers are O(active requests) and amortized into noise
+        // by the decode compute they carry; ownership must cross the
+        // executor boundary, so they cannot be scheduler-resident.
+        let mut tasks = Vec::with_capacity(self.states.len());
         for index in 0..self.states.len() {
-            let RequestState::Active(slot) = &mut self.states[index] else {
-                continue;
-            };
-            let tokens_before = slot.session.position();
-            let step = slot.session.decode_one();
-            slot.generated.push(step.token);
-            slot.trace.steps.push(step.record);
-            slot.remaining -= 1;
+            if let RequestState::Active(slot) = &mut self.states[index] {
+                let session = slot
+                    .session
+                    .take()
+                    .expect("session is resident between steps");
+                tasks.push(SessionTask::decode(index, session));
+            }
+        }
+        let mut outputs = executor.execute(tasks);
+        outputs.sort_by_key(TaskOutput::index);
+
+        let mut events = Vec::with_capacity(outputs.len());
+        let mut completed = Vec::new();
+        let mut growths = Vec::with_capacity(outputs.len());
+        for output in outputs {
+            let (index, session, step, tokens_before) = output.into_decode();
             // Grow the lease by the decoded token's full-scale KV bytes
             // (zero once the hardware budget N' saturates).
             let growth = self
                 .engine
-                .kv_footprint_bytes(slot.session.position())
+                .kv_footprint_bytes(session.position())
                 .saturating_sub(self.engine.kv_footprint_bytes(tokens_before));
-            let lease = slot.lease;
+            let RequestState::Active(slot) = &mut self.states[index] else {
+                unreachable!("decode outputs come from active slots");
+            };
+            slot.session = Some(session);
+            slot.generated.push(step.token);
+            slot.trace.steps.push(step.record);
+            slot.remaining -= 1;
+            growths.push((slot.lease, growth));
             let finished = slot.remaining == 0;
-            self.ledger.grow(lease, growth);
             events.push(StepEvent {
                 request: index,
                 token: step.token,
@@ -559,6 +718,9 @@ impl<'e> BatchScheduler<'e> {
                 completed.push(index);
             }
         }
+        // The whole tick's growth lands on the ledger as one commit
+        // (equivalent to per-slot grows — growth is monotone within a tick).
+        self.ledger.commit_growth(&growths);
         // All of this step's growth is on the ledger: record the concurrency
         // every active request experienced this tick.
         let live = self.ledger.live_bytes();
@@ -572,7 +734,7 @@ impl<'e> BatchScheduler<'e> {
         }
         // Freed capacity back-fills the waiting queue; the newly admitted
         // requests are pre-filled now and decode from the next tick.
-        self.pump_admission();
+        self.pump_admission(executor);
         events
     }
 
@@ -622,14 +784,18 @@ impl<'e> BatchScheduler<'e> {
 
         let generated = std::mem::take(&mut slot.generated);
         let trace = std::mem::take(&mut slot.trace);
-        let turn = slot.session.finish_turn(
-            generated,
-            trace,
-            slot.prefilled,
-            slot.request.decode_len(),
-            slot.request.label(),
-            granted,
-        );
+        let turn = slot
+            .session
+            .as_mut()
+            .expect("session is resident between steps")
+            .finish_turn(
+                generated,
+                trace,
+                slot.prefilled,
+                slot.request.decode_len(),
+                slot.request.label(),
+                granted,
+            );
         self.stats = self.stats.merged(EngineStats::from_turn(&turn));
         self.ledger.release(slot.lease);
         if let Some((tag, _)) = slot.shared {
@@ -649,7 +815,7 @@ impl<'e> BatchScheduler<'e> {
             .iter()
             .enumerate()
             .filter_map(|(index, state)| match state {
-                RequestState::Active(slot) => Some((index, slot.session.position())),
+                RequestState::Active(slot) => Some((index, slot.session().position())),
                 _ => None,
             })
             .collect();
@@ -672,12 +838,20 @@ impl<'e> BatchScheduler<'e> {
     /// Like [`run_to_completion`](BatchScheduler::run_to_completion),
     /// invoking `on_token` with `(request_index, token)` as tokens are
     /// generated.
-    pub fn run_to_completion_streaming(
+    pub fn run_to_completion_streaming(self, on_token: impl FnMut(usize, usize)) -> BatchOutcome {
+        self.run_to_completion_streaming_with(&mut InlineExecutor, on_token)
+    }
+
+    /// Drives [`step_with`](BatchScheduler::step_with) until every submitted
+    /// request has finished, streaming tokens from the coordinating thread
+    /// in the same order single-threaded serving would deliver them.
+    pub fn run_to_completion_streaming_with(
         mut self,
+        executor: &mut dyn StepExecutor<'e>,
         mut on_token: impl FnMut(usize, usize),
     ) -> BatchOutcome {
         while !self.is_idle() {
-            for event in self.step() {
+            for event in self.step_with(executor) {
                 on_token(event.request, event.token);
             }
         }
@@ -1010,6 +1184,65 @@ mod tests {
             assert_eq!(x.generated, y.generated);
         }
         assert_eq!(b.prefix, PrefixBatchMetrics::default());
+    }
+
+    #[test]
+    fn backfill_admits_only_after_shared_prefix_detach_frees_bytes() {
+        use crate::prefix::PrefixSharingConfig;
+        let engine = KelleEngine::builder()
+            .prefix_sharing(PrefixSharingConfig::enabled())
+            .build();
+        let prefix: Vec<usize> = (0..8).map(|i| (i * 5 + 3) % 512).collect();
+        assert!(engine.publish_prefix(&prefix));
+        let shared = engine.kv_footprint_bytes(prefix.len());
+
+        // Request A rides the shared prefix (2 private suffix tokens);
+        // request B (no prefix match) is sized so it fits the capacity alone
+        // but NOT alongside any part of A — not even the shared-pool bytes:
+        //   footprint(B) <= capacity  and  footprint(B) > capacity - shared.
+        // B can therefore only be admitted once A's completion both releases
+        // its private lease *and* detaches the last shared-pool reference.
+        let mut a_prompt = prefix.clone();
+        a_prompt.extend([100, 101]);
+        let b_prompt: Vec<usize> = (0..10).map(|i| 300 + i).collect();
+        let capacity = engine.kv_footprint_bytes(11);
+        let b_footprint = engine.kv_footprint_bytes(b_prompt.len());
+        assert!(b_footprint <= capacity);
+        assert!(
+            b_footprint > capacity - shared,
+            "B must need the shared-pool bytes back, not just A's private lease"
+        );
+
+        let config = SchedulerConfig::default().with_kv_capacity_bytes(capacity);
+        let mut scheduler = BatchScheduler::with_config(&engine, config);
+        scheduler.submit(ServeRequest::new(a_prompt, 2));
+        scheduler.submit(ServeRequest::new(b_prompt.clone(), 1));
+        assert_eq!(scheduler.active(), 1, "B waits while A holds the prefix");
+        assert_eq!(scheduler.waiting(), 1);
+        assert!(scheduler.ledger().has_shared(0));
+
+        scheduler.step();
+        assert_eq!(scheduler.waiting(), 1, "A still active: no room for B");
+        // A finishes mid-tick: complete() releases its lease, detaches the
+        // shared prefix (last holder), and the same step() call back-fills B.
+        scheduler.step();
+        assert_eq!(scheduler.active(), 1, "B admitted by the back-fill");
+        assert_eq!(scheduler.waiting(), 0);
+        assert!(
+            !scheduler.ledger().has_shared(0),
+            "last detach emptied the shared pool"
+        );
+
+        scheduler.step();
+        assert!(scheduler.is_idle());
+        let outcome = scheduler.finish().expect("batch is idle");
+        let timings = &outcome.contention.per_request;
+        assert_eq!(timings[0].finished_tick, timings[1].admitted_tick);
+        assert_eq!(timings[1].queue_ticks, 2);
+        assert_eq!(outcome.prefix.hit_requests, 1);
+        // B's stream is unaffected by having queued behind the prefix bytes.
+        let unbounded = engine.serve(&b_prompt, 1);
+        assert_eq!(outcome.outcomes[1].generated, unbounded.generated);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::engine::KelleEngine;
 use crate::faults::fault_injector_for_policy;
-use crate::prefix::PrefixKey;
+use crate::prefix::{PrefixHit, PrefixKey};
 use kelle_arch::{InferenceWorkload, PlatformReport};
 use kelle_cache::{CacheBudget, CachePolicy};
 use kelle_edram::RetentionModel;
@@ -154,6 +154,40 @@ impl ServeRequestBuilder {
     }
 }
 
+/// How a session's next [`prefill`](Session::prefill) call will interact
+/// with the engine's prefix store, resolved *before* any model compute runs.
+///
+/// Planning is separated from execution for the threaded front-end
+/// (`kelle::parallel`): the coordinator resolves every plan in admission
+/// order (all prefix-store reads and statistics updates happen there,
+/// exactly as in single-threaded serving), and the compute-only execution
+/// ([`Session::prefill_planned`]) can then run on any worker.  [`Cold`]
+/// (on a non-first prefill or a store miss) and [`Hit`] executions never
+/// touch the store; a [`Publish`] execution writes the recorded segment to
+/// the store when it completes, so the scheduler serialises admission
+/// planning around it.
+///
+/// [`Cold`]: PrefillPlan::Cold
+/// [`Hit`]: PrefillPlan::Hit
+/// [`Publish`]: PrefillPlan::Publish
+#[derive(Debug)]
+pub(crate) enum PrefillPlan {
+    /// Plain computed prefill: every token runs through the model.
+    Cold,
+    /// Replay the matched shared segment, then compute only the suffix.
+    Hit(PrefixHit),
+    /// Cold pass that records and publishes the first `boundary` tokens as a
+    /// shared prefix while serving normally (the auto-publish path).
+    Publish(usize),
+}
+
+impl PrefillPlan {
+    /// Whether executing this plan mutates the prefix store.
+    pub(crate) fn publishes(&self) -> bool {
+        matches!(self, PrefillPlan::Publish(_))
+    }
+}
+
 /// Everything produced by one session turn.
 #[derive(Debug, Clone)]
 pub struct TurnOutcome {
@@ -180,6 +214,11 @@ pub struct TurnOutcome {
     /// (non-zero only on the session's first turn, where prefix lookup
     /// happens).
     pub prefix_hit_tokens: usize,
+    /// Fault-injection counters of the session at the end of the turn
+    /// (cumulative across the session's turns, like `cache`).  Deterministic
+    /// per seed — the parallel-equivalence suite asserts these bit-match
+    /// single-threaded serving.
+    pub faults: FaultStats,
 }
 
 /// A persistent serving session: one conversation's KV cache, fault stream
@@ -278,7 +317,31 @@ impl<'e> Session<'e> {
         self.state.position()
     }
 
-    /// Total pre-fill work performed across all turns (new tokens only).
+    /// Total prompt tokens whose prefill was actually **computed** across all
+    /// turns.  Two kinds of prompt tokens are excluded: earlier turns'
+    /// context (each turn pre-fills only its new tokens), and tokens replayed
+    /// from a shared prefix segment on the first turn — their transformer
+    /// compute was paid once, at publication, and is reported by
+    /// [`prefix_hit_tokens`](Session::prefix_hit_tokens) instead.
+    ///
+    /// ```
+    /// use kelle::{KelleEngine, PrefixSharingConfig};
+    ///
+    /// let engine = KelleEngine::builder()
+    ///     .prefix_sharing(PrefixSharingConfig::enabled())
+    ///     .build();
+    /// let prefix: Vec<usize> = (0..8).collect();
+    /// assert!(engine.publish_prefix(&prefix));
+    ///
+    /// let mut session = engine.open_session();
+    /// let mut prompt = prefix.clone();
+    /// prompt.extend([100, 101]);
+    /// session.prefill(&prompt);
+    /// // The 8 prefix tokens were replayed, not computed: only the
+    /// // two-token suffix counts as prefill work.
+    /// assert_eq!(session.prefilled_tokens(), 2);
+    /// assert_eq!(session.prefix_hit_tokens(), 8);
+    /// ```
     pub fn prefilled_tokens(&self) -> usize {
         self.state.prefilled_tokens()
     }
@@ -322,6 +385,16 @@ impl<'e> Session<'e> {
     ///
     /// Panics if the session has no context yet and `tokens` is empty.
     pub fn prefill(&mut self, tokens: &[usize]) -> usize {
+        let plan = self.plan_prefill(tokens);
+        self.prefill_planned(tokens, plan)
+    }
+
+    /// Resolves how the next [`prefill`](Session::prefill) of `tokens` will
+    /// interact with the prefix store — this is where *all* store reads (and
+    /// their hit/miss statistics) happen, so the batch scheduler can plan
+    /// admissions in order on the coordinating thread and execute the
+    /// compute anywhere.
+    pub(crate) fn plan_prefill(&mut self, tokens: &[usize]) -> PrefillPlan {
         if self.context.is_empty() && !tokens.is_empty() {
             // Publishing the configured boundary takes precedence over
             // hitting a *shorter* published prefix: one cold pass here and
@@ -329,29 +402,42 @@ impl<'e> Session<'e> {
             // boundary check probes the exact boundary, so once it is
             // published this arm stays cold.)
             if let Some(boundary) = self.auto_publish_boundary(tokens) {
-                return self.prefill_publishing(tokens, boundary);
+                return PrefillPlan::Publish(boundary);
             }
-            if let Some(computed) = self.try_prefill_shared(tokens) {
-                return computed;
+            if let Some(hit) = self.engine.prefix_lookup(tokens, &self.key) {
+                return PrefillPlan::Hit(hit);
             }
         }
-        let count = prefill(
-            self.engine.model(),
-            &mut self.state,
-            tokens,
-            self.cache.as_mut(),
-            &mut self.faults,
-        );
-        self.context.extend_from_slice(tokens);
-        count
+        PrefillPlan::Cold
+    }
+
+    /// Executes a previously resolved [`PrefillPlan`] for `tokens`.  `Cold`
+    /// and `Hit` plans never touch the prefix store; a `Publish` plan writes
+    /// the recorded segment when the pass completes.  `prefill` is exactly
+    /// `plan_prefill` + `prefill_planned`, so the two-phase path is
+    /// bit-identical to single-call prefilling by construction.
+    pub(crate) fn prefill_planned(&mut self, tokens: &[usize], plan: PrefillPlan) -> usize {
+        match plan {
+            PrefillPlan::Publish(boundary) => self.prefill_publishing(tokens, boundary),
+            PrefillPlan::Hit(hit) => self.prefill_shared(tokens, hit),
+            PrefillPlan::Cold => {
+                let count = prefill(
+                    self.engine.model(),
+                    &mut self.state,
+                    tokens,
+                    self.cache.as_mut(),
+                    &mut self.faults,
+                );
+                self.context.extend_from_slice(tokens);
+                count
+            }
+        }
     }
 
     /// The prefix-store hit path: replay the matched segment, compute only
     /// the suffix, and finish pre-fill once (the cold call sequence).
-    /// Returns the computed token count, or `None` on a miss / sharing
-    /// disabled.
-    fn try_prefill_shared(&mut self, tokens: &[usize]) -> Option<usize> {
-        let hit = self.engine.prefix_lookup(tokens, &self.key)?;
+    /// Returns the computed token count.
+    fn prefill_shared(&mut self, tokens: &[usize], hit: PrefixHit) -> usize {
         let matched = hit.matched;
         debug_assert_eq!(
             hit.segment.len(),
@@ -380,7 +466,7 @@ impl<'e> Session<'e> {
         self.prefix_hit_tokens = matched;
         self.pending_prefix_hit = matched;
         self.prefix_segment = Some(hit.segment);
-        Some(computed)
+        computed
     }
 
     /// Whether this cold first prompt should auto-publish a boundary, and
@@ -578,8 +664,18 @@ impl<'e> Session<'e> {
             context_len: self.state.position(),
             evictions_delta,
             prefix_hit_tokens: std::mem::take(&mut self.pending_prefix_hit),
+            faults: self.faults.stats(),
         };
         self.engine.record_turn(&outcome);
         outcome
     }
+}
+
+// Sessions move between the coordinator and the worker shards of the
+// threaded serving front-end (`crate::parallel`).  This fails the build —
+// here, with a comment — if any per-session component (cache backend, fault
+// RNG, generation state, prefix segment handle) stops being `Send`.
+#[allow(dead_code)]
+fn assert_sessions_are_send(session: Session<'_>) -> impl Send + '_ {
+    session
 }

@@ -227,6 +227,37 @@ impl CapacityLedger {
             .max(self.oversubscribed_bytes());
     }
 
+    /// Applies a batch of lease growths as one commit — the per-tick commit
+    /// of the serving scheduler, which collects every active session's decode
+    /// growth for a tick (possibly computed on worker threads) and lands the
+    /// whole tick on the ledger at once, on the coordinating thread.
+    ///
+    /// Equivalent to calling [`grow`](CapacityLedger::grow) once per entry in
+    /// order: growths only ever *increase* `live_bytes`, so the high-water
+    /// and peak-oversubscription marks after the batch equal the marks the
+    /// individual calls would have produced (they are maxima of a monotone
+    /// sequence, i.e. its final value) — asserted by a unit test.  The
+    /// watermark bookkeeping runs once per commit instead of once per lease.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lease in the batch was already released; leases before
+    /// the offending entry are grown (the commit is not atomic under panic —
+    /// a released lease in a tick commit is a scheduler logic error).
+    pub fn commit_growth(&mut self, growths: &[(LeaseId, u64)]) {
+        for &(lease, additional_bytes) in growths {
+            let slot = self.leases[lease.0]
+                .as_mut()
+                .expect("lease already released");
+            *slot += additional_bytes;
+            self.live_bytes += additional_bytes;
+        }
+        self.high_water_bytes = self.high_water_bytes.max(self.live_bytes);
+        self.peak_oversubscription_bytes = self
+            .peak_oversubscription_bytes
+            .max(self.oversubscribed_bytes());
+    }
+
     /// Releases a lease, returning the bytes it held.  Releasing is what lets
     /// admission control back-fill waiting requests.
     ///
@@ -368,6 +399,43 @@ mod tests {
         // Peak statistics persist after release.
         assert_eq!(ledger.peak_oversubscription_bytes(), 20);
         assert_eq!(ledger.high_water_bytes(), 120);
+    }
+
+    #[test]
+    fn batched_commit_matches_sequential_grows() {
+        // The per-tick commit must be observationally identical to growing
+        // each lease one call at a time, including the watermarks.
+        let mut batched = CapacityLedger::new(100);
+        let mut sequential = CapacityLedger::new(100);
+        let b0 = batched.reserve(30).unwrap();
+        let b1 = batched.reserve(20).unwrap();
+        let s0 = sequential.reserve(30).unwrap();
+        let s1 = sequential.reserve(20).unwrap();
+
+        batched.commit_growth(&[(b0, 25), (b1, 40), (b0, 5)]);
+        sequential.grow(s0, 25);
+        sequential.grow(s1, 40);
+        sequential.grow(s0, 5);
+
+        assert_eq!(batched, sequential);
+        assert_eq!(batched.live_bytes(), 120);
+        assert_eq!(batched.lease_bytes(b0), 60);
+        assert_eq!(batched.lease_bytes(b1), 60);
+        assert_eq!(batched.high_water_bytes(), 120);
+        assert_eq!(batched.oversubscribed_bytes(), 20);
+        assert_eq!(batched.peak_oversubscription_bytes(), 20);
+        // An empty commit is a no-op.
+        batched.commit_growth(&[]);
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    #[should_panic(expected = "lease already released")]
+    fn batched_commit_rejects_released_leases() {
+        let mut ledger = CapacityLedger::new(100);
+        let lease = ledger.reserve(10).unwrap();
+        ledger.release(lease);
+        ledger.commit_growth(&[(lease, 5)]);
     }
 
     #[test]

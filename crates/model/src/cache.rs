@@ -244,7 +244,14 @@ impl CacheStats {
 /// `(layer, head)` with no intervening `&mut` access must visit the same
 /// entries in the same order (the fused attention pass traverses twice:
 /// scores, then value accumulation).
-pub trait KvCacheBackend: std::fmt::Debug {
+///
+/// Backends are required to be [`Send`]: a serving session owns its backend
+/// and the threaded serving front-end (`kelle::parallel`) moves whole
+/// sessions between the coordinator and its worker shards.  Every stock
+/// backend is plain owned data (arenas, hash maps, counters), so the bound
+/// costs nothing; it only rules out `Rc`/thread-local tricks in custom
+/// implementations.
+pub trait KvCacheBackend: std::fmt::Debug + Send {
     /// Inserts the current token for `layer`.
     ///
     /// `x` is the layer-input vector (length `channels`); `keys` / `values`

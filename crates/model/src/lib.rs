@@ -57,3 +57,34 @@ pub use segment::{SegmentRecorder, SharedSegment};
 
 /// Crate-wide result alias (errors are tensor-shaped failures from the substrate).
 pub type Result<T> = std::result::Result<T, kelle_tensor::TensorError>;
+
+// ---------------------------------------------------------------------------
+// Send/Sync audit
+// ---------------------------------------------------------------------------
+//
+// The threaded serving front-end (`kelle::parallel`) moves per-session state
+// (cache backends over arenas, the fault-RNG stream, the generation cursor)
+// onto worker threads and shares published prefix segments across them
+// through `Arc`s.  These compile-time assertions pin the thread-safety
+// contract of every type that crosses that boundary, so an accidental
+// `Rc`/`Cell` in a future refactor fails the build here — with a comment —
+// instead of surfacing as an inscrutable auto-trait error in `kelle-core`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    // Arena storage: owned flat buffers; shared prefix bases are reached
+    // through `Arc<ArenaGrid>`, which needs `ArenaGrid: Send + Sync`.
+    assert_send_sync::<arena::KvArena>();
+    assert_send_sync::<arena::ArenaGrid>();
+    assert_send_sync::<arena::SharedKv>();
+    assert_send_sync::<arena::InputSlab>();
+    // Published prefix segments are read concurrently by hit sessions.
+    assert_send_sync::<segment::SharedSegment>();
+    // The model itself is shared by reference across all workers.
+    assert_send_sync::<decoder::SurrogateModel>();
+    // Per-session state is owned by (and moves between) worker shards.
+    assert_send::<fault::ProbabilisticFaults>();
+    assert_send::<fault::NoFaults>();
+    assert_send::<generation::GenerationState>();
+    assert_send::<cache::FullKvCache>();
+};

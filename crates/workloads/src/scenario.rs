@@ -133,6 +133,76 @@ impl SharedPromptScenario {
     }
 }
 
+/// A multi-worker serving sweep over a [`SharedPromptScenario`] fleet.
+///
+/// The threaded serving front-end (`kelle::parallel`) promises bit-identical
+/// token streams for every worker count; what changes is wall-clock decode
+/// throughput.  This scenario pins the fleet *and* the worker counts to
+/// sweep, so the `bench_serving` harness, the determinism gate and local
+/// experiments all measure the same shape.  Like every scenario in this
+/// crate it is pure data — deterministic in its seed and independent of the
+/// serving stack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelScenario {
+    /// The session fleet every worker count serves.
+    pub fleet: SharedPromptScenario,
+    /// Worker counts to sweep, in measurement order.
+    pub worker_counts: Vec<usize>,
+}
+
+impl ParallelScenario {
+    /// A sweep of `worker_counts` over the given fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker_counts` is empty or contains a zero.
+    pub fn new(fleet: SharedPromptScenario, worker_counts: Vec<usize>) -> Self {
+        let scenario = ParallelScenario {
+            fleet,
+            worker_counts,
+        };
+        scenario.validate();
+        scenario
+    }
+
+    /// The acceptance-shape sweep: the 8-session × 256-token shared-prompt
+    /// fleet served at 1, 2 and 4 workers.
+    pub fn edge_fleet() -> Self {
+        ParallelScenario::new(
+            SharedPromptScenario::new(8, 256, 16).with_decode_len(32),
+            vec![1, 2, 4],
+        )
+    }
+
+    /// Overrides the worker counts (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker_counts` is empty or contains a zero.
+    pub fn with_worker_counts(mut self, worker_counts: Vec<usize>) -> Self {
+        self.worker_counts = worker_counts;
+        self.validate();
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            !self.worker_counts.is_empty(),
+            "sweep needs at least one worker count"
+        );
+        assert!(
+            self.worker_counts.iter().all(|&w| w > 0),
+            "worker counts must be non-zero"
+        );
+    }
+
+    /// Total tokens the fleet decodes (the numerator of aggregate decode
+    /// throughput).
+    pub fn total_decode_tokens(&self) -> usize {
+        self.fleet.sessions * self.fleet.decode_len
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +242,22 @@ mod tests {
     #[should_panic(expected = "at least one session")]
     fn zero_sessions_panics() {
         SharedPromptScenario::new(0, 8, 2);
+    }
+
+    #[test]
+    fn parallel_scenario_pins_fleet_and_worker_counts() {
+        let sweep = ParallelScenario::edge_fleet();
+        assert_eq!(sweep.fleet.sessions, 8);
+        assert_eq!(sweep.fleet.system_tokens, 256);
+        assert_eq!(sweep.worker_counts, vec![1, 2, 4]);
+        assert_eq!(sweep.total_decode_tokens(), 8 * 32);
+        let wide = sweep.with_worker_counts(vec![1, 8]);
+        assert_eq!(wide.worker_counts, vec![1, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_worker_count_panics() {
+        ParallelScenario::new(SharedPromptScenario::new(2, 8, 2), vec![1, 0]);
     }
 }
