@@ -7,7 +7,7 @@
 //! the LPDDR4 channel through the weight memory; the KV cache is served from
 //! the on-chip KV memory up to its capacity and spills the remainder to DRAM.
 
-use kelle_edram::{BankedLayout, DramSpec, MemorySpec, MemoryTechnology};
+use kelle_edram::{BankedLayout, DramSpec, MemorySpec, MemoryTechnology, MemoryTier, NvmeSpec};
 use serde::{Deserialize, Serialize};
 
 /// Cost of one traffic operation, split by where the bytes moved.
@@ -39,6 +39,8 @@ pub struct MemorySubsystem {
     pub kv_banks: Option<BankedLayout>,
     /// The off-chip DRAM channel.
     pub dram: DramSpec,
+    /// The NVMe storage tier backing the coldest KV data (`kelle::tier`).
+    pub nvme: NvmeSpec,
 }
 
 impl MemorySubsystem {
@@ -51,6 +53,7 @@ impl MemorySubsystem {
             activation_memory: MemorySpec::kelle_activation_edram(),
             kv_banks: Some(BankedLayout::kelle_default()),
             dram: DramSpec::lpddr4_16gb(),
+            nvme: NvmeSpec::edge_m2_256gb(),
         }
     }
 
@@ -65,6 +68,7 @@ impl MemorySubsystem {
             activation_memory: MemorySpec::new(MemoryTechnology::Sram, 256 * 1024, 128.0),
             kv_banks: None,
             dram: DramSpec::lpddr4_16gb(),
+            nvme: NvmeSpec::edge_m2_256gb(),
         }
     }
 
@@ -166,6 +170,66 @@ impl MemorySubsystem {
         }
     }
 
+    /// Transfer time and energy of one side (read or write) of a tier
+    /// migration, plus whether that side is on-chip.
+    fn tier_side_cost(&self, tier: MemoryTier, bytes: u64) -> (f64, f64, bool) {
+        match tier {
+            MemoryTier::Edram => (
+                self.kv_memory.access_time_s(bytes),
+                self.kv_memory.access_energy_j(bytes),
+                true,
+            ),
+            MemoryTier::Dram => (
+                self.dram.access_time_s(bytes),
+                self.dram.access_energy_j(bytes),
+                false,
+            ),
+            MemoryTier::Nvme => (
+                self.nvme.access_time_s(bytes),
+                self.nvme.access_energy_j(bytes),
+                false,
+            ),
+        }
+    }
+
+    /// Cost of migrating `bytes` of KV data from tier `from` to tier `to`
+    /// (a `kelle::tier` demotion or promotion): the payload is read out of
+    /// the source and written into the destination, the two interfaces
+    /// streaming in parallel so the exposed time is the slower side's.  The
+    /// eDRAM side charges on-chip energy/bytes; DRAM and NVMe sides are both
+    /// off-chip and charge the `dram_*` fields (the payload is counted once,
+    /// with both sides' energies summed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`.
+    pub fn kv_migration_cost(&self, from: MemoryTier, to: MemoryTier, bytes: u64) -> TrafficCost {
+        assert_ne!(from, to, "migration requires distinct tiers");
+        let (read_time, read_energy, read_onchip) = self.tier_side_cost(from, bytes);
+        let (write_time, write_energy, write_onchip) = self.tier_side_cost(to, bytes);
+        let onchip_energy: f64 = [(read_energy, read_onchip), (write_energy, write_onchip)]
+            .iter()
+            .filter(|&&(_, onchip)| onchip)
+            .map(|&(energy, _)| energy)
+            .sum();
+        let offchip_energy = read_energy + write_energy - onchip_energy;
+        TrafficCost {
+            time_s: read_time.max(write_time),
+            onchip_energy_j: onchip_energy,
+            dram_energy_j: offchip_energy,
+            onchip_bytes: if read_onchip || write_onchip {
+                bytes
+            } else {
+                0
+            },
+            dram_bytes: if !read_onchip || !write_onchip {
+                bytes
+            } else {
+                0
+            },
+        }
+    }
+
     /// Cost of moving `bytes` of activations through the activation buffer.
     pub fn activation_cost(&self, bytes: u64) -> TrafficCost {
         TrafficCost {
@@ -259,6 +323,38 @@ mod tests {
         assert!(
             kelle.kv_read_cost(bytes, 0).onchip_energy_j
                 < sram.kv_read_cost(bytes, 0).onchip_energy_j
+        );
+    }
+
+    #[test]
+    fn migration_costs_rank_by_tier_distance() {
+        let mem = MemorySubsystem::kelle_default();
+        let bytes = 1 << 20;
+        let demote = mem.kv_migration_cost(MemoryTier::Edram, MemoryTier::Dram, bytes);
+        let deep = mem.kv_migration_cost(MemoryTier::Dram, MemoryTier::Nvme, bytes);
+        // eDRAM→DRAM is DRAM-channel-bound; DRAM→NVMe is NVMe-bound and
+        // slower/costlier still.
+        assert!(demote.time_s > 0.0 && deep.time_s > demote.time_s);
+        assert!(deep.dram_energy_j > demote.dram_energy_j);
+        // The eDRAM side shows up as on-chip traffic; a DRAM↔NVMe move is
+        // entirely off-chip.
+        assert_eq!(demote.onchip_bytes, bytes);
+        assert_eq!(demote.dram_bytes, bytes);
+        assert_eq!(deep.onchip_bytes, 0);
+        assert_eq!(deep.onchip_energy_j, 0.0);
+        // Promotion mirrors demotion in this symmetric cost model.
+        let promote = mem.kv_migration_cost(MemoryTier::Dram, MemoryTier::Edram, bytes);
+        assert_eq!(promote.time_s, demote.time_s);
+        assert_eq!(promote.dram_energy_j, demote.dram_energy_j);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct tiers")]
+    fn self_migration_cost_panics() {
+        MemorySubsystem::kelle_default().kv_migration_cost(
+            MemoryTier::Edram,
+            MemoryTier::Edram,
+            1024,
         );
     }
 

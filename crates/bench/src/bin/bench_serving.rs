@@ -37,8 +37,15 @@ fn main() {
 
     let report = serving_perf::run(config);
     println!(
-        "{:>12} {:>12} {:>12} {:>12} {:>14} {:>9}",
-        "workers", "decode tok", "prefill s", "decode s", "decode tok/s", "speedup"
+        "{:>12} {:>12} {:>12} {:>12} {:>14} {:>9} {:>10} {:>10}",
+        "workers",
+        "decode tok",
+        "prefill s",
+        "decode s",
+        "decode tok/s",
+        "speedup",
+        "p50 us/tok",
+        "p99 us/tok"
     );
     for row in &report.rows {
         let workers = row
@@ -50,16 +57,19 @@ fn main() {
             .map(|s| format!("{s:.2}x"))
             .unwrap_or_else(|| "-".to_string());
         println!(
-            "{:>12} {:>12} {:>12.4} {:>12.4} {:>14.0} {:>9}",
+            "{:>12} {:>12} {:>12.4} {:>12.4} {:>14.0} {:>9} {:>10.1} {:>10.1}",
             workers,
             row.decode_tokens,
             row.prefill_seconds,
             row.decode_seconds,
             row.decode_tokens_per_sec,
             speedup,
+            row.token_latency_p50_us,
+            row.token_latency_p99_us,
         );
     }
-    println!("(streams verified bit-identical on every row, including fault statistics)");
+    println!("(streams verified bit-identical on every row, including fault statistics;");
+    println!(" p50/p99 are single-session per-token decode latencies in the same mode)");
 
     match report.write_json(&out) {
         Ok(()) => println!("wrote {}", out.display()),

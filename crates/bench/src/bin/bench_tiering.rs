@@ -1,0 +1,85 @@
+//! Tiered-memory benchmark binary: serves a fleet whose total KV demand
+//! exceeds the eDRAM budget through the eDRAM → DRAM → NVMe hierarchy
+//! (streams asserted identical to the unbounded reference while being
+//! measured), prints a per-tier table, and emits the `BENCH_tiering.json`
+//! artifact consumed by CI.
+//!
+//! Usage: `cargo run --release -p kelle-bench --bin bench_tiering -- \
+//!     [--quick] [--out BENCH_tiering.json]`
+
+use kelle_bench::tiering_perf::{self, TieringPerfConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_tiering.json"));
+
+    let config = if quick {
+        TieringPerfConfig::quick()
+    } else {
+        TieringPerfConfig::full()
+    };
+    let fleet = &config.scenario.fleet;
+    println!(
+        "tiered serving on tiered_shared_prompt ({} sessions, system {}, user {}, decode {}; \
+         eDRAM {}%, DRAM {}% of demand){}",
+        fleet.sessions,
+        fleet.system_tokens,
+        fleet.user_tokens,
+        fleet.decode_len,
+        config.scenario.edram_percent_of_demand,
+        config.scenario.dram_percent_of_demand,
+        if quick { " [quick]" } else { "" }
+    );
+
+    let report = tiering_perf::run(config);
+    let mib = |bytes: u64| bytes as f64 / (1024.0 * 1024.0);
+    println!(
+        "fleet KV demand: {:.2} MiB (shared prefix deduplicated)",
+        mib(report.total_kv_demand_bytes)
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>12} {:>12}",
+        "tier", "budget MiB", "peak MiB", "settled MiB", "in MiB", "out MiB"
+    );
+    for row in &report.tiers {
+        let budget = if row.budget_bytes == u64::MAX {
+            "unbounded".to_string()
+        } else {
+            format!("{:.2}", mib(row.budget_bytes))
+        };
+        println!(
+            "{:>6} {:>12} {:>12.2} {:>14.2} {:>12.2} {:>12.2}",
+            row.tier.name(),
+            budget,
+            mib(row.peak_bytes),
+            mib(row.settled_peak_bytes),
+            mib(row.in_bytes),
+            mib(row.out_bytes),
+        );
+    }
+    println!(
+        "migrations: {} demotions, {} promotions, {:.2} MiB moved \
+         ({:.3} ms, {:.3} mJ modelled)",
+        report.metrics.demotions,
+        report.metrics.promotions,
+        mib(report.metrics.migrated_bytes),
+        report.metrics.migration_time_s * 1e3,
+        report.metrics.migration_energy_j * 1e3,
+    );
+    println!("(streams verified bit-identical to the unbounded run, including fault statistics)");
+
+    match report.write_json(&out) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(err) => {
+            eprintln!("failed to write {}: {err}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

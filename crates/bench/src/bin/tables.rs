@@ -3,7 +3,7 @@
 //! Usage: `cargo run -p kelle-bench --bin tables [-- --table <id>]`
 //! where `<id>` is one of `1`, `2`, `3`, `4`, `5`, `6`, `7`, `8`, `9`,
 //! `area-power`, `bandwidth`, `contention`, `decode_perf`, `prefix`,
-//! `serving`, or `all` (default).
+//! `serving`, `tiering`, or `all` (default).
 
 use kelle::accuracy::{evaluate_all_methods, evaluate_method, AccuracyConfig, Method};
 use kelle::arch::InferenceWorkload;
@@ -69,6 +69,9 @@ fn main() {
     }
     if all || which == "serving" {
         serving();
+    }
+    if all || which == "tiering" {
+        tiering();
     }
 }
 
@@ -406,4 +409,45 @@ fn serving() {
     }
     println!("(token streams and fault statistics are bit-identical on every row;");
     println!(" speedup requires a multi-core host — workers only move wall-clock time)");
+}
+
+fn tiering() {
+    header("Tiered KV memory: eDRAM -> DRAM -> NVMe under fleet pressure");
+    let report =
+        kelle_bench::tiering_perf::run(kelle_bench::tiering_perf::TieringPerfConfig::quick());
+    let mib = |bytes: u64| bytes as f64 / (1024.0 * 1024.0);
+    println!(
+        "fleet KV demand {:.2} MiB; eDRAM budget {:.2} MiB",
+        mib(report.total_kv_demand_bytes),
+        mib(report.tiers[0].budget_bytes)
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>12} {:>12}",
+        "tier", "budget MiB", "peak MiB", "settled MiB", "in MiB", "out MiB"
+    );
+    for row in &report.tiers {
+        let budget = if row.budget_bytes == u64::MAX {
+            "unbounded".to_string()
+        } else {
+            format!("{:.2}", mib(row.budget_bytes))
+        };
+        println!(
+            "{:>6} {:>12} {:>12.2} {:>14.2} {:>12.2} {:>12.2}",
+            row.tier.name(),
+            budget,
+            mib(row.peak_bytes),
+            mib(row.settled_peak_bytes),
+            mib(row.in_bytes),
+            mib(row.out_bytes),
+        );
+    }
+    println!(
+        "migrations: {} demotions, {} promotions, {:.2} MiB moved ({:.3} ms, {:.3} mJ modelled)",
+        report.metrics.demotions,
+        report.metrics.promotions,
+        mib(report.metrics.migrated_bytes),
+        report.metrics.migration_time_s * 1e3,
+        report.metrics.migration_energy_j * 1e3,
+    );
+    println!("(token streams are bit-identical to the unbounded run; only migration cost moves)");
 }

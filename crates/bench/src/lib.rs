@@ -11,10 +11,13 @@
 //! * `src/bin/bench_prefix.rs` — the cross-session prefix-sharing sweep
 //!   emitting `BENCH_prefix.json`, built on [`prefix_perf`];
 //! * `src/bin/bench_serving.rs` — the threaded-serving worker-count sweep
-//!   emitting `BENCH_serving.json`, built on [`serving_perf`].
+//!   emitting `BENCH_serving.json`, built on [`serving_perf`];
+//! * `src/bin/bench_tiering.rs` — the tiered-memory pressure sweep emitting
+//!   `BENCH_tiering.json`, built on [`tiering_perf`].
 
 #![warn(missing_docs)]
 
 pub mod decode_perf;
 pub mod prefix_perf;
 pub mod serving_perf;
+pub mod tiering_perf;

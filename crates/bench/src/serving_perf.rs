@@ -10,7 +10,10 @@
 //! * aggregate decode tokens/s (fleet decode tokens / decode wall time,
 //!   prefill timed separately);
 //! * speedup versus the 1-worker pool (the protocol running on one worker,
-//!   so the ratio isolates parallelism from protocol overhead).
+//!   so the ratio isolates parallelism from protocol overhead);
+//! * single-session per-token decode latency (p50/p99): one session served
+//!   alone through the same execution mode, each scheduler tick timed — the
+//!   interactive-latency complement to the fleet-throughput number.
 //!
 //! Token streams are asserted identical between every worker count and the
 //! sequential reference while being timed — the speedup can never come from
@@ -76,6 +79,12 @@ pub struct ServingPerfRow {
     /// Whether this row's token streams matched the sequential reference
     /// (always asserted; recorded for the JSON artifact).
     pub streams_identical: bool,
+    /// Median per-token decode latency of a single session served alone
+    /// through this row's execution mode, in microseconds.
+    pub token_latency_p50_us: f64,
+    /// 99th-percentile single-session per-token decode latency in
+    /// microseconds.
+    pub token_latency_p99_us: f64,
 }
 
 /// A complete threaded-serving report.
@@ -124,7 +133,8 @@ impl ServingPerfReport {
                 "    {{\"workers\": {}, \"decode_tokens\": {}, \
                  \"prefill_seconds\": {:.6}, \"decode_seconds\": {:.6}, \
                  \"decode_tokens_per_sec\": {:.2}, \"speedup_vs_one_worker\": {}, \
-                 \"streams_identical\": {}}}{}\n",
+                 \"streams_identical\": {}, \
+                 \"token_latency_p50_us\": {:.2}, \"token_latency_p99_us\": {:.2}}}{}\n",
                 workers,
                 row.decode_tokens,
                 row.prefill_seconds,
@@ -132,6 +142,8 @@ impl ServingPerfReport {
                 row.decode_tokens_per_sec,
                 speedup,
                 row.streams_identical,
+                row.token_latency_p50_us,
+                row.token_latency_p99_us,
                 if i + 1 < self.rows.len() { "," } else { "" }
             ));
         }
@@ -208,6 +220,59 @@ fn serve_fleet(config: &ServingPerfConfig, workers: Option<usize>) -> (BatchOutc
     }
 }
 
+/// Serves the fleet's first session *alone* through the given execution
+/// mode, timing every scheduler tick — one tick is one token for a single
+/// session, so the samples are per-token decode latencies in seconds.
+fn single_session_token_latencies(config: &ServingPerfConfig, workers: Option<usize>) -> Vec<f64> {
+    let engine = engine(config);
+    assert!(
+        engine.publish_prefix(&config.scenario.fleet.system_prompt()),
+        "publication must succeed"
+    );
+    let request = requests_for(&config.scenario)
+        .into_iter()
+        .next()
+        .expect("the fleet has at least one session");
+    match workers {
+        None => {
+            let mut scheduler = BatchScheduler::new(&engine);
+            scheduler.submit(request);
+            let mut latencies = Vec::new();
+            while !scheduler.is_idle() {
+                let start = Instant::now();
+                let events = scheduler.step();
+                let elapsed = start.elapsed().as_secs_f64();
+                latencies.extend(std::iter::repeat_n(elapsed, events.len()));
+            }
+            latencies
+        }
+        Some(workers) => std::thread::scope(|scope| {
+            let mut pool = WorkerPool::start(scope, workers);
+            let mut scheduler = BatchScheduler::new(&engine);
+            scheduler.submit_with(request, &mut pool);
+            let mut latencies = Vec::new();
+            while !scheduler.is_idle() {
+                let start = Instant::now();
+                let events = scheduler.step_with(&mut pool);
+                let elapsed = start.elapsed().as_secs_f64();
+                latencies.extend(std::iter::repeat_n(elapsed, events.len()));
+            }
+            latencies
+        }),
+    }
+}
+
+/// Nearest-rank percentile of the latency samples, in microseconds.
+fn percentile_us(latencies: &[f64], q: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((q / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)] * 1e6
+}
+
 /// Runs the full sweep: sequential reference first, then every worker count.
 ///
 /// # Panics
@@ -218,6 +283,7 @@ fn serve_fleet(config: &ServingPerfConfig, workers: Option<usize>) -> (BatchOutc
 pub fn run(config: ServingPerfConfig) -> ServingPerfReport {
     let decode_tokens = config.scenario.total_decode_tokens();
     let (reference, ref_prefill_s, ref_decode_s) = serve_fleet(&config, None);
+    let ref_latencies = single_session_token_latencies(&config, None);
 
     let mut rows = vec![ServingPerfRow {
         workers: None,
@@ -227,9 +293,12 @@ pub fn run(config: ServingPerfConfig) -> ServingPerfReport {
         decode_tokens_per_sec: decode_tokens as f64 / ref_decode_s.max(f64::MIN_POSITIVE),
         speedup_vs_one_worker: None,
         streams_identical: true,
+        token_latency_p50_us: percentile_us(&ref_latencies, 50.0),
+        token_latency_p99_us: percentile_us(&ref_latencies, 99.0),
     }];
     for &workers in &config.scenario.worker_counts {
         let (outcome, prefill_s, decode_s) = serve_fleet(&config, Some(workers));
+        let latencies = single_session_token_latencies(&config, Some(workers));
         let streams_identical = reference
             .outcomes
             .iter()
@@ -247,6 +316,8 @@ pub fn run(config: ServingPerfConfig) -> ServingPerfReport {
             decode_tokens_per_sec: decode_tokens as f64 / decode_s.max(f64::MIN_POSITIVE),
             speedup_vs_one_worker: None,
             streams_identical,
+            token_latency_p50_us: percentile_us(&latencies, 50.0),
+            token_latency_p99_us: percentile_us(&latencies, 99.0),
         });
     }
 
@@ -285,6 +356,13 @@ mod tests {
         assert_eq!(report.rows[0].workers, None);
         assert!(report.rows.iter().all(|r| r.streams_identical));
         assert!(report.rows.iter().all(|r| r.decode_tokens == 9));
+        // Per-token latency percentiles are measured on every row and
+        // ordered (p99 >= p50 > 0).
+        assert!(report
+            .rows
+            .iter()
+            .all(|r| r.token_latency_p99_us >= r.token_latency_p50_us
+                && r.token_latency_p50_us > 0.0));
         let one = report.rows.iter().find(|r| r.workers == Some(1)).unwrap();
         assert!((one.speedup_vs_one_worker.unwrap() - 1.0).abs() < 1e-9);
         assert!(report.rows[2].speedup_vs_one_worker.unwrap() > 0.0);
@@ -323,6 +401,8 @@ mod tests {
                     decode_tokens_per_sec: 256.0,
                     speedup_vs_one_worker: None,
                     streams_identical: true,
+                    token_latency_p50_us: 120.0,
+                    token_latency_p99_us: 340.5,
                 },
                 ServingPerfRow {
                     workers: Some(4),
@@ -332,6 +412,8 @@ mod tests {
                     decode_tokens_per_sec: 1024.0,
                     speedup_vs_one_worker: Some(4.0),
                     streams_identical: true,
+                    token_latency_p50_us: 130.0,
+                    token_latency_p99_us: 410.0,
                 },
             ],
         };
@@ -340,5 +422,7 @@ mod tests {
         assert!(json.contains("\"workers\": \"sequential\""));
         assert!(json.contains("\"speedup_vs_one_worker\": 4.0000"));
         assert!(json.contains("\"speedup_vs_one_worker\": null"));
+        assert!(json.contains("\"token_latency_p50_us\": 120.00"));
+        assert!(json.contains("\"token_latency_p99_us\": 410.00"));
     }
 }

@@ -24,8 +24,8 @@ use crate::scheduler::{BatchOutcome, BatchScheduler, SchedulerConfig};
 use crate::session::{ServeRequest, Session, TurnOutcome};
 use kelle_arch::{Platform, PlatformKind, PlatformReport};
 use kelle_cache::{CacheBudget, CachePolicy};
-use kelle_edram::RefreshPolicy;
-use kelle_model::fault::FaultStats;
+use kelle_edram::{RefreshPolicy, RetentionModel};
+use kelle_model::fault::{BitFlipRates, FaultStats};
 use kelle_model::{CacheStats, DecodeTrace, ModelConfig, ModelKind, SurrogateModel};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -278,6 +278,10 @@ pub struct KelleEngine {
     platform: Platform,
     stats: Mutex<EngineStats>,
     prefix: Mutex<PrefixStore>,
+    /// Whether the engine's refresh policy produces zero bit-flip rates, so
+    /// the fault seed is unobservable (see
+    /// [`effective_prefix_seed`](KelleEngine::effective_prefix_seed)).
+    noop_faults: bool,
 }
 
 impl KelleEngine {
@@ -286,12 +290,20 @@ impl KelleEngine {
         let model_config = ModelConfig::for_kind(config.model);
         let model = SurrogateModel::new(model_config, config.seed);
         let platform = Platform::preset(config.platform);
+        let noop_faults = crate::faults::to_model_rates(
+            config
+                .refresh_policy
+                .bit_flip_rates(&RetentionModel::default()),
+        ) == BitFlipRates::zero();
+        let prefix =
+            PrefixStore::with_limits(config.prefix.store_budget_bytes, config.prefix.ttl_lookups);
         KelleEngine {
             config,
             model,
             platform,
             stats: Mutex::new(EngineStats::default()),
-            prefix: Mutex::new(PrefixStore::new()),
+            prefix: Mutex::new(prefix),
+            noop_faults,
         }
     }
 
@@ -362,7 +374,7 @@ impl KelleEngine {
             None => PrefixKey {
                 policy: self.config.policy,
                 budget: self.config.budget.clamped(),
-                seed: self.config.seed,
+                seed: self.effective_prefix_seed(self.config.seed),
             },
         };
         if self.prefix.lock().contains(tokens, &key) {
@@ -399,13 +411,31 @@ impl KelleEngine {
             .map(|(id, matched, _)| (id, matched))
     }
 
+    /// The fault seed a prefix key carries for a session seeded with `seed`.
+    ///
+    /// When the engine's refresh policy produces **zero bit-flip rates**
+    /// (e.g. [`RefreshPolicy::Conservative`], or a uniform interval short
+    /// enough that nothing decays), the fault RNG is unobservable: every
+    /// seed yields bit-identical values and fault statistics.  Prefix keys
+    /// therefore normalise the seed to `0`, so sessions that differ *only*
+    /// in fault seed share published segments.  Any non-zero rate keeps the
+    /// exact seed — streams then genuinely differ per seed and sharing
+    /// across them would break the bit-equivalence guarantee.
+    pub(crate) fn effective_prefix_seed(&self, seed: u64) -> u64 {
+        if self.noop_faults {
+            0
+        } else {
+            seed
+        }
+    }
+
     /// The effective prefix-sharing fingerprint a session opened for
     /// `request` will use (the scheduler probes with it before activation).
     pub(crate) fn prefix_key_for(&self, request: &ServeRequest) -> PrefixKey {
         PrefixKey {
             policy: request.policy().unwrap_or(self.config.policy),
             budget: request.budget().unwrap_or(self.config.budget).clamped(),
-            seed: request.seed().unwrap_or(self.config.seed),
+            seed: self.effective_prefix_seed(request.seed().unwrap_or(self.config.seed)),
         }
     }
 
@@ -750,6 +780,49 @@ mod tests {
         let cold = KelleEngine::new(EngineConfig::default()).serve(&prompt, 2);
         assert_eq!(first.generated, cold.generated);
         assert_eq!(second.generated, cold.generated);
+    }
+
+    #[test]
+    fn noop_fault_policies_share_segments_across_seeds() {
+        use crate::prefix::PrefixSharingConfig;
+        let prefix: Vec<usize> = (0..12).map(|i| (i * 13 + 5) % 512).collect();
+        let mut prompt = prefix.clone();
+        prompt.extend([3, 4]);
+
+        // Conservative refresh injects no faults: the seed is unobservable,
+        // so a session with a different fault seed still hits the boundary.
+        let noop = KelleEngine::builder()
+            .refresh_policy(RefreshPolicy::Conservative)
+            .prefix_sharing(PrefixSharingConfig::enabled())
+            .build();
+        assert!(noop.publish_prefix(&prefix));
+        let other_seed = ServeRequest::builder(prompt.clone())
+            .decode_len(4)
+            .seed(12_345)
+            .build();
+        let hit = noop.serve_request(other_seed.clone());
+        assert_eq!(hit.prefix_hit_tokens, prefix.len());
+        // And the stream matches a cold engine serving the same request.
+        let cold = KelleEngine::builder()
+            .refresh_policy(RefreshPolicy::Conservative)
+            .build()
+            .serve_request(other_seed);
+        assert_eq!(hit.generated, cold.generated);
+        assert_eq!(hit.faults, cold.faults);
+
+        // The default 2DRP policy flips bits: seeds genuinely matter and a
+        // different seed must keep missing.
+        let faulting = KelleEngine::builder()
+            .prefix_sharing(PrefixSharingConfig::enabled())
+            .build();
+        assert!(faulting.publish_prefix(&prefix));
+        let miss = faulting.serve_request(
+            ServeRequest::builder(prompt)
+                .decode_len(4)
+                .seed(12_345)
+                .build(),
+        );
+        assert_eq!(miss.prefix_hit_tokens, 0);
     }
 
     #[test]

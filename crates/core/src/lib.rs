@@ -82,6 +82,11 @@
 //!   prompt once ([`KelleEngine::publish_prefix`]) and every session whose
 //!   prompt starts with it replays the shared segment (bit-identical
 //!   streams, prefill compute skipped, ledger bytes charged once);
+//! * [`tier`] — the tiered KV memory hierarchy: eDRAM → DRAM → NVMe placement
+//!   with watermark-credit eviction, driven by the scheduler as an accounting
+//!   and migration-cost overlay
+//!   ([`SchedulerConfig::with_tiering`](scheduler::SchedulerConfig::with_tiering))
+//!   that leaves token streams bit-identical to an unlimited-eDRAM run;
 //! * [`CachePolicy`] — the registry all cache backends are built from;
 //! * [`accuracy`] — the functional-fidelity experiments behind Tables 2–6 and
 //!   Fig. 8;
@@ -99,6 +104,7 @@ pub mod parallel;
 pub mod prefix;
 pub mod scheduler;
 pub mod session;
+pub mod tier;
 
 pub use accuracy::{AccuracyResult, Method};
 pub use engine::{EngineBuilder, EngineConfig, EngineStats, KelleEngine, ServeOutcome};
@@ -114,6 +120,7 @@ pub use scheduler::{
     PrefixBatchMetrics, RequestTiming, SchedulerConfig, StepEvent,
 };
 pub use session::{ServeRequest, ServeRequestBuilder, Session, TurnOutcome};
+pub use tier::{TierConfig, TierManager, TierUsageMetrics, TieringMetrics, WatermarkConfig};
 
 pub use kelle_arch as arch;
 pub use kelle_cache as cache;

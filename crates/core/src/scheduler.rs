@@ -46,6 +46,7 @@
 use crate::engine::{EngineStats, KelleEngine, ServeOutcome};
 use crate::parallel::{InlineExecutor, SessionTask, StepExecutor, TaskOutput};
 use crate::session::{ServeRequest, Session};
+use crate::tier::{TierConfig, TierManager, TieringMetrics};
 use kelle_cache::{BudgetPartitioner, CacheBudget, PartitionMode};
 use kelle_edram::{CapacityLedger, LeaseId};
 use kelle_model::DecodeTrace;
@@ -90,7 +91,7 @@ impl AdmissionPolicy {
 }
 
 /// Configuration of the admission pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct SchedulerConfig {
     /// Shared KV-memory budget concurrent requests contend for, in full-scale
     /// bytes.  `None` (the default) is the unbounded single-tenant model of
@@ -99,6 +100,13 @@ pub struct SchedulerConfig {
     pub kv_capacity_bytes: Option<u64>,
     /// How waiting requests are promoted when capacity frees up.
     pub admission: AdmissionPolicy,
+    /// The tiered KV memory hierarchy (see [`crate::tier`]).  `None` (the
+    /// default) runs the flat single-budget model above.  When set (and
+    /// `kv_capacity_bytes` is `None`), the ledger spans the *whole
+    /// hierarchy* while admission plans against the eDRAM tier's budget
+    /// only; resident KV is demoted/promoted across tiers with migration
+    /// costs reported in [`BatchOutcome::tiering`].
+    pub tiering: Option<TierConfig>,
 }
 
 impl SchedulerConfig {
@@ -119,6 +127,15 @@ impl SchedulerConfig {
     /// Sets the admission policy (builder style).
     pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
         self.admission = admission;
+        self
+    }
+
+    /// Enables the tiered KV memory hierarchy (builder style).  Usually
+    /// combined with an unbounded `kv_capacity_bytes`: capacity pressure is
+    /// then expressed through the eDRAM tier budget and demotion, not
+    /// through admission-queue starvation.
+    pub fn with_tiering(mut self, tiering: TierConfig) -> Self {
+        self.tiering = Some(tiering);
         self
     }
 }
@@ -223,6 +240,11 @@ pub struct BatchOutcome {
     pub contention: ContentionMetrics,
     /// Prefix-sharing accounting (all zeros when sharing is disabled).
     pub prefix: PrefixBatchMetrics,
+    /// Tiered-memory accounting (all zeros when tiering is disabled).
+    /// Migration time and energy live only here — per-request hardware
+    /// reports and [`BatchOutcome::stats`] are identical to an
+    /// unlimited-eDRAM run.
+    pub tiering: TieringMetrics,
 }
 
 /// Error returned by [`BatchScheduler::finish`] when requests are still
@@ -323,6 +345,7 @@ pub struct BatchScheduler<'e> {
     engine: &'e KelleEngine,
     config: SchedulerConfig,
     ledger: CapacityLedger,
+    tier: Option<TierManager>,
     states: Vec<RequestState<'e>>,
     timings: Vec<RequestTiming>,
     waiting: VecDeque<usize>,
@@ -345,12 +368,20 @@ impl<'e> BatchScheduler<'e> {
     /// [`SchedulerConfig::with_kv_capacity_bytes`].
     pub fn with_config(engine: &'e KelleEngine, config: SchedulerConfig) -> Self {
         // An unbounded scheduler still runs the ledger (at u64::MAX capacity)
-        // so high-water accounting works identically in both modes.
-        let ledger = CapacityLedger::new(config.kv_capacity_bytes.unwrap_or(u64::MAX).max(1));
+        // so high-water accounting works identically in both modes.  Under
+        // tiering the ledger spans the whole hierarchy — eDRAM scarcity is
+        // the tier manager's job, so per-request grants and spill stay
+        // identical to an unlimited run and only migration costs differ.
+        let ledger = match (config.kv_capacity_bytes, &config.tiering) {
+            (Some(bytes), _) => CapacityLedger::new(bytes.max(1)),
+            (None, Some(tiering)) => CapacityLedger::for_tier_budgets(&tiering.budgets),
+            (None, None) => CapacityLedger::new(u64::MAX),
+        };
         BatchScheduler {
             engine,
             config,
             ledger,
+            tier: config.tiering.map(TierManager::new),
             states: Vec::new(),
             timings: Vec::new(),
             waiting: VecDeque::new(),
@@ -369,6 +400,11 @@ impl<'e> BatchScheduler<'e> {
     /// The capacity ledger (live bytes, high-water mark, oversubscription).
     pub fn ledger(&self) -> &CapacityLedger {
         &self.ledger
+    }
+
+    /// The tier placement manager, when tiering is enabled.
+    pub fn tier(&self) -> Option<&TierManager> {
+        self.tier.as_ref()
     }
 
     /// Full-scale KV footprint of `tokens` retained tokens — the unit of
@@ -479,6 +515,17 @@ impl<'e> BatchScheduler<'e> {
         footprint.private_bytes + shared_charge
     }
 
+    /// Whether a new charge fits right now: the ledger must host it, and —
+    /// under tiering — so must the eDRAM tier, since admission plans against
+    /// the on-chip budget only (demoted bytes don't count against it).
+    fn admission_fits(&self, charge: u64) -> bool {
+        self.ledger.can_fit(charge)
+            && self
+                .tier
+                .as_ref()
+                .is_none_or(|tier| tier.edram_fits(charge))
+    }
+
     /// Promotes waiting requests into decode slots while the ledger can host
     /// their prefill footprint, in the order the admission policy dictates.
     /// When nothing is active and nothing fits, the next candidate is
@@ -501,6 +548,7 @@ impl<'e> BatchScheduler<'e> {
     /// Every admission pumped in one call is flushed before it returns, so
     /// the `Admitted` state is never observable between public calls.
     fn pump_admission(&mut self, executor: &mut dyn StepExecutor<'e>) {
+        let engine = self.engine;
         let mut pending: Vec<SessionTask<'e>> = Vec::new();
         loop {
             let candidate = match self.config.admission {
@@ -520,7 +568,7 @@ impl<'e> BatchScheduler<'e> {
                     .enumerate()
                     .find(|&(_, &index)| {
                         let footprint = self.prefill_footprint(index);
-                        self.ledger.can_fit(self.admission_charge(&footprint))
+                        self.admission_fits(self.admission_charge(&footprint))
                     })
                     .or(self.waiting.front().map(|front| (0, front)))
                     .map(|(pos, &index)| (pos, index)),
@@ -530,23 +578,42 @@ impl<'e> BatchScheduler<'e> {
             };
             let footprint = self.prefill_footprint(index);
             let charge = self.admission_charge(&footprint);
-            let lease = if self.ledger.can_fit(charge) {
+            let lease = if self.admission_fits(charge) {
                 self.ledger
                     .reserve(footprint.private_bytes)
-                    .expect("can_fit covered the private bytes")
+                    .expect("admission_fits covered the private bytes")
             } else if self.active() == 0 && pending.is_empty() {
                 // Forward-progress guarantee: an empty machine admits the
-                // candidate even if it oversubscribes on its own.
+                // candidate even if it oversubscribes on its own.  Under
+                // tiering an oversized session lands in eDRAM anyway; the
+                // rebalance demotes it and promote-before-tick swaps it
+                // back up each step, modelling the migration cost of
+                // running beyond the on-chip memory.
                 self.ledger.force_reserve(footprint.private_bytes)
             } else {
                 break;
             };
+            if let Some(tier) = self.tier.as_mut() {
+                tier.place_session(index, footprint.private_bytes, self.tick);
+            }
             if let Some((tag, bytes)) = footprint.shared {
                 let charged = self.ledger.attach_shared(tag, bytes);
                 if charged {
                     self.prefix.shared_bytes += bytes;
                 } else {
                     self.prefix.deduplicated_bytes += bytes;
+                }
+                if let Some(tier) = self.tier.as_mut() {
+                    if charged {
+                        // A new shared-pool residency period: the segment
+                        // materialises in eDRAM alongside its first session.
+                        tier.place_segment(tag, bytes, self.tick);
+                    } else {
+                        // Dedup attach: the segment is replayed into the new
+                        // session, promoting it back on chip if a rebalance
+                        // had demoted it.
+                        tier.touch_segment(tag, &engine.platform().memory, self.tick);
+                    }
                 }
             }
             self.waiting.remove(queue_pos);
@@ -673,12 +740,19 @@ impl<'e> BatchScheduler<'e> {
     /// [`step`](BatchScheduler::step) exactly; only wall-clock time differs.
     pub fn step_with(&mut self, executor: &mut dyn StepExecutor<'e>) -> Vec<StepEvent> {
         self.tick += 1;
+        let memory = &self.engine.platform().memory;
         // Per-tick buffers are O(active requests) and amortized into noise
         // by the decode compute they carry; ownership must cross the
         // executor boundary, so they cannot be scheduler-resident.
         let mut tasks = Vec::with_capacity(self.states.len());
         for index in 0..self.states.len() {
             if let RequestState::Active(slot) = &mut self.states[index] {
+                if let Some(tier) = self.tier.as_mut() {
+                    // Promote-before-tick: a session demoted by an earlier
+                    // rebalance decodes out of eDRAM, so it migrates back up
+                    // (cost charged) before this step runs.
+                    tier.promote_session(index, memory, self.tick);
+                }
                 let session = slot
                     .session
                     .take()
@@ -708,6 +782,12 @@ impl<'e> BatchScheduler<'e> {
             slot.trace.steps.push(step.record);
             slot.remaining -= 1;
             growths.push((slot.lease, growth));
+            if let Some(tier) = self.tier.as_mut() {
+                // Decode growth lands on the session's tier (eDRAM during a
+                // tick, thanks to promote-before-tick) and counts as a
+                // touch.
+                tier.note_growth(index, growth, self.tick);
+            }
             let finished = slot.remaining == 0;
             events.push(StepEvent {
                 request: index,
@@ -731,6 +811,12 @@ impl<'e> BatchScheduler<'e> {
         }
         for index in completed {
             self.complete(index);
+        }
+        if let Some(tier) = self.tier.as_mut() {
+            // End-of-tick rebalance, after completions freed their bytes:
+            // idle and over-budget KV demotes toward DRAM/NVMe so the
+            // admission pump below sees the settled eDRAM occupancy.
+            tier.rebalance(self.tick, memory);
         }
         // Freed capacity back-fills the waiting queue; the newly admitted
         // requests are pre-filled now and decode from the next tick.
@@ -798,8 +884,16 @@ impl<'e> BatchScheduler<'e> {
             );
         self.stats = self.stats.merged(EngineStats::from_turn(&turn));
         self.ledger.release(slot.lease);
+        if let Some(tier) = self.tier.as_mut() {
+            tier.remove_session(index);
+        }
         if let Some((tag, _)) = slot.shared {
-            self.ledger.detach_shared(tag);
+            let last_detach = self.ledger.detach_shared(tag);
+            if last_detach {
+                if let Some(tier) = self.tier.as_mut() {
+                    tier.remove_segment(tag);
+                }
+            }
         }
         self.states[index] = RequestState::Finished(turn.into());
     }
@@ -902,6 +996,11 @@ impl<'e> BatchScheduler<'e> {
             stats: self.stats,
             contention,
             prefix: self.prefix,
+            tiering: self
+                .tier
+                .as_ref()
+                .map(TierManager::metrics)
+                .unwrap_or_default(),
         })
     }
 }
@@ -989,6 +1088,7 @@ mod tests {
         let raw = SchedulerConfig {
             kv_capacity_bytes: Some(0),
             admission: AdmissionPolicy::Fcfs,
+            tiering: None,
         };
         let scheduler = BatchScheduler::with_config(&engine, raw);
         assert_eq!(scheduler.ledger().capacity_bytes(), 1);
@@ -1259,5 +1359,96 @@ mod tests {
         assert!(proportional[0].1.max_tokens > proportional[1].1.max_tokens);
         let total: usize = proportional.iter().map(|(_, b)| b.max_tokens).sum();
         assert!(total <= engine.config().budget.max_tokens);
+    }
+
+    #[test]
+    fn tiering_streams_match_unbounded_and_stay_within_edram_budget() {
+        let engine = engine();
+        let requests: Vec<ServeRequest> = (0..4)
+            .map(|i| ServeRequest::new(vec![10 + i, 20 + i, 30 + i, 40 + i], 3))
+            .collect();
+
+        let mut unbounded = BatchScheduler::new(&engine);
+        for request in &requests {
+            unbounded.submit(request.clone());
+        }
+        let baseline = unbounded.run_to_completion();
+
+        // eDRAM holds one 4-token prompt at a time: the fleet's total KV
+        // overflows on chip and must queue + demote.
+        let edram = engine.kv_footprint_bytes(4);
+        let config = SchedulerConfig::default().with_tiering(TierConfig::with_edram_budget(edram));
+        let mut scheduler = BatchScheduler::with_config(&engine, config);
+        for request in &requests {
+            scheduler.submit(request.clone());
+        }
+        let tiered = scheduler.run_to_completion();
+
+        // Bit-identical functional and hardware outcomes; only the tiering
+        // metrics differ from their all-zero default.
+        for (a, b) in baseline.outcomes.iter().zip(tiered.outcomes.iter()) {
+            assert_eq!(a.generated, b.generated);
+            assert_eq!(a.faults, b.faults);
+            assert_eq!(a.hardware, b.hardware);
+        }
+        assert_eq!(baseline.stats, tiered.stats);
+        assert_ne!(tiered.tiering, TieringMetrics::default());
+        // The settled eDRAM residency respects the budget; overflow lived in
+        // the slower tiers and came back at a modelled migration cost.
+        assert!(tiered.tiering.edram.settled_peak_bytes <= edram);
+        assert!(tiered.tiering.demotions > 0);
+        assert!(tiered.tiering.promotions > 0);
+        assert!(tiered.tiering.migration_time_s > 0.0);
+        assert!(tiered.tiering.migration_energy_j > 0.0);
+        assert_eq!(
+            tiered.tiering.migrated_bytes,
+            tiered.tiering.edram.out_bytes + tiered.tiering.edram.in_bytes,
+            "with a one-prompt eDRAM all migrations cross the eDRAM boundary"
+        );
+    }
+
+    #[test]
+    fn oversized_session_thrashes_but_completes_identically() {
+        let engine = engine();
+        let request = ServeRequest::new(vec![1, 2, 3, 4, 5, 6, 7, 8], 4);
+        let alone = engine.serve(request.prompt(), 4);
+
+        // The single session is larger than the whole eDRAM tier: it is
+        // force-admitted, demoted by every rebalance, and promoted back each
+        // tick — a modelled swap loop, not a correctness problem.
+        let edram = engine.kv_footprint_bytes(1);
+        let config = SchedulerConfig::default().with_tiering(TierConfig::with_edram_budget(edram));
+        let mut scheduler = BatchScheduler::with_config(&engine, config);
+        scheduler.submit(request);
+        let outcome = scheduler.run_to_completion();
+
+        assert_eq!(outcome.outcomes[0].generated, alone.generated);
+        assert_eq!(outcome.outcomes[0].hardware, alone.hardware);
+        assert!(
+            outcome.tiering.demotions >= 3 && outcome.tiering.promotions >= 3,
+            "expected a swap per tick, got {}/{}",
+            outcome.tiering.demotions,
+            outcome.tiering.promotions
+        );
+        // No grant shrinkage and no spill: capacity spans the hierarchy.
+        assert_eq!(outcome.contention.per_request[0].granted_bytes, None);
+        assert_eq!(outcome.contention.spill_bytes, 0);
+    }
+
+    #[test]
+    fn tiering_admission_queues_against_the_edram_budget_only() {
+        let engine = engine();
+        let edram = engine.kv_footprint_bytes(4);
+        let config = SchedulerConfig::default().with_tiering(TierConfig::with_edram_budget(edram));
+        let mut scheduler = BatchScheduler::with_config(&engine, config);
+        scheduler.submit(ServeRequest::new(vec![1, 2, 3, 4], 2));
+        scheduler.submit(ServeRequest::new(vec![5, 6, 7, 8], 2));
+        // The ledger spans the hierarchy (it has room), but the second
+        // request still waits for on-chip space.
+        assert_eq!(scheduler.active(), 1);
+        assert_eq!(scheduler.waiting(), 1);
+        assert!(scheduler.ledger().can_fit(edram));
+        let outcome = scheduler.run_to_completion();
+        assert!(outcome.contention.total_queue_ticks > 0);
     }
 }

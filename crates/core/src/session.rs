@@ -287,11 +287,13 @@ impl<'e> Session<'e> {
             turns: 0,
             recorded_evictions: 0,
             // The registry clamps budgets when building backends; the key
-            // must fingerprint the same effective budget.
+            // must fingerprint the same effective budget.  The seed is
+            // normalised away when the refresh policy injects no faults, so
+            // seed-only configuration differences still share segments.
             key: PrefixKey {
                 policy,
                 budget: budget.clamped(),
-                seed,
+                seed: engine.effective_prefix_seed(seed),
             },
             prefix_hit_tokens: 0,
             prefix_segment: None,

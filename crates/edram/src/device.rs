@@ -166,6 +166,54 @@ impl MemorySpec {
     }
 }
 
+/// The NVMe storage tier backing the KV hierarchy's coldest data.
+///
+/// The paper's platform has no flash tier, but the tiered KV extension
+/// (`kelle::tier`) follows DUAL-BLADE/KVNAND-style NVMe offloading: KV
+/// arenas that fall out of both eDRAM and DRAM budgets are held on an edge
+/// NVMe device and replayed on touch.  The numbers model a commodity edge
+/// M.2 drive: sequential-stream bandwidth, first-access latency dominated by
+/// the flash translation layer, and a per-byte transfer energy that covers
+/// NAND array + controller + PCIe PHY.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NvmeSpec {
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Sustained sequential bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Transfer energy in picojoules per byte (NAND + controller + link).
+    pub access_energy_pj_per_byte: f64,
+    /// First-access latency in microseconds.
+    pub latency_us: f64,
+    /// Background (idle) power in watts.
+    pub background_power_w: f64,
+}
+
+impl NvmeSpec {
+    /// A 256 GB edge M.2 NVMe drive: 2 GB/s sustained, ~80 µs first access,
+    /// ≈1.5 nJ/B transfer energy (an order of magnitude above LPDDR4, the
+    /// ratio that makes NVMe the tier of last resort).
+    pub fn edge_m2_256gb() -> Self {
+        NvmeSpec {
+            capacity_bytes: 256 * 1024 * 1024 * 1024,
+            bandwidth_bytes_per_s: 2.0e9,
+            access_energy_pj_per_byte: 1500.0,
+            latency_us: 80.0,
+            background_power_w: 0.05,
+        }
+    }
+
+    /// Energy in joules to transfer `bytes` bytes.
+    pub fn access_energy_j(&self, bytes: u64) -> f64 {
+        self.access_energy_pj_per_byte * 1e-12 * bytes as f64
+    }
+
+    /// Time in seconds to transfer `bytes` bytes at sustained bandwidth.
+    pub fn access_time_s(&self, bytes: u64) -> f64 {
+        self.latency_us * 1e-6 + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+}
+
 /// The off-chip DRAM channel.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DramSpec {
@@ -255,6 +303,18 @@ mod tests {
         assert_eq!(sram.refresh_power_w(1024, 45.0), 0.0);
         let edram = MemorySpec::kelle_kv_edram();
         assert_eq!(edram.refresh_power_w(1024, 0.0), 0.0);
+    }
+
+    #[test]
+    fn nvme_is_slower_and_costlier_than_dram() {
+        let nvme = NvmeSpec::edge_m2_256gb();
+        let dram = DramSpec::lpddr4_16gb();
+        let bytes = 1 << 20;
+        assert!(nvme.access_time_s(bytes) > dram.access_time_s(bytes));
+        assert!(nvme.access_energy_j(bytes) > dram.access_energy_j(bytes));
+        // Latency floor shows up even for empty transfers.
+        assert!(nvme.access_time_s(0) > 79.0e-6);
+        assert!(nvme.capacity_bytes > dram.capacity_bytes);
     }
 
     #[test]

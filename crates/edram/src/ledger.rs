@@ -121,6 +121,17 @@ impl CapacityLedger {
         CapacityLedger::new(memory.capacity_bytes)
     }
 
+    /// A ledger sized to a whole tiered hierarchy
+    /// ([`TierBudgets::total_bytes`](crate::TierBudgets::total_bytes)): the
+    /// ledger bounds *total* live KV across every tier while the per-tier
+    /// budgets in [`TierAccounts`](crate::TierAccounts) bound where those
+    /// bytes reside.  Under tiering, admission plans against the eDRAM tier's
+    /// free bytes; this ledger only refuses footprints the entire hierarchy
+    /// cannot hold.
+    pub fn for_tier_budgets(budgets: &crate::TierBudgets) -> Self {
+        CapacityLedger::new(budgets.total_bytes().max(1))
+    }
+
     /// The arbitrated capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
         self.capacity_bytes

@@ -18,7 +18,10 @@
 //! * the **capacity ledger** ([`CapacityLedger`]) that arbitrates one shared
 //!   eDRAM budget across concurrent serving sessions: checked admission
 //!   reservations, unchecked decode-time growth, high-water and
-//!   spill-to-DRAM (oversubscription) accounting.
+//!   spill-to-DRAM (oversubscription) accounting;
+//! * **per-tier accounting** ([`TierAccounts`]) for the eDRAM → DRAM → NVMe
+//!   KV hierarchy: tier budgets, residency peaks and migration traffic —
+//!   the byte-level truth behind `kelle::tier`'s watermark-credit placement.
 //!
 //! The original paper characterises its arrays with Destiny and Cacti at 65 nm
 //! / 105 °C; neither tool is available here, so the models are analytical and
@@ -34,11 +37,13 @@ pub mod faults;
 pub mod ledger;
 pub mod refresh;
 pub mod retention;
+pub mod tier;
 
 pub use banks::{BankGroup, BankedLayout};
 pub use controller::{EdramController, RefreshActivity};
-pub use device::{DramSpec, MemorySpec, MemoryTechnology};
+pub use device::{DramSpec, MemorySpec, MemoryTechnology, NvmeSpec};
 pub use faults::GroupBitFlipRates;
 pub use ledger::{CapacityLedger, LeaseId, LedgerError};
 pub use refresh::{RefreshIntervals, RefreshPolicy};
 pub use retention::RetentionModel;
+pub use tier::{MemoryTier, TierAccounts, TierBudgets, TierTraffic};

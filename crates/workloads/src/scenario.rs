@@ -203,6 +203,85 @@ impl ParallelScenario {
     }
 }
 
+/// A tiered-memory pressure scenario: a fleet whose total KV demand
+/// deliberately exceeds the on-chip budget.
+///
+/// The tier budgets are expressed as *percentages of the fleet's total KV
+/// demand* rather than absolute bytes, because the byte demand depends on
+/// the serving stack's model shape and cache policy — which this crate, being
+/// pure data, knows nothing about.  The serving-side harness computes the
+/// demand (`engine.kv_footprint_bytes` per prompt+decode) and scales the
+/// percentages into a concrete `TierBudgets`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TieringScenario {
+    /// The session fleet driving the memory pressure.
+    pub fleet: SharedPromptScenario,
+    /// eDRAM tier budget as a percentage of the fleet's total KV demand
+    /// (< 100 forces overflow into DRAM/NVMe).
+    pub edram_percent_of_demand: u32,
+    /// DRAM tier budget as a percentage of the fleet's total KV demand.
+    pub dram_percent_of_demand: u32,
+}
+
+impl TieringScenario {
+    /// A scenario over the given fleet with the tier budgets expressed as
+    /// percentages of its total KV demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either percentage is zero.
+    pub fn new(fleet: SharedPromptScenario, edram_percent: u32, dram_percent: u32) -> Self {
+        let scenario = TieringScenario {
+            fleet,
+            edram_percent_of_demand: edram_percent,
+            dram_percent_of_demand: dram_percent,
+        };
+        scenario.validate();
+        scenario
+    }
+
+    /// The acceptance-shape pressure fleet: the 8-session shared-prompt
+    /// fleet with an eDRAM tier sized to 40 % of its total KV demand and a
+    /// DRAM tier sized to 50 % — so the hierarchy's settled state *must*
+    /// keep bytes in DRAM (and, transiently, NVMe) to hold the fleet.
+    pub fn edge_pressure() -> Self {
+        TieringScenario::new(
+            SharedPromptScenario::new(8, 256, 16).with_decode_len(32),
+            40,
+            50,
+        )
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.edram_percent_of_demand > 0,
+            "eDRAM percentage must be non-zero"
+        );
+        assert!(
+            self.dram_percent_of_demand > 0,
+            "DRAM percentage must be non-zero"
+        );
+    }
+
+    /// Scales a total KV demand (bytes) into this scenario's eDRAM budget.
+    pub fn edram_budget_bytes(&self, total_demand_bytes: u64) -> u64 {
+        percent_of(total_demand_bytes, self.edram_percent_of_demand)
+    }
+
+    /// Scales a total KV demand (bytes) into this scenario's DRAM budget.
+    pub fn dram_budget_bytes(&self, total_demand_bytes: u64) -> u64 {
+        percent_of(total_demand_bytes, self.dram_percent_of_demand)
+    }
+}
+
+/// `percent` % of `bytes`, saturating, with a 1-byte floor so a tiny demand
+/// never degenerates into a zero (hence panicking) tier budget.
+fn percent_of(bytes: u64, percent: u32) -> u64 {
+    ((bytes as u128 * percent as u128) / 100)
+        .min(u64::MAX as u128)
+        .max(1) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +338,21 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_worker_count_panics() {
         ParallelScenario::new(SharedPromptScenario::new(2, 8, 2), vec![1, 0]);
+    }
+
+    #[test]
+    fn tiering_scenario_scales_budgets_from_demand() {
+        let scenario = TieringScenario::edge_pressure();
+        assert_eq!(scenario.edram_percent_of_demand, 40);
+        assert_eq!(scenario.edram_budget_bytes(1000), 400);
+        assert_eq!(scenario.dram_budget_bytes(1000), 500);
+        // The floor keeps degenerate demands from producing a zero budget.
+        assert_eq!(scenario.edram_budget_bytes(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "eDRAM percentage")]
+    fn zero_edram_percent_panics() {
+        TieringScenario::new(SharedPromptScenario::new(2, 8, 2), 0, 50);
     }
 }
