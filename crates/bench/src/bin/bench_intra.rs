@@ -1,0 +1,83 @@
+//! Intra-session decode-parallelism benchmark binary: decodes one session
+//! sequentially and with the per-head / row-blocked fan-out at every
+//! configured worker count *in the same run* (token streams and probability
+//! bits asserted identical while being timed), prints a table, and emits the
+//! `BENCH_intra.json` artifact consumed by CI.
+//!
+//! On a single-core host every worker count measures at or below 1.0x by
+//! construction; the JSON records `host_parallelism` so consumers can tell
+//! the two situations apart.
+//!
+//! Usage: `cargo run --release -p kelle-bench --bin bench_intra -- \
+//!     [--quick] [--out BENCH_intra.json]`
+
+use kelle_bench::intra_perf::{self, IntraPerfConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_intra.json"));
+
+    let config = if quick {
+        IntraPerfConfig::quick()
+    } else {
+        IntraPerfConfig::full()
+    };
+    println!(
+        "intra-session decode parallelism (prompt {}, decode {}, repeats {}){}",
+        config.prompt_len,
+        config.decode_len,
+        config.repeats,
+        if quick { " [quick]" } else { "" }
+    );
+
+    let report = intra_perf::run(config);
+    println!(
+        "policy {}, dims {}x{}h c{} ffn{} v{}, host parallelism {}",
+        report.policy.name(),
+        report.dims.layers,
+        report.dims.heads,
+        report.dims.channels,
+        report.dims.ffn_dim,
+        report.dims.vocab,
+        report.host_parallelism
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>14} {:>12} {:>9}",
+        "workers", "decode tok", "decode s", "decode tok/s", "us/token", "speedup"
+    );
+    for row in &report.rows {
+        let workers = row
+            .workers
+            .map(|w| w.to_string())
+            .unwrap_or_else(|| "sequential".to_string());
+        let speedup = row
+            .speedup_vs_sequential
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:>12} {:>12} {:>12.4} {:>14.0} {:>12.1} {:>9}",
+            workers,
+            row.decode_tokens,
+            row.decode_seconds,
+            row.tokens_per_sec,
+            row.token_latency_us,
+            speedup,
+        );
+    }
+    println!("(token streams and probability bits verified identical on every row)");
+
+    match report.write_json(&out) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(err) => {
+            eprintln!("failed to write {}: {err}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -111,7 +111,9 @@ pub use engine::{EngineBuilder, EngineConfig, EngineStats, KelleEngine, ServeOut
 pub use experiment::{EndToEndRow, EndToEndSummary};
 pub use faults::fault_injector_for_policy;
 pub use kelle_cache::CachePolicy;
-pub use parallel::{InlineExecutor, SessionTask, StepExecutor, TaskOutput, WorkerPool};
+pub use parallel::{
+    InlineExecutor, ParallelAxis, PoolRunner, SessionTask, StepExecutor, TaskOutput, WorkerPool,
+};
 pub use prefix::{
     PrefixHit, PrefixKey, PrefixSharingConfig, PrefixStore, PrefixStoreStats, RadixPrefixIndex,
 };

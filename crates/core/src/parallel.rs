@@ -26,6 +26,18 @@
 //! coordinating thread, batched into a **per-tick commit** in request
 //! submission order.
 //!
+//! **Intra-session (fork-join):** the second axis.  Under
+//! [`ParallelAxis::Intra`] (or `Auto` on a narrow batch) sessions stay on
+//! the coordinator and each decode step forks its per-head attention jobs
+//! and row-blocked projection jobs across the *same* workers through
+//! [`PoolRunner`].  Per-head fault-RNG draws come from deterministic
+//! `(layer, head)` lanes (see [`kelle_model::fault::FaultInjector`]), so
+//! fork order can never reorder a shared random stream; cache observation
+//! callbacks are replayed serially in head order after the fork joins.
+//! Both axes therefore produce **bit-identical** tokens, probability bits
+//! and fault statistics — pinned by the `integration_intra` suite for all
+//! five cache policies and re-checked in CI at `--workers 1,2,4`.
+//!
 //! # Why determinism holds
 //!
 //! Each scheduler tick is a fan-out/commit cycle
@@ -73,11 +85,41 @@ use crate::engine::KelleEngine;
 use crate::scheduler::{BatchOutcome, BatchScheduler, SchedulerConfig};
 use crate::session::{PrefillPlan, ServeRequest, Session};
 use kelle_model::DecodeStep;
+use kelle_tensor::par::{Job, ParallelRunner};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::Scope;
+
+/// Which axis of parallelism a scheduler tick fans decode compute out on
+/// (the [`SchedulerConfig::with_parallel_axis`] knob).
+///
+/// Both axes produce **bit-identical** token streams, probability bits and
+/// fault statistics — the axis changes wall-clock time only.  Session
+/// parallelism wins when the batch is wide (many independent sessions keep
+/// every worker busy); intra-session parallelism wins when the batch is
+/// narrow (a single session cannot saturate the pool, so its per-head
+/// attention and row-blocked projections are fanned out instead).
+///
+/// [`SchedulerConfig::with_parallel_axis`]: crate::scheduler::SchedulerConfig::with_parallel_axis
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ParallelAxis {
+    /// One task per session; whole sessions move to workers (the classic
+    /// batch axis).
+    Session,
+    /// Sessions decode one at a time on the coordinator; each decode step's
+    /// per-head attention and projection row blocks fan out to the workers
+    /// through a [`PoolRunner`].
+    Intra,
+    /// Pick per tick: intra-session when the batch is too narrow to keep
+    /// the pool busy (one task, or fewer than half a task per worker),
+    /// session-parallel otherwise.
+    #[default]
+    Auto,
+}
 
 /// One unit of per-session compute: a session together with the prefill or
 /// decode step to run on it.
@@ -161,6 +203,37 @@ impl<'e> SessionTask<'e> {
             payload,
         }
     }
+
+    /// [`run`](SessionTask::run) with decode compute fanned out through
+    /// `runner` — the intra-session axis.  Prefill tasks ignore the runner
+    /// (a prefill is a one-off cost the session axis already covers);
+    /// decode output is bit-identical to [`run`](SessionTask::run) by the
+    /// [`ParallelRunner`] partitioning contract.
+    pub fn run_with(self, runner: &dyn ParallelRunner) -> TaskOutput<'e> {
+        let SessionTask {
+            index,
+            mut session,
+            work,
+        } = self;
+        let payload = match work {
+            Work::Decode => {
+                let tokens_before = session.position();
+                let step = session.decode_one_with(runner);
+                Payload::Decode {
+                    step,
+                    tokens_before,
+                }
+            }
+            Work::Prefill { tokens, plan } => Payload::Prefill {
+                computed: session.prefill_planned(&tokens, plan),
+            },
+        };
+        TaskOutput {
+            index,
+            session,
+            payload,
+        }
+    }
 }
 
 /// The result of running one [`SessionTask`]: the session comes back to the
@@ -220,6 +293,19 @@ impl<'e> TaskOutput<'e> {
 pub trait StepExecutor<'e> {
     /// Runs every task exactly once and returns all outputs (any order).
     fn execute(&mut self, tasks: Vec<SessionTask<'e>>) -> Vec<TaskOutput<'e>>;
+
+    /// [`execute`](StepExecutor::execute) with an axis hint (see
+    /// [`ParallelAxis`]).  Executors without a second axis — like
+    /// [`InlineExecutor`] — ignore the hint; this default delegates to
+    /// `execute`.  Outputs must be bit-identical for every axis.
+    fn execute_axis(
+        &mut self,
+        tasks: Vec<SessionTask<'e>>,
+        axis: ParallelAxis,
+    ) -> Vec<TaskOutput<'e>> {
+        let _ = axis;
+        self.execute(tasks)
+    }
 }
 
 /// Runs every task inline on the calling thread, in order — the executor
@@ -231,6 +317,90 @@ pub struct InlineExecutor;
 impl<'e> StepExecutor<'e> for InlineExecutor {
     fn execute(&mut self, tasks: Vec<SessionTask<'e>>) -> Vec<TaskOutput<'e>> {
         tasks.into_iter().map(SessionTask::run).collect()
+    }
+}
+
+/// What the injector queue carries: whole session steps (the session axis)
+/// or per-head/row-block jobs of a single decode step (the intra axis).
+/// One tick fans out on exactly one axis, so the two variants never
+/// interleave within a fan-out — a worker running a `Job` can never be
+/// holding a `Task` the same fork's latch is waiting on.
+//
+// A `Task` is ~900 bytes (the session's planned work rides inline) versus a
+// `Job`'s two pointers, but boxing tasks would trade two moves per task per
+// tick for an allocation per task per tick on the session axis — the wrong
+// trade for a queue that holds at most one tick's small task fan-out.
+#[allow(clippy::large_enum_variant)]
+enum WorkItem<'e> {
+    Task(SessionTask<'e>),
+    Job(HeapJob),
+}
+
+impl std::fmt::Debug for WorkItem<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkItem::Task(task) => f.debug_tuple("Task").field(&task.index()).finish(),
+            WorkItem::Job(_) => f.debug_tuple("Job").finish(),
+        }
+    }
+}
+
+/// One forked job of a [`PoolRunner::run`] call, heap-boxed for the queue.
+///
+/// The closure is transmuted to `'static` so it can sit in the `'e`-typed
+/// queue; this is sound because the runner blocks on `latch` until every
+/// forked job has run — the borrows inside the closure strictly outlive its
+/// execution (the classic scoped-spawn argument).
+struct HeapJob {
+    job: Job<'static>,
+    latch: Arc<Latch>,
+}
+
+impl HeapJob {
+    /// Runs the job, folding any panic into the latch instead of unwinding
+    /// the worker.
+    fn run(self) {
+        let HeapJob { job, latch } = self;
+        let result = std::panic::catch_unwind(AssertUnwindSafe(job));
+        latch.complete(result.err());
+    }
+}
+
+/// Countdown latch synchronising a [`PoolRunner::run`] fork with its join.
+struct Latch {
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(count),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Records one finished job (and its panic payload, if it crashed).
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        if let Some(cause) = panic {
+            let mut slot = self.panic.lock().expect("latch panic slot poisoned");
+            slot.get_or_insert(cause);
+        }
+        self.remaining.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Spin-waits (yielding) until every forked job completed.  Jobs are a
+    /// few microseconds of dense math each, so parking through a condvar
+    /// would usually cost more than the remaining work.
+    fn wait(&self) {
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// The first panic any forked job raised, if any.
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.panic.lock().expect("latch panic slot poisoned").take()
     }
 }
 
@@ -290,6 +460,22 @@ impl<T> TaskQueue<T> {
     }
 }
 
+impl<'e> TaskQueue<WorkItem<'e>> {
+    /// Pops the next queued intra-axis job without blocking; leaves session
+    /// tasks alone (the coordinator only helps with jobs while it waits on
+    /// a fork's latch).
+    fn try_steal_job(&self) -> Option<HeapJob> {
+        let mut state = self.state.lock().expect("task queue poisoned");
+        match state.tasks.front() {
+            Some(WorkItem::Job(_)) => match state.tasks.pop_front() {
+                Some(WorkItem::Job(job)) => Some(job),
+                _ => unreachable!("front of the queue was a job"),
+            },
+            _ => None,
+        }
+    }
+}
+
 /// A work-stealing pool of scoped worker threads executing [`SessionTask`]s.
 ///
 /// Tasks go into one shared injector queue; idle workers steal from it (the
@@ -308,7 +494,7 @@ impl<T> TaskQueue<T> {
 /// deadlock the coordinator waiting for a result that will not come.
 #[derive(Debug)]
 pub struct WorkerPool<'e> {
-    queue: Arc<TaskQueue<SessionTask<'e>>>,
+    queue: Arc<TaskQueue<WorkItem<'e>>>,
     results: Receiver<std::thread::Result<TaskOutput<'e>>>,
     workers: usize,
 }
@@ -323,14 +509,22 @@ impl<'e> WorkerPool<'e> {
         let queue = Arc::new(TaskQueue::new());
         let (sender, results) = channel::<std::thread::Result<TaskOutput<'e>>>();
         for _ in 0..workers {
-            let queue: Arc<TaskQueue<SessionTask<'e>>> = Arc::clone(&queue);
+            let queue: Arc<TaskQueue<WorkItem<'e>>> = Arc::clone(&queue);
             let sender: Sender<std::thread::Result<TaskOutput<'e>>> = sender.clone();
             scope.spawn(move || {
-                while let Some(task) = queue.steal() {
-                    let output = std::panic::catch_unwind(AssertUnwindSafe(|| task.run()));
-                    if sender.send(output).is_err() {
-                        // The coordinator is gone; nothing left to work for.
-                        break;
+                while let Some(item) = queue.steal() {
+                    match item {
+                        WorkItem::Task(task) => {
+                            let output = std::panic::catch_unwind(AssertUnwindSafe(|| task.run()));
+                            if sender.send(output).is_err() {
+                                // The coordinator is gone; nothing left to
+                                // work for.
+                                break;
+                            }
+                        }
+                        // Intra-axis job: completion is reported through its
+                        // fork's latch, not the result channel.
+                        WorkItem::Job(job) => job.run(),
                     }
                 }
             });
@@ -346,6 +540,82 @@ impl<'e> WorkerPool<'e> {
     pub fn workers(&self) -> usize {
         self.workers
     }
+
+    /// A fork-join [`ParallelRunner`] over this pool's workers, with the
+    /// calling thread participating as one extra lane — the intra-session
+    /// axis ([`ParallelAxis::Intra`]).
+    pub fn runner(&self) -> PoolRunner<'e> {
+        PoolRunner {
+            queue: Arc::clone(&self.queue),
+            lanes: self.workers + 1,
+        }
+    }
+}
+
+/// Fork-join executor for the **intra-session axis**: fans the per-head /
+/// per-row-block [`Job`]s of one decode step out across a [`WorkerPool`]'s
+/// workers, with the thread calling [`run`](ParallelRunner::run)
+/// participating as one lane.
+///
+/// `run` pushes `jobs[1..]` onto the pool's injector queue, executes
+/// `jobs[0]` inline, helps drain remaining jobs while it waits, and blocks
+/// on a countdown latch until every job has finished — only then does it
+/// return, which is what lets jobs borrow the caller's stack (the
+/// [`ParallelRunner`] contract).  A panicking job is resurfaced here after
+/// the join, so a crashed head can never leave the pool stuck.
+#[derive(Debug)]
+pub struct PoolRunner<'e> {
+    queue: Arc<TaskQueue<WorkItem<'e>>>,
+    lanes: usize,
+}
+
+impl<'e> ParallelRunner for PoolRunner<'e> {
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn run<'a>(&self, jobs: Vec<Job<'a>>) {
+        if jobs.len() <= 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let latch = Arc::new(Latch::new(jobs.len() - 1));
+        let mut jobs = jobs.into_iter();
+        let first = jobs.next().expect("jobs.len() > 1");
+        let items: Vec<WorkItem<'e>> = jobs
+            .map(|job| {
+                // SAFETY: `run` does not return until the latch counts every
+                // forked job down (even if `first` panics — see below), so
+                // the `'a` borrows inside the closure strictly outlive its
+                // execution although the queue's type erases them to
+                // `'static`.
+                let job: Job<'static> =
+                    unsafe { std::mem::transmute::<Job<'a>, Job<'static>>(job) };
+                WorkItem::Job(HeapJob {
+                    job,
+                    latch: Arc::clone(&latch),
+                })
+            })
+            .collect();
+        self.queue.push_all(items);
+        // The first job runs inline: the caller is a full lane, and with
+        // more jobs than lanes it keeps helping below.  Its panic (if any)
+        // must not unwind past the latch wait — forked jobs still borrow
+        // this stack frame.
+        let first_result = std::panic::catch_unwind(AssertUnwindSafe(first));
+        while let Some(job) = self.queue.try_steal_job() {
+            job.run();
+        }
+        latch.wait();
+        if let Err(cause) = first_result {
+            std::panic::resume_unwind(cause);
+        }
+        if let Some(cause) = latch.take_panic() {
+            std::panic::resume_unwind(cause);
+        }
+    }
 }
 
 impl<'e> StepExecutor<'e> for WorkerPool<'e> {
@@ -354,7 +624,8 @@ impl<'e> StepExecutor<'e> for WorkerPool<'e> {
         if count == 0 {
             return Vec::new();
         }
-        self.queue.push_all(tasks);
+        self.queue
+            .push_all(tasks.into_iter().map(WorkItem::Task).collect());
         let mut outputs = Vec::with_capacity(count);
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
         // Every task sends exactly one result (panics are caught and carried
@@ -374,6 +645,30 @@ impl<'e> StepExecutor<'e> for WorkerPool<'e> {
             std::panic::resume_unwind(cause);
         }
         outputs
+    }
+
+    fn execute_axis(
+        &mut self,
+        tasks: Vec<SessionTask<'e>>,
+        axis: ParallelAxis,
+    ) -> Vec<TaskOutput<'e>> {
+        let intra = match axis {
+            ParallelAxis::Session => false,
+            ParallelAxis::Intra => true,
+            ParallelAxis::Auto => tasks.len() == 1 || tasks.len() * 2 <= self.workers,
+        };
+        if !intra {
+            return self.execute(tasks);
+        }
+        // Narrow batch: decode the sessions one at a time on this thread,
+        // each step fanned out per head / per row block across the pool.
+        // Running in index order here makes the scheduler's commit-time sort
+        // a no-op, exactly like sequential serving.
+        let runner = self.runner();
+        tasks
+            .into_iter()
+            .map(|task| task.run_with(&runner))
+            .collect()
     }
 }
 
@@ -466,6 +761,82 @@ mod tests {
             |request, token| parallel.push((request, token)),
         );
         assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn every_axis_matches_inline_serving_bitwise() {
+        let engine = engine();
+        let baseline = engine.serve_batch(requests());
+        for axis in [
+            ParallelAxis::Session,
+            ParallelAxis::Intra,
+            ParallelAxis::Auto,
+        ] {
+            for workers in [1, 2, 4] {
+                let config = SchedulerConfig::default().with_parallel_axis(axis);
+                let parallel =
+                    serve_batch_parallel(&engine, requests(), config, workers, |_, _| {});
+                for (a, b) in baseline.outcomes.iter().zip(parallel.outcomes.iter()) {
+                    assert_eq!(a.generated, b.generated, "axis={axis:?} workers={workers}");
+                    assert_eq!(a.faults, b.faults, "axis={axis:?} workers={workers}");
+                }
+                assert_eq!(
+                    baseline.stats, parallel.stats,
+                    "axis={axis:?} workers={workers}"
+                );
+                assert_eq!(
+                    baseline.contention, parallel.contention,
+                    "axis={axis:?} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_runner_joins_before_returning_and_stays_reusable_after_a_panic() {
+        std::thread::scope(|scope| {
+            let pool: WorkerPool<'_> = WorkerPool::start(scope, 2);
+            let runner = pool.runner();
+            assert_eq!(runner.lanes(), 3);
+            // Jobs may borrow the caller's stack: disjoint chunks of a local.
+            let mut data = vec![0u32; 8];
+            let jobs: Vec<Job<'_>> = data
+                .chunks_mut(2)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    let job: Job<'_> = Box::new(move || {
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            *slot = (i * 2 + j) as u32;
+                        }
+                    });
+                    job
+                })
+                .collect();
+            runner.run(jobs);
+            assert_eq!(data, (0..8).collect::<Vec<u32>>());
+            // A panicking forked job resurfaces on the caller after the
+            // join...
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                runner.run(vec![
+                    Box::new(|| {}) as Job<'_>,
+                    Box::new(|| panic!("boom")) as Job<'_>,
+                ]);
+            }));
+            assert!(result.is_err(), "the job panic must reach the caller");
+            // ...and the pool keeps serving the next fork.
+            let counter = AtomicUsize::new(0);
+            runner.run(
+                (0..4)
+                    .map(|_| {
+                        let job: Job<'_> = Box::new(|| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                        job
+                    })
+                    .collect(),
+            );
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+        });
     }
 
     #[test]

@@ -44,7 +44,7 @@
 //! with the whole memory granted, reproducing the PR 1 scheduler exactly.
 
 use crate::engine::{EngineStats, KelleEngine, ServeOutcome};
-use crate::parallel::{InlineExecutor, SessionTask, StepExecutor, TaskOutput};
+use crate::parallel::{InlineExecutor, ParallelAxis, SessionTask, StepExecutor, TaskOutput};
 use crate::session::{ServeRequest, Session};
 use crate::tier::{TierConfig, TierManager, TieringMetrics};
 use kelle_cache::{BudgetPartitioner, CacheBudget, PartitionMode};
@@ -107,6 +107,13 @@ pub struct SchedulerConfig {
     /// only; resident KV is demoted/promoted across tiers with migration
     /// costs reported in [`BatchOutcome::tiering`].
     pub tiering: Option<TierConfig>,
+    /// Which parallelism axis [`step_with`](BatchScheduler::step_with) fans
+    /// decode compute out on (executors without a second axis, like
+    /// [`InlineExecutor`], ignore it).  `#[serde(default)]` keeps configs
+    /// serialized before this field loadable; the default
+    /// ([`ParallelAxis::Auto`]) picks per tick based on batch width.
+    #[serde(default)]
+    pub parallel_axis: ParallelAxis,
 }
 
 impl SchedulerConfig {
@@ -136,6 +143,16 @@ impl SchedulerConfig {
     /// through admission-queue starvation.
     pub fn with_tiering(mut self, tiering: TierConfig) -> Self {
         self.tiering = Some(tiering);
+        self
+    }
+
+    /// Sets the decode parallelism axis (builder style).
+    /// [`ParallelAxis::Auto`] — the default — switches between session
+    /// fan-out and intra-session per-head fan-out based on how wide the
+    /// batch is each tick; both axes are bit-identical, so this knob only
+    /// moves wall-clock time.
+    pub fn with_parallel_axis(mut self, axis: ParallelAxis) -> Self {
+        self.parallel_axis = axis;
         self
     }
 }
@@ -760,7 +777,7 @@ impl<'e> BatchScheduler<'e> {
                 tasks.push(SessionTask::decode(index, session));
             }
         }
-        let mut outputs = executor.execute(tasks);
+        let mut outputs = executor.execute_axis(tasks, self.config.parallel_axis);
         outputs.sort_by_key(TaskOutput::index);
 
         let mut events = Vec::with_capacity(outputs.len());
@@ -1089,6 +1106,7 @@ mod tests {
             kv_capacity_bytes: Some(0),
             admission: AdmissionPolicy::Fcfs,
             tiering: None,
+            parallel_axis: ParallelAxis::Auto,
         };
         let scheduler = BatchScheduler::with_config(&engine, raw);
         assert_eq!(scheduler.ledger().capacity_bytes(), 1);

@@ -87,6 +87,38 @@ pub trait FaultInjector: std::fmt::Debug {
         }
     }
 
+    /// Selects the deterministic substream that subsequent
+    /// [`corrupt`](FaultInjector::corrupt) calls draw from.
+    ///
+    /// The attention pass calls this at the start of every `(layer, head)`
+    /// iteration — in both the fused and the reference path — so that the
+    /// random draws consumed for one head never shift the stream seen by
+    /// another.  That per-head partitioning is what lets heads run on
+    /// different workers while producing exactly the bits of the sequential
+    /// order.  Stateless injectors ignore it (the default is a no-op).
+    fn begin_lane(&mut self, layer: usize, head: usize) {
+        let _ = (layer, head);
+    }
+
+    /// Splits the injector into one independently-usable handle per head of
+    /// `layer`, in head order, for parallel attention.
+    ///
+    /// Each returned handle owns the same substream that
+    /// [`begin_lane`](FaultInjector::begin_lane)`(layer, head)` would select,
+    /// so corrupting head `h`'s reads through handle `h` on any thread is
+    /// bit-identical to the sequential pass.  Counters accumulated through
+    /// the handles must be reflected in [`stats`](FaultInjector::stats)
+    /// afterwards.  Returns `None` when the injector cannot be partitioned
+    /// (the default); callers must then fall back to the sequential pass.
+    fn split_lanes(
+        &mut self,
+        layer: usize,
+        heads: usize,
+    ) -> Option<Vec<&mut (dyn FaultInjector + Send)>> {
+        let _ = (layer, heads);
+        None
+    }
+
     /// Whether this injector is guaranteed to never change a value *and*
     /// never update its counters, for any input.
     ///
@@ -175,36 +207,29 @@ impl BitFlipRates {
     }
 }
 
-/// A probabilistic fault injector driven by per-group bit-flip rates.
+/// One deterministic substream of a [`ProbabilisticFaults`] injector.
 ///
-/// `Clone` snapshots the full injector state (rates, RNG position and
-/// counters); the prefix-sharing machinery uses this to capture the exact
-/// post-prefix fault stream so a cache-hit session resumes the stream
-/// bit-identically to a cold one.
+/// A lane owns its own RNG (seeded from the parent seed and the lane's
+/// `(layer, head)` label via [`rng::lane`]) and its own counters, so the
+/// draws consumed for one attention head never shift the stream of another.
 #[derive(Debug, Clone)]
-pub struct ProbabilisticFaults {
+struct FaultLane {
     rates: BitFlipRates,
     rng: DetRng,
     stats: FaultStats,
 }
 
-impl ProbabilisticFaults {
-    /// Creates an injector with the given rates and RNG seed.
-    pub fn new(rates: BitFlipRates, seed: u64) -> Self {
-        ProbabilisticFaults {
+impl FaultLane {
+    fn new(rates: BitFlipRates, seed: u64, layer: usize, head: usize) -> Self {
+        FaultLane {
             rates,
-            rng: rng::seeded(seed),
+            rng: rng::lane(seed, layer as u64, head as u64),
             stats: FaultStats::default(),
         }
     }
-
-    /// The configured rates.
-    pub fn rates(&self) -> BitFlipRates {
-        self.rates
-    }
 }
 
-impl FaultInjector for ProbabilisticFaults {
+impl FaultInjector for FaultLane {
     fn corrupt(&mut self, value: f32, group: TokenGroup) -> f32 {
         self.stats.words_examined += 1;
         let msb_rate = self.rates.rate(group, SignificanceGroup::Msb);
@@ -240,6 +265,112 @@ impl FaultInjector for ProbabilisticFaults {
 
     fn stats(&self) -> FaultStats {
         self.stats
+    }
+}
+
+/// A probabilistic fault injector driven by per-group bit-flip rates.
+///
+/// Random draws are partitioned into deterministic per-`(layer, head)` lanes
+/// (created on demand; direct [`corrupt`](FaultInjector::corrupt) calls with
+/// no preceding [`begin_lane`](FaultInjector::begin_lane) use lane `(0, 0)`).
+/// Each lane's RNG is seeded from the injector seed and the lane label alone,
+/// so the bits a head's reads see depend only on the per-head corruption
+/// history — never on how heads interleave across layers, steps or worker
+/// threads.  [`stats`](FaultInjector::stats) sums the lane counters.
+///
+/// `Clone` snapshots the full injector state (rates, every lane's RNG
+/// position and counters); the prefix-sharing machinery uses this to capture
+/// the exact post-prefix fault stream so a cache-hit session resumes the
+/// stream bit-identically to a cold one.
+#[derive(Debug, Clone)]
+pub struct ProbabilisticFaults {
+    rates: BitFlipRates,
+    seed: u64,
+    lanes: Vec<FaultLane>,
+    index: crate::hash::FastHashMap<(u32, u32), usize>,
+    active: usize,
+}
+
+impl ProbabilisticFaults {
+    /// Creates an injector with the given rates and RNG seed.
+    pub fn new(rates: BitFlipRates, seed: u64) -> Self {
+        ProbabilisticFaults {
+            rates,
+            seed,
+            lanes: Vec::new(),
+            index: crate::hash::FastHashMap::default(),
+            active: 0,
+        }
+    }
+
+    /// The configured rates.
+    pub fn rates(&self) -> BitFlipRates {
+        self.rates
+    }
+
+    /// Index of the lane for `(layer, head)`, creating it if needed.
+    fn lane_slot(&mut self, layer: usize, head: usize) -> usize {
+        let key = (layer as u32, head as u32);
+        if let Some(&slot) = self.index.get(&key) {
+            return slot;
+        }
+        let slot = self.lanes.len();
+        self.lanes
+            .push(FaultLane::new(self.rates, self.seed, layer, head));
+        self.index.insert(key, slot);
+        slot
+    }
+}
+
+impl FaultInjector for ProbabilisticFaults {
+    fn corrupt(&mut self, value: f32, group: TokenGroup) -> f32 {
+        let slot = if self.lanes.is_empty() {
+            self.lane_slot(0, 0)
+        } else {
+            self.active
+        };
+        self.lanes[slot].corrupt(value, group)
+    }
+
+    fn begin_lane(&mut self, layer: usize, head: usize) {
+        self.active = self.lane_slot(layer, head);
+    }
+
+    fn split_lanes(
+        &mut self,
+        layer: usize,
+        heads: usize,
+    ) -> Option<Vec<&mut (dyn FaultInjector + Send)>> {
+        for head in 0..heads {
+            self.lane_slot(layer, head);
+        }
+        // Map each storage slot back to its head position so one pass over
+        // `lanes` can hand out disjoint `&mut`s in head order.
+        let mut head_of_slot = vec![usize::MAX; self.lanes.len()];
+        for head in 0..heads {
+            head_of_slot[self.index[&(layer as u32, head as u32)]] = head;
+        }
+        let mut out: Vec<Option<&mut (dyn FaultInjector + Send)>> =
+            (0..heads).map(|_| None).collect();
+        for (slot, fault_lane) in self.lanes.iter_mut().enumerate() {
+            if head_of_slot[slot] != usize::MAX {
+                out[head_of_slot[slot]] = Some(fault_lane);
+            }
+        }
+        Some(
+            out.into_iter()
+                .map(|lane| lane.expect("lane created above"))
+                .collect(),
+        )
+    }
+
+    fn stats(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for lane in &self.lanes {
+            total.words_examined += lane.stats.words_examined;
+            total.bits_flipped += lane.stats.bits_flipped;
+        }
+        total
     }
 }
 
@@ -326,6 +457,59 @@ mod tests {
             let v = (i as f32 - 1000.0) * 0.05;
             assert!(inj.corrupt(v, TokenGroup::HighScore).is_finite());
         }
+    }
+
+    #[test]
+    fn lane_streams_are_independent_of_visit_order() {
+        let rates = BitFlipRates::uniform(0.3);
+        let run = |head_order: &[usize]| -> (Vec<Vec<u32>>, FaultStats) {
+            let mut inj = ProbabilisticFaults::new(rates, 5);
+            let mut per_head = vec![Vec::new(); 3];
+            for &h in head_order {
+                inj.begin_lane(0, h);
+                for i in 0..16 {
+                    let v = 0.1 + i as f32 * 0.05;
+                    per_head[h].push(inj.corrupt(v, TokenGroup::LowScore).to_bits());
+                }
+            }
+            (per_head, inj.stats())
+        };
+        assert_eq!(run(&[0, 1, 2]), run(&[2, 0, 1]));
+    }
+
+    #[test]
+    fn split_lanes_matches_begin_lane_streams() {
+        let rates = BitFlipRates::uniform(0.25);
+        let draw = |inj: &mut dyn FaultInjector| -> Vec<u32> {
+            (0..8)
+                .map(|i| inj.corrupt(i as f32 * 0.1, TokenGroup::HighScore).to_bits())
+                .collect()
+        };
+        let sequential = {
+            let mut inj = ProbabilisticFaults::new(rates, 9);
+            let mut outs = Vec::new();
+            for h in 0..4 {
+                inj.begin_lane(1, h);
+                outs.push(draw(&mut inj));
+            }
+            (outs, inj.stats())
+        };
+        let split = {
+            let mut inj = ProbabilisticFaults::new(rates, 9);
+            let mut outs = vec![Vec::new(); 4];
+            // Visit the split handles in reverse to prove order irrelevance.
+            for (h, lane) in inj.split_lanes(1, 4).unwrap().into_iter().enumerate().rev() {
+                outs[h] = draw(lane);
+            }
+            (outs, inj.stats())
+        };
+        assert_eq!(sequential, split);
+    }
+
+    #[test]
+    fn default_split_lanes_is_none() {
+        let mut inj = NoFaults;
+        assert!(inj.split_lanes(0, 4).is_none());
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub use cache::{
 };
 pub use config::{ModelConfig, ModelKind, SurrogateDims};
 pub use decoder::{DecoderLayer, SurrogateModel};
-pub use fault::{FaultInjector, FaultStats, NoFaults, SignificanceGroup, TokenGroup};
+pub use fault::{
+    FaultInjector, FaultStats, NoFaults, ProbabilisticFaults, SignificanceGroup, TokenGroup,
+};
 pub use generation::{
     DecodeStep, DecodeTrace, GenerationConfig, GenerationOutput, GenerationState, StepRecord,
 };
@@ -86,5 +88,7 @@ const _: () = {
     assert_send::<fault::ProbabilisticFaults>();
     assert_send::<fault::NoFaults>();
     assert_send::<generation::GenerationState>();
-    assert_send::<cache::FullKvCache>();
+    // Cache backends additionally share `&self` across workers during the
+    // intra-session per-head fan-out (the `KvCacheBackend: Sync` bound).
+    assert_send_sync::<cache::FullKvCache>();
 };

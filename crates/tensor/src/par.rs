@@ -1,0 +1,109 @@
+//! A minimal fork-join execution abstraction for intra-step parallelism.
+//!
+//! The decode hot path fans independent units of work — per-head attention
+//! passes, row ranges of a projection — out to whatever compute is available.
+//! Rather than depending on a thread-pool crate, the numeric layer only
+//! depends on this small trait: callers hand a batch of closures to a
+//! [`ParallelRunner`] and the runner guarantees all of them have finished
+//! before [`ParallelRunner::run`] returns (fork-join semantics).
+//!
+//! Two properties make the abstraction safe and deterministic:
+//!
+//! - **Join before return.** `run` must not return while any job is still
+//!   executing.  This is what lets jobs borrow stack-local data (`Job<'a>` is
+//!   lifetime-parameterized, not `'static`).
+//! - **Disjoint effects.** Each job owns the mutable state it touches
+//!   (disjoint output slices, per-job scratch).  Runners never need to order
+//!   jobs; any interleaving produces the same bits because no two jobs share
+//!   a mutable location.
+//!
+//! [`SerialRunner`] is the trivial implementation (run jobs in order on the
+//! calling thread); `kelle-core` provides a pool-backed implementation on top
+//! of its work-stealing `WorkerPool`.
+
+/// A unit of work handed to a [`ParallelRunner`].
+///
+/// Jobs may borrow data that outlives the `run` call (`'a`), because runners
+/// guarantee all jobs complete before `run` returns.
+pub type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// Fork-join executor for batches of independent jobs.
+///
+/// Implementations must not return from [`run`](ParallelRunner::run) until
+/// every job has finished (or panicked — panics must be propagated to the
+/// caller, not swallowed).
+pub trait ParallelRunner {
+    /// Number of jobs that can make progress concurrently (including the
+    /// calling thread).  Callers use this to size their work partitions; a
+    /// value of 1 means "run everything inline".
+    fn lanes(&self) -> usize;
+
+    /// Executes all `jobs`, returning only after every one has completed.
+    ///
+    /// # Panics
+    ///
+    /// If any job panics, the panic is resurfaced on the calling thread
+    /// after all other jobs have finished.
+    fn run<'a>(&self, jobs: Vec<Job<'a>>);
+}
+
+impl std::fmt::Debug for dyn ParallelRunner + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ParallelRunner(lanes={})", self.lanes())
+    }
+}
+
+/// The trivial [`ParallelRunner`]: executes jobs sequentially, in submission
+/// order, on the calling thread.
+///
+/// Used as the fallback when no pool is available and as the reference
+/// executor in equivalence tests (parallel runners must produce the same
+/// bits as this one).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialRunner;
+
+impl ParallelRunner for SerialRunner {
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    fn run<'a>(&self, jobs: Vec<Job<'a>>) {
+        for job in jobs {
+            job();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_runner_executes_all_jobs_in_order() {
+        let log = std::sync::Mutex::new(Vec::new());
+        let runner = SerialRunner;
+        let jobs: Vec<Job> = (0..8)
+            .map(|i| {
+                let log = &log;
+                Box::new(move || log.lock().unwrap().push(i)) as Job
+            })
+            .collect();
+        runner.run(jobs);
+        assert_eq!(*log.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_can_borrow_stack_locals() {
+        let mut out = vec![0u32; 4];
+        let runner = SerialRunner;
+        {
+            let jobs: Vec<Job> = out
+                .chunks_mut(1)
+                .enumerate()
+                .map(|(i, chunk)| Box::new(move || chunk[0] = i as u32 + 1) as Job)
+                .collect();
+            runner.run(jobs);
+        }
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+}

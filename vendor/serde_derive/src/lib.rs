@@ -4,20 +4,22 @@
 //! serialization derives must resolve locally.  The sibling `serde` stub
 //! provides blanket implementations of its marker traits, which makes an
 //! empty derive expansion sufficient: `#[derive(Serialize, Deserialize)]`
-//! stays valid on every type without generating any code.
+//! stays valid on every type without generating any code.  The derives
+//! register the `serde` helper attribute (like the real crate does), so
+//! field annotations such as `#[serde(default)]` parse and are ignored.
 
 use proc_macro::TokenStream;
 
 /// Accepts `#[derive(Serialize)]` and expands to nothing; the blanket impl in
 /// the `serde` stub already covers the type.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// Accepts `#[derive(Deserialize)]` and expands to nothing; the blanket impl
 /// in the `serde` stub already covers the type.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
