@@ -1,0 +1,81 @@
+//! Chaos-recovery benchmark binary: serves a fleet under deterministic
+//! fault injection (worker panics, transient migration failures, admission
+//! blips) and clean, asserts every surviving stream bit-identical while
+//! measuring, prints the fault census and the recovery tail, and emits the
+//! `BENCH_chaos.json` artifact consumed by CI.
+//!
+//! Usage: `cargo run --release -p kelle-bench --bin bench_chaos -- \
+//!     [--quick] [--out BENCH_chaos.json]`
+
+use kelle_bench::chaos_perf::{self, ChaosPerfConfig};
+use std::path::PathBuf;
+
+fn main() {
+    chaos_perf::silence_injected_panics();
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_chaos.json"));
+
+    let config = if quick {
+        ChaosPerfConfig::quick()
+    } else {
+        ChaosPerfConfig::full()
+    };
+    let fleet = &config.scenario.fleet;
+    println!(
+        "chaos-hardened serving on chaos_shared_prompt ({} sessions, system {}, user {}, \
+         decode {}; {} workers; {}‰ panics, {}‰ migration faults, {}‰ ledger blips){}",
+        fleet.sessions,
+        fleet.system_tokens,
+        fleet.user_tokens,
+        fleet.decode_len,
+        config.workers,
+        config.scenario.worker_loss_per_mille,
+        config.scenario.migration_fault_per_mille,
+        config.scenario.ledger_blip_per_mille,
+        if quick { " [quick]" } else { "" }
+    );
+
+    let report = chaos_perf::run(config);
+    println!(
+        "{:>6} {:>10} {:>14} {:>14} {:>14}",
+        "run", "seconds", "tokens/s", "p50 tok µs", "p99 tok µs"
+    );
+    for row in [&report.clean, &report.chaos] {
+        println!(
+            "{:>6} {:>10.4} {:>14.1} {:>14.3} {:>14.3}",
+            row.label, row.seconds, row.tokens_per_s, row.p50_token_us, row.p99_token_us
+        );
+    }
+    println!(
+        "faults: {} panics injected, {} steps replayed, {} sessions restored \
+         ({} checkpoints, {} backoff ticks)",
+        report.metrics.injected_panics,
+        report.metrics.replayed_steps,
+        report.metrics.restored_sessions,
+        report.metrics.checkpoints_taken,
+        report.metrics.backoff_ticks,
+    );
+    println!(
+        "        {} ledger blips, {} migration retries, {} migrations abandoned, \
+         {} requests lost",
+        report.metrics.ledger_blips,
+        report.migration_retries,
+        report.failed_migrations,
+        report.metrics.lost_requests,
+    );
+    println!("(every surviving stream verified bit-identical to the clean run)");
+
+    match report.write_json(&out) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(err) => {
+            eprintln!("failed to write {}: {err}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

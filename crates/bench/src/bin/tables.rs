@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run -p kelle-bench --bin tables [-- --table <id>]`
 //! where `<id>` is one of `1`, `2`, `3`, `4`, `5`, `6`, `7`, `8`, `9`,
-//! `area-power`, `bandwidth`, `contention`, `decode_perf`, `intra`,
+//! `area-power`, `bandwidth`, `chaos`, `contention`, `decode_perf`, `intra`,
 //! `prefix`, `serving`, `tiering`, or `all` (default).
 
 use kelle::accuracy::{evaluate_all_methods, evaluate_method, AccuracyConfig, Method};
@@ -75,6 +75,9 @@ fn main() {
     }
     if all || which == "tiering" {
         tiering();
+    }
+    if all || which == "chaos" {
+        chaos();
     }
 }
 
@@ -483,4 +486,38 @@ fn tiering() {
         report.metrics.migration_energy_j * 1e3,
     );
     println!("(token streams are bit-identical to the unbounded run; only migration cost moves)");
+}
+
+fn chaos() {
+    header("Chaos-hardened serving: fault injection, checkpoint/replay recovery");
+    kelle_bench::chaos_perf::silence_injected_panics();
+    let report = kelle_bench::chaos_perf::run(kelle_bench::chaos_perf::ChaosPerfConfig::quick());
+    println!(
+        "{} workers; {}‰ panics, {}‰ migration faults, {}‰ ledger blips (seeded)",
+        report.config.workers,
+        report.config.scenario.worker_loss_per_mille,
+        report.config.scenario.migration_fault_per_mille,
+        report.config.scenario.ledger_blip_per_mille
+    );
+    println!(
+        "{:>6} {:>10} {:>14} {:>14} {:>14}",
+        "run", "seconds", "tokens/s", "p50 tok µs", "p99 tok µs"
+    );
+    for row in [&report.clean, &report.chaos] {
+        println!(
+            "{:>6} {:>10.4} {:>14.1} {:>14.3} {:>14.3}",
+            row.label, row.seconds, row.tokens_per_s, row.p50_token_us, row.p99_token_us
+        );
+    }
+    println!(
+        "faults: {} panics, {} replayed steps, {} restores, {} ledger blips, \
+         {} migration retries, {} lost",
+        report.metrics.injected_panics,
+        report.metrics.replayed_steps,
+        report.metrics.restored_sessions,
+        report.metrics.ledger_blips,
+        report.migration_retries,
+        report.metrics.lost_requests,
+    );
+    println!("(every surviving stream verified bit-identical to the clean run)");
 }

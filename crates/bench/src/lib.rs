@@ -15,10 +15,13 @@
 //! * `src/bin/bench_serving.rs` — the threaded-serving worker-count sweep
 //!   emitting `BENCH_serving.json`, built on [`serving_perf`];
 //! * `src/bin/bench_tiering.rs` — the tiered-memory pressure sweep emitting
-//!   `BENCH_tiering.json`, built on [`tiering_perf`].
+//!   `BENCH_tiering.json`, built on [`tiering_perf`];
+//! * `src/bin/bench_chaos.rs` — the chaos-recovery sweep emitting
+//!   `BENCH_chaos.json`, built on [`chaos_perf`].
 
 #![warn(missing_docs)]
 
+pub mod chaos_perf;
 pub mod decode_perf;
 pub mod intra_perf;
 pub mod prefix_perf;

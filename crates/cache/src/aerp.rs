@@ -79,7 +79,7 @@ impl AerpConfig {
 }
 
 /// Per-layer state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LayerState {
     /// Which tokens each head currently retains (insertion-ordered; the
     /// single source of entry order).
@@ -118,7 +118,7 @@ impl LayerState {
 }
 
 /// Kelle's attention-based eviction and recomputation policy.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AerpCache {
     config: AerpConfig,
     heads: usize,
@@ -450,6 +450,10 @@ impl KvCacheBackend for AerpCache {
         } else {
             "aep"
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn KvCacheBackend> {
+        Box::new(self.clone())
     }
 }
 

@@ -16,7 +16,7 @@ use crate::importance::ImportanceTracker;
 use kelle_model::{ArenaGrid, CacheStats, EntryRef, KvCacheBackend, PayloadRef, TokenId};
 
 /// The H2O (heavy-hitter oracle) cache policy.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct H2oCache {
     budget: CacheBudget,
     store: ArenaGrid,
@@ -193,6 +193,10 @@ impl KvCacheBackend for H2oCache {
 
     fn name(&self) -> &'static str {
         "h2o"
+    }
+
+    fn clone_box(&self) -> Box<dyn KvCacheBackend> {
+        Box::new(self.clone())
     }
 }
 

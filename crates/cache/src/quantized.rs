@@ -24,7 +24,7 @@ use kelle_model::{ArenaGrid, CacheStats, EntryRef, KvCacheBackend, PayloadRef, T
 use kelle_tensor::{QuantFormat, QuantizedVector};
 
 /// A full-retention KV cache that stores keys and values in a low-bit format.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct QuaRotKvCache {
     format: QuantFormat,
     /// Dequantized image of the stored vectors, contiguous per (layer, head).
@@ -156,6 +156,10 @@ impl KvCacheBackend for QuaRotKvCache {
             QuantFormat::Int8 => "quarot-kv8",
             _ => "quarot-kv16",
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn KvCacheBackend> {
+        Box::new(self.clone())
     }
 }
 

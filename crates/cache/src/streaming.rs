@@ -15,7 +15,7 @@ use crate::budget::CacheBudget;
 use kelle_model::{ArenaGrid, CacheStats, EntryRef, KvCacheBackend, PayloadRef, TokenId};
 
 /// The StreamingLLM cache policy.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StreamingLlmCache {
     budget: CacheBudget,
     /// (layer, head) -> retained entries in insertion order.
@@ -152,6 +152,10 @@ impl KvCacheBackend for StreamingLlmCache {
 
     fn name(&self) -> &'static str {
         "streaming-llm"
+    }
+
+    fn clone_box(&self) -> Box<dyn KvCacheBackend> {
+        Box::new(self.clone())
     }
 }
 

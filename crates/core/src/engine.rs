@@ -209,6 +209,11 @@ pub struct ServeOutcome {
     /// parallel-equivalence suite asserts these bit-match single-threaded
     /// serving for every worker count.
     pub faults: FaultStats,
+    /// `None` for a request that ran its full decode budget; `Some(reason)`
+    /// when the scheduler shed it early (deadline, queue timeout, cancel,
+    /// drain, or an unrecoverable worker loss) — `generated` then holds the
+    /// partial output produced before the shed.
+    pub shed: Option<crate::chaos::ShedReason>,
 }
 
 impl From<TurnOutcome> for ServeOutcome {
@@ -221,6 +226,7 @@ impl From<TurnOutcome> for ServeOutcome {
             prefilled_tokens: turn.prefilled_tokens,
             prefix_hit_tokens: turn.prefix_hit_tokens,
             faults: turn.faults,
+            shed: None,
         }
     }
 }
@@ -604,6 +610,32 @@ impl KelleEngine {
         on_token: impl FnMut(usize, usize),
     ) -> BatchOutcome {
         parallel::serve_batch_parallel(self, requests, config, self.config.workers, on_token)
+    }
+
+    /// Fallible
+    /// [`serve_batch_parallel_with`](KelleEngine::serve_batch_parallel_with):
+    /// an unrecoverable worker loss surfaces as the typed
+    /// [`ServeError::WorkerLost`](crate::chaos::ServeError) instead of a
+    /// panic, so callers can distinguish infrastructure failure from request
+    /// failure.  This is the entry point chaos-hardened serving drives (see
+    /// [`SchedulerConfig::with_chaos`](crate::scheduler::SchedulerConfig::with_chaos)).
+    pub fn try_serve_batch_parallel_with(
+        &self,
+        requests: Vec<ServeRequest>,
+        config: SchedulerConfig,
+    ) -> Result<BatchOutcome, crate::chaos::ServeError> {
+        self.try_serve_batch_parallel_streaming_with(requests, config, |_, _| {})
+    }
+
+    /// Streaming variant of
+    /// [`try_serve_batch_parallel_with`](KelleEngine::try_serve_batch_parallel_with).
+    pub fn try_serve_batch_parallel_streaming_with(
+        &self,
+        requests: Vec<ServeRequest>,
+        config: SchedulerConfig,
+        on_token: impl FnMut(usize, usize),
+    ) -> Result<BatchOutcome, crate::chaos::ServeError> {
+        parallel::try_serve_batch_parallel(self, requests, config, self.config.workers, on_token)
     }
 
     /// Folds one completed turn into the lifetime statistics.

@@ -97,6 +97,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod accuracy;
+pub mod chaos;
 pub mod engine;
 pub mod experiment;
 pub mod faults;
@@ -107,12 +108,16 @@ pub mod session;
 pub mod tier;
 
 pub use accuracy::{AccuracyResult, Method};
+pub use chaos::{
+    ChaosConfig, ChaosMetrics, ChaosPlan, Checkpoint, MigrationFaults, ServeError, ShedReason,
+};
 pub use engine::{EngineBuilder, EngineConfig, EngineStats, KelleEngine, ServeOutcome};
 pub use experiment::{EndToEndRow, EndToEndSummary};
 pub use faults::fault_injector_for_policy;
 pub use kelle_cache::CachePolicy;
 pub use parallel::{
-    InlineExecutor, ParallelAxis, PoolRunner, SessionTask, StepExecutor, TaskOutput, WorkerPool,
+    InlineExecutor, ParallelAxis, PoolRunner, SessionTask, StepExecutor, TaskFailure, TaskOutput,
+    TickResult, WorkerPool,
 };
 pub use prefix::{
     PrefixHit, PrefixKey, PrefixSharingConfig, PrefixStore, PrefixStoreStats, RadixPrefixIndex,

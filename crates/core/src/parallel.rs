@@ -81,6 +81,7 @@
 //! [`serve_batch`]: KelleEngine::serve_batch
 //! [`EngineBuilder::workers`]: crate::engine::EngineBuilder::workers
 
+use crate::chaos::ServeError;
 use crate::engine::KelleEngine;
 use crate::scheduler::{BatchOutcome, BatchScheduler, SchedulerConfig};
 use crate::session::{PrefillPlan, ServeRequest, Session};
@@ -133,6 +134,10 @@ pub struct SessionTask<'e> {
     index: usize,
     session: Session<'e>,
     work: Work,
+    /// Chaos-plan sabotage: when set, the task panics *after* its step
+    /// computes, so the mutated session is genuinely lost mid-tick (the
+    /// strongest case for checkpoint/replay recovery).
+    sabotage: bool,
 }
 
 #[derive(Debug)]
@@ -154,6 +159,7 @@ impl<'e> SessionTask<'e> {
             index,
             session,
             work: Work::Decode,
+            sabotage: false,
         }
     }
 
@@ -168,7 +174,13 @@ impl<'e> SessionTask<'e> {
             index,
             session,
             work: Work::Prefill { tokens, plan },
+            sabotage: false,
         }
+    }
+
+    /// Arms the chaos sabotage: the task will panic after computing its step.
+    pub(crate) fn arm_sabotage(&mut self) {
+        self.sabotage = true;
     }
 
     /// The request index (submission order) this task belongs to.
@@ -183,6 +195,7 @@ impl<'e> SessionTask<'e> {
             index,
             mut session,
             work,
+            sabotage,
         } = self;
         let payload = match work {
             Work::Decode => {
@@ -197,6 +210,9 @@ impl<'e> SessionTask<'e> {
                 computed: session.prefill_planned(&tokens, plan),
             },
         };
+        if sabotage {
+            panic!("chaos: injected worker panic (request {index})");
+        }
         TaskOutput {
             index,
             session,
@@ -214,6 +230,7 @@ impl<'e> SessionTask<'e> {
             index,
             mut session,
             work,
+            sabotage,
         } = self;
         let payload = match work {
             Work::Decode => {
@@ -228,6 +245,9 @@ impl<'e> SessionTask<'e> {
                 computed: session.prefill_planned(&tokens, plan),
             },
         };
+        if sabotage {
+            panic!("chaos: injected worker panic (request {index})");
+        }
         TaskOutput {
             index,
             session,
@@ -283,6 +303,86 @@ impl<'e> TaskOutput<'e> {
     }
 }
 
+/// A task whose execution panicked: the session it owned is lost, but the
+/// tick survives — surviving outputs still commit and the scheduler can
+/// replay the lost step from checkpoint.
+#[derive(Debug, Clone)]
+pub struct TaskFailure {
+    index: usize,
+    message: String,
+}
+
+impl TaskFailure {
+    /// The request index whose task failed.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The stringified panic payload.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+/// The partitioned result of one fallible fan-out: the outputs of every task
+/// that completed plus a [`TaskFailure`] for every task that panicked.
+#[derive(Debug)]
+pub struct TickResult<'e> {
+    /// Outputs of the tasks that completed (any order).
+    pub outputs: Vec<TaskOutput<'e>>,
+    /// One entry per task whose execution panicked.
+    pub failures: Vec<TaskFailure>,
+}
+
+impl<'e> TickResult<'e> {
+    /// Unwraps into the outputs, resurfacing the first failure as a panic —
+    /// the legacy infallible behaviour.  The full batch has already been
+    /// drained, so a caller that catches the panic keeps a reusable
+    /// executor.
+    pub fn into_outputs(self) -> Vec<TaskOutput<'e>> {
+        if let Some(failure) = self.failures.into_iter().next() {
+            std::panic::resume_unwind(Box::new(failure.message));
+        }
+        self.outputs
+    }
+}
+
+/// Stringifies a caught panic payload (panics raise `&str` or `String` in
+/// practice; anything else gets a placeholder).
+fn panic_message(cause: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = cause.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = cause.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `tasks` through `run` one at a time, catching each panic into a
+/// [`TaskFailure`] so one crashed task cannot take the rest of the batch
+/// down with it.
+fn run_tasks_caught<'e>(
+    tasks: Vec<SessionTask<'e>>,
+    mut run: impl FnMut(SessionTask<'e>) -> TaskOutput<'e>,
+) -> TickResult<'e> {
+    let mut result = TickResult {
+        outputs: Vec::with_capacity(tasks.len()),
+        failures: Vec::new(),
+    };
+    for task in tasks {
+        let index = task.index();
+        match std::panic::catch_unwind(AssertUnwindSafe(|| run(task))) {
+            Ok(output) => result.outputs.push(output),
+            Err(cause) => result.failures.push(TaskFailure {
+                index,
+                message: panic_message(cause.as_ref()),
+            }),
+        }
+    }
+    result
+}
+
 /// Executes batches of [`SessionTask`]s for the [`BatchScheduler`].
 ///
 /// The contract is deliberately loose — outputs may come back in any order,
@@ -290,6 +390,11 @@ impl<'e> TaskOutput<'e> {
 /// determinism at commit time by sorting outputs on request index.  The two
 /// stock executors are [`InlineExecutor`] (sequential, the default behind
 /// [`BatchScheduler::step`]) and [`WorkerPool`].
+///
+/// The `try_*` pair is the fallible surface the chaos-hardened scheduler
+/// drives: a task panic becomes a [`TaskFailure`] in the returned
+/// [`TickResult`] instead of unwinding the coordinator, so surviving
+/// sessions commit and the lost step can replay from checkpoint.
 pub trait StepExecutor<'e> {
     /// Runs every task exactly once and returns all outputs (any order).
     fn execute(&mut self, tasks: Vec<SessionTask<'e>>) -> Vec<TaskOutput<'e>>;
@@ -306,6 +411,27 @@ pub trait StepExecutor<'e> {
         let _ = axis;
         self.execute(tasks)
     }
+
+    /// Fallible [`execute`](StepExecutor::execute): partitions the batch
+    /// into completed outputs and per-task failures.  This default delegates
+    /// to `execute` (which panics on failure); the stock executors override
+    /// it to catch task panics instead.
+    fn try_execute(&mut self, tasks: Vec<SessionTask<'e>>) -> TickResult<'e> {
+        TickResult {
+            outputs: self.execute(tasks),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Fallible [`execute_axis`](StepExecutor::execute_axis).
+    fn try_execute_axis(
+        &mut self,
+        tasks: Vec<SessionTask<'e>>,
+        axis: ParallelAxis,
+    ) -> TickResult<'e> {
+        let _ = axis;
+        self.try_execute(tasks)
+    }
 }
 
 /// Runs every task inline on the calling thread, in order — the executor
@@ -317,6 +443,10 @@ pub struct InlineExecutor;
 impl<'e> StepExecutor<'e> for InlineExecutor {
     fn execute(&mut self, tasks: Vec<SessionTask<'e>>) -> Vec<TaskOutput<'e>> {
         tasks.into_iter().map(SessionTask::run).collect()
+    }
+
+    fn try_execute(&mut self, tasks: Vec<SessionTask<'e>>) -> TickResult<'e> {
+        run_tasks_caught(tasks, SessionTask::run)
     }
 }
 
@@ -495,7 +625,7 @@ impl<'e> TaskQueue<WorkItem<'e>> {
 #[derive(Debug)]
 pub struct WorkerPool<'e> {
     queue: Arc<TaskQueue<WorkItem<'e>>>,
-    results: Receiver<std::thread::Result<TaskOutput<'e>>>,
+    results: Receiver<Result<TaskOutput<'e>, TaskFailure>>,
     workers: usize,
 }
 
@@ -507,15 +637,20 @@ impl<'e> WorkerPool<'e> {
     {
         let workers = workers.max(1);
         let queue = Arc::new(TaskQueue::new());
-        let (sender, results) = channel::<std::thread::Result<TaskOutput<'e>>>();
+        let (sender, results) = channel::<Result<TaskOutput<'e>, TaskFailure>>();
         for _ in 0..workers {
             let queue: Arc<TaskQueue<WorkItem<'e>>> = Arc::clone(&queue);
-            let sender: Sender<std::thread::Result<TaskOutput<'e>>> = sender.clone();
+            let sender: Sender<Result<TaskOutput<'e>, TaskFailure>> = sender.clone();
             scope.spawn(move || {
                 while let Some(item) = queue.steal() {
                     match item {
                         WorkItem::Task(task) => {
-                            let output = std::panic::catch_unwind(AssertUnwindSafe(|| task.run()));
+                            let index = task.index();
+                            let output = std::panic::catch_unwind(AssertUnwindSafe(|| task.run()))
+                                .map_err(|cause| TaskFailure {
+                                    index,
+                                    message: panic_message(cause.as_ref()),
+                                });
                             if sender.send(output).is_err() {
                                 // The coordinator is gone; nothing left to
                                 // work for.
@@ -620,31 +755,10 @@ impl<'e> ParallelRunner for PoolRunner<'e> {
 
 impl<'e> StepExecutor<'e> for WorkerPool<'e> {
     fn execute(&mut self, tasks: Vec<SessionTask<'e>>) -> Vec<TaskOutput<'e>> {
-        let count = tasks.len();
-        if count == 0 {
-            return Vec::new();
-        }
-        self.queue
-            .push_all(tasks.into_iter().map(WorkItem::Task).collect());
-        let mut outputs = Vec::with_capacity(count);
-        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-        // Every task sends exactly one result (panics are caught and carried
-        // back), so draining `count` results — even past the first panic —
-        // leaves the channel empty and the pool reusable by a caller that
-        // catches the resurfaced panic.
-        for _ in 0..count {
-            match self.results.recv() {
-                Ok(Ok(output)) => outputs.push(output),
-                Ok(Err(cause)) => panic = panic.or(Some(cause)),
-                Err(_) => unreachable!("workers outlive the pool (scoped) and senders persist"),
-            }
-        }
-        if let Some(cause) = panic {
-            // Resurface the first task panic so the failure mode matches
-            // single-threaded serving.
-            std::panic::resume_unwind(cause);
-        }
-        outputs
+        // Resurface the first task panic so the failure mode matches
+        // single-threaded serving; the full batch has been drained by then,
+        // so the pool stays reusable by a caller that catches it.
+        self.try_execute(tasks).into_outputs()
     }
 
     fn execute_axis(
@@ -652,23 +766,54 @@ impl<'e> StepExecutor<'e> for WorkerPool<'e> {
         tasks: Vec<SessionTask<'e>>,
         axis: ParallelAxis,
     ) -> Vec<TaskOutput<'e>> {
+        self.try_execute_axis(tasks, axis).into_outputs()
+    }
+
+    fn try_execute(&mut self, tasks: Vec<SessionTask<'e>>) -> TickResult<'e> {
+        let count = tasks.len();
+        let mut result = TickResult {
+            outputs: Vec::with_capacity(count),
+            failures: Vec::new(),
+        };
+        if count == 0 {
+            return result;
+        }
+        self.queue
+            .push_all(tasks.into_iter().map(WorkItem::Task).collect());
+        // Every task sends exactly one result (panics are caught and carried
+        // back as failures), so draining `count` results — even past the
+        // first failure — leaves the channel empty and the pool reusable.
+        for _ in 0..count {
+            match self.results.recv() {
+                Ok(Ok(output)) => result.outputs.push(output),
+                Ok(Err(failure)) => result.failures.push(failure),
+                Err(_) => unreachable!("workers outlive the pool (scoped) and senders persist"),
+            }
+        }
+        result
+    }
+
+    fn try_execute_axis(
+        &mut self,
+        tasks: Vec<SessionTask<'e>>,
+        axis: ParallelAxis,
+    ) -> TickResult<'e> {
         let intra = match axis {
             ParallelAxis::Session => false,
             ParallelAxis::Intra => true,
             ParallelAxis::Auto => tasks.len() == 1 || tasks.len() * 2 <= self.workers,
         };
         if !intra {
-            return self.execute(tasks);
+            return self.try_execute(tasks);
         }
         // Narrow batch: decode the sessions one at a time on this thread,
         // each step fanned out per head / per row block across the pool.
         // Running in index order here makes the scheduler's commit-time sort
-        // a no-op, exactly like sequential serving.
+        // a no-op, exactly like sequential serving.  Each task's panic is
+        // caught individually — one crashed session must not drop the
+        // not-yet-run sessions queued behind it mid-tick.
         let runner = self.runner();
-        tasks
-            .into_iter()
-            .map(|task| task.run_with(&runner))
-            .collect()
+        run_tasks_caught(tasks, |task| task.run_with(&runner))
     }
 }
 
@@ -701,6 +846,27 @@ pub fn serve_batch_parallel(
             scheduler.submit_with(request, &mut pool);
         }
         scheduler.run_to_completion_streaming_with(&mut pool, on_token)
+    })
+}
+
+/// Fallible [`serve_batch_parallel`]: an unrecoverable worker loss (a task
+/// panic the chaos replay budget could not absorb) surfaces as
+/// [`ServeError::WorkerLost`] instead of unwinding the coordinator, so
+/// callers can distinguish infrastructure failure from request failure.
+pub fn try_serve_batch_parallel(
+    engine: &KelleEngine,
+    requests: Vec<ServeRequest>,
+    config: SchedulerConfig,
+    workers: usize,
+    on_token: impl FnMut(usize, usize),
+) -> Result<BatchOutcome, ServeError> {
+    std::thread::scope(|scope| {
+        let mut pool = WorkerPool::start(scope, workers);
+        let mut scheduler = BatchScheduler::with_config(engine, config);
+        for request in requests {
+            scheduler.submit_with(request, &mut pool);
+        }
+        scheduler.try_run_to_completion_streaming_with(&mut pool, on_token)
     })
 }
 
@@ -853,6 +1019,94 @@ mod tests {
             let mut pool: WorkerPool<'_> = WorkerPool::start(scope, 2);
             assert!(StepExecutor::execute(&mut pool, Vec::new()).is_empty());
         });
+    }
+
+    #[test]
+    fn coordinator_unwind_mid_tick_joins_cleanly() {
+        // Regression: a coordinator that unwinds mid-tick — after fanning
+        // tasks out but before draining results — must still join the pool
+        // cleanly.  Drop closes the queue, the workers drain the in-flight
+        // task (their send fails once the receiver is gone) and exit; the
+        // scope joins instead of hanging.
+        let engine = engine();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|scope| {
+                let pool: WorkerPool<'_> = WorkerPool::start(scope, 2);
+                let mut session = engine.open_session();
+                session.prefill(&[1, 2, 3]);
+                pool.queue
+                    .push_all(vec![WorkItem::Task(SessionTask::decode(0, session))]);
+                panic!("coordinator unwinds mid-tick");
+            });
+        }));
+        assert!(result.is_err(), "the coordinator panic must propagate");
+        // Reaching this assertion at all is the point: the scope returned.
+    }
+
+    #[test]
+    fn intra_axis_failures_spare_queued_sessions() {
+        // Regression for the intra-axis fan-out: a panicking session must
+        // not take the sessions queued behind it down with it mid-map.
+        let engine = engine();
+        std::thread::scope(|scope| {
+            let mut pool = WorkerPool::start(scope, 2);
+            // An un-prefilled session panics inside decode_one.
+            let broken = engine.open_session();
+            let mut healthy = engine.open_session();
+            healthy.prefill(&[1, 2, 3]);
+            let tasks = vec![
+                SessionTask::decode(0, broken),
+                SessionTask::decode(1, healthy),
+            ];
+            let result = pool.try_execute_axis(tasks, ParallelAxis::Intra);
+            assert_eq!(result.outputs.len(), 1, "the healthy session survives");
+            assert_eq!(result.outputs[0].index(), 1);
+            assert_eq!(result.failures.len(), 1);
+            assert_eq!(result.failures[0].index(), 0);
+        });
+    }
+
+    #[test]
+    fn try_execute_partitions_outputs_and_failures() {
+        let engine = engine();
+        std::thread::scope(|scope| {
+            let mut pool = WorkerPool::start(scope, 2);
+            let broken = engine.open_session();
+            let mut healthy = engine.open_session();
+            healthy.prefill(&[4, 5, 6]);
+            let tasks = vec![
+                SessionTask::decode(3, healthy),
+                SessionTask::decode(9, broken),
+            ];
+            let result = pool.try_execute(tasks);
+            assert_eq!(result.outputs.len(), 1);
+            assert_eq!(result.outputs[0].index(), 3);
+            assert_eq!(result.failures.len(), 1);
+            assert_eq!(result.failures[0].index(), 9);
+            // The channel was fully drained: the pool serves the next batch.
+            let mut next = engine.open_session();
+            next.prefill(&[7, 8]);
+            let outputs = pool.execute(vec![SessionTask::decode(0, next)]);
+            assert_eq!(outputs.len(), 1);
+        });
+    }
+
+    #[test]
+    fn sabotaged_task_fails_with_the_chaos_message() {
+        let engine = engine();
+        let mut session = engine.open_session();
+        session.prefill(&[1, 2, 3]);
+        let mut task = SessionTask::decode(5, session);
+        task.arm_sabotage();
+        let result = InlineExecutor.try_execute(vec![task]);
+        assert!(result.outputs.is_empty());
+        assert_eq!(result.failures.len(), 1);
+        assert_eq!(result.failures[0].index(), 5);
+        assert!(
+            result.failures[0].message().contains("chaos"),
+            "message: {}",
+            result.failures[0].message()
+        );
     }
 
     #[test]

@@ -43,15 +43,19 @@
 //! unbounded capacity (the default) every request is admitted at submit time
 //! with the whole memory granted, reproducing the PR 1 scheduler exactly.
 
+use crate::chaos::{
+    ChaosConfig, ChaosMetrics, ChaosPlan, Checkpoint, MigrationFaults, ServeError, ShedReason,
+};
 use crate::engine::{EngineStats, KelleEngine, ServeOutcome};
 use crate::parallel::{InlineExecutor, ParallelAxis, SessionTask, StepExecutor, TaskOutput};
 use crate::session::{ServeRequest, Session};
 use crate::tier::{TierConfig, TierManager, TieringMetrics};
+use kelle_arch::{PhaseMetrics, PlatformReport};
 use kelle_cache::{BudgetPartitioner, CacheBudget, PartitionMode};
 use kelle_edram::{CapacityLedger, LeaseId};
-use kelle_model::DecodeTrace;
+use kelle_model::{CacheStats, DecodeTrace, FaultStats};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Which waiting request the admission stage promotes next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -114,6 +118,11 @@ pub struct SchedulerConfig {
     /// ([`ParallelAxis::Auto`]) picks per tick based on batch width.
     #[serde(default)]
     pub parallel_axis: ParallelAxis,
+    /// Deterministic fault injection (see [`crate::chaos`]).  `None` or an
+    /// all-zero config disables injection entirely — the chaos path then
+    /// takes no checkpoints and allocates nothing extra per tick.
+    #[serde(default)]
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl SchedulerConfig {
@@ -153,6 +162,14 @@ impl SchedulerConfig {
     /// moves wall-clock time.
     pub fn with_parallel_axis(mut self, axis: ParallelAxis) -> Self {
         self.parallel_axis = axis;
+        self
+    }
+
+    /// Enables deterministic fault injection (builder style).  The plan is
+    /// seeded from the config, so two schedulers built from equal configs
+    /// inject the identical fault sequence.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 }
@@ -262,6 +279,9 @@ pub struct BatchOutcome {
     /// reports and [`BatchOutcome::stats`] are identical to an
     /// unlimited-eDRAM run.
     pub tiering: TieringMetrics,
+    /// Fault-injection and recovery accounting (all zeros when chaos is
+    /// disabled and nothing was shed, cancelled or drained).
+    pub chaos: ChaosMetrics,
 }
 
 /// Error returned by [`BatchScheduler::finish`] when requests are still
@@ -370,6 +390,16 @@ pub struct BatchScheduler<'e> {
     tick: u64,
     spill_bytes: u64,
     prefix: PrefixBatchMetrics,
+    /// Seeded fault-injection plan; `None` when chaos is disabled.
+    chaos: Option<ChaosPlan>,
+    chaos_metrics: ChaosMetrics,
+    /// Last committed-boundary checkpoint per active request.  Populated
+    /// only while chaos is enabled, so the chaos-off decode path stays
+    /// allocation-free.
+    checkpoints: BTreeMap<usize, Checkpoint<'e>>,
+    /// Set by [`drain`](BatchScheduler::drain): admission stops pumping and
+    /// the machine winds down to idle.
+    draining: bool,
 }
 
 impl<'e> BatchScheduler<'e> {
@@ -406,6 +436,13 @@ impl<'e> BatchScheduler<'e> {
             tick: 0,
             spill_bytes: 0,
             prefix: PrefixBatchMetrics::default(),
+            chaos: config
+                .chaos
+                .filter(ChaosConfig::enabled)
+                .map(ChaosPlan::new),
+            chaos_metrics: ChaosMetrics::default(),
+            checkpoints: BTreeMap::new(),
+            draining: false,
         }
     }
 
@@ -422,6 +459,16 @@ impl<'e> BatchScheduler<'e> {
     /// The tier placement manager, when tiering is enabled.
     pub fn tier(&self) -> Option<&TierManager> {
         self.tier.as_ref()
+    }
+
+    /// Fault-injection and recovery counters accumulated so far.
+    pub fn chaos_metrics(&self) -> &ChaosMetrics {
+        &self.chaos_metrics
+    }
+
+    /// Whether [`drain`](BatchScheduler::drain) has stopped admission.
+    pub fn is_draining(&self) -> bool {
+        self.draining
     }
 
     /// Full-scale KV footprint of `tokens` retained tokens — the unit of
@@ -565,6 +612,12 @@ impl<'e> BatchScheduler<'e> {
     /// Every admission pumped in one call is flushed before it returns, so
     /// the `Admitted` state is never observable between public calls.
     fn pump_admission(&mut self, executor: &mut dyn StepExecutor<'e>) {
+        if self.draining {
+            // A draining scheduler stops admitting; whatever is active
+            // finishes, everything else stays queued (or was already shed by
+            // the drain entry point).
+            return;
+        }
         let engine = self.engine;
         let mut pending: Vec<SessionTask<'e>> = Vec::new();
         loop {
@@ -595,7 +648,20 @@ impl<'e> BatchScheduler<'e> {
             };
             let footprint = self.prefill_footprint(index);
             let charge = self.admission_charge(&footprint);
-            let lease = if self.admission_fits(charge) {
+            let fits = self.admission_fits(charge);
+            if fits
+                && (self.active() > 0 || !pending.is_empty())
+                && self.chaos.as_mut().is_some_and(ChaosPlan::ledger_blip)
+            {
+                // Transient reservation failure: the candidate stays queued
+                // and retries on a later pump.  Blips never fire on an empty
+                // machine (mirroring force-admission's forward-progress
+                // guarantee), so a blipped request is only ever delayed —
+                // its stream, faults and hardware report stay bit-identical.
+                self.chaos_metrics.ledger_blips += 1;
+                break;
+            }
+            let lease = if fits {
                 self.ledger
                     .reserve(footprint.private_bytes)
                     .expect("admission_fits covered the private bytes")
@@ -629,7 +695,12 @@ impl<'e> BatchScheduler<'e> {
                         // Dedup attach: the segment is replayed into the new
                         // session, promoting it back on chip if a rebalance
                         // had demoted it.
-                        tier.touch_segment(tag, &engine.platform().memory, self.tick);
+                        tier.touch_segment(
+                            tag,
+                            &engine.platform().memory,
+                            self.tick,
+                            self.chaos.as_mut().map(|p| p as &mut dyn MigrationFaults),
+                        );
                     }
                 }
             }
@@ -756,7 +827,48 @@ impl<'e> BatchScheduler<'e> {
     /// Every observable — events, metrics, f64 accumulation order — matches
     /// [`step`](BatchScheduler::step) exactly; only wall-clock time differs.
     pub fn step_with(&mut self, executor: &mut dyn StepExecutor<'e>) -> Vec<StepEvent> {
+        match self.try_step_with(executor) {
+            Ok(events) => events,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Fallible [`step`](BatchScheduler::step): one inline-executed tick,
+    /// with a retry-budget exhaustion surfacing as
+    /// [`ServeError::WorkerLost`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WorkerLost`] when an injected worker panic
+    /// exhausts its replay budget; the scheduler stays consistent and can
+    /// keep stepping or drain.
+    pub fn try_step(&mut self) -> Result<Vec<StepEvent>, ServeError> {
+        self.try_step_with(&mut InlineExecutor)
+    }
+
+    /// Fallible [`step_with`](BatchScheduler::step_with): a worker loss that
+    /// exhausts the chaos retry budget surfaces as
+    /// [`ServeError::WorkerLost`] instead of a panic.  Even on `Err` the
+    /// scheduler stays consistent — the lost request is finalized with its
+    /// partial output ([`ShedReason::WorkerLost`]), every lease and tier
+    /// placement is released, and stepping/draining can continue.
+    ///
+    /// With chaos enabled the tick additionally:
+    ///
+    /// * arms sessions the [`ChaosPlan`] marks for a worker panic this tick,
+    /// * replays failed sessions from their last committed-boundary
+    ///   [`Checkpoint`] (bounded by
+    ///   [`max_retries`](ChaosConfig::max_retries)) — the replay recomputes
+    ///   the identical decode step, so surviving streams stay bit-identical
+    ///   to a chaos-free run,
+    /// * refreshes each surviving session's checkpoint at the new committed
+    ///   boundary.
+    pub fn try_step_with(
+        &mut self,
+        executor: &mut dyn StepExecutor<'e>,
+    ) -> Result<Vec<StepEvent>, ServeError> {
         self.tick += 1;
+        self.shed_expired();
         let memory = &self.engine.platform().memory;
         // Per-tick buffers are O(active requests) and amortized into noise
         // by the decode compute they carry; ownership must cross the
@@ -768,16 +880,86 @@ impl<'e> BatchScheduler<'e> {
                     // Promote-before-tick: a session demoted by an earlier
                     // rebalance decodes out of eDRAM, so it migrates back up
                     // (cost charged) before this step runs.
-                    tier.promote_session(index, memory, self.tick);
+                    tier.promote_session(
+                        index,
+                        memory,
+                        self.tick,
+                        self.chaos.as_mut().map(|p| p as &mut dyn MigrationFaults),
+                    );
+                }
+                if self.chaos.is_some() && !self.checkpoints.contains_key(&index) {
+                    // First fan-out since activation: checkpoint the
+                    // committed (post-prefill) state before the session
+                    // leaves the coordinator.
+                    let session = slot
+                        .session
+                        .as_ref()
+                        .expect("session is resident between steps");
+                    self.checkpoints
+                        .insert(index, Checkpoint::capture(session, self.tick - 1));
+                    self.chaos_metrics.checkpoints_taken += 1;
                 }
                 let session = slot
                     .session
                     .take()
                     .expect("session is resident between steps");
-                tasks.push(SessionTask::decode(index, session));
+                let mut task = SessionTask::decode(index, session);
+                if self
+                    .chaos
+                    .as_ref()
+                    .is_some_and(|plan| plan.worker_panic(self.tick, index, 0))
+                {
+                    task.arm_sabotage();
+                    self.chaos_metrics.injected_panics += 1;
+                }
+                tasks.push(task);
             }
         }
-        let mut outputs = executor.execute_axis(tasks, self.config.parallel_axis);
+        let mut result = executor.try_execute_axis(tasks, self.config.parallel_axis);
+
+        // Replay lost sessions from their checkpoints, bounded by the plan's
+        // retry budget.  A replay re-forks the last committed state and
+        // recomputes the very same decode step, so the committed bits are
+        // those the lost execution would have produced.
+        let max_retries = self
+            .chaos
+            .as_ref()
+            .map_or(0, |plan| plan.config().max_retries);
+        let mut attempt = 0u32;
+        while !result.failures.is_empty() && self.chaos.is_some() && attempt < max_retries {
+            attempt += 1;
+            // One modelled backoff tick per replay round; the functional
+            // tick counter must stay chaos-invariant, so this is metrics
+            // only.
+            self.chaos_metrics.backoff_ticks += 1;
+            let failures = std::mem::take(&mut result.failures);
+            let mut retry_tasks = Vec::with_capacity(failures.len());
+            for failure in failures {
+                let index = failure.index();
+                let checkpoint = self
+                    .checkpoints
+                    .get(&index)
+                    .expect("chaos keeps a checkpoint for every active session");
+                let session = checkpoint.restore();
+                self.chaos_metrics.restored_sessions += 1;
+                self.chaos_metrics.replayed_steps += 1;
+                let mut task = SessionTask::decode(index, session);
+                if self
+                    .chaos
+                    .as_ref()
+                    .is_some_and(|plan| plan.worker_panic(self.tick, index, attempt))
+                {
+                    task.arm_sabotage();
+                    self.chaos_metrics.injected_panics += 1;
+                }
+                retry_tasks.push(task);
+            }
+            let retry = executor.try_execute_axis(retry_tasks, self.config.parallel_axis);
+            result.outputs.extend(retry.outputs);
+            result.failures = retry.failures;
+        }
+        let lost = std::mem::take(&mut result.failures);
+        let mut outputs = result.outputs;
         outputs.sort_by_key(TaskOutput::index);
 
         let mut events = Vec::with_capacity(outputs.len());
@@ -806,6 +988,18 @@ impl<'e> BatchScheduler<'e> {
                 tier.note_growth(index, growth, self.tick);
             }
             let finished = slot.remaining == 0;
+            if self.chaos.is_some() && !finished {
+                // Refresh the checkpoint at the new committed boundary so a
+                // panic on a later tick replays one step, not the whole
+                // request.
+                let session = slot
+                    .session
+                    .as_ref()
+                    .expect("session was just committed back");
+                self.checkpoints
+                    .insert(index, Checkpoint::capture(session, self.tick));
+                self.chaos_metrics.checkpoints_taken += 1;
+            }
             events.push(StepEvent {
                 request: index,
                 token: step.token,
@@ -829,16 +1023,44 @@ impl<'e> BatchScheduler<'e> {
         for index in completed {
             self.complete(index);
         }
+        // Requests whose retry budget is exhausted: restore the last
+        // committed state (so the shed finalizes a real partial turn), then
+        // shed them.  The first loss is reported to the caller; the
+        // scheduler itself stays consistent either way.
+        let worker_lost = lost.first().map(|failure| ServeError::WorkerLost {
+            request: failure.index(),
+            attempts: attempt + 1,
+            message: failure.message().to_string(),
+        });
+        for failure in lost {
+            let index = failure.index();
+            if let Some(checkpoint) = self.checkpoints.get(&index) {
+                let session = checkpoint.restore();
+                self.chaos_metrics.restored_sessions += 1;
+                if let RequestState::Active(slot) = &mut self.states[index] {
+                    slot.session = Some(session);
+                }
+            }
+            self.chaos_metrics.lost_requests += 1;
+            self.shed_active(index, ShedReason::WorkerLost);
+        }
         if let Some(tier) = self.tier.as_mut() {
             // End-of-tick rebalance, after completions freed their bytes:
             // idle and over-budget KV demotes toward DRAM/NVMe so the
             // admission pump below sees the settled eDRAM occupancy.
-            tier.rebalance(self.tick, memory);
+            tier.rebalance(
+                self.tick,
+                memory,
+                self.chaos.as_mut().map(|p| p as &mut dyn MigrationFaults),
+            );
         }
         // Freed capacity back-fills the waiting queue; the newly admitted
         // requests are pre-filled now and decode from the next tick.
         self.pump_admission(executor);
-        events
+        match worker_lost {
+            Some(error) => Err(error),
+            None => Ok(events),
+        }
     }
 
     /// Finalises a request: derives its capacity grant from the contention it
@@ -912,7 +1134,170 @@ impl<'e> BatchScheduler<'e> {
                 }
             }
         }
+        self.checkpoints.remove(&index);
         self.states[index] = RequestState::Finished(turn.into());
+    }
+
+    /// Sheds requests whose deadline or queue-wait budget expired, at the
+    /// start of the tick (before any decode compute is spent on them).
+    fn shed_expired(&mut self) {
+        for index in 0..self.states.len() {
+            let elapsed = self.tick.saturating_sub(self.timings[index].submitted_tick);
+            match &self.states[index] {
+                RequestState::Waiting(request)
+                    if request.queue_timeout_ticks().is_some_and(|t| elapsed > t) =>
+                {
+                    self.chaos_metrics.shed_requests += 1;
+                    self.shed_waiting(index, ShedReason::QueueTimeout);
+                }
+                RequestState::Active(slot)
+                    if slot.request.deadline_ticks().is_some_and(|d| elapsed > d) =>
+                {
+                    self.chaos_metrics.shed_requests += 1;
+                    self.shed_active(index, ShedReason::DeadlineExceeded);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// A synthetic outcome for a request shed with `generated` tokens that
+    /// never went through the hardware simulation (nothing was decoded, or
+    /// the session was lost with no checkpoint to finalize from).
+    fn shed_outcome(generated: Vec<usize>, trace: DecodeTrace, reason: ShedReason) -> ServeOutcome {
+        ServeOutcome {
+            generated,
+            cache: CacheStats::default(),
+            faults: FaultStats::default(),
+            trace,
+            hardware: PlatformReport {
+                platform: String::new(),
+                workload: "shed",
+                prefill: PhaseMetrics::default(),
+                decode: PhaseMetrics::default(),
+            },
+            prefilled_tokens: 0,
+            prefix_hit_tokens: 0,
+            shed: Some(reason),
+        }
+    }
+
+    /// Removes a waiting request from the queue and finalizes it unserved.
+    fn shed_waiting(&mut self, index: usize, reason: ShedReason) {
+        if let Some(pos) = self.waiting.iter().position(|&i| i == index) {
+            self.waiting.remove(pos);
+        }
+        let previous = std::mem::replace(&mut self.states[index], RequestState::Taken);
+        assert!(
+            matches!(previous, RequestState::Waiting(_)),
+            "only waiting requests shed through shed_waiting"
+        );
+        let timing = &mut self.timings[index];
+        timing.finished_tick = self.tick;
+        timing.queue_ticks = self.tick - timing.submitted_tick;
+        self.states[index] = RequestState::Finished(Self::shed_outcome(
+            Vec::new(),
+            DecodeTrace::default(),
+            reason,
+        ));
+    }
+
+    /// Finalizes an active request early with whatever it generated so far,
+    /// releasing its lease, tier placement and shared-prefix attachment.
+    /// With a resident session and at least one token the partial turn is
+    /// finalized for real (hardware simulation, engine statistics); a
+    /// token-less or session-less shed produces a synthetic outcome.
+    fn shed_active(&mut self, index: usize, reason: ShedReason) {
+        let state = std::mem::replace(&mut self.states[index], RequestState::Taken);
+        let RequestState::Active(mut slot) = state else {
+            unreachable!("only active requests shed through shed_active");
+        };
+        let kv_bytes = self.ledger.lease_bytes(slot.lease);
+        let generated = std::mem::take(&mut slot.generated);
+        let trace = std::mem::take(&mut slot.trace);
+        let outcome = match slot.session.as_mut() {
+            Some(session) if !generated.is_empty() => {
+                let decode_len = generated.len();
+                let turn = session.finish_turn(
+                    generated,
+                    trace,
+                    slot.prefilled,
+                    decode_len,
+                    slot.request.label(),
+                    None,
+                );
+                self.stats = self.stats.merged(EngineStats::from_turn(&turn));
+                let mut outcome = ServeOutcome::from(turn);
+                outcome.shed = Some(reason);
+                outcome
+            }
+            _ => Self::shed_outcome(generated, trace, reason),
+        };
+        let timing = &mut self.timings[index];
+        timing.finished_tick = self.tick;
+        timing.kv_bytes = kv_bytes;
+        timing.peak_concurrent_bytes = slot.peak_concurrent_bytes;
+        self.ledger.release(slot.lease);
+        if let Some(tier) = self.tier.as_mut() {
+            tier.remove_session(index);
+        }
+        if let Some((tag, _)) = slot.shared {
+            let last_detach = self.ledger.detach_shared(tag);
+            if last_detach {
+                if let Some(tier) = self.tier.as_mut() {
+                    tier.remove_segment(tag);
+                }
+            }
+        }
+        self.checkpoints.remove(&index);
+        self.states[index] = RequestState::Finished(outcome);
+    }
+
+    /// Cancels a request mid-stream.  A waiting request is finalized
+    /// unserved; an active one keeps the tokens it generated so far (its
+    /// outcome is marked [`ShedReason::Cancelled`]) and releases all
+    /// capacity immediately.  Returns `false` when the index is unknown or
+    /// the request already finished.
+    pub fn cancel(&mut self, request: usize) -> bool {
+        match self.states.get(request) {
+            Some(RequestState::Waiting(_)) => {
+                self.chaos_metrics.cancelled_requests += 1;
+                self.shed_waiting(request, ShedReason::Cancelled);
+                true
+            }
+            Some(RequestState::Active(_)) => {
+                self.chaos_metrics.cancelled_requests += 1;
+                self.shed_active(request, ShedReason::Cancelled);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Gracefully drains the scheduler: admission stops, every waiting
+    /// request is finalized unserved ([`ShedReason::Drained`]) and the
+    /// active ones are stepped to completion.  On return the scheduler is
+    /// idle and every lease, tier placement and shared-prefix reference has
+    /// been released — [`finish`](BatchScheduler::finish) cannot fail.
+    /// Draining is terminal: requests submitted afterwards queue forever.
+    pub fn drain(&mut self) -> Result<(), ServeError> {
+        self.drain_with(&mut InlineExecutor)
+    }
+
+    /// [`drain`](BatchScheduler::drain) stepping through `executor`.  A
+    /// [`ServeError::WorkerLost`] mid-drain sheds the lost request and
+    /// surfaces the error; calling again resumes the wind-down.
+    pub fn drain_with(&mut self, executor: &mut dyn StepExecutor<'e>) -> Result<(), ServeError> {
+        self.draining = true;
+        let waiting: Vec<usize> = self.waiting.iter().copied().collect();
+        for index in waiting {
+            self.chaos_metrics.drained_requests += 1;
+            self.shed_waiting(index, ShedReason::Drained);
+        }
+        while self.active() > 0 {
+            self.try_step_with(executor)?;
+        }
+        Ok(())
     }
 
     /// Effective per-session `N'` shares of the engine's cache budget for the
@@ -970,6 +1355,29 @@ impl<'e> BatchScheduler<'e> {
             .expect("scheduler is idle, finish cannot fail")
     }
 
+    /// Fallible
+    /// [`run_to_completion_streaming_with`](BatchScheduler::run_to_completion_streaming_with):
+    /// drives [`try_step_with`](BatchScheduler::try_step_with) until idle.
+    /// An unrecoverable worker loss aborts the drive with
+    /// [`ServeError::WorkerLost`]; the lost request was already finalized
+    /// with its partial output, but the remaining in-flight work is dropped
+    /// with the scheduler — callers that must not lose the batch should
+    /// step/drain a scheduler they own instead.
+    pub fn try_run_to_completion_streaming_with(
+        mut self,
+        executor: &mut dyn StepExecutor<'e>,
+        mut on_token: impl FnMut(usize, usize),
+    ) -> Result<BatchOutcome, ServeError> {
+        while !self.is_idle() {
+            for event in self.try_step_with(executor)? {
+                on_token(event.request, event.token);
+            }
+        }
+        Ok(self
+            .finish()
+            .expect("scheduler is idle, finish cannot fail"))
+    }
+
     /// Collects the per-request outcomes and the batch aggregate.
     ///
     /// Returns [`BatchIncomplete`] if any submitted request is still waiting
@@ -1018,6 +1426,7 @@ impl<'e> BatchScheduler<'e> {
                 .as_ref()
                 .map(TierManager::metrics)
                 .unwrap_or_default(),
+            chaos: self.chaos_metrics,
         })
     }
 }
@@ -1107,6 +1516,7 @@ mod tests {
             admission: AdmissionPolicy::Fcfs,
             tiering: None,
             parallel_axis: ParallelAxis::Auto,
+            chaos: None,
         };
         let scheduler = BatchScheduler::with_config(&engine, raw);
         assert_eq!(scheduler.ledger().capacity_bytes(), 1);
@@ -1451,6 +1861,170 @@ mod tests {
         // No grant shrinkage and no spill: capacity spans the hierarchy.
         assert_eq!(outcome.contention.per_request[0].granted_bytes, None);
         assert_eq!(outcome.contention.spill_bytes, 0);
+    }
+
+    #[test]
+    fn deadline_sheds_with_partial_output() {
+        let engine = engine();
+        let mut scheduler = BatchScheduler::new(&engine);
+        scheduler.submit(
+            ServeRequest::builder(vec![1, 2, 3])
+                .decode_len(10)
+                .deadline_ticks(3)
+                .build(),
+        );
+        let alone = engine.serve(&[1, 2, 3], 10);
+        for _ in 0..4 {
+            scheduler.step();
+        }
+        assert!(scheduler.is_idle(), "deadline shed the request");
+        let outcome = scheduler.finish().expect("idle");
+        let shed = &outcome.outcomes[0];
+        assert_eq!(shed.shed, Some(ShedReason::DeadlineExceeded));
+        // Three full ticks of decode before the shed, bit-identical to the
+        // unconstrained stream's prefix.
+        assert_eq!(shed.generated, alone.generated[..3]);
+        assert_eq!(outcome.chaos.shed_requests, 1);
+    }
+
+    #[test]
+    fn queue_timeout_sheds_waiting_requests() {
+        let engine = engine();
+        let capacity = engine.kv_footprint_bytes(4);
+        let config = SchedulerConfig::default().with_kv_capacity_bytes(capacity);
+        let mut scheduler = BatchScheduler::with_config(&engine, config);
+        scheduler.submit(ServeRequest::new(vec![1, 2, 3, 4], 8));
+        scheduler.submit(
+            ServeRequest::builder(vec![5, 6, 7, 8])
+                .decode_len(2)
+                .queue_timeout_ticks(2)
+                .build(),
+        );
+        assert_eq!(scheduler.waiting(), 1);
+        for _ in 0..3 {
+            scheduler.step();
+        }
+        assert_eq!(scheduler.waiting(), 0, "queue timeout expired");
+        let outcome = scheduler.run_to_completion();
+        assert_eq!(outcome.outcomes[1].shed, Some(ShedReason::QueueTimeout));
+        assert!(outcome.outcomes[1].generated.is_empty());
+        assert_eq!(outcome.outcomes[0].shed, None);
+        assert_eq!(outcome.outcomes[0].generated.len(), 8);
+    }
+
+    #[test]
+    fn cancel_finalizes_mid_stream_and_releases_capacity() {
+        let engine = engine();
+        let mut scheduler = BatchScheduler::new(&engine);
+        let a = scheduler.submit(ServeRequest::new(vec![1, 2, 3], 8));
+        let b = scheduler.submit(ServeRequest::new(vec![4, 5, 6], 2));
+        scheduler.step();
+        assert!(scheduler.cancel(a));
+        assert!(!scheduler.cancel(a), "already finished");
+        assert!(!scheduler.cancel(99), "unknown index");
+        let outcome = scheduler.run_to_completion();
+        assert_eq!(outcome.outcomes[a].shed, Some(ShedReason::Cancelled));
+        assert_eq!(outcome.outcomes[a].generated.len(), 1);
+        assert_eq!(outcome.outcomes[b].shed, None);
+        assert_eq!(outcome.chaos.cancelled_requests, 1);
+    }
+
+    #[test]
+    fn drain_stops_admission_and_releases_everything() {
+        let engine = engine();
+        let capacity = engine.kv_footprint_bytes(4);
+        let config = SchedulerConfig::default().with_kv_capacity_bytes(capacity);
+        let mut scheduler = BatchScheduler::with_config(&engine, config);
+        scheduler.submit(ServeRequest::new(vec![1, 2, 3, 4], 4));
+        scheduler.submit(ServeRequest::new(vec![5, 6, 7, 8], 4));
+        assert_eq!((scheduler.active(), scheduler.waiting()), (1, 1));
+        scheduler.step();
+        scheduler.drain().expect("no chaos, drain cannot fail");
+        assert!(scheduler.is_draining());
+        assert!(scheduler.is_idle());
+        assert_eq!(scheduler.ledger().live_bytes(), 0);
+        assert_eq!(scheduler.ledger().shared_bytes(), 0);
+        let outcome = scheduler.finish().expect("drained scheduler is idle");
+        // The active request ran to completion; the queued one was dropped.
+        assert_eq!(outcome.outcomes[0].shed, None);
+        assert_eq!(outcome.outcomes[0].generated.len(), 4);
+        assert_eq!(outcome.outcomes[1].shed, Some(ShedReason::Drained));
+        assert_eq!(outcome.chaos.drained_requests, 1);
+    }
+
+    #[test]
+    fn chaos_recovery_keeps_streams_bit_identical() {
+        use crate::parallel::WorkerPool;
+        let engine = engine();
+        let requests: Vec<ServeRequest> = (0..4)
+            .map(|i| ServeRequest::new(vec![10 + i, 20 + i, 30 + i], 4))
+            .collect();
+
+        let mut baseline = BatchScheduler::new(&engine);
+        for request in &requests {
+            baseline.submit(request.clone());
+        }
+        let clean = baseline.run_to_completion();
+
+        let chaos = ChaosConfig::default()
+            .with_seed(7)
+            .with_worker_panics(250)
+            .with_ledger_blips(100)
+            .with_max_retries(4);
+        let config = SchedulerConfig::default().with_chaos(chaos);
+        for workers in [1, 2, 4] {
+            let chaotic = std::thread::scope(|scope| {
+                let mut pool = WorkerPool::start(scope, workers);
+                let mut scheduler = BatchScheduler::with_config(&engine, config);
+                for request in &requests {
+                    scheduler.submit_with(request.clone(), &mut pool);
+                }
+                scheduler.try_run_to_completion_streaming_with(&mut pool, |_, _| {})
+            })
+            .expect("retry budget absorbs every injected panic");
+            assert!(
+                chaotic.chaos.injected_panics > 0,
+                "the 25% panic rate must fire across 4x4 decode steps"
+            );
+            assert_eq!(chaotic.chaos.lost_requests, 0);
+            assert!(chaotic.chaos.restored_sessions >= chaotic.chaos.replayed_steps);
+            for (a, b) in clean.outcomes.iter().zip(chaotic.outcomes.iter()) {
+                assert_eq!(a.generated, b.generated);
+                assert_eq!(a.faults, b.faults);
+                assert_eq!(a.hardware, b.hardware);
+            }
+            assert_eq!(clean.stats, chaotic.stats);
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_worker_lost_and_stay_consistent() {
+        let engine = engine();
+        let chaos = ChaosConfig::default()
+            .with_seed(3)
+            .with_worker_panics(1000)
+            .with_max_retries(0);
+        let config = SchedulerConfig::default().with_chaos(chaos);
+        let mut scheduler = BatchScheduler::with_config(&engine, config);
+        scheduler.submit(ServeRequest::new(vec![1, 2, 3], 4));
+        let err = scheduler
+            .try_step_with(&mut InlineExecutor)
+            .expect_err("a certain panic with no retries must be lost");
+        match err {
+            ServeError::WorkerLost {
+                request, attempts, ..
+            } => {
+                assert_eq!(request, 0);
+                assert_eq!(attempts, 1);
+            }
+        }
+        // The lost request was finalized; the scheduler is drainable and
+        // leak-free.
+        assert!(scheduler.is_idle());
+        assert_eq!(scheduler.ledger().live_bytes(), 0);
+        let outcome = scheduler.finish().expect("idle after the loss");
+        assert_eq!(outcome.outcomes[0].shed, Some(ShedReason::WorkerLost));
+        assert_eq!(outcome.chaos.lost_requests, 1);
     }
 
     #[test]

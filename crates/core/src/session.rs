@@ -31,6 +31,8 @@ pub struct ServeRequest {
     budget: Option<CacheBudget>,
     seed: Option<u64>,
     label: &'static str,
+    deadline_ticks: Option<u64>,
+    queue_timeout_ticks: Option<u64>,
 }
 
 impl ServeRequest {
@@ -80,6 +82,20 @@ impl ServeRequest {
     pub fn label(&self) -> &'static str {
         self.label
     }
+
+    /// The end-to-end deadline in scheduler ticks, if any.  A request still
+    /// active this many ticks after submission is shed with its partial
+    /// output ([`ShedReason::DeadlineExceeded`](crate::chaos::ShedReason)).
+    pub fn deadline_ticks(&self) -> Option<u64> {
+        self.deadline_ticks
+    }
+
+    /// The admission-queue timeout in scheduler ticks, if any.  A request
+    /// still waiting this many ticks after submission is shed unserved
+    /// ([`ShedReason::QueueTimeout`](crate::chaos::ShedReason)).
+    pub fn queue_timeout_ticks(&self) -> Option<u64> {
+        self.queue_timeout_ticks
+    }
 }
 
 /// Builder for [`ServeRequest`].
@@ -91,6 +107,8 @@ pub struct ServeRequestBuilder {
     budget: Option<CacheBudget>,
     seed: Option<u64>,
     label: &'static str,
+    deadline_ticks: Option<u64>,
+    queue_timeout_ticks: Option<u64>,
 }
 
 impl ServeRequestBuilder {
@@ -102,6 +120,8 @@ impl ServeRequestBuilder {
             budget: None,
             seed: None,
             label: "serve",
+            deadline_ticks: None,
+            queue_timeout_ticks: None,
         }
     }
 
@@ -135,6 +155,23 @@ impl ServeRequestBuilder {
         self
     }
 
+    /// Sets an end-to-end deadline in scheduler ticks (default: none).
+    ///
+    /// Note that a deadline changes *scheduling*, not compute: combining
+    /// deadlines with bit-identity comparisons across chaos configurations
+    /// is meaningless, because chaos shifts admission timing and therefore
+    /// which requests get shed.
+    pub fn deadline_ticks(mut self, ticks: u64) -> Self {
+        self.deadline_ticks = Some(ticks);
+        self
+    }
+
+    /// Sets an admission-queue timeout in scheduler ticks (default: none).
+    pub fn queue_timeout_ticks(mut self, ticks: u64) -> Self {
+        self.queue_timeout_ticks = Some(ticks);
+        self
+    }
+
     /// Finalises the request.
     ///
     /// # Panics
@@ -153,6 +190,8 @@ impl ServeRequestBuilder {
             budget: self.budget,
             seed: self.seed,
             label: self.label,
+            deadline_ticks: self.deadline_ticks,
+            queue_timeout_ticks: self.queue_timeout_ticks,
         }
     }
 }
@@ -301,6 +340,33 @@ impl<'e> Session<'e> {
             prefix_hit_tokens: 0,
             prefix_segment: None,
             pending_prefix_hit: 0,
+        }
+    }
+
+    /// A deep copy of this session for checkpoint/replay recovery.
+    ///
+    /// Everything the next decode step reads is duplicated: the KV-cache
+    /// backend (via [`KvCacheBackend::clone_box`]), the fault-RNG stream,
+    /// the generation cursor and the context.  A shared prefix segment is
+    /// *not* duplicated — the `Arc` is cloned, which is exactly right: the
+    /// segment is immutable and its ledger/tier accounting is keyed on the
+    /// original attach, so a fork is accounting-neutral.  Replaying a step
+    /// on the fork therefore produces bit-identical tokens, probability
+    /// bits and fault statistics to the step the original would have run.
+    pub(crate) fn fork(&self) -> Session<'e> {
+        Session {
+            engine: self.engine,
+            policy: self.policy,
+            cache: self.cache.clone_box(),
+            faults: self.faults.clone(),
+            state: self.state.clone(),
+            context: self.context.clone(),
+            turns: self.turns,
+            recorded_evictions: self.recorded_evictions,
+            key: self.key,
+            prefix_hit_tokens: self.prefix_hit_tokens,
+            prefix_segment: self.prefix_segment.clone(),
+            pending_prefix_hit: self.pending_prefix_hit,
         }
     }
 

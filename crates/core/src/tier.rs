@@ -67,10 +67,16 @@
 //! reports or engine statistics, which keeps every existing equivalence
 //! identity (batch stats = sum of sequential turns) intact.
 
+use crate::chaos::MigrationFaults;
 use kelle_arch::MemorySubsystem;
 use kelle_edram::{MemoryTier, TierAccounts, TierBudgets};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Transfer attempts per migration before it is abandoned for the tick (the
+/// item then stays on its source tier and the next rebalance or
+/// promote-before-tick retries from scratch).
+const MAX_MIGRATION_ATTEMPTS: u32 = 3;
 
 /// Parameters of the watermark-credit eviction scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -179,6 +185,16 @@ pub struct TieringMetrics {
     pub migration_time_s: f64,
     /// Modelled migration energy in joules (on-chip + DRAM/NVMe sides).
     pub migration_energy_j: f64,
+    /// Transfer attempts that failed transiently and were retried (chaos
+    /// injection only; each retry burns migration time/energy without
+    /// moving bytes).  `#[serde(default)]` keeps pre-chaos serialized
+    /// metrics loadable.
+    #[serde(default)]
+    pub migration_retries: u64,
+    /// Migrations abandoned after exhausting their per-tick transfer
+    /// attempts — the item stayed on its source tier for the tick.
+    #[serde(default)]
+    pub failed_migrations: u64,
 }
 
 impl TieringMetrics {
@@ -238,6 +254,8 @@ pub struct TierManager {
     migrated_bytes: u64,
     migration_time_s: f64,
     migration_energy_j: f64,
+    migration_retries: u64,
+    failed_migrations: u64,
 }
 
 impl TierManager {
@@ -252,6 +270,8 @@ impl TierManager {
             migrated_bytes: 0,
             migration_time_s: 0.0,
             migration_energy_j: 0.0,
+            migration_retries: 0,
+            failed_migrations: 0,
         }
     }
 
@@ -299,6 +319,8 @@ impl TierManager {
             migrated_bytes: self.migrated_bytes,
             migration_time_s: self.migration_time_s,
             migration_energy_j: self.migration_energy_j,
+            migration_retries: self.migration_retries,
+            failed_migrations: self.failed_migrations,
         }
     }
 
@@ -329,17 +351,35 @@ impl TierManager {
     /// is being replayed into the attaching session, so it is touched and —
     /// if a rebalance demoted it — promoted back to eDRAM with its
     /// migration cost charged.
-    pub(crate) fn touch_segment(&mut self, tag: u64, memory: &MemorySubsystem, tick: u64) {
-        self.promote(ItemKey::Segment(tag), memory, tick);
+    pub(crate) fn touch_segment(
+        &mut self,
+        tag: u64,
+        memory: &MemorySubsystem,
+        tick: u64,
+        faults: Option<&mut dyn MigrationFaults>,
+    ) {
+        self.promote(ItemKey::Segment(tag), memory, tick, faults);
     }
 
     /// Promote-before-tick: an active session decodes out of eDRAM, so a
     /// demoted session is migrated back up (cost charged) before its step.
-    pub(crate) fn promote_session(&mut self, index: usize, memory: &MemorySubsystem, tick: u64) {
-        self.promote(ItemKey::Session(index), memory, tick);
+    pub(crate) fn promote_session(
+        &mut self,
+        index: usize,
+        memory: &MemorySubsystem,
+        tick: u64,
+        faults: Option<&mut dyn MigrationFaults>,
+    ) {
+        self.promote(ItemKey::Session(index), memory, tick, faults);
     }
 
-    fn promote(&mut self, key: ItemKey, memory: &MemorySubsystem, tick: u64) {
+    fn promote(
+        &mut self,
+        key: ItemKey,
+        memory: &MemorySubsystem,
+        tick: u64,
+        faults: Option<&mut dyn MigrationFaults>,
+    ) {
         let Some(item) = self.items.get_mut(&key) else {
             return;
         };
@@ -348,8 +388,16 @@ impl TierManager {
         if from == MemoryTier::Edram {
             return;
         }
-        item.tier = MemoryTier::Edram;
         let bytes = item.bytes;
+        if !self.migration_succeeds(memory, from, MemoryTier::Edram, bytes, faults) {
+            // Graceful degradation: the item keeps serving from its source
+            // tier this tick; the next touch retries the promotion.
+            return;
+        }
+        self.items
+            .get_mut(&key)
+            .expect("promoted item resolves")
+            .tier = MemoryTier::Edram;
         self.accounts.migrate(from, MemoryTier::Edram, bytes);
         self.charge_migration(memory, from, MemoryTier::Edram, bytes);
     }
@@ -392,8 +440,15 @@ impl TierManager {
 
     /// End-of-tick rebalance: demote under budget pressure and below the
     /// watermark, cascade eDRAM → DRAM → NVMe, then update watermarks and
-    /// settled peaks (see the [module docs](self) for the scheme).
-    pub(crate) fn rebalance(&mut self, tick: u64, memory: &MemorySubsystem) {
+    /// settled peaks (see the [module docs](self) for the scheme).  A
+    /// migration the fault injector kills (after its per-tick retries) is
+    /// skipped — the item stays put and the next rebalance reconsiders it.
+    pub(crate) fn rebalance(
+        &mut self,
+        tick: u64,
+        memory: &MemorySubsystem,
+        mut faults: Option<&mut dyn MigrationFaults>,
+    ) {
         for tier in [MemoryTier::Edram, MemoryTier::Dram] {
             let target = tier.slower().expect("bounded tiers have a slower tier");
             let budget = self.config.budgets.budget(tier);
@@ -416,6 +471,17 @@ impl TierManager {
                 if !over_budget && !below_watermark {
                     break;
                 }
+                let reborrowed: Option<&mut dyn MigrationFaults> = match faults.as_mut() {
+                    Some(injector) => Some(&mut **injector),
+                    None => None,
+                };
+                if !self.migration_succeeds(memory, tier, target, bytes, reborrowed) {
+                    // The demotion's transfer failed transiently: skip this
+                    // candidate (its bytes stay resident here) and keep
+                    // scanning — a smaller or luckier item may still
+                    // relieve the pressure.
+                    continue;
+                }
                 if over_budget {
                     pressure_credit = Some(credit);
                 }
@@ -437,7 +503,35 @@ impl TierManager {
         }
     }
 
-    fn charge_migration(
+    /// Runs a migration's transfer attempts against the fault injector.
+    /// Without an injector the transfer succeeds immediately and for free;
+    /// every *failed* attempt burns the migration's full time and energy
+    /// (the bytes crossed the interface and were thrown away) without
+    /// moving residency.
+    fn migration_succeeds(
+        &mut self,
+        memory: &MemorySubsystem,
+        from: MemoryTier,
+        to: MemoryTier,
+        bytes: u64,
+        faults: Option<&mut dyn MigrationFaults>,
+    ) -> bool {
+        let Some(faults) = faults else {
+            return true;
+        };
+        for _ in 0..MAX_MIGRATION_ATTEMPTS {
+            if !faults.migration_fails(from, to, bytes) {
+                return true;
+            }
+            self.migration_retries += 1;
+            self.charge_attempt(memory, from, to, bytes);
+        }
+        self.failed_migrations += 1;
+        false
+    }
+
+    /// Charges one transfer's time and energy without moving any bytes.
+    fn charge_attempt(
         &mut self,
         memory: &MemorySubsystem,
         from: MemoryTier,
@@ -445,9 +539,19 @@ impl TierManager {
         bytes: u64,
     ) {
         let cost = memory.kv_migration_cost(from, to, bytes);
-        self.migrated_bytes += bytes;
         self.migration_time_s += cost.time_s;
         self.migration_energy_j += cost.onchip_energy_j + cost.dram_energy_j;
+    }
+
+    fn charge_migration(
+        &mut self,
+        memory: &MemorySubsystem,
+        from: MemoryTier,
+        to: MemoryTier,
+        bytes: u64,
+    ) {
+        self.migrated_bytes += bytes;
+        self.charge_attempt(memory, from, to, bytes);
     }
 }
 
@@ -481,11 +585,11 @@ mod tests {
         tiers.place_session(0, 150, 0);
         assert_eq!(tiers.session_tier(0), Some(MemoryTier::Edram));
 
-        tiers.rebalance(1, &mem);
+        tiers.rebalance(1, &mem, None);
         assert_eq!(tiers.session_tier(0), Some(MemoryTier::Dram));
         assert_eq!(tiers.accounts().resident_bytes(MemoryTier::Edram), 0);
 
-        tiers.promote_session(0, &mem, 2);
+        tiers.promote_session(0, &mem, 2, None);
         assert_eq!(tiers.session_tier(0), Some(MemoryTier::Edram));
         let metrics = tiers.metrics();
         assert_eq!(metrics.demotions, 1);
@@ -508,7 +612,7 @@ mod tests {
         // small.
         tiers.place_session(0, 80, 0);
         tiers.place_session(1, 40, 10);
-        tiers.rebalance(10, &mem);
+        tiers.rebalance(10, &mem, None);
         assert_eq!(tiers.session_tier(0), Some(MemoryTier::Dram));
         assert_eq!(tiers.session_tier(1), Some(MemoryTier::Edram));
         assert!(tiers.accounts().resident_bytes(MemoryTier::Edram) <= 100);
@@ -525,7 +629,7 @@ mod tests {
         // level per bounded tier — eDRAM demotes to DRAM, DRAM's own pass
         // then demotes to NVMe.
         tiers.place_session(0, 200, 0);
-        tiers.rebalance(1, &mem);
+        tiers.rebalance(1, &mem, None);
         assert_eq!(tiers.session_tier(0), Some(MemoryTier::Nvme));
         assert_eq!(tiers.metrics().demotions, 2);
         assert_eq!(tiers.metrics().nvme.in_bytes, 200);
@@ -536,16 +640,16 @@ mod tests {
         let mem = memory();
         let mut tiers = manager(100);
         tiers.place_session(0, 150, 0);
-        tiers.rebalance(1, &mem); // pressure: watermark rises above 1/150
+        tiers.rebalance(1, &mem, None); // pressure: watermark rises above 1/150
         let metrics_after_pressure = tiers.metrics();
         assert_eq!(metrics_after_pressure.demotions, 1);
         // A fresh small session now sits above the watermark and survives,
         // and the empty-tier rebalance decays the watermark back down.
         tiers.place_session(1, 10, 2);
-        tiers.rebalance(2, &mem);
+        tiers.rebalance(2, &mem, None);
         assert_eq!(tiers.session_tier(1), Some(MemoryTier::Edram));
         for _ in 3..10 {
-            tiers.rebalance(3, &mem);
+            tiers.rebalance(3, &mem, None);
         }
         assert_eq!(
             tiers.metrics().demotions,
@@ -567,9 +671,9 @@ mod tests {
         // Force the segment down, then a dedup attach touches it back up.
         let mut small = manager(10);
         small.place_segment(7, 100, 0);
-        small.rebalance(1, &mem);
+        small.rebalance(1, &mem, None);
         assert_eq!(small.segment_tier(7), Some(MemoryTier::Dram));
-        small.touch_segment(7, &mem, 2);
+        small.touch_segment(7, &mem, 2, None);
         assert_eq!(small.segment_tier(7), Some(MemoryTier::Edram));
         assert_eq!(small.metrics().promotions, 1);
         small.remove_segment(7);
@@ -596,7 +700,7 @@ mod tests {
                 tiers.place_session(i, bytes, 0);
             }
             for tick in 1..=ticks {
-                tiers.rebalance(tick, &mem);
+                tiers.rebalance(tick, &mem, None);
                 prop_assert!(tiers.accounts().resident_bytes(MemoryTier::Edram) <= edram);
                 prop_assert!(
                     tiers.accounts().resident_bytes(MemoryTier::Dram)
@@ -606,7 +710,7 @@ mod tests {
             }
             // Demote→promote round trips restore the placement exactly.
             for i in 0..sizes.len() {
-                tiers.promote_session(i, &mem, ticks + 1);
+                tiers.promote_session(i, &mem, ticks + 1, None);
             }
             prop_assert_eq!(tiers.accounts().resident_bytes(MemoryTier::Edram), total);
             prop_assert_eq!(tiers.accounts().resident_bytes(MemoryTier::Dram), 0);
@@ -621,6 +725,97 @@ mod tests {
         }
     }
 
+    /// Fails the first `failures` transfer draws, then succeeds forever.
+    struct FlakyTransfers {
+        failures: u32,
+        draws: u32,
+    }
+
+    impl MigrationFaults for FlakyTransfers {
+        fn migration_fails(&mut self, _: MemoryTier, _: MemoryTier, _: u64) -> bool {
+            self.draws += 1;
+            self.draws <= self.failures
+        }
+    }
+
+    #[test]
+    fn transient_migration_faults_retry_and_charge_without_moving_bytes() {
+        let mem = memory();
+        let mut tiers = manager(100);
+        tiers.place_session(0, 150, 0);
+        // Two transient failures: the demotion still lands on the third
+        // attempt, with the two wasted transfers charged on top.
+        let mut flaky = FlakyTransfers {
+            failures: 2,
+            draws: 0,
+        };
+        tiers.rebalance(1, &mem, Some(&mut flaky));
+        assert_eq!(tiers.session_tier(0), Some(MemoryTier::Dram));
+        let metrics = tiers.metrics();
+        assert_eq!(metrics.migration_retries, 2);
+        assert_eq!(metrics.failed_migrations, 0);
+        assert_eq!(metrics.migrated_bytes, 150, "only the success moved bytes");
+        let clean_cost = {
+            let mut clean = manager(100);
+            clean.place_session(0, 150, 0);
+            clean.rebalance(1, &mem, None);
+            clean.metrics().migration_time_s
+        };
+        assert!(
+            metrics.migration_time_s > clean_cost * 2.9,
+            "three transfers were paid for one migration"
+        );
+    }
+
+    #[test]
+    fn exhausted_migration_attempts_degrade_to_the_source_tier() {
+        let mem = memory();
+        let mut tiers = manager(100);
+        tiers.place_session(0, 150, 0);
+        let mut dead = FlakyTransfers {
+            failures: u32::MAX,
+            draws: 0,
+        };
+        tiers.rebalance(1, &mem, Some(&mut dead));
+        // The demotion was abandoned: the session stays (over budget) in
+        // eDRAM and the accounts still conserve bytes.
+        assert_eq!(tiers.session_tier(0), Some(MemoryTier::Edram));
+        assert_eq!(tiers.accounts().total_resident_bytes(), 150);
+        let metrics = tiers.metrics();
+        assert_eq!(metrics.failed_migrations, 1);
+        assert_eq!(metrics.migration_retries, MAX_MIGRATION_ATTEMPTS as u64);
+        assert_eq!(metrics.migrated_bytes, 0);
+        assert_eq!(metrics.demotions, 0);
+
+        // A later fault-free rebalance recovers and demotes normally.
+        tiers.rebalance(2, &mem, None);
+        assert_eq!(tiers.session_tier(0), Some(MemoryTier::Dram));
+        assert_eq!(tiers.accounts().total_resident_bytes(), 150);
+    }
+
+    #[test]
+    fn failed_promotion_leaves_the_session_serving_from_dram() {
+        let mem = memory();
+        let mut tiers = manager(100);
+        tiers.place_session(0, 150, 0);
+        tiers.rebalance(1, &mem, None);
+        assert_eq!(tiers.session_tier(0), Some(MemoryTier::Dram));
+        let mut dead = FlakyTransfers {
+            failures: u32::MAX,
+            draws: 0,
+        };
+        tiers.promote_session(0, &mem, 2, Some(&mut dead));
+        assert_eq!(
+            tiers.session_tier(0),
+            Some(MemoryTier::Dram),
+            "failed promotion degrades gracefully"
+        );
+        assert_eq!(tiers.metrics().failed_migrations, 1);
+        // The next (healthy) promote-before-tick recovers.
+        tiers.promote_session(0, &mem, 3, None);
+        assert_eq!(tiers.session_tier(0), Some(MemoryTier::Edram));
+    }
+
     #[test]
     fn settled_peak_respects_budget_when_demotion_has_room() {
         let mem = memory();
@@ -629,7 +824,7 @@ mod tests {
             tiers.place_session(i, 60, i as u64);
         }
         for tick in 1..6 {
-            tiers.rebalance(tick, &mem);
+            tiers.rebalance(tick, &mem, None);
         }
         let metrics = tiers.metrics();
         assert!(metrics.edram.settled_peak_bytes <= 100);

@@ -187,6 +187,15 @@ pub struct NvmeSpec {
     pub latency_us: f64,
     /// Background (idle) power in watts.
     pub background_power_w: f64,
+    /// Probability in `[0, 1]` that any single transfer to or from the
+    /// drive fails transiently (media retry, FTL hiccup, link CRC error)
+    /// and must be reissued.  `0.0` — the default, and the value every
+    /// stock constructor uses — models a perfect device; the chaos-injection
+    /// harness (`kelle::chaos`) raises it to exercise the tier-migration
+    /// retry/degrade path.  A failed transfer never corrupts data: the
+    /// failure model is fail-stop per attempt.
+    #[serde(default)]
+    pub transient_error_rate: f64,
 }
 
 impl NvmeSpec {
@@ -200,7 +209,15 @@ impl NvmeSpec {
             access_energy_pj_per_byte: 1500.0,
             latency_us: 80.0,
             background_power_w: 0.05,
+            transient_error_rate: 0.0,
         }
+    }
+
+    /// Returns the spec with the given transient per-transfer failure
+    /// probability (clamped to `[0, 1]`).
+    pub fn with_transient_error_rate(mut self, rate: f64) -> Self {
+        self.transient_error_rate = rate.clamp(0.0, 1.0);
+        self
     }
 
     /// Energy in joules to transfer `bytes` bytes.

@@ -369,12 +369,30 @@ pub trait KvCacheBackend: std::fmt::Debug + Send + Sync {
 
     /// Short policy name for reports (e.g. `"full"`, `"h2o"`, `"aerp"`).
     fn name(&self) -> &'static str;
+
+    /// Deep-copies the backend behind a fresh box — the checkpointing hook
+    /// the chaos-recovery machinery uses to snapshot a session's KV state at
+    /// committed tick boundaries.
+    ///
+    /// The clone must be *bit-faithful*: replaying the same insert/observe
+    /// sequence against original and clone must produce identical entries,
+    /// statistics and eviction decisions.  All stock policies derive `Clone`
+    /// (arenas, hash maps and counters copy trivially; shared prefix bases
+    /// are refcounted `Arc`s whose clone is ledger-neutral).  The default
+    /// panics, so ephemeral adapters that can never be checkpointed — e.g.
+    /// the borrowing `SegmentRecorder` — need not (and cannot) implement it.
+    fn clone_box(&self) -> Box<dyn KvCacheBackend> {
+        unimplemented!(
+            "KV cache backend `{}` does not support checkpoint cloning",
+            self.name()
+        )
+    }
 }
 
 /// The uncompressed reference cache: every token of every head is retained as
 /// raw KV vectors in per-`(layer, head)` arenas.  This corresponds to the
 /// paper's "FP16 / full KV cache" baseline column in Table 2.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FullKvCache {
     /// (layer, head) -> contiguous KV arena in insertion order.
     store: ArenaGrid,
@@ -496,6 +514,10 @@ impl KvCacheBackend for FullKvCache {
 
     fn name(&self) -> &'static str {
         "full"
+    }
+
+    fn clone_box(&self) -> Box<dyn KvCacheBackend> {
+        Box::new(self.clone())
     }
 }
 

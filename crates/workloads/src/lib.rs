@@ -20,5 +20,5 @@ pub mod scenario;
 pub mod task;
 
 pub use generator::{GeneratedPrompt, TokenStreamGenerator};
-pub use scenario::{ParallelScenario, SharedPromptScenario, TieringScenario};
+pub use scenario::{ChaosScenario, ParallelScenario, SharedPromptScenario, TieringScenario};
 pub use task::{TaskKind, TaskMetric};

@@ -274,6 +274,98 @@ impl TieringScenario {
     }
 }
 
+/// A chaos-hardened serving scenario: a fleet served while a fixed fraction
+/// of decode ticks lose their worker and a fixed fraction of tier
+/// migrations fail transiently.
+///
+/// Rates are per-mille (0–1000) so they map directly onto the serving
+/// stack's deterministic fault-injection plan; like every scenario in this
+/// crate it is pure data — the integration suite and the `bench_chaos`
+/// harness turn it into a concrete chaos configuration.  The recovery
+/// invariant the serving stack promises (and the suite asserts) is that
+/// every surviving session's stream is bit-identical to a fault-free run of
+/// the same fleet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosScenario {
+    /// The session fleet served under fault injection.
+    pub fleet: SharedPromptScenario,
+    /// Per-mille of per-session decode steps whose worker panics mid-tick.
+    pub worker_loss_per_mille: u32,
+    /// Per-mille of tier-migration transfers that fail transiently.
+    pub migration_fault_per_mille: u32,
+    /// Per-mille of admission reservations that fail transiently.
+    pub ledger_blip_per_mille: u32,
+    /// Seed of the fault-injection plan (decorrelated from the fleet seed).
+    pub chaos_seed: u64,
+}
+
+impl ChaosScenario {
+    /// A scenario over the given fleet with the given fault rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every rate is zero (use the plain fleet instead) or any
+    /// rate exceeds 1000 ‰.
+    pub fn new(fleet: SharedPromptScenario, worker_loss: u32, migration_faults: u32) -> Self {
+        let scenario = ChaosScenario {
+            fleet,
+            worker_loss_per_mille: worker_loss,
+            migration_fault_per_mille: migration_faults,
+            ledger_blip_per_mille: 0,
+            chaos_seed: 41,
+        };
+        scenario.validate();
+        scenario
+    }
+
+    /// The acceptance-shape chaos fleet: the 8-session shared-prompt fleet
+    /// with 5 % of decode steps losing their worker and 10 % of migrations
+    /// failing transiently.
+    pub fn edge_chaos() -> Self {
+        ChaosScenario::new(
+            SharedPromptScenario::new(8, 256, 16).with_decode_len(32),
+            50,
+            100,
+        )
+    }
+
+    /// Overrides the admission-blip rate (builder style).
+    pub fn with_ledger_blips(mut self, per_mille: u32) -> Self {
+        self.ledger_blip_per_mille = per_mille;
+        self.validate();
+        self
+    }
+
+    /// Overrides the chaos seed (builder style).
+    pub fn with_chaos_seed(mut self, seed: u64) -> Self {
+        self.chaos_seed = seed;
+        self
+    }
+
+    fn validate(&self) {
+        let rates = [
+            self.worker_loss_per_mille,
+            self.migration_fault_per_mille,
+            self.ledger_blip_per_mille,
+        ];
+        assert!(
+            rates.iter().any(|&r| r > 0),
+            "a chaos scenario needs at least one non-zero fault rate"
+        );
+        assert!(
+            rates.iter().all(|&r| r <= 1000),
+            "fault rates are per-mille and cannot exceed 1000"
+        );
+    }
+
+    /// Expected worker losses across the fleet's decode steps (the fault
+    /// budget the recovery machinery must absorb).
+    pub fn expected_worker_losses(&self) -> f64 {
+        (self.fleet.sessions * self.fleet.decode_len) as f64
+            * (self.worker_loss_per_mille as f64 / 1000.0)
+    }
+}
+
 /// `percent` % of `bytes`, saturating, with a 1-byte floor so a tiny demand
 /// never degenerates into a zero (hence panicking) tier budget.
 fn percent_of(bytes: u64, percent: u32) -> u64 {
@@ -354,5 +446,32 @@ mod tests {
     #[should_panic(expected = "eDRAM percentage")]
     fn zero_edram_percent_panics() {
         TieringScenario::new(SharedPromptScenario::new(2, 8, 2), 0, 50);
+    }
+
+    #[test]
+    fn chaos_scenario_pins_rates_and_fault_budget() {
+        let scenario = ChaosScenario::edge_chaos();
+        assert_eq!(scenario.worker_loss_per_mille, 50);
+        assert_eq!(scenario.migration_fault_per_mille, 100);
+        assert_eq!(scenario.ledger_blip_per_mille, 0);
+        // 8 sessions x 32 decode steps at 5% ≈ 12.8 expected losses.
+        let expected = scenario.expected_worker_losses();
+        assert!((expected - 12.8).abs() < 1e-9);
+        let blippy = scenario.clone().with_ledger_blips(75).with_chaos_seed(7);
+        assert_eq!(blippy.ledger_blip_per_mille, 75);
+        assert_eq!(blippy.chaos_seed, 7);
+        assert_eq!(blippy.fleet, scenario.fleet);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero fault rate")]
+    fn all_zero_chaos_rates_panic() {
+        ChaosScenario::new(SharedPromptScenario::new(2, 8, 2), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed 1000")]
+    fn over_unit_chaos_rate_panics() {
+        ChaosScenario::new(SharedPromptScenario::new(2, 8, 2), 1001, 0);
     }
 }
