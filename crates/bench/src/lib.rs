@@ -17,12 +17,16 @@
 //! * `src/bin/bench_tiering.rs` — the tiered-memory pressure sweep emitting
 //!   `BENCH_tiering.json`, built on [`tiering_perf`];
 //! * `src/bin/bench_chaos.rs` — the chaos-recovery sweep emitting
-//!   `BENCH_chaos.json`, built on [`chaos_perf`].
+//!   `BENCH_chaos.json`, built on [`chaos_perf`];
+//! * `src/bin/bench_front.rs` — the front-end executor-protocol sweep
+//!   (sticky-shard vs work-stealing) emitting `BENCH_front.json`, built on
+//!   [`front_perf`].
 
 #![warn(missing_docs)]
 
 pub mod chaos_perf;
 pub mod decode_perf;
+pub mod front_perf;
 pub mod intra_perf;
 pub mod prefix_perf;
 pub mod serving_perf;

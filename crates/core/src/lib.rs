@@ -73,11 +73,18 @@
 //!   `serve_batch`: waiting queue, [`AdmissionPolicy`], the shared
 //!   [`CapacityLedger`](kelle_edram::CapacityLedger) and the contention
 //!   metrics of [`BatchOutcome`];
-//! * [`parallel`] — the threaded serving front-end:
+//! * [`parallel`] — the threaded serving back-end:
 //!   [`KelleEngine::serve_batch_parallel`] fans per-session prefill/decode
 //!   compute across [`EngineBuilder::workers`] worker threads with
 //!   bit-identical token streams, fault statistics and batch metrics for
 //!   every worker count;
+//! * [`front`] — the non-blocking serving front-end:
+//!   [`KelleEngine::front`] opens submit/poll sessions with per-request
+//!   [`TokenStream`]s, typed admission backpressure
+//!   ([`SubmitError::QueueFull`]), stream-level pause/resume, first-class
+//!   cancel/deadline/drain, and a sticky-shard executor
+//!   ([`StickyShardPool`]) that pins sessions to workers so only per-tick
+//!   step results cross threads — bit-identical to the synchronous path;
 //! * [`prefix`] — cross-session prefix KV sharing: publish a common system
 //!   prompt once ([`KelleEngine::publish_prefix`]) and every session whose
 //!   prompt starts with it replays the shared segment (bit-identical
@@ -101,6 +108,7 @@ pub mod chaos;
 pub mod engine;
 pub mod experiment;
 pub mod faults;
+pub mod front;
 pub mod parallel;
 pub mod prefix;
 pub mod scheduler;
@@ -114,17 +122,18 @@ pub use chaos::{
 pub use engine::{EngineBuilder, EngineConfig, EngineStats, KelleEngine, ServeOutcome};
 pub use experiment::{EndToEndRow, EndToEndSummary};
 pub use faults::fault_injector_for_policy;
+pub use front::{ExecutorKind, FrontConfig, ServingFront, StreamPoll, SubmitError, TokenStream};
 pub use kelle_cache::CachePolicy;
 pub use parallel::{
-    InlineExecutor, ParallelAxis, PoolRunner, SessionTask, StepExecutor, TaskFailure, TaskOutput,
-    TickResult, WorkerPool,
+    InlineExecutor, ParallelAxis, ParallelMetrics, PoolRunner, SessionTask, StepExecutor,
+    StickyOutcome, StickyShardPool, StickyStep, TaskFailure, TaskOutput, TickResult, WorkerPool,
 };
 pub use prefix::{
     PrefixHit, PrefixKey, PrefixSharingConfig, PrefixStore, PrefixStoreStats, RadixPrefixIndex,
 };
 pub use scheduler::{
     AdmissionPolicy, BatchIncomplete, BatchOutcome, BatchScheduler, ContentionMetrics,
-    PrefixBatchMetrics, RequestTiming, SchedulerConfig, StepEvent,
+    PrefixBatchMetrics, RequestTiming, SchedulerConfig, ServeEvent, StepEvent,
 };
 pub use session::{ServeRequest, ServeRequestBuilder, Session, TurnOutcome};
 pub use tier::{TierConfig, TierManager, TierUsageMetrics, TieringMetrics, WatermarkConfig};

@@ -38,6 +38,22 @@
 //! and fault statistics — pinned by the `integration_intra` suite for all
 //! five cache policies and re-checked in CI at `--workers 1,2,4`.
 //!
+//! # Sticky shards
+//!
+//! The work-stealing [`WorkerPool`] moves **whole sessions** through the
+//! shared queue twice per tick (fan-out and result).  For long-lived,
+//! mostly-idle fleets — the `kelle::front` shape — that per-tick traffic is
+//! pure overhead: the session's KV backend never needed to leave its
+//! worker.  The [`StickyShardPool`] fixes the shape: each session is
+//! **pinned to a shard** (`index % workers`) and parked *on* its worker
+//! between ticks; per tick only a [`StickyStep`] — the decoded step, two
+//! cursors and the shard id, no session — crosses back to the coordinator.
+//! Commit stays on the coordinator, sorted by request index, so streams
+//! remain bit-identical to the stealing pool and to sequential serving
+//! ([`ParallelMetrics::queue_crossings`] on the [`BatchOutcome`] is what
+//! turns the saved traffic into a measured number).  Sessions never migrate
+//! between shards, so a pinned fleet reports `sessions_migrated == 0`.
+//!
 //! # Why determinism holds
 //!
 //! Each scheduler tick is a fan-out/commit cycle
@@ -88,7 +104,7 @@ use crate::session::{PrefillPlan, ServeRequest, Session};
 use kelle_model::DecodeStep;
 use kelle_tensor::par::{Job, ParallelRunner};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -120,6 +136,42 @@ pub enum ParallelAxis {
     /// session-parallel otherwise.
     #[default]
     Auto,
+}
+
+/// Cross-thread traffic counters for one batch, reported on
+/// [`BatchOutcome::parallel`](crate::scheduler::BatchOutcome::parallel).
+///
+/// These measure the *executor protocol*, not the streams: every execution
+/// mode produces bit-identical tokens, and this struct is how the
+/// sticky-shard win over work stealing becomes a number instead of a claim
+/// (`bench_front` → `BENCH_front.json`).  Inline and intra-axis execution
+/// move nothing across threads, so they count zero crossings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelMetrics {
+    /// Whole-session cross-thread transfers: +2 per decode output and +2
+    /// per admission prefill on the work-stealing pool (fan-out plus
+    /// result), +1 per park and +1 per recall on the sticky pool.  Step
+    /// results crossing back from a sticky shard move no session and count
+    /// zero.
+    pub queue_crossings: u64,
+    /// Ticks on which a session's step ran on a *different* worker than its
+    /// previous step — always zero for pinned (sticky) execution, typically
+    /// nonzero under work stealing.
+    pub sessions_migrated: u64,
+    /// Scheduler ticks the batch ran for (the denominator of
+    /// crossings-per-tick).
+    pub ticks: u64,
+}
+
+impl ParallelMetrics {
+    /// Queue crossings per scheduler tick (0 when the batch never ticked).
+    pub fn crossings_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.queue_crossings as f64 / self.ticks as f64
+        }
+    }
 }
 
 /// One unit of per-session compute: a session together with the prefill or
@@ -217,6 +269,7 @@ impl<'e> SessionTask<'e> {
             index,
             session,
             payload,
+            worker: None,
         }
     }
 
@@ -252,6 +305,7 @@ impl<'e> SessionTask<'e> {
             index,
             session,
             payload,
+            worker: None,
         }
     }
 }
@@ -263,6 +317,9 @@ pub struct TaskOutput<'e> {
     index: usize,
     session: Session<'e>,
     payload: Payload,
+    /// Worker thread that ran the task (`None` when it ran inline on the
+    /// coordinator) — feeds [`ParallelMetrics::sessions_migrated`].
+    worker: Option<usize>,
 }
 
 #[derive(Debug)]
@@ -283,6 +340,12 @@ impl<'e> TaskOutput<'e> {
     /// by it before committing a tick).
     pub fn index(&self) -> usize {
         self.index
+    }
+
+    /// The worker thread that ran the task, or `None` when it ran inline on
+    /// the coordinator (the [`InlineExecutor`] and the intra axis).
+    pub fn worker(&self) -> Option<usize> {
+        self.worker
     }
 
     pub(crate) fn into_decode(self) -> (usize, Session<'e>, DecodeStep, usize) {
@@ -383,18 +446,67 @@ fn run_tasks_caught<'e>(
     result
 }
 
+/// One decode step of a shard-resident session: everything the coordinator
+/// needs to commit the tick, and nothing else — crucially, **not** the
+/// session, which stays parked on its worker.
+///
+/// This is the sticky-shard protocol's whole point: a [`StickyStep`] is a
+/// few dozen bytes where a [`TaskOutput`] round-trips the entire session
+/// (KV backend, fault RNG, cursors) through the queue.
+#[derive(Debug, Clone)]
+pub struct StickyStep {
+    /// The request index (submission order) the step belongs to.
+    pub index: usize,
+    /// The decoded step (token, probability bits, fault draws).
+    pub step: DecodeStep,
+    /// Session position before the step (for the lease-growth delta).
+    pub tokens_before: usize,
+    /// Session position after the step (the coordinator's cursor mirror —
+    /// it can no longer ask the session directly).
+    pub position: usize,
+    /// The shard that ran the step (always `index % workers` for a pinned
+    /// session; feeds [`ParallelMetrics::sessions_migrated`]).
+    pub worker: usize,
+}
+
+/// The partitioned result of one sticky fan-out
+/// ([`StepExecutor::step_parked`]): a [`StickyStep`] per surviving session
+/// plus a [`TaskFailure`] per session whose step panicked (the panicking
+/// session is dropped on its worker — exactly the loss semantics of a
+/// crashed stealing-pool task).
+#[derive(Debug)]
+pub struct StickyOutcome {
+    /// Steps of the sessions that survived (any order).
+    pub steps: Vec<StickyStep>,
+    /// One entry per session whose step panicked.
+    pub failures: Vec<TaskFailure>,
+}
+
 /// Executes batches of [`SessionTask`]s for the [`BatchScheduler`].
 ///
 /// The contract is deliberately loose — outputs may come back in any order,
 /// tasks may run on any thread — because the scheduler re-establishes
-/// determinism at commit time by sorting outputs on request index.  The two
+/// determinism at commit time by sorting outputs on request index.  The
 /// stock executors are [`InlineExecutor`] (sequential, the default behind
-/// [`BatchScheduler::step`]) and [`WorkerPool`].
+/// [`BatchScheduler::step`]), the work-stealing [`WorkerPool`] and the
+/// pinned [`StickyShardPool`].
 ///
 /// The `try_*` pair is the fallible surface the chaos-hardened scheduler
 /// drives: a task panic becomes a [`TaskFailure`] in the returned
 /// [`TickResult`] instead of unwinding the coordinator, so surviving
 /// sessions commit and the lost step can replay from checkpoint.
+///
+/// # The sticky surface
+///
+/// Executors that can hold sessions resident between ticks return `true`
+/// from [`is_sticky`](StepExecutor::is_sticky) and implement
+/// [`park`](StepExecutor::park) /
+/// [`step_parked`](StepExecutor::step_parked) /
+/// [`recall`](StepExecutor::recall); the scheduler then keeps each active
+/// session parked on the executor and commits from [`StickyStep`]s instead
+/// of round-tripping whole sessions.  The defaults make every pre-existing
+/// executor trivially correct: not sticky, nothing ever parked, `recall`
+/// finds nothing.
 pub trait StepExecutor<'e> {
     /// Runs every task exactly once and returns all outputs (any order).
     fn execute(&mut self, tasks: Vec<SessionTask<'e>>) -> Vec<TaskOutput<'e>>;
@@ -431,6 +543,36 @@ pub trait StepExecutor<'e> {
     ) -> TickResult<'e> {
         let _ = axis;
         self.try_execute(tasks)
+    }
+
+    /// Whether this executor holds sessions resident between ticks (see the
+    /// trait-level *sticky surface* section).  Defaults to `false`.
+    fn is_sticky(&self) -> bool {
+        false
+    }
+
+    /// Parks `session` on its shard, where it stays resident until
+    /// [`recall`](StepExecutor::recall)ed.  The scheduler only calls this on
+    /// executors whose [`is_sticky`](StepExecutor::is_sticky) is `true`.
+    fn park(&mut self, index: usize, session: Session<'e>) {
+        let _ = index;
+        drop(session);
+        panic!("park requires a sticky executor");
+    }
+
+    /// Runs one decode step on every parked session in `indices`, returning
+    /// the steps without moving any session.  Sticky executors only.
+    fn step_parked(&mut self, indices: &[usize]) -> StickyOutcome {
+        let _ = indices;
+        panic!("step_parked requires a sticky executor");
+    }
+
+    /// Takes the parked session for `index` back from its shard (completion,
+    /// shed, cancellation).  Non-sticky executors never hold a session, so
+    /// the default returns `None`.
+    fn recall(&mut self, index: usize) -> Option<Session<'e>> {
+        let _ = index;
+        None
     }
 }
 
@@ -638,7 +780,7 @@ impl<'e> WorkerPool<'e> {
         let workers = workers.max(1);
         let queue = Arc::new(TaskQueue::new());
         let (sender, results) = channel::<Result<TaskOutput<'e>, TaskFailure>>();
-        for _ in 0..workers {
+        for id in 0..workers {
             let queue: Arc<TaskQueue<WorkItem<'e>>> = Arc::clone(&queue);
             let sender: Sender<Result<TaskOutput<'e>, TaskFailure>> = sender.clone();
             scope.spawn(move || {
@@ -647,6 +789,10 @@ impl<'e> WorkerPool<'e> {
                         WorkItem::Task(task) => {
                             let index = task.index();
                             let output = std::panic::catch_unwind(AssertUnwindSafe(|| task.run()))
+                                .map(|mut output| {
+                                    output.worker = Some(id);
+                                    output
+                                })
                                 .map_err(|cause| TaskFailure {
                                     index,
                                     message: panic_message(cause.as_ref()),
@@ -820,6 +966,268 @@ impl<'e> StepExecutor<'e> for WorkerPool<'e> {
 impl Drop for WorkerPool<'_> {
     fn drop(&mut self) {
         self.queue.close();
+    }
+}
+
+/// What a sticky shard is asked to do.  Per-shard channels are FIFO, so a
+/// `Park` is always observed before the `Step`/`Recall` that targets it.
+enum ShardCommand<'e> {
+    /// Hold this session resident until it is stepped or recalled.
+    Park(usize, Session<'e>),
+    /// Decode one step on each of these resident sessions (all pinned to
+    /// this shard), replying with a [`StickyStep`] per session.
+    Step(Vec<usize>),
+    /// Run a moved task (admission prefill, or a chaos-mode decode) and
+    /// reply with its [`TaskOutput`].
+    Task(SessionTask<'e>),
+    /// Hand the resident session back over the dedicated reply channel.
+    Recall(usize, Sender<Option<Session<'e>>>),
+}
+
+impl std::fmt::Debug for ShardCommand<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardCommand::Park(index, _) => f.debug_tuple("Park").field(index).finish(),
+            ShardCommand::Step(indices) => f.debug_tuple("Step").field(indices).finish(),
+            ShardCommand::Task(task) => f.debug_tuple("Task").field(&task.index()).finish(),
+            ShardCommand::Recall(index, _) => f.debug_tuple("Recall").field(index).finish(),
+        }
+    }
+}
+
+/// A shard's answer on the shared reply channel.  Each coordinator call
+/// drains exactly the replies it asked for before returning, so step and
+/// task replies never interleave across calls.
+#[derive(Debug)]
+enum ShardReply<'e> {
+    Step(Result<StickyStep, TaskFailure>),
+    // Boxed: a TaskOutput carries a whole session, dwarfing a StickyStep.
+    Task(Box<Result<TaskOutput<'e>, TaskFailure>>),
+}
+
+/// A pool of scoped worker threads with **pinned sessions**: request `index`
+/// always lives on shard `index % workers`, parked in the worker's local map
+/// between ticks, so per-tick traffic to the coordinator is one
+/// [`StickyStep`] per session instead of the whole session twice.
+///
+/// # Determinism
+///
+/// The commit discipline is untouched: shards compute, the coordinator
+/// sorts step results by request index and commits in submission order —
+/// the same fan-out/commit cycle as the [`WorkerPool`], minus the session
+/// moves.  Pinning also cannot change *what* a step computes: a session is
+/// a pure function of its own state, and it is on exactly one thread at a
+/// time either way.  Streams are therefore bit-identical to the stealing
+/// pool and to sequential serving (`integration_front`, CI-gated at
+/// workers 1/2/4).
+///
+/// Moved tasks — admission prefills, and every decode when chaos is active
+/// (checkpoint/replay needs sessions on the coordinator between attempts) —
+/// are routed to the owning shard too, so a fleet served through this pool
+/// reports [`ParallelMetrics::sessions_migrated`] `== 0`.
+///
+/// The [`ParallelAxis`] hint is ignored: sticky execution is already
+/// session-sharded, and the hint is a wall-clock knob that can never change
+/// output bits.
+#[derive(Debug)]
+pub struct StickyShardPool<'e> {
+    shards: Vec<Sender<ShardCommand<'e>>>,
+    replies: Receiver<ShardReply<'e>>,
+    workers: usize,
+}
+
+impl<'e> StickyShardPool<'e> {
+    /// Spawns `workers` (clamped to at least 1) scoped shard threads.
+    pub fn start<'scope>(scope: &'scope Scope<'scope, '_>, workers: usize) -> StickyShardPool<'e>
+    where
+        'e: 'scope,
+    {
+        let workers = workers.max(1);
+        let (reply_sender, replies) = channel::<ShardReply<'e>>();
+        let mut shards = Vec::with_capacity(workers);
+        for shard in 0..workers {
+            let (sender, commands) = channel::<ShardCommand<'e>>();
+            let replies = reply_sender.clone();
+            scope.spawn(move || {
+                let mut resident: HashMap<usize, Session<'e>> = HashMap::new();
+                while let Ok(command) = commands.recv() {
+                    match command {
+                        ShardCommand::Park(index, session) => {
+                            resident.insert(index, session);
+                        }
+                        ShardCommand::Step(indices) => {
+                            for index in indices {
+                                let reply = match resident.remove(&index) {
+                                    // The session moves *into* the unwind
+                                    // boundary: a panicking step drops it
+                                    // here, mirroring a lost stealing-pool
+                                    // task.
+                                    Some(mut session) => {
+                                        std::panic::catch_unwind(AssertUnwindSafe(move || {
+                                            let tokens_before = session.position();
+                                            let step = session.decode_one();
+                                            (session, step, tokens_before)
+                                        }))
+                                        .map(|(session, step, tokens_before)| {
+                                            let position = session.position();
+                                            resident.insert(index, session);
+                                            StickyStep {
+                                                index,
+                                                step,
+                                                tokens_before,
+                                                position,
+                                                worker: shard,
+                                            }
+                                        })
+                                        .map_err(
+                                            |cause| TaskFailure {
+                                                index,
+                                                message: panic_message(cause.as_ref()),
+                                            },
+                                        )
+                                    }
+                                    None => Err(TaskFailure {
+                                        index,
+                                        message: format!(
+                                            "sticky shard {shard}: request {index} is not parked"
+                                        ),
+                                    }),
+                                };
+                                if replies.send(ShardReply::Step(reply)).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                        ShardCommand::Task(task) => {
+                            let index = task.index();
+                            let output = std::panic::catch_unwind(AssertUnwindSafe(|| task.run()))
+                                .map(|mut output| {
+                                    output.worker = Some(shard);
+                                    output
+                                })
+                                .map_err(|cause| TaskFailure {
+                                    index,
+                                    message: panic_message(cause.as_ref()),
+                                });
+                            if replies.send(ShardReply::Task(Box::new(output))).is_err() {
+                                return;
+                            }
+                        }
+                        ShardCommand::Recall(index, back) => {
+                            // A closed reply channel means the coordinator
+                            // gave up mid-recall; keep serving.
+                            let _ = back.send(resident.remove(&index));
+                        }
+                    }
+                }
+                // Channel closed: the pool was dropped.  Parked sessions are
+                // dropped here, on the shard that owns them.
+            });
+            shards.push(sender);
+        }
+        StickyShardPool {
+            shards,
+            replies,
+            workers,
+        }
+    }
+
+    /// Number of shard threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shard that owns request `index` — the pinning function.
+    fn shard_of(&self, index: usize) -> usize {
+        index % self.workers
+    }
+
+    fn send(&self, shard: usize, command: ShardCommand<'e>) {
+        self.shards[shard]
+            .send(command)
+            .expect("shard threads outlive the pool (scoped)");
+    }
+
+    /// Drains exactly `count` task replies (the step variant cannot appear:
+    /// every call drains its own replies fully before returning).
+    fn drain_task_replies(&self, count: usize) -> TickResult<'e> {
+        let mut result = TickResult {
+            outputs: Vec::with_capacity(count),
+            failures: Vec::new(),
+        };
+        for _ in 0..count {
+            match self.replies.recv() {
+                Ok(ShardReply::Task(reply)) => match *reply {
+                    Ok(output) => result.outputs.push(output),
+                    Err(failure) => result.failures.push(failure),
+                },
+                Ok(ShardReply::Step(_)) => {
+                    unreachable!("step replies are drained by the call that requested them")
+                }
+                Err(_) => unreachable!("shards outlive the pool (scoped) and senders persist"),
+            }
+        }
+        result
+    }
+}
+
+impl<'e> StepExecutor<'e> for StickyShardPool<'e> {
+    fn execute(&mut self, tasks: Vec<SessionTask<'e>>) -> Vec<TaskOutput<'e>> {
+        self.try_execute(tasks).into_outputs()
+    }
+
+    fn try_execute(&mut self, tasks: Vec<SessionTask<'e>>) -> TickResult<'e> {
+        let count = tasks.len();
+        for task in tasks {
+            let shard = self.shard_of(task.index());
+            self.send(shard, ShardCommand::Task(task));
+        }
+        self.drain_task_replies(count)
+    }
+
+    fn is_sticky(&self) -> bool {
+        true
+    }
+
+    fn park(&mut self, index: usize, session: Session<'e>) {
+        let shard = self.shard_of(index);
+        self.send(shard, ShardCommand::Park(index, session));
+    }
+
+    fn step_parked(&mut self, indices: &[usize]) -> StickyOutcome {
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.workers];
+        for &index in indices {
+            per_shard[self.shard_of(index)].push(index);
+        }
+        for (shard, mine) in per_shard.into_iter().enumerate() {
+            if !mine.is_empty() {
+                self.send(shard, ShardCommand::Step(mine));
+            }
+        }
+        let mut outcome = StickyOutcome {
+            steps: Vec::with_capacity(indices.len()),
+            failures: Vec::new(),
+        };
+        for _ in 0..indices.len() {
+            match self.replies.recv() {
+                Ok(ShardReply::Step(Ok(step))) => outcome.steps.push(step),
+                Ok(ShardReply::Step(Err(failure))) => outcome.failures.push(failure),
+                Ok(ShardReply::Task(_)) => {
+                    unreachable!("task replies are drained by the call that requested them")
+                }
+                Err(_) => unreachable!("shards outlive the pool (scoped) and senders persist"),
+            }
+        }
+        outcome
+    }
+
+    fn recall(&mut self, index: usize) -> Option<Session<'e>> {
+        let shard = self.shard_of(index);
+        let (back, session) = channel();
+        self.send(shard, ShardCommand::Recall(index, back));
+        session
+            .recv()
+            .expect("the shard answers every recall before exiting")
     }
 }
 
@@ -1107,6 +1515,143 @@ mod tests {
             "message: {}",
             result.failures[0].message()
         );
+    }
+
+    #[test]
+    fn sticky_pool_steps_parked_sessions_without_moving_them() {
+        let engine = engine();
+        std::thread::scope(|scope| {
+            let mut pool = StickyShardPool::start(scope, 2);
+            assert!(pool.is_sticky());
+            assert_eq!(pool.workers(), 2);
+            for index in 0..3 {
+                let mut session = engine.open_session();
+                session.prefill(&[1, 2, 3 + index]);
+                pool.park(index, session);
+            }
+            let indices = [0, 1, 2];
+            let outcome = pool.step_parked(&indices);
+            assert!(outcome.failures.is_empty());
+            assert_eq!(outcome.steps.len(), 3);
+            let mut steps = outcome.steps;
+            steps.sort_by_key(|s| s.index);
+            for (i, step) in steps.iter().enumerate() {
+                assert_eq!(step.index, i);
+                assert_eq!(step.tokens_before, 3);
+                assert_eq!(step.position, 4);
+                // Pinned: the shard is always index % workers.
+                assert_eq!(step.worker, i % 2);
+            }
+            // The sessions stayed resident: a second tick steps them again.
+            let outcome = pool.step_parked(&indices);
+            assert_eq!(outcome.steps.len(), 3);
+            assert!(outcome.steps.iter().all(|s| s.tokens_before == 4));
+            // Recall hands the stepped session back; recalling twice (or an
+            // unknown index) finds nothing.
+            let session = pool.recall(1).expect("request 1 is parked");
+            assert_eq!(session.position(), 5);
+            assert!(pool.recall(1).is_none());
+            assert!(pool.recall(99).is_none());
+        });
+    }
+
+    #[test]
+    fn sticky_pool_matches_inline_decode_bitwise() {
+        let engine = engine();
+        let mut reference = engine.open_session();
+        reference.prefill(&[1, 2, 3]);
+        std::thread::scope(|scope| {
+            let mut pool = StickyShardPool::start(scope, 3);
+            let mut session = engine.open_session();
+            session.prefill(&[1, 2, 3]);
+            pool.park(7, session);
+            for _ in 0..5 {
+                let expected = reference.decode_one();
+                let outcome = pool.step_parked(&[7]);
+                assert!(outcome.failures.is_empty());
+                assert_eq!(outcome.steps.len(), 1);
+                let step = &outcome.steps[0];
+                assert_eq!(step.step.token, expected.token);
+                assert_eq!(step.worker, 7 % 3);
+            }
+        });
+    }
+
+    #[test]
+    fn sticky_step_panic_loses_only_that_session() {
+        let engine = engine();
+        std::thread::scope(|scope| {
+            let mut pool = StickyShardPool::start(scope, 2);
+            // An un-prefilled session panics inside decode_one.
+            pool.park(0, engine.open_session());
+            let mut healthy = engine.open_session();
+            healthy.prefill(&[4, 5, 6]);
+            pool.park(1, healthy);
+            let outcome = pool.step_parked(&[0, 1]);
+            assert_eq!(outcome.steps.len(), 1, "the healthy session survives");
+            assert_eq!(outcome.steps[0].index, 1);
+            assert_eq!(outcome.failures.len(), 1);
+            assert_eq!(outcome.failures[0].index(), 0);
+            // The crashed session is gone from its shard...
+            assert!(pool.recall(0).is_none());
+            // ...and the survivor keeps ticking.
+            let outcome = pool.step_parked(&[1]);
+            assert_eq!(outcome.steps.len(), 1);
+        });
+    }
+
+    #[test]
+    fn sticky_pool_runs_moved_tasks_on_the_owning_shard() {
+        let engine = engine();
+        std::thread::scope(|scope| {
+            let mut pool = StickyShardPool::start(scope, 2);
+            let mut a = engine.open_session();
+            a.prefill(&[1, 2]);
+            let mut b = engine.open_session();
+            b.prefill(&[3, 4]);
+            let outputs = pool.execute(vec![SessionTask::decode(4, a), SessionTask::decode(5, b)]);
+            assert_eq!(outputs.len(), 2);
+            for output in &outputs {
+                assert_eq!(
+                    output.worker(),
+                    Some(output.index() % 2),
+                    "moved tasks stay pinned to the owning shard"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn stealing_pool_stamps_the_worker_that_ran_each_task() {
+        let engine = engine();
+        std::thread::scope(|scope| {
+            let mut pool = WorkerPool::start(scope, 2);
+            let mut session = engine.open_session();
+            session.prefill(&[1, 2, 3]);
+            let outputs = pool.execute(vec![SessionTask::decode(0, session)]);
+            assert_eq!(outputs.len(), 1);
+            assert!(
+                matches!(outputs[0].worker(), Some(w) if w < 2),
+                "stealing-pool outputs carry the worker id"
+            );
+        });
+        // Inline execution never crosses a thread.
+        let mut session = engine.open_session();
+        session.prefill(&[1, 2, 3]);
+        let outputs = InlineExecutor.execute(vec![SessionTask::decode(0, session)]);
+        assert_eq!(outputs[0].worker(), None);
+    }
+
+    #[test]
+    fn parallel_metrics_crossings_per_tick_handles_zero_ticks() {
+        let zero = ParallelMetrics::default();
+        assert_eq!(zero.crossings_per_tick(), 0.0);
+        let metrics = ParallelMetrics {
+            queue_crossings: 12,
+            sessions_migrated: 3,
+            ticks: 4,
+        };
+        assert_eq!(metrics.crossings_per_tick(), 3.0);
     }
 
     #[test]

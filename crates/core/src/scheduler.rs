@@ -47,13 +47,15 @@ use crate::chaos::{
     ChaosConfig, ChaosMetrics, ChaosPlan, Checkpoint, MigrationFaults, ServeError, ShedReason,
 };
 use crate::engine::{EngineStats, KelleEngine, ServeOutcome};
-use crate::parallel::{InlineExecutor, ParallelAxis, SessionTask, StepExecutor, TaskOutput};
+use crate::parallel::{
+    InlineExecutor, ParallelAxis, ParallelMetrics, SessionTask, StepExecutor, TaskOutput,
+};
 use crate::session::{ServeRequest, Session};
 use crate::tier::{TierConfig, TierManager, TieringMetrics};
 use kelle_arch::{PhaseMetrics, PlatformReport};
 use kelle_cache::{BudgetPartitioner, CacheBudget, PartitionMode};
 use kelle_edram::{CapacityLedger, LeaseId};
-use kelle_model::{CacheStats, DecodeTrace, FaultStats};
+use kelle_model::{CacheStats, DecodeStep, DecodeTrace, FaultStats};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -185,6 +187,37 @@ pub struct StepEvent {
     pub finished: bool,
 }
 
+/// One streaming event of the event-aware driving loop
+/// ([`BatchScheduler::try_run_to_completion_events_with`]) and the
+/// `kelle::front` token streams: a generated token, or a request leaving the
+/// batch early.
+///
+/// The classic `on_token` callbacks only ever see tokens — a shed request
+/// simply went quiet until the final [`BatchOutcome`] reported why.  This
+/// event stream closes that gap: deadline/timeout sheds, cancellations,
+/// drains and worker losses surface *as they happen*, after the tick's
+/// tokens, in request-index order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeEvent {
+    /// A generated token (identical to the [`StepEvent`] stream).
+    Token {
+        /// Index of the request (submission order) that produced the token.
+        request: usize,
+        /// The generated token.
+        token: usize,
+        /// Whether this token completed the request.
+        finished: bool,
+    },
+    /// A request was finalized early; its outcome carries whatever tokens it
+    /// had generated and this reason.
+    Shed {
+        /// Index of the shed request.
+        request: usize,
+        /// Why it was shed.
+        reason: ShedReason,
+    },
+}
+
 /// Queueing and capacity accounting for one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RequestTiming {
@@ -282,6 +315,12 @@ pub struct BatchOutcome {
     /// Fault-injection and recovery accounting (all zeros when chaos is
     /// disabled and nothing was shed, cancelled or drained).
     pub chaos: ChaosMetrics,
+    /// Cross-thread traffic accounting of the executor protocol (all zeros
+    /// for inline serving).  Like [`BatchOutcome::tiering`], these are
+    /// *cost* metrics: every execution mode produces bit-identical streams,
+    /// and this is where the sticky-shard executor's saved queue traffic
+    /// becomes a measured number.
+    pub parallel: ParallelMetrics,
 }
 
 /// Error returned by [`BatchScheduler::finish`] when requests are still
@@ -319,8 +358,9 @@ impl std::error::Error for BatchIncomplete<'_> {}
 
 struct Slot<'e> {
     request: ServeRequest,
-    /// `Some` between public calls; taken while the session is out on a
-    /// worker executing this tick's decode step.
+    /// `Some` between public calls — unless the slot is `parked`, in which
+    /// case the session lives on its sticky executor shard; taken while the
+    /// session is out on a worker executing this tick's decode step.
     session: Option<Session<'e>>,
     prefilled: usize,
     generated: Vec<usize>,
@@ -331,14 +371,21 @@ struct Slot<'e> {
     /// Shared-pool attachment for the request's prefix hit, if any:
     /// `(tag, full-scale bytes)`.
     shared: Option<(u64, u64)>,
-}
-
-impl<'e> Slot<'e> {
-    fn session(&self) -> &Session<'e> {
-        self.session
-            .as_ref()
-            .expect("session is resident between steps")
-    }
+    /// Coordinator mirror of the session's token position, updated at every
+    /// commit — the scheduler can observe a parked session's cursor without
+    /// recalling it.
+    position: usize,
+    /// Backpressure: a paused slot is skipped by decode fan-out (its session
+    /// stays exactly where it is) until resumed.  Pausing can never change a
+    /// stream — a session is a pure function of its own state — only *when*
+    /// its tokens are produced.
+    paused: bool,
+    /// Sticky execution: the session is parked on its executor shard and
+    /// `session` is `None` until it is recalled.
+    parked: bool,
+    /// Worker that ran the last committed step (`None`: coordinator) —
+    /// feeds [`ParallelMetrics::sessions_migrated`].
+    last_worker: Option<usize>,
 }
 
 /// An admitted request whose prefill is executing (possibly on a worker):
@@ -362,6 +409,22 @@ struct AdmissionFootprint {
     private_bytes: u64,
     /// `(tag, bytes)` of the prefix the request will attach to.
     shared: Option<(u64, u64)>,
+}
+
+/// One decode step awaiting the coordinator commit, unified across the two
+/// fan-out shapes: a classic [`TaskOutput`] (whole session moved back) and a
+/// sticky [`StickyStep`](crate::parallel::StickyStep) (session stayed on its
+/// shard).  The commit loop runs over these in request-index order, so both
+/// shapes commit bit-identically.
+struct PendingCommit {
+    index: usize,
+    step: DecodeStep,
+    /// Session position before the step (for the lease-growth delta).
+    tokens_before: usize,
+    /// Session position after the step (the slot's new mirror).
+    position: usize,
+    /// Worker that ran the step (`None`: coordinator).
+    worker: Option<usize>,
 }
 
 enum RequestState<'e> {
@@ -400,6 +463,13 @@ pub struct BatchScheduler<'e> {
     /// Set by [`drain`](BatchScheduler::drain): admission stops pumping and
     /// the machine winds down to idle.
     draining: bool,
+    /// Executor-protocol traffic counters (see [`ParallelMetrics`]).
+    parallel: ParallelMetrics,
+    /// Sheds since the last [`take_shed_events`](BatchScheduler::take_shed_events),
+    /// in the order they happened — the streaming-path view of
+    /// [`ShedReason`], bounded by the number of submitted requests (a
+    /// request sheds at most once).
+    shed_events: Vec<(usize, ShedReason)>,
 }
 
 impl<'e> BatchScheduler<'e> {
@@ -443,6 +513,8 @@ impl<'e> BatchScheduler<'e> {
             chaos_metrics: ChaosMetrics::default(),
             checkpoints: BTreeMap::new(),
             draining: false,
+            parallel: ParallelMetrics::default(),
+            shed_events: Vec::new(),
         }
     }
 
@@ -469,6 +541,37 @@ impl<'e> BatchScheduler<'e> {
     /// Whether [`drain`](BatchScheduler::drain) has stopped admission.
     pub fn is_draining(&self) -> bool {
         self.draining
+    }
+
+    /// Executor-protocol traffic counters accumulated so far (`ticks` is
+    /// only stamped on the final [`BatchOutcome`]).
+    pub fn parallel_metrics(&self) -> &ParallelMetrics {
+        &self.parallel
+    }
+
+    /// Drains the sheds recorded since the last call, in the order they
+    /// happened — the streaming-path complement of the final outcome's
+    /// [`ShedReason`]s.
+    /// [`try_run_to_completion_events_with`](BatchScheduler::try_run_to_completion_events_with)
+    /// and the `kelle::front` streams are built on this.
+    pub fn take_shed_events(&mut self) -> Vec<(usize, ShedReason)> {
+        std::mem::take(&mut self.shed_events)
+    }
+
+    /// Pauses or resumes decode for an active request (stream backpressure:
+    /// the `kelle::front` pauses a session whose consumer stopped polling).
+    /// A paused slot is skipped by decode fan-out — its session stays
+    /// wherever it is, parked or resident — and consumes no queue traffic
+    /// until resumed.  Returns `false` when the request is not active.
+    /// Pausing never changes a token stream, only when it is produced.
+    pub(crate) fn set_paused(&mut self, index: usize, paused: bool) -> bool {
+        match self.states.get_mut(index) {
+            Some(RequestState::Active(slot)) => {
+                slot.paused = paused;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Full-scale KV footprint of `tokens` retained tokens — the unit of
@@ -772,6 +875,7 @@ impl<'e> BatchScheduler<'e> {
     /// Installs an admitted request's pre-filled session into its decode
     /// slot.
     fn activate(&mut self, output: TaskOutput<'e>) {
+        let worker = output.worker();
         let (index, session, prefilled) = output.into_prefill();
         let admitted = match std::mem::replace(&mut self.states[index], RequestState::Taken) {
             RequestState::Admitted(admitted) => admitted,
@@ -787,7 +891,12 @@ impl<'e> BatchScheduler<'e> {
             self.prefix.hit_requests += 1;
             self.prefix.hit_tokens += session.prefix_hit_tokens() as u64;
         }
+        if worker.is_some() {
+            // The session crossed to a worker for its prefill and back.
+            self.parallel.queue_crossings += 2;
+        }
         let remaining = request.decode_len();
+        let position = session.position();
         self.states[index] = RequestState::Active(Box::new(Slot {
             request,
             session: Some(session),
@@ -798,6 +907,10 @@ impl<'e> BatchScheduler<'e> {
             lease,
             peak_concurrent_bytes: live_at_admission,
             shared,
+            position,
+            paused: false,
+            parked: false,
+            last_worker: worker,
         }));
     }
 
@@ -868,14 +981,27 @@ impl<'e> BatchScheduler<'e> {
         executor: &mut dyn StepExecutor<'e>,
     ) -> Result<Vec<StepEvent>, ServeError> {
         self.tick += 1;
-        self.shed_expired();
+        self.shed_expired(executor);
         let memory = &self.engine.platform().memory;
+        // Sticky execution needs sessions to stay parked on their shards;
+        // chaos needs them on the coordinator between attempts (checkpoint
+        // capture and replay re-dispatch).  Chaos wins: with injection
+        // active the tick falls back to the classic move protocol — a
+        // sticky executor still pins every moved task to its owning shard.
+        let sticky = executor.is_sticky() && self.chaos.is_none();
         // Per-tick buffers are O(active requests) and amortized into noise
         // by the decode compute they carry; ownership must cross the
         // executor boundary, so they cannot be scheduler-resident.
         let mut tasks = Vec::with_capacity(self.states.len());
+        let mut step_indices = Vec::new();
         for index in 0..self.states.len() {
             if let RequestState::Active(slot) = &mut self.states[index] {
+                if slot.paused {
+                    // Backpressured: the session sits this tick out,
+                    // wherever it lives (resident or parked) — zero queue
+                    // traffic either way.
+                    continue;
+                }
                 if let Some(tier) = self.tier.as_mut() {
                     // Promote-before-tick: a session demoted by an earlier
                     // rebalance decodes out of eDRAM, so it migrates back up
@@ -886,6 +1012,22 @@ impl<'e> BatchScheduler<'e> {
                         self.tick,
                         self.chaos.as_mut().map(|p| p as &mut dyn MigrationFaults),
                     );
+                }
+                if sticky {
+                    if !slot.parked {
+                        // First sticky tick since activation (or since a
+                        // recall brought the session back): one crossing to
+                        // its shard, where it stays.
+                        let session = slot
+                            .session
+                            .take()
+                            .expect("session is resident between steps");
+                        slot.parked = true;
+                        executor.park(index, session);
+                        self.parallel.queue_crossings += 1;
+                    }
+                    step_indices.push(index);
+                    continue;
                 }
                 if self.chaos.is_some() && !self.checkpoints.contains_key(&index) {
                     // First fan-out since activation: checkpoint the
@@ -915,72 +1057,131 @@ impl<'e> BatchScheduler<'e> {
                 tasks.push(task);
             }
         }
-        let mut result = executor.try_execute_axis(tasks, self.config.parallel_axis);
-
-        // Replay lost sessions from their checkpoints, bounded by the plan's
-        // retry budget.  A replay re-forks the last committed state and
-        // recomputes the very same decode step, so the committed bits are
-        // those the lost execution would have produced.
+        // Fan out, collecting this tick's commits from whichever protocol is
+        // active.  Both paths produce the same `PendingCommit` shape, so the
+        // commit loop below is shared — and since commits are sorted by
+        // request index before they land, the committed bits cannot depend
+        // on which protocol (or worker count) produced them.
         let max_retries = self
             .chaos
             .as_ref()
             .map_or(0, |plan| plan.config().max_retries);
         let mut attempt = 0u32;
-        while !result.failures.is_empty() && self.chaos.is_some() && attempt < max_retries {
-            attempt += 1;
-            // One modelled backoff tick per replay round; the functional
-            // tick counter must stay chaos-invariant, so this is metrics
-            // only.
-            self.chaos_metrics.backoff_ticks += 1;
-            let failures = std::mem::take(&mut result.failures);
-            let mut retry_tasks = Vec::with_capacity(failures.len());
-            for failure in failures {
-                let index = failure.index();
-                let checkpoint = self
-                    .checkpoints
-                    .get(&index)
-                    .expect("chaos keeps a checkpoint for every active session");
-                let session = checkpoint.restore();
-                self.chaos_metrics.restored_sessions += 1;
-                self.chaos_metrics.replayed_steps += 1;
-                let mut task = SessionTask::decode(index, session);
-                if self
-                    .chaos
-                    .as_ref()
-                    .is_some_and(|plan| plan.worker_panic(self.tick, index, attempt))
-                {
-                    task.arm_sabotage();
-                    self.chaos_metrics.injected_panics += 1;
-                }
-                retry_tasks.push(task);
-            }
-            let retry = executor.try_execute_axis(retry_tasks, self.config.parallel_axis);
-            result.outputs.extend(retry.outputs);
-            result.failures = retry.failures;
-        }
-        let lost = std::mem::take(&mut result.failures);
-        let mut outputs = result.outputs;
-        outputs.sort_by_key(TaskOutput::index);
+        let mut pending: Vec<PendingCommit>;
+        let lost;
+        if sticky {
+            let outcome = executor.step_parked(&step_indices);
+            lost = outcome.failures;
+            pending = outcome
+                .steps
+                .into_iter()
+                .map(|step| PendingCommit {
+                    index: step.index,
+                    step: step.step,
+                    tokens_before: step.tokens_before,
+                    position: step.position,
+                    worker: Some(step.worker),
+                })
+                .collect();
+        } else {
+            let mut result = executor.try_execute_axis(tasks, self.config.parallel_axis);
 
-        let mut events = Vec::with_capacity(outputs.len());
+            // Replay lost sessions from their checkpoints, bounded by the
+            // plan's retry budget.  A replay re-forks the last committed
+            // state and recomputes the very same decode step, so the
+            // committed bits are those the lost execution would have
+            // produced.
+            while !result.failures.is_empty() && self.chaos.is_some() && attempt < max_retries {
+                attempt += 1;
+                // One modelled backoff tick per replay round; the functional
+                // tick counter must stay chaos-invariant, so this is metrics
+                // only.
+                self.chaos_metrics.backoff_ticks += 1;
+                let failures = std::mem::take(&mut result.failures);
+                let mut retry_tasks = Vec::with_capacity(failures.len());
+                for failure in failures {
+                    let index = failure.index();
+                    let checkpoint = self
+                        .checkpoints
+                        .get(&index)
+                        .expect("chaos keeps a checkpoint for every active session");
+                    let session = checkpoint.restore();
+                    self.chaos_metrics.restored_sessions += 1;
+                    self.chaos_metrics.replayed_steps += 1;
+                    let mut task = SessionTask::decode(index, session);
+                    if self
+                        .chaos
+                        .as_ref()
+                        .is_some_and(|plan| plan.worker_panic(self.tick, index, attempt))
+                    {
+                        task.arm_sabotage();
+                        self.chaos_metrics.injected_panics += 1;
+                    }
+                    retry_tasks.push(task);
+                }
+                let retry = executor.try_execute_axis(retry_tasks, self.config.parallel_axis);
+                result.outputs.extend(retry.outputs);
+                result.failures = retry.failures;
+            }
+            lost = std::mem::take(&mut result.failures);
+            pending = Vec::with_capacity(result.outputs.len());
+            for output in result.outputs {
+                let worker = output.worker();
+                let (index, session, step, tokens_before) = output.into_decode();
+                let position = session.position();
+                let RequestState::Active(slot) = &mut self.states[index] else {
+                    unreachable!("decode outputs come from active slots");
+                };
+                slot.session = Some(session);
+                slot.parked = false;
+                if worker.is_some() {
+                    // The whole session crossed to a worker and back.
+                    self.parallel.queue_crossings += 2;
+                }
+                pending.push(PendingCommit {
+                    index,
+                    step,
+                    tokens_before,
+                    position,
+                    worker,
+                });
+            }
+        }
+        // Commit in request index (= submission) order: the ledger, trace,
+        // and tier observations land identically for every executor.
+        pending.sort_by_key(|commit| commit.index);
+
+        let mut events = Vec::with_capacity(pending.len());
         let mut completed = Vec::new();
-        let mut growths = Vec::with_capacity(outputs.len());
-        for output in outputs {
-            let (index, session, step, tokens_before) = output.into_decode();
+        let mut growths = Vec::with_capacity(pending.len());
+        for commit in pending {
+            let PendingCommit {
+                index,
+                step,
+                tokens_before,
+                position,
+                worker,
+            } = commit;
             // Grow the lease by the decoded token's full-scale KV bytes
             // (zero once the hardware budget N' saturates).
             let growth = self
                 .engine
-                .kv_footprint_bytes(session.position())
+                .kv_footprint_bytes(position)
                 .saturating_sub(self.engine.kv_footprint_bytes(tokens_before));
             let RequestState::Active(slot) = &mut self.states[index] else {
-                unreachable!("decode outputs come from active slots");
+                unreachable!("decode steps come from active slots");
             };
-            slot.session = Some(session);
+            slot.position = position;
             slot.generated.push(step.token);
             slot.trace.steps.push(step.record);
             slot.remaining -= 1;
             growths.push((slot.lease, growth));
+            if let (Some(previous), Some(current)) = (slot.last_worker, worker) {
+                if previous != current {
+                    self.parallel.sessions_migrated += 1;
+                }
+            }
+            slot.last_worker = worker;
             if let Some(tier) = self.tier.as_mut() {
                 // Decode growth lands on the session's tier (eDRAM during a
                 // tick, thanks to promote-before-tick) and counts as a
@@ -991,7 +1192,8 @@ impl<'e> BatchScheduler<'e> {
             if self.chaos.is_some() && !finished {
                 // Refresh the checkpoint at the new committed boundary so a
                 // panic on a later tick replays one step, not the whole
-                // request.
+                // request.  Chaos forces the classic protocol, so the
+                // session is coordinator-resident here.
                 let session = slot
                     .session
                     .as_ref()
@@ -1021,7 +1223,7 @@ impl<'e> BatchScheduler<'e> {
             }
         }
         for index in completed {
-            self.complete(index);
+            self.complete(index, executor);
         }
         // Requests whose retry budget is exhausted: restore the last
         // committed state (so the shed finalizes a real partial turn), then
@@ -1042,7 +1244,7 @@ impl<'e> BatchScheduler<'e> {
                 }
             }
             self.chaos_metrics.lost_requests += 1;
-            self.shed_active(index, ShedReason::WorkerLost);
+            self.shed_active(index, ShedReason::WorkerLost, executor);
         }
         if let Some(tier) = self.tier.as_mut() {
             // End-of-tick rebalance, after completions freed their bytes:
@@ -1063,9 +1265,29 @@ impl<'e> BatchScheduler<'e> {
         }
     }
 
+    /// Brings a parked session back to the coordinator (one queue crossing)
+    /// so it can be finalized.  A no-op for resident sessions; if the shard
+    /// lost the session (a decode panic dropped it), the slot simply stays
+    /// session-less and finalization degrades to a synthetic outcome.
+    fn ensure_resident(&mut self, index: usize, executor: &mut dyn StepExecutor<'e>) {
+        let parked = matches!(&self.states[index], RequestState::Active(slot) if slot.parked);
+        if !parked {
+            return;
+        }
+        let session = executor.recall(index);
+        if let RequestState::Active(slot) = &mut self.states[index] {
+            slot.parked = false;
+            if let Some(session) = session {
+                slot.session = Some(session);
+                self.parallel.queue_crossings += 1;
+            }
+        }
+    }
+
     /// Finalises a request: derives its capacity grant from the contention it
     /// experienced, simulates its hardware cost, and releases its lease.
-    fn complete(&mut self, index: usize) {
+    fn complete(&mut self, index: usize, executor: &mut dyn StepExecutor<'e>) {
+        self.ensure_resident(index, executor);
         let state = std::mem::replace(&mut self.states[index], RequestState::Taken);
         let RequestState::Active(mut slot) = state else {
             unreachable!("only active requests complete");
@@ -1140,7 +1362,7 @@ impl<'e> BatchScheduler<'e> {
 
     /// Sheds requests whose deadline or queue-wait budget expired, at the
     /// start of the tick (before any decode compute is spent on them).
-    fn shed_expired(&mut self) {
+    fn shed_expired(&mut self, executor: &mut dyn StepExecutor<'e>) {
         for index in 0..self.states.len() {
             let elapsed = self.tick.saturating_sub(self.timings[index].submitted_tick);
             match &self.states[index] {
@@ -1154,7 +1376,7 @@ impl<'e> BatchScheduler<'e> {
                     if slot.request.deadline_ticks().is_some_and(|d| elapsed > d) =>
                 {
                     self.chaos_metrics.shed_requests += 1;
-                    self.shed_active(index, ShedReason::DeadlineExceeded);
+                    self.shed_active(index, ShedReason::DeadlineExceeded, executor);
                 }
                 _ => {}
             }
@@ -1195,6 +1417,7 @@ impl<'e> BatchScheduler<'e> {
         let timing = &mut self.timings[index];
         timing.finished_tick = self.tick;
         timing.queue_ticks = self.tick - timing.submitted_tick;
+        self.shed_events.push((index, reason));
         self.states[index] = RequestState::Finished(Self::shed_outcome(
             Vec::new(),
             DecodeTrace::default(),
@@ -1206,8 +1429,15 @@ impl<'e> BatchScheduler<'e> {
     /// releasing its lease, tier placement and shared-prefix attachment.
     /// With a resident session and at least one token the partial turn is
     /// finalized for real (hardware simulation, engine statistics); a
-    /// token-less or session-less shed produces a synthetic outcome.
-    fn shed_active(&mut self, index: usize, reason: ShedReason) {
+    /// token-less or session-less shed produces a synthetic outcome.  A
+    /// parked session is recalled from its shard first.
+    fn shed_active(
+        &mut self,
+        index: usize,
+        reason: ShedReason,
+        executor: &mut dyn StepExecutor<'e>,
+    ) {
+        self.ensure_resident(index, executor);
         let state = std::mem::replace(&mut self.states[index], RequestState::Taken);
         let RequestState::Active(mut slot) = state else {
             unreachable!("only active requests shed through shed_active");
@@ -1250,6 +1480,7 @@ impl<'e> BatchScheduler<'e> {
             }
         }
         self.checkpoints.remove(&index);
+        self.shed_events.push((index, reason));
         self.states[index] = RequestState::Finished(outcome);
     }
 
@@ -1258,7 +1489,19 @@ impl<'e> BatchScheduler<'e> {
     /// outcome is marked [`ShedReason::Cancelled`]) and releases all
     /// capacity immediately.  Returns `false` when the index is unknown or
     /// the request already finished.
+    ///
+    /// A session parked on a sticky executor cannot be recalled through this
+    /// entry point (there is no executor to ask); its partial output is kept
+    /// but finalized synthetically.  Prefer
+    /// [`cancel_with`](BatchScheduler::cancel_with) when stepping through a
+    /// sticky executor.
     pub fn cancel(&mut self, request: usize) -> bool {
+        self.cancel_with(request, &mut InlineExecutor)
+    }
+
+    /// [`cancel`](BatchScheduler::cancel), recalling a parked session from
+    /// `executor` so the partial turn finalizes for real.
+    pub fn cancel_with(&mut self, request: usize, executor: &mut dyn StepExecutor<'e>) -> bool {
         match self.states.get(request) {
             Some(RequestState::Waiting(_)) => {
                 self.chaos_metrics.cancelled_requests += 1;
@@ -1267,7 +1510,7 @@ impl<'e> BatchScheduler<'e> {
             }
             Some(RequestState::Active(_)) => {
                 self.chaos_metrics.cancelled_requests += 1;
-                self.shed_active(request, ShedReason::Cancelled);
+                self.shed_active(request, ShedReason::Cancelled, executor);
                 true
             }
             _ => false,
@@ -1288,16 +1531,32 @@ impl<'e> BatchScheduler<'e> {
     /// [`ServeError::WorkerLost`] mid-drain sheds the lost request and
     /// surfaces the error; calling again resumes the wind-down.
     pub fn drain_with(&mut self, executor: &mut dyn StepExecutor<'e>) -> Result<(), ServeError> {
+        self.begin_drain();
+        while self.active() > 0 {
+            self.try_step_with(executor)?;
+        }
+        Ok(())
+    }
+
+    /// The non-blocking half of [`drain`](BatchScheduler::drain): stops
+    /// admission, sheds every waiting request as [`ShedReason::Drained`] and
+    /// resumes any backpressure-paused slot so the wind-down cannot stall —
+    /// but does **not** step the active sessions.  Keep calling
+    /// [`try_step_with`](BatchScheduler::try_step_with) until
+    /// [`is_idle`](BatchScheduler::is_idle); this is what the front-end's
+    /// cooperative [`drain`](crate::front::ServingFront::drain) does.
+    pub fn begin_drain(&mut self) {
         self.draining = true;
         let waiting: Vec<usize> = self.waiting.iter().copied().collect();
         for index in waiting {
             self.chaos_metrics.drained_requests += 1;
             self.shed_waiting(index, ShedReason::Drained);
         }
-        while self.active() > 0 {
-            self.try_step_with(executor)?;
+        for state in &mut self.states {
+            if let RequestState::Active(slot) = state {
+                slot.paused = false;
+            }
         }
-        Ok(())
     }
 
     /// Effective per-session `N'` shares of the engine's cache budget for the
@@ -1311,7 +1570,9 @@ impl<'e> BatchScheduler<'e> {
             .iter()
             .enumerate()
             .filter_map(|(index, state)| match state {
-                RequestState::Active(slot) => Some((index, slot.session().position())),
+                // The mirror, not the session: a sticky executor may be
+                // holding the session itself parked on its shard.
+                RequestState::Active(slot) => Some((index, slot.position)),
                 _ => None,
             })
             .collect();
@@ -1378,6 +1639,46 @@ impl<'e> BatchScheduler<'e> {
             .expect("scheduler is idle, finish cannot fail"))
     }
 
+    /// Like
+    /// [`try_run_to_completion_streaming_with`](BatchScheduler::try_run_to_completion_streaming_with)
+    /// but delivering the full [`ServeEvent`] stream: tokens as they commit
+    /// **and** sheds (deadline, queue timeout, cancellation, drain, worker
+    /// loss) as they happen, instead of only reporting sheds in the final
+    /// outcome.  Within a tick tokens are delivered before that tick's
+    /// sheds, both in request-index order.
+    pub fn try_run_to_completion_events_with(
+        mut self,
+        executor: &mut dyn StepExecutor<'e>,
+        mut on_event: impl FnMut(ServeEvent),
+    ) -> Result<BatchOutcome, ServeError> {
+        for (request, reason) in self.take_shed_events() {
+            on_event(ServeEvent::Shed { request, reason });
+        }
+        while !self.is_idle() {
+            let stepped = self.try_step_with(executor);
+            // Sheds recorded this tick are delivered even when the tick
+            // itself failed with a worker loss.
+            let events = match &stepped {
+                Ok(events) => events.as_slice(),
+                Err(_) => &[],
+            };
+            for event in events {
+                on_event(ServeEvent::Token {
+                    request: event.request,
+                    token: event.token,
+                    finished: event.finished,
+                });
+            }
+            for (request, reason) in self.take_shed_events() {
+                on_event(ServeEvent::Shed { request, reason });
+            }
+            stepped?;
+        }
+        Ok(self
+            .finish()
+            .expect("scheduler is idle, finish cannot fail"))
+    }
+
     /// Collects the per-request outcomes and the batch aggregate.
     ///
     /// Returns [`BatchIncomplete`] if any submitted request is still waiting
@@ -1416,6 +1717,8 @@ impl<'e> BatchScheduler<'e> {
                 .unwrap_or(0),
             per_request: self.timings,
         };
+        let mut parallel = self.parallel;
+        parallel.ticks = self.tick;
         Ok(BatchOutcome {
             outcomes,
             stats: self.stats,
@@ -1427,6 +1730,7 @@ impl<'e> BatchScheduler<'e> {
                 .map(TierManager::metrics)
                 .unwrap_or_default(),
             chaos: self.chaos_metrics,
+            parallel,
         })
     }
 }

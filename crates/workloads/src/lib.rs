@@ -20,5 +20,7 @@ pub mod scenario;
 pub mod task;
 
 pub use generator::{GeneratedPrompt, TokenStreamGenerator};
-pub use scenario::{ChaosScenario, ParallelScenario, SharedPromptScenario, TieringScenario};
+pub use scenario::{
+    ChaosScenario, FrontScenario, ParallelScenario, SharedPromptScenario, TieringScenario,
+};
 pub use task::{TaskKind, TaskMetric};

@@ -203,6 +203,92 @@ impl ParallelScenario {
     }
 }
 
+/// A long-lived session fleet for the async serving front-end
+/// (`kelle::front`): short prompts, long decode tails, served through the
+/// submit/poll API with a sticky-shard and a work-stealing executor.
+///
+/// The shape is the opposite of [`ParallelScenario::edge_fleet`]'s
+/// prefill-heavy burst: here almost all the work is decode ticks on
+/// sessions that stay resident for a long time, which is exactly where the
+/// sticky-shard executor's queue-traffic win shows up (a stealing executor
+/// moves every session across the task queue twice per tick; a sticky one
+/// moves only per-tick step results).  `bench_front` sweeps this scenario
+/// at each worker count with both executors and asserts the streams are
+/// bit-identical while measuring queue-crossings/tick and tokens/s.
+/// Pure data, deterministic in its seed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontScenario {
+    /// The long-lived session fleet.
+    pub fleet: SharedPromptScenario,
+    /// Worker counts to sweep, in measurement order.
+    pub worker_counts: Vec<usize>,
+    /// Per-stream token-buffer bound the front applies while serving
+    /// (`None` = unbounded, never pauses).
+    pub stream_capacity: Option<usize>,
+}
+
+impl FrontScenario {
+    /// A front-end sweep of `worker_counts` over the given fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker_counts` is empty or contains a zero.
+    pub fn new(fleet: SharedPromptScenario, worker_counts: Vec<usize>) -> Self {
+        let scenario = FrontScenario {
+            fleet,
+            worker_counts,
+            stream_capacity: None,
+        };
+        scenario.validate();
+        scenario
+    }
+
+    /// The acceptance-shape fleet: 16 long-lived sessions (64-token shared
+    /// system prompt, 8-token user turns) each decoding 96 tokens, served
+    /// at 1, 2 and 4 workers.  Decode dominates prefill ~6:1, the shape the
+    /// sticky-shard executor exists for.
+    pub fn long_lived_fleet() -> Self {
+        FrontScenario::new(
+            SharedPromptScenario::new(16, 64, 8).with_decode_len(96),
+            vec![1, 2, 4],
+        )
+    }
+
+    /// Overrides the worker counts (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker_counts` is empty or contains a zero.
+    pub fn with_worker_counts(mut self, worker_counts: Vec<usize>) -> Self {
+        self.worker_counts = worker_counts;
+        self.validate();
+        self
+    }
+
+    /// Bounds each per-session token buffer (builder style).
+    pub fn with_stream_capacity(mut self, capacity: usize) -> Self {
+        self.stream_capacity = Some(capacity);
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            !self.worker_counts.is_empty(),
+            "sweep needs at least one worker count"
+        );
+        assert!(
+            self.worker_counts.iter().all(|&w| w > 0),
+            "worker counts must be non-zero"
+        );
+    }
+
+    /// Total tokens the fleet decodes (the numerator of aggregate decode
+    /// throughput).
+    pub fn total_decode_tokens(&self) -> usize {
+        self.fleet.sessions * self.fleet.decode_len
+    }
+}
+
 /// A tiered-memory pressure scenario: a fleet whose total KV demand
 /// deliberately exceeds the on-chip budget.
 ///
@@ -430,6 +516,24 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_worker_count_panics() {
         ParallelScenario::new(SharedPromptScenario::new(2, 8, 2), vec![1, 0]);
+    }
+
+    #[test]
+    fn front_scenario_is_decode_dominated() {
+        let scenario = FrontScenario::long_lived_fleet();
+        assert_eq!(scenario.fleet.sessions, 16);
+        assert_eq!(scenario.worker_counts, vec![1, 2, 4]);
+        assert_eq!(scenario.stream_capacity, None);
+        // Decode work outweighs prefill work: that is the long-lived shape.
+        assert!(scenario.total_decode_tokens() > scenario.fleet.total_prompt_tokens());
+        let bounded = scenario.with_stream_capacity(4);
+        assert_eq!(bounded.stream_capacity, Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_front_worker_count_panics() {
+        FrontScenario::new(SharedPromptScenario::new(2, 8, 2), vec![0]);
     }
 
     #[test]

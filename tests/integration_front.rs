@@ -1,0 +1,477 @@
+//! Front-end acceptance suite: the async submit/poll serving surface
+//! (`kelle::front`) must deliver **bit-identical** token streams, traces,
+//! probability-bearing fault statistics and batch metrics to the synchronous
+//! `serve_batch_parallel` path — for all five cache policies, both
+//! parallelism axes, every worker count and both executor protocols
+//! (sticky-shard and work-stealing) — while adding backpressure, mid-stream
+//! cancel/drain and chaos tolerance on top.
+//!
+//! The CI determinism gate runs this suite at explicit worker counts via
+//! `KELLE_TEST_WORKERS` (comma-separated, default {1, 2, 4}) and chaos seeds
+//! via `KELLE_CHAOS_SEEDS` (default {7, 11, 23}).
+
+use kelle::front::{ExecutorKind, FrontConfig, StreamPoll, SubmitError, TokenStream};
+use kelle::scheduler::ServeEvent;
+use kelle::tier::TierConfig;
+use kelle::{
+    BatchOutcome, BatchScheduler, CachePolicy, ChaosConfig, InlineExecutor, KelleEngine,
+    ParallelAxis, PrefixSharingConfig, SchedulerConfig, ServeRequest, ServingFront, ShedReason,
+};
+
+/// Worker counts under test: `KELLE_TEST_WORKERS` or {1, 2, 4} by default.
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("KELLE_TEST_WORKERS") {
+        Ok(raw) => raw
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad KELLE_TEST_WORKERS entry: {part:?}"))
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+/// Fault-plan seeds under test: `KELLE_CHAOS_SEEDS` or {7, 11, 23} by
+/// default.
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("KELLE_CHAOS_SEEDS") {
+        Ok(raw) => raw
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| panic!("bad KELLE_CHAOS_SEEDS entry: {part:?}"))
+            })
+            .collect(),
+        Err(_) => vec![7, 11, 23],
+    }
+}
+
+/// Asserts two batch outcomes are bit-identical in every stream-affecting
+/// observable.  Executor-protocol traffic (`parallel`) is *expected* to
+/// differ — that asymmetry is the point of the sticky shard — so it is not
+/// compared here.
+fn assert_outcomes_identical(a: &BatchOutcome, b: &BatchOutcome, label: &str) {
+    assert_eq!(a.outcomes.len(), b.outcomes.len(), "{label}: request count");
+    for (i, (x, y)) in a.outcomes.iter().zip(b.outcomes.iter()).enumerate() {
+        assert_eq!(x.generated, y.generated, "{label}: stream of request {i}");
+        assert_eq!(x.trace, y.trace, "{label}: trace of request {i}");
+        assert_eq!(x.cache, y.cache, "{label}: cache stats of request {i}");
+        assert_eq!(x.faults, y.faults, "{label}: fault stats of request {i}");
+        assert_eq!(x.hardware, y.hardware, "{label}: hardware of request {i}");
+        assert_eq!(x.shed, y.shed, "{label}: shed reason of request {i}");
+        assert_eq!(
+            (x.prefilled_tokens, x.prefix_hit_tokens),
+            (y.prefilled_tokens, y.prefix_hit_tokens),
+            "{label}: prefill accounting of request {i}"
+        );
+    }
+    assert_eq!(a.stats, b.stats, "{label}: aggregate stats");
+    assert_eq!(a.contention, b.contention, "{label}: contention metrics");
+    assert_eq!(a.prefix, b.prefix, "{label}: prefix metrics");
+}
+
+fn shared_prefix() -> Vec<usize> {
+    (0..24).map(|i| (i * 7 + 5) % 512).collect()
+}
+
+/// One request per cache policy riding the shared prefix, with staggered
+/// decode lengths, plus a non-prefix straggler with a seed override.
+fn policy_mix() -> Vec<ServeRequest> {
+    let prefix = shared_prefix();
+    let mut requests: Vec<ServeRequest> = CachePolicy::all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, policy)| {
+            let mut prompt = prefix.clone();
+            prompt.extend([100 + i, 200 + i, 300 + i]);
+            ServeRequest::builder(prompt)
+                .decode_len(3 + i)
+                .policy(policy)
+                .build()
+        })
+        .collect();
+    requests.push(
+        ServeRequest::builder(vec![9, 8, 7, 6, 5, 4])
+            .decode_len(4)
+            .seed(1234)
+            .build(),
+    );
+    requests
+}
+
+fn sharing_engine(seed: u64, workers: usize) -> KelleEngine {
+    let engine = KelleEngine::builder()
+        .prefix_sharing(PrefixSharingConfig::enabled())
+        .seed(seed)
+        .workers(workers)
+        .build();
+    assert!(engine.publish_prefix(&shared_prefix()));
+    engine
+}
+
+/// Drains one stream to its end, returning its tokens and terminal shed.
+fn read_stream(
+    front: &mut ServingFront<'_, '_>,
+    stream: &TokenStream,
+) -> (Vec<usize>, Option<ShedReason>) {
+    let mut tokens = Vec::new();
+    loop {
+        match front.recv(stream) {
+            StreamPoll::Token(token) => tokens.push(token),
+            StreamPoll::Finished { shed } => return (tokens, shed),
+            StreamPoll::Pending => panic!(
+                "request {} stalled with the front unable to progress",
+                stream.request()
+            ),
+        }
+    }
+}
+
+#[test]
+fn front_streams_are_bit_identical_to_synchronous_serving() {
+    let sequential_engine = sharing_engine(7, 1);
+    let sequential = sequential_engine.serve_batch(policy_mix());
+    for kind in [ExecutorKind::Sticky, ExecutorKind::Stealing] {
+        for axis in [ParallelAxis::Session, ParallelAxis::Intra] {
+            for workers in worker_counts() {
+                let label = format!("kind={kind:?}, axis={axis:?}, workers={workers}");
+                let engine = sharing_engine(7, workers);
+                let config = FrontConfig::default()
+                    .with_executor(kind)
+                    .with_scheduler(SchedulerConfig::default().with_parallel_axis(axis));
+                let (streams, outcome) = engine.front(config, |front| {
+                    let handles: Vec<TokenStream> = policy_mix()
+                        .into_iter()
+                        .map(|request| front.submit(request).expect("unbounded queue"))
+                        .collect();
+                    handles
+                        .iter()
+                        .map(|stream| read_stream(front, stream))
+                        .collect::<Vec<_>>()
+                });
+                assert_outcomes_identical(&sequential, &outcome, &label);
+                for (i, ((tokens, shed), reference)) in
+                    streams.iter().zip(sequential.outcomes.iter()).enumerate()
+                {
+                    assert_eq!(tokens, &reference.generated, "{label}: stream {i}");
+                    assert_eq!(*shed, None, "{label}: stream {i} finishes naturally");
+                }
+                assert_eq!(
+                    engine.prefix_stats(),
+                    sequential_engine.prefix_stats(),
+                    "{label}: prefix-store traffic"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn a_full_admission_queue_rejects_typed_and_blocking_submit_waits() {
+    let engine = sharing_engine(3, 2);
+    // Capacity for roughly one resident request: everything else queues.
+    let config = FrontConfig::default()
+        .with_queue_capacity(1)
+        .with_scheduler(
+            SchedulerConfig::unbounded().with_kv_capacity_bytes(engine.kv_footprint_bytes(4)),
+        );
+    let requests: Vec<ServeRequest> = (0..4)
+        .map(|i| ServeRequest::new(vec![10 + i, 20 + i, 30 + i], 3))
+        .collect();
+    let (rejections, outcome) = engine.front(config, |front| {
+        let mut rejections = 0usize;
+        let mut handles = Vec::new();
+        for request in requests.clone() {
+            match front.submit(request.clone()) {
+                Ok(stream) => handles.push(stream),
+                Err(SubmitError::QueueFull { waiting }) => {
+                    assert_eq!(waiting, 1, "rejection reports the queue depth");
+                    rejections += 1;
+                    handles.push(
+                        front
+                            .submit_blocking(request)
+                            .expect("blocking submit pumps a slot free"),
+                    );
+                }
+                Err(SubmitError::Draining) => unreachable!("nothing drains here"),
+            }
+        }
+        for stream in &handles {
+            let (_, shed) = read_stream(front, stream);
+            assert_eq!(shed, None);
+        }
+        rejections
+    });
+    assert!(
+        rejections > 0,
+        "the bounded queue must reject at least once"
+    );
+    let baseline = engine.serve_batch_with(
+        requests,
+        SchedulerConfig::unbounded().with_kv_capacity_bytes(engine.kv_footprint_bytes(4)),
+    );
+    for (a, b) in outcome.outcomes.iter().zip(baseline.outcomes.iter()) {
+        assert_eq!(a.generated, b.generated, "backpressure never changes bits");
+    }
+}
+
+#[test]
+fn idle_paused_sessions_consume_no_queue_traffic() {
+    let engine = KelleEngine::builder().seed(5).workers(2).build();
+    let config = FrontConfig::default()
+        .with_executor(ExecutorKind::Sticky)
+        .with_stream_capacity(1);
+    let requests: Vec<ServeRequest> = (0..4)
+        .map(|i| ServeRequest::new(vec![i + 1, i + 7], 16))
+        .collect();
+    let ((), outcome) = engine.front(config, |front| {
+        let handles: Vec<TokenStream> = requests
+            .clone()
+            .into_iter()
+            .map(|request| front.submit(request).expect("unbounded queue"))
+            .collect();
+        // Pump until every stream is at capacity: all sessions paused.
+        while front.pump() {}
+        for stream in &handles {
+            assert_eq!(stream.buffered(), 1, "each stream pauses at capacity");
+        }
+        let soak_start = *front.scheduler().parallel_metrics();
+        // The soak: an idle (unpolled) fleet pumped hard must move nothing
+        // across threads — the parked sessions stay on their shards.
+        for _ in 0..50 {
+            assert!(!front.pump(), "a fully paused front makes no progress");
+        }
+        let soaked = *front.scheduler().parallel_metrics();
+        assert_eq!(
+            soaked.queue_crossings, soak_start.queue_crossings,
+            "idle pinned sessions must not cross the queue"
+        );
+        assert_eq!(soaked.sessions_migrated, 0, "pinning never migrates");
+        // Wake the fleet back up and finish normally.
+        for stream in &handles {
+            let (tokens, shed) = read_stream(front, stream);
+            assert_eq!(shed, None);
+            assert_eq!(tokens.len(), 16, "the full decode, buffered token included");
+        }
+    });
+    let baseline = engine.serve_batch(requests);
+    for (a, b) in outcome.outcomes.iter().zip(baseline.outcomes.iter()) {
+        assert_eq!(a.generated, b.generated, "the soak never changes bits");
+    }
+}
+
+#[test]
+fn cancel_and_drain_through_the_front_release_every_byte() {
+    let engine = sharing_engine(9, 2);
+    let config = FrontConfig::default()
+        .with_executor(ExecutorKind::Sticky)
+        .with_scheduler(
+            SchedulerConfig::default()
+                .with_tiering(TierConfig::with_edram_budget(engine.kv_footprint_bytes(30))),
+        );
+    let ((), outcome) = engine.front(config, |front| {
+        let doomed = front
+            .submit(
+                ServeRequest::builder({
+                    let mut prompt = shared_prefix();
+                    prompt.extend([401, 402]);
+                    prompt
+                })
+                .decode_len(60)
+                .build(),
+            )
+            .expect("unbounded queue");
+        let survivor = front
+            .submit(ServeRequest::new(vec![7, 7, 7], 5))
+            .expect("unbounded queue");
+        front.pump();
+        front.pump();
+        front.pump();
+        assert!(front.cancel(doomed.request()), "cancel hits a live request");
+        let (partial, shed) = read_stream(front, &doomed);
+        assert_eq!(shed, Some(ShedReason::Cancelled));
+        assert!(!partial.is_empty(), "cancel keeps the partial output");
+        front.drain();
+        assert!(
+            matches!(
+                front.submit(ServeRequest::new(vec![1], 1)),
+                Err(SubmitError::Draining)
+            ),
+            "draining is terminal for admission"
+        );
+        let (_, shed) = read_stream(front, &survivor);
+        assert_eq!(shed, None, "drain completes active requests");
+        // Every byte is back: lease ledger empty, shared prefix detached.
+        assert_eq!(front.scheduler().ledger().live_bytes(), 0);
+        assert_eq!(front.scheduler().ledger().shared_bytes(), 0);
+    });
+    assert_eq!(outcome.outcomes[0].shed, Some(ShedReason::Cancelled));
+    assert_eq!(outcome.outcomes[1].shed, None);
+}
+
+#[test]
+fn chaos_storms_through_the_front_are_bit_identical_and_leak_free() {
+    let baseline = sharing_engine(7, 1).serve_batch(policy_mix());
+    for kind in [ExecutorKind::Sticky, ExecutorKind::Stealing] {
+        for seed in chaos_seeds() {
+            let label = format!("kind={kind:?}, chaos seed={seed}");
+            let engine = sharing_engine(7, 2);
+            let chaos = ChaosConfig::default()
+                .with_seed(seed)
+                .with_worker_panics(200)
+                .with_migration_faults(250)
+                .with_ledger_blips(100)
+                .with_max_retries(12);
+            let config = FrontConfig::default().with_executor(kind).with_scheduler(
+                SchedulerConfig::default()
+                    .with_tiering(TierConfig::with_edram_budget(
+                        engine.kv_footprint_bytes(shared_prefix().len() + 6),
+                    ))
+                    .with_chaos(chaos),
+            );
+            let (streams, outcome) = engine.front(config, |front| {
+                let handles: Vec<TokenStream> = policy_mix()
+                    .into_iter()
+                    .map(|request| front.submit(request).expect("unbounded queue"))
+                    .collect();
+                let streams: Vec<_> = handles
+                    .iter()
+                    .map(|stream| read_stream(front, stream))
+                    .collect();
+                assert!(
+                    front.worker_losses().is_empty(),
+                    "{label}: the replay budget must absorb every panic"
+                );
+                // Nothing leaks once the storm settles.
+                assert_eq!(front.scheduler().ledger().live_bytes(), 0, "{label}");
+                assert_eq!(front.scheduler().ledger().shared_bytes(), 0, "{label}");
+                streams
+            });
+            for (i, ((tokens, shed), reference)) in
+                streams.iter().zip(baseline.outcomes.iter()).enumerate()
+            {
+                assert_eq!(tokens, &reference.generated, "{label}: stream {i}");
+                assert_eq!(*shed, None, "{label}: stream {i} survives the storm");
+            }
+            assert!(
+                outcome.chaos.injected_panics > 0,
+                "{label}: the storm must actually panic workers"
+            );
+            assert_eq!(outcome.chaos.lost_requests, 0, "{label}");
+        }
+    }
+}
+
+#[test]
+fn sticky_shards_cross_the_queue_strictly_less_than_stealing() {
+    for workers in worker_counts() {
+        let engine = KelleEngine::builder().seed(13).workers(workers).build();
+        let fleet: Vec<ServeRequest> = (0..6)
+            .map(|i| ServeRequest::new(vec![i + 1, i + 2, i + 3], 24))
+            .collect();
+        let run = |kind: ExecutorKind| {
+            let requests = fleet.clone();
+            engine
+                .front(FrontConfig::default().with_executor(kind), move |front| {
+                    for request in requests {
+                        front.submit(request).expect("unbounded queue");
+                    }
+                })
+                .1
+        };
+        let sticky = run(ExecutorKind::Sticky);
+        let stealing = run(ExecutorKind::Stealing);
+        for (a, b) in sticky.outcomes.iter().zip(stealing.outcomes.iter()) {
+            assert_eq!(a.generated, b.generated, "workers={workers}");
+        }
+        assert_eq!(sticky.parallel.ticks, stealing.parallel.ticks);
+        assert!(
+            sticky.parallel.queue_crossings < stealing.parallel.queue_crossings,
+            "workers={workers}: sticky {} !< stealing {}",
+            sticky.parallel.queue_crossings,
+            stealing.parallel.queue_crossings,
+        );
+        assert_eq!(
+            sticky.parallel.sessions_migrated, 0,
+            "workers={workers}: pinning never migrates"
+        );
+    }
+}
+
+#[test]
+fn shed_reasons_surface_through_the_event_stream_as_they_happen() {
+    // Satellite regression: the streaming path used to report sheds only in
+    // the final outcome; `ServeEvent::Shed` must now deliver them live.
+    let engine = KelleEngine::builder().seed(3).build();
+    let capacity = engine.kv_footprint_bytes(4);
+    let config = SchedulerConfig::default().with_kv_capacity_bytes(capacity);
+    let mut scheduler = BatchScheduler::with_config(&engine, config);
+    scheduler.submit(
+        ServeRequest::builder(vec![1, 2, 3, 4])
+            .decode_len(10)
+            .deadline_ticks(4)
+            .build(),
+    );
+    scheduler.submit(
+        ServeRequest::builder(vec![5, 6, 7, 8])
+            .decode_len(2)
+            .queue_timeout_ticks(2)
+            .build(),
+    );
+    assert_eq!(scheduler.waiting(), 1, "the fixture must queue request 1");
+    let mut tokens = Vec::new();
+    let mut sheds = Vec::new();
+    let outcome = scheduler
+        .try_run_to_completion_events_with(&mut InlineExecutor, |event| match event {
+            ServeEvent::Token { request, token, .. } => tokens.push((request, token)),
+            ServeEvent::Shed { request, reason } => sheds.push((request, reason)),
+        })
+        .expect("no chaos: no worker can be lost");
+    assert_eq!(
+        sheds,
+        vec![
+            (1, ShedReason::QueueTimeout),
+            (0, ShedReason::DeadlineExceeded),
+        ],
+        "both sheds surface live, in the order they happened"
+    );
+    assert_eq!(
+        tokens.len(),
+        outcome.outcomes[0].generated.len(),
+        "the deadline request streamed its partial output before shedding"
+    );
+    assert_eq!(outcome.outcomes[0].shed, Some(ShedReason::DeadlineExceeded));
+    assert_eq!(outcome.outcomes[1].shed, Some(ShedReason::QueueTimeout));
+    // The same sheds terminate front-end streams with their reasons.
+    let ((), _) = engine.front(
+        FrontConfig::default()
+            .with_scheduler(SchedulerConfig::default().with_kv_capacity_bytes(capacity)),
+        |front| {
+            let deadline = front
+                .submit(
+                    ServeRequest::builder(vec![1, 2, 3, 4])
+                        .decode_len(10)
+                        .deadline_ticks(4)
+                        .build(),
+                )
+                .expect("unbounded queue");
+            let timeout = front
+                .submit(
+                    ServeRequest::builder(vec![5, 6, 7, 8])
+                        .decode_len(2)
+                        .queue_timeout_ticks(2)
+                        .build(),
+                )
+                .expect("queue capacity is unbounded; KV capacity queues it");
+            let (partial, shed) = read_stream(front, &deadline);
+            assert_eq!(shed, Some(ShedReason::DeadlineExceeded));
+            assert_eq!(partial.len(), 4, "4 deadline ticks yield 4 tokens");
+            let (none, shed) = read_stream(front, &timeout);
+            assert_eq!(shed, Some(ShedReason::QueueTimeout));
+            assert!(none.is_empty(), "a queue timeout never decoded");
+        },
+    );
+}
