@@ -1,0 +1,83 @@
+//! Trace-replay benchmark binary: generates a deterministic fleet-scale
+//! Poisson trace (heterogeneous archetypes, multi-turn sessions, nested
+//! prefix hierarchy), replays it through `KelleEngine::serve` under a tight
+//! KV capacity for every admission policy at every configured worker count
+//! (streams and tick-denominated SLO reports asserted identical while being
+//! timed), prints a table, and emits the `BENCH_trace.json` artifact
+//! consumed by CI.
+//!
+//! Usage: `cargo run --release -p kelle-bench --bin bench_trace -- \
+//!     [--quick] [--out BENCH_trace.json]`
+
+use kelle_bench::trace_perf::{self, policy_label, TracePerfConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_trace.json"));
+
+    let config = if quick {
+        TracePerfConfig::quick()
+    } else {
+        TracePerfConfig::full()
+    };
+    println!(
+        "trace replay: {} sessions, capacity {} tokens, SLO ttft<={} tpot<={:.1}{}",
+        config.trace.sessions,
+        config.capacity_tokens,
+        config.slo.ttft_ticks,
+        config.slo.tpot_ticks,
+        if quick { " [quick]" } else { "" }
+    );
+
+    let report = trace_perf::run(config);
+    println!(
+        "{} requests, {} prompt tokens, arrival horizon {} ticks",
+        report.requests, report.prompt_tokens, report.horizon_ticks
+    );
+    println!(
+        "{:>22} {:>8} {:>8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>8} {:>10}",
+        "policy",
+        "workers",
+        "wall s",
+        "ticks",
+        "ttft p50",
+        "ttft p95",
+        "ttft p99",
+        "queue p95",
+        "goodput",
+        "tok/ktick"
+    );
+    for row in &report.rows {
+        let slo = &row.report.slo;
+        println!(
+            "{:>22} {:>8} {:>8.2} {:>7} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>7.1}% {:>10.1}",
+            policy_label(row.policy),
+            row.workers,
+            row.wall_seconds,
+            slo.ticks,
+            slo.ttft.p50,
+            slo.ttft.p95,
+            slo.ttft.p99,
+            slo.queue.p95,
+            slo.goodput_fraction() * 100.0,
+            slo.goodput_tokens_per_kilotick(),
+        );
+    }
+    println!("(token streams verified bit-identical on every row; SLO reports verified");
+    println!(" bit-identical across worker counts for each policy)");
+
+    match report.write_json(&out) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(err) => {
+            eprintln!("failed to write {}: {err}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

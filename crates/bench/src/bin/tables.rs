@@ -3,7 +3,7 @@
 //! Usage: `cargo run -p kelle-bench --bin tables [-- --table <id>]`
 //! where `<id>` is one of `1`, `2`, `3`, `4`, `5`, `6`, `7`, `8`, `9`,
 //! `area-power`, `bandwidth`, `chaos`, `contention`, `decode_perf`, `front`,
-//! `intra`, `prefix`, `serving`, `tiering`, or `all` (default).
+//! `intra`, `prefix`, `serving`, `tiering`, `trace`, or `all` (default).
 
 use kelle::accuracy::{evaluate_all_methods, evaluate_method, AccuracyConfig, Method};
 use kelle::arch::InferenceWorkload;
@@ -81,6 +81,9 @@ fn main() {
     }
     if all || which == "front" {
         front();
+    }
+    if all || which == "trace" {
+        trace();
     }
 }
 
@@ -550,4 +553,38 @@ fn front() {
     }
     println!("(token streams are bit-identical on every row; the sticky shard pins");
     println!(" sessions to workers so only per-tick step results cross the queue)");
+}
+
+fn trace() {
+    header("Fleet trace replay: admission-policy shootout under SLO");
+    let config = kelle_bench::trace_perf::TracePerfConfig::table();
+    let report = kelle_bench::trace_perf::run(config);
+    println!(
+        "{} sessions -> {} requests, capacity {} tokens, SLO ttft<={} tpot<={:.1}",
+        report.config.trace.sessions,
+        report.requests,
+        report.config.capacity_tokens,
+        report.config.slo.ttft_ticks,
+        report.config.slo.tpot_ticks,
+    );
+    println!(
+        "{:>22} {:>8} {:>7} {:>9} {:>9} {:>9} {:>8} {:>10}",
+        "policy", "workers", "ticks", "ttft p50", "ttft p95", "queue p95", "goodput", "tok/ktick"
+    );
+    for row in &report.rows {
+        let slo = &row.report.slo;
+        println!(
+            "{:>22} {:>8} {:>7} {:>9.0} {:>9.0} {:>9.0} {:>7.1}% {:>10.1}",
+            kelle_bench::trace_perf::policy_label(row.policy),
+            row.workers,
+            slo.ticks,
+            slo.ttft.p50,
+            slo.ttft.p95,
+            slo.queue.p95,
+            slo.goodput_fraction() * 100.0,
+            slo.goodput_tokens_per_kilotick(),
+        );
+    }
+    println!("(token streams are bit-identical on every row; per-policy SLO reports are");
+    println!(" bit-identical across worker counts — latencies are scheduler ticks)");
 }

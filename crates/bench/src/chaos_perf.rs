@@ -27,7 +27,7 @@ use kelle::tier::TierConfig;
 use kelle::workloads::ChaosScenario;
 use kelle::{
     BatchOutcome, ChaosConfig, ChaosMetrics, KelleEngine, PrefixSharingConfig, SchedulerConfig,
-    ServeRequest,
+    ServeOptions, ServeRequest,
 };
 
 /// Configuration of one chaos-recovery sweep.
@@ -232,12 +232,20 @@ fn timed_run(
     let mut deltas_us: Vec<f64> = Vec::with_capacity(decode_tokens);
     let start = Instant::now();
     let mut last = start;
+    let mut sink = |_: usize, _: usize| {
+        let now = Instant::now();
+        deltas_us.push(now.duration_since(last).as_secs_f64() * 1e6);
+        last = now;
+    };
     let outcome = engine
-        .try_serve_batch_parallel_streaming_with(requests, config, |_, _| {
-            let now = Instant::now();
-            deltas_us.push(now.duration_since(last).as_secs_f64() * 1e6);
-            last = now;
-        })
+        .serve(
+            requests,
+            ServeOptions::new()
+                .parallel()
+                .fallible()
+                .with_scheduler(config)
+                .streaming(&mut sink),
+        )
         .expect("the retry budget absorbs every injected fault");
     let seconds = start.elapsed().as_secs_f64();
     deltas_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));

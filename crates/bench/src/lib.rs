@@ -20,7 +20,10 @@
 //!   `BENCH_chaos.json`, built on [`chaos_perf`];
 //! * `src/bin/bench_front.rs` — the front-end executor-protocol sweep
 //!   (sticky-shard vs work-stealing) emitting `BENCH_front.json`, built on
-//!   [`front_perf`].
+//!   [`front_perf`];
+//! * `src/bin/bench_trace.rs` — the fleet-scale trace replay and
+//!   admission-policy shootout emitting `BENCH_trace.json`, built on
+//!   [`trace_perf`].
 
 #![warn(missing_docs)]
 
@@ -31,3 +34,4 @@ pub mod intra_perf;
 pub mod prefix_perf;
 pub mod serving_perf;
 pub mod tiering_perf;
+pub mod trace_perf;

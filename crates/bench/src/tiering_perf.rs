@@ -26,7 +26,7 @@ use std::time::Instant;
 use kelle::edram::{MemoryTier, TierBudgets};
 use kelle::tier::{TierConfig, TieringMetrics};
 use kelle::workloads::TieringScenario;
-use kelle::{KelleEngine, PrefixSharingConfig, SchedulerConfig, ServeRequest};
+use kelle::{KelleEngine, PrefixSharingConfig, SchedulerConfig, ServeOptions, ServeRequest};
 
 /// Configuration of one tiered-memory pressure sweep.
 #[derive(Debug, Clone)]
@@ -210,16 +210,20 @@ pub fn run(config: TieringPerfConfig) -> TieringPerfReport {
     let reference_engine = engine(&config);
     assert!(reference_engine.publish_prefix(&fleet.system_prompt()));
     let start = Instant::now();
-    let reference = reference_engine.serve_batch(requests_for(&config.scenario));
+    let reference = reference_engine
+        .serve(requests_for(&config.scenario), ServeOptions::new())
+        .expect("infallible options cannot fail");
     let unbounded_seconds = start.elapsed().as_secs_f64();
 
     let tiered_engine = engine(&config);
     assert!(tiered_engine.publish_prefix(&fleet.system_prompt()));
     let start = Instant::now();
-    let tiered = tiered_engine.serve_batch_with(
-        requests_for(&config.scenario),
-        SchedulerConfig::default().with_tiering(tiering),
-    );
+    let tiered = tiered_engine
+        .serve(
+            requests_for(&config.scenario),
+            ServeOptions::new().with_scheduler(SchedulerConfig::default().with_tiering(tiering)),
+        )
+        .expect("infallible options cannot fail");
     let tiered_seconds = start.elapsed().as_secs_f64();
 
     let streams_identical = reference

@@ -3,20 +3,26 @@
 //! [`KelleEngine`] binds together the surrogate model, a pluggable KV-cache
 //! policy (via the [`CachePolicy`] registry), the 2DRP retention-fault model
 //! and the hardware platform model.  Construction goes through
-//! [`EngineBuilder`]; serving goes through four entry points of increasing
+//! [`EngineBuilder`]; serving goes through three entry points of increasing
 //! generality:
 //!
-//! * [`KelleEngine::serve`] — one blocking request (a thin wrapper over a
+//! * [`KelleEngine::serve_one`] — one blocking request (a thin wrapper over a
 //!   one-shot [`Session`]);
 //! * [`KelleEngine::open_session`] — a persistent session whose KV cache
 //!   survives across turns, so multi-turn chat pre-fills only each turn's new
 //!   tokens;
-//! * [`KelleEngine::serve_batch`] — a continuous-batching scheduler that
-//!   interleaves decode steps across many sessions round-robin;
-//! * [`KelleEngine::serve_batch_with`] — the same scheduler under
-//!   shared-eDRAM capacity arbitration: requests queue behind an admission
-//!   policy and contended requests are costed against their slice of the
-//!   device (same token streams, different cost and ordering).
+//! * [`KelleEngine::serve`] — the batch entry point: a continuous-batching
+//!   scheduler that interleaves decode steps across many sessions, with every
+//!   execution axis selected through [`ServeOptions`] — shared-capacity
+//!   arbitration and admission policy ([`SchedulerConfig`]), inline vs.
+//!   worker-pool execution ([`ServeOptions::parallel`]), token streaming
+//!   ([`ServeOptions::streaming`]) and typed fault surfacing
+//!   ([`ServeOptions::fallible`]).  Token streams are bit-identical across
+//!   every axis combination; only cost, ordering and metrics change.
+//!
+//! The historical `serve_batch*` / `try_serve_batch*` matrix survives as thin
+//! deprecated wrappers over [`KelleEngine::serve`]; each wrapper's doctest
+//! proves the delegation is exact.
 
 use crate::parallel;
 use crate::prefix::{PrefixHit, PrefixKey, PrefixSharingConfig, PrefixStore, PrefixStoreStats};
@@ -276,6 +282,122 @@ impl EngineStats {
     }
 }
 
+/// Execution options for the unified batch entry point
+/// [`KelleEngine::serve`].
+///
+/// One value of this struct selects every axis the historical `serve_batch*`
+/// matrix spread across ten method names:
+///
+/// * **Scheduling** — [`with_scheduler`](ServeOptions::with_scheduler)
+///   carries the full [`SchedulerConfig`]: shared-capacity arbitration,
+///   admission policy, tiering, chaos injection, the parallelism axis and
+///   the [`SloSpec`](crate::scheduler::SloSpec) the batch's
+///   [`SloReport`](crate::scheduler::SloReport) is graded against.
+/// * **Execution** — [`parallel`](ServeOptions::parallel) fans per-session
+///   prefill/decode compute across the engine's configured
+///   [`workers`](EngineBuilder::workers); the default runs inline on the
+///   calling thread.  Token streams are bit-identical either way.
+/// * **Streaming** — [`streaming`](ServeOptions::streaming) registers a
+///   `(request_index, token)` sink invoked on the coordinating thread in
+///   exactly the order single-threaded serving would deliver tokens.
+/// * **Fallibility** — [`fallible`](ServeOptions::fallible) surfaces an
+///   unrecoverable worker loss as the typed
+///   [`ServeError::WorkerLost`](crate::chaos::ServeError) instead of a
+///   panic (the entry point chaos-hardened serving drives).
+///
+/// ```rust
+/// use kelle::{KelleEngine, SchedulerConfig, ServeOptions, ServeRequest};
+///
+/// let engine = KelleEngine::builder().seed(5).workers(2).build();
+/// let requests = vec![ServeRequest::new(vec![1, 2, 3], 4)];
+/// let mut tokens = Vec::new();
+/// let mut sink = |request: usize, token: usize| tokens.push((request, token));
+/// let batch = engine
+///     .serve(
+///         requests,
+///         ServeOptions::new()
+///             .with_scheduler(SchedulerConfig::default())
+///             .parallel()
+///             .streaming(&mut sink),
+///     )
+///     .expect("infallible options cannot fail");
+/// assert_eq!(batch.outcomes[0].generated.len(), 4);
+/// assert_eq!(tokens.len(), 4);
+/// ```
+#[derive(Default)]
+pub struct ServeOptions<'cb> {
+    scheduler: SchedulerConfig,
+    parallel: bool,
+    fallible: bool,
+    sink: Option<&'cb mut dyn FnMut(usize, usize)>,
+}
+
+impl std::fmt::Debug for ServeOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("scheduler", &self.scheduler)
+            .field("parallel", &self.parallel)
+            .field("fallible", &self.fallible)
+            .field("sink", &self.sink.as_ref().map(|_| "FnMut(usize, usize)"))
+            .finish()
+    }
+}
+
+impl<'cb> ServeOptions<'cb> {
+    /// Default options: default scheduler (unbounded capacity), inline
+    /// execution, no streaming sink, infallible.
+    pub fn new() -> Self {
+        ServeOptions::default()
+    }
+
+    /// Runs the batch under an explicit [`SchedulerConfig`] (capacity,
+    /// admission policy, tiering, chaos, parallel axis, SLO spec).
+    pub fn with_scheduler(mut self, config: SchedulerConfig) -> Self {
+        self.scheduler = config;
+        self
+    }
+
+    /// Fans per-session compute across the engine's configured worker
+    /// threads (see [`crate::parallel`]).  Bit-identical streams, fault
+    /// statistics and batch metrics for every worker count.
+    pub fn parallel(mut self) -> Self {
+        self.parallel = true;
+        self
+    }
+
+    /// Streams `(request_index, token)` pairs to `sink` as tokens are
+    /// generated, on the coordinating thread, in the order single-threaded
+    /// serving would deliver them.
+    pub fn streaming(mut self, sink: &'cb mut dyn FnMut(usize, usize)) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Surfaces unrecoverable worker loss as the typed
+    /// [`ServeError::WorkerLost`](crate::chaos::ServeError) instead of a
+    /// panic, so callers can distinguish infrastructure failure from request
+    /// failure.
+    pub fn fallible(mut self) -> Self {
+        self.fallible = true;
+        self
+    }
+
+    /// The scheduler configuration the batch will run under.
+    pub fn scheduler(&self) -> &SchedulerConfig {
+        &self.scheduler
+    }
+
+    /// Whether the batch fans out across worker threads.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Whether worker loss surfaces as a typed error instead of a panic.
+    pub fn is_fallible(&self) -> bool {
+        self.fallible
+    }
+}
+
 /// The co-designed serving engine.
 #[derive(Debug)]
 pub struct KelleEngine {
@@ -395,6 +517,81 @@ impl KelleEngine {
         self.prefix.lock().publish(tokens, key, segment).is_some()
     }
 
+    /// Publishes a **nested prefix hierarchy** from one recording pass: the
+    /// transformer compute for `tokens[..boundaries.last()]` runs exactly
+    /// once, and every boundary `b` in `boundaries` becomes its own shared
+    /// segment for `tokens[..b]` — e.g. system prompt → per-tool preamble →
+    /// per-user history.  Later sessions hit the *deepest* published
+    /// boundary their prompt still starts with (radix longest-match), with
+    /// streams bit-identical to cold serving.
+    ///
+    /// Boundaries must be strictly increasing and at most `tokens.len()`.
+    /// Boundaries shorter than the configured
+    /// [`min_tokens`](PrefixSharingConfig::min_tokens) and boundaries whose
+    /// exact prefix is already published are skipped.  Returns the number of
+    /// boundaries newly published (0 when sharing is disabled or everything
+    /// was already published — no compute runs in that case).
+    ///
+    /// ```rust
+    /// use kelle::{KelleEngine, PrefixSharingConfig};
+    ///
+    /// let engine = KelleEngine::builder()
+    ///     .prefix_sharing(PrefixSharingConfig::enabled())
+    ///     .build();
+    /// let prompt: Vec<usize> = (0..24).collect();
+    /// // One pass publishes both the 8-token and the 24-token boundary.
+    /// assert_eq!(engine.publish_prefix_hierarchy(&prompt, &[8, 24]), 2);
+    /// assert_eq!(engine.publish_prefix_hierarchy(&prompt, &[8, 24]), 0);
+    /// ```
+    pub fn publish_prefix_hierarchy(&self, tokens: &[usize], boundaries: &[usize]) -> usize {
+        if !self.config.prefix.enabled || boundaries.is_empty() {
+            return 0;
+        }
+        let mut prev = 0;
+        for &boundary in boundaries {
+            assert!(
+                boundary > prev && boundary <= tokens.len(),
+                "boundaries must be strictly increasing and within the prefix"
+            );
+            prev = boundary;
+        }
+        let key = PrefixKey {
+            policy: self.config.policy,
+            budget: self.config.budget.clamped(),
+            seed: self.effective_prefix_seed(self.config.seed),
+        };
+        let wanted = |boundary: usize| boundary >= self.config.prefix.min_tokens;
+        // Same defensive cheap-path as `publish_prefix`: a fleet re-issuing
+        // its publish calls should cost radix walks, not a recording pass.
+        {
+            let store = self.prefix.lock();
+            if boundaries
+                .iter()
+                .all(|&b| !wanted(b) || store.contains(&tokens[..b], &key))
+            {
+                return 0;
+            }
+        }
+        let mut session = Session::with_defaults(self);
+        debug_assert_eq!(*session.prefix_key(), key, "key derivations agree");
+        let segments = session.record_prefix_hierarchy(tokens, boundaries);
+        let mut published = 0;
+        for (&boundary, segment) in boundaries.iter().zip(segments) {
+            if !wanted(boundary) {
+                continue;
+            }
+            if self
+                .prefix
+                .lock()
+                .publish(&tokens[..boundary], key, segment)
+                .is_some()
+            {
+                published += 1;
+            }
+        }
+        published
+    }
+
     /// Longest published prefix of `tokens` under `key`, updating hit/miss
     /// statistics.  `None` when sharing is disabled.
     pub(crate) fn prefix_lookup(&self, tokens: &[usize], key: &PrefixKey) -> Option<PrefixHit> {
@@ -480,7 +677,7 @@ impl KelleEngine {
     /// # Panics
     ///
     /// Panics if `prompt` is empty or `decode_len` is zero.
-    pub fn serve(&self, prompt: &[usize], decode_len: usize) -> ServeOutcome {
+    pub fn serve_one(&self, prompt: &[usize], decode_len: usize) -> ServeOutcome {
         self.serve_request(ServeRequest::builder(prompt).decode_len(decode_len).build())
     }
 
@@ -512,130 +709,406 @@ impl KelleEngine {
             .kv_footprint_bytes(self.model.config(), resident, self.config.batch)
     }
 
-    /// Serves many requests under the continuous-batching scheduler with
-    /// unbounded capacity: every request is admitted (pre-filled) up front,
-    /// then decode steps are interleaved round-robin so every active request
-    /// makes progress each scheduler step.
+    /// Serves many requests under the continuous-batching scheduler — the
+    /// single batch entry point of the engine.
+    ///
+    /// [`ServeOptions`] selects every execution axis: the scheduler
+    /// configuration (shared-capacity arbitration, admission policy,
+    /// tiering, chaos, SLO spec), inline vs. worker-pool execution, an
+    /// optional streaming sink, and whether worker loss surfaces as a typed
+    /// error.  Requests carrying an
+    /// [`arrival_tick`](ServeRequest::arrival_tick) join the waiting queue
+    /// at that scheduler tick instead of immediately, which is how trace
+    /// replay drives open-loop arrivals.
+    ///
+    /// Per-request token streams are **bit-identical** for every option
+    /// combination (and every worker count); options change only cost,
+    /// ordering and the metrics reported on [`BatchOutcome`].
     ///
     /// Returns per-request outcomes in submission order plus the batch's
     /// aggregate statistics, which equal the component-wise sum of serving
-    /// the same requests sequentially.
-    pub fn serve_batch(&self, requests: Vec<ServeRequest>) -> BatchOutcome {
-        self.serve_batch_streaming(requests, |_, _| {})
+    /// the same requests sequentially.  With default (infallible) options
+    /// the call cannot fail and the `Result` can be unwrapped directly.
+    ///
+    /// ```rust
+    /// use kelle::{KelleEngine, ServeOptions, ServeRequest};
+    ///
+    /// let engine = KelleEngine::builder().seed(9).build();
+    /// let batch = engine
+    ///     .serve(
+    ///         vec![ServeRequest::new(vec![1, 2, 3], 4)],
+    ///         ServeOptions::new(),
+    ///     )
+    ///     .expect("infallible options cannot fail");
+    /// assert_eq!(batch.outcomes[0].generated.len(), 4);
+    /// ```
+    pub fn serve(
+        &self,
+        requests: Vec<ServeRequest>,
+        options: ServeOptions<'_>,
+    ) -> Result<BatchOutcome, crate::chaos::ServeError> {
+        let ServeOptions {
+            scheduler: config,
+            parallel: fan_out,
+            fallible,
+            mut sink,
+        } = options;
+        let on_token = move |request: usize, token: usize| {
+            if let Some(sink) = sink.as_mut() {
+                sink(request, token);
+            }
+        };
+        if fan_out {
+            if fallible {
+                parallel::try_serve_batch_parallel(
+                    self,
+                    requests,
+                    config,
+                    self.config.workers,
+                    on_token,
+                )
+            } else {
+                Ok(parallel::serve_batch_parallel(
+                    self,
+                    requests,
+                    config,
+                    self.config.workers,
+                    on_token,
+                ))
+            }
+        } else {
+            let mut scheduler = BatchScheduler::with_config(self, config);
+            for request in requests {
+                scheduler.submit(request);
+            }
+            if fallible {
+                scheduler.try_run_to_completion_streaming_with(
+                    &mut crate::parallel::InlineExecutor,
+                    on_token,
+                )
+            } else {
+                Ok(scheduler.run_to_completion_streaming(on_token))
+            }
+        }
     }
 
-    /// Like [`serve_batch`](KelleEngine::serve_batch), invoking `on_token`
-    /// with `(request_index, token)` as each token is generated — the
-    /// streaming interface of the serving API.
+    /// Deprecated alias for [`serve`](KelleEngine::serve) with default
+    /// [`ServeOptions`].
+    ///
+    /// ```rust
+    /// # #![allow(deprecated)]
+    /// use kelle::{KelleEngine, ServeOptions, ServeRequest};
+    /// let requests = vec![ServeRequest::new(vec![1, 2, 3], 2)];
+    /// let old = KelleEngine::builder().seed(3).build().serve_batch(requests.clone());
+    /// let new = KelleEngine::builder().seed(3).build()
+    ///     .serve(requests, ServeOptions::new()).unwrap();
+    /// assert_eq!(old.outcomes[0].generated, new.outcomes[0].generated);
+    /// assert_eq!(old.stats, new.stats);
+    /// ```
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `KelleEngine::serve` with `ServeOptions::new()`"
+    )]
+    pub fn serve_batch(&self, requests: Vec<ServeRequest>) -> BatchOutcome {
+        self.serve(requests, ServeOptions::new())
+            .expect("infallible options cannot fail")
+    }
+
+    /// Deprecated alias for [`serve`](KelleEngine::serve) with
+    /// [`ServeOptions::streaming`].
+    ///
+    /// ```rust
+    /// # #![allow(deprecated)]
+    /// use kelle::{KelleEngine, ServeOptions, ServeRequest};
+    /// let requests = vec![ServeRequest::new(vec![1, 2, 3], 2)];
+    /// let mut old_tokens = Vec::new();
+    /// KelleEngine::builder().seed(3).build()
+    ///     .serve_batch_streaming(requests.clone(), |r, t| old_tokens.push((r, t)));
+    /// let mut new_tokens = Vec::new();
+    /// let mut sink = |r: usize, t: usize| new_tokens.push((r, t));
+    /// KelleEngine::builder().seed(3).build()
+    ///     .serve(requests, ServeOptions::new().streaming(&mut sink)).unwrap();
+    /// assert_eq!(old_tokens, new_tokens);
+    /// ```
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `KelleEngine::serve` with `ServeOptions::new().streaming(sink)`"
+    )]
     pub fn serve_batch_streaming(
         &self,
         requests: Vec<ServeRequest>,
-        on_token: impl FnMut(usize, usize),
+        mut on_token: impl FnMut(usize, usize),
     ) -> BatchOutcome {
-        self.serve_batch_streaming_with(requests, SchedulerConfig::default(), on_token)
+        self.serve(requests, ServeOptions::new().streaming(&mut on_token))
+            .expect("infallible options cannot fail")
     }
 
-    /// Serves many requests under shared-capacity arbitration: requests
-    /// queue until the configured admission policy can host their prefill
-    /// footprint in the shared KV budget, and each request's hardware cost
-    /// reflects the eDRAM share it actually got (the excess is charged at
-    /// DRAM cost).  Per-request *token streams* are identical to
-    /// [`serve_batch`](KelleEngine::serve_batch) for any capacity — only
-    /// cost, ordering and the queueing metrics change.
+    /// Deprecated alias for [`serve`](KelleEngine::serve) with
+    /// [`ServeOptions::with_scheduler`].
+    ///
+    /// ```rust
+    /// # #![allow(deprecated)]
+    /// use kelle::{KelleEngine, SchedulerConfig, ServeOptions, ServeRequest};
+    /// let requests = vec![ServeRequest::new(vec![1, 2, 3], 2)];
+    /// let config = SchedulerConfig::default().with_kv_capacity_bytes(1 << 20);
+    /// let old = KelleEngine::builder().seed(3).build()
+    ///     .serve_batch_with(requests.clone(), config);
+    /// let new = KelleEngine::builder().seed(3).build()
+    ///     .serve(requests, ServeOptions::new().with_scheduler(config)).unwrap();
+    /// assert_eq!(old.outcomes[0].generated, new.outcomes[0].generated);
+    /// assert_eq!(old.contention, new.contention);
+    /// ```
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `KelleEngine::serve` with `ServeOptions::new().with_scheduler(config)`"
+    )]
     pub fn serve_batch_with(
         &self,
         requests: Vec<ServeRequest>,
         config: SchedulerConfig,
     ) -> BatchOutcome {
-        self.serve_batch_streaming_with(requests, config, |_, _| {})
+        self.serve(requests, ServeOptions::new().with_scheduler(config))
+            .expect("infallible options cannot fail")
     }
 
-    /// Streaming variant of [`serve_batch_with`](KelleEngine::serve_batch_with).
+    /// Deprecated alias for [`serve`](KelleEngine::serve) with
+    /// [`ServeOptions::with_scheduler`] + [`ServeOptions::streaming`].
+    ///
+    /// ```rust
+    /// # #![allow(deprecated)]
+    /// use kelle::{KelleEngine, SchedulerConfig, ServeOptions, ServeRequest};
+    /// let requests = vec![ServeRequest::new(vec![1, 2, 3], 2)];
+    /// let config = SchedulerConfig::default();
+    /// let mut old_tokens = Vec::new();
+    /// KelleEngine::builder().seed(3).build()
+    ///     .serve_batch_streaming_with(requests.clone(), config, |r, t| old_tokens.push((r, t)));
+    /// let mut new_tokens = Vec::new();
+    /// let mut sink = |r: usize, t: usize| new_tokens.push((r, t));
+    /// KelleEngine::builder().seed(3).build()
+    ///     .serve(requests, ServeOptions::new().with_scheduler(config).streaming(&mut sink))
+    ///     .unwrap();
+    /// assert_eq!(old_tokens, new_tokens);
+    /// ```
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `KelleEngine::serve` with `ServeOptions::new().with_scheduler(config).streaming(sink)`"
+    )]
     pub fn serve_batch_streaming_with(
         &self,
         requests: Vec<ServeRequest>,
         config: SchedulerConfig,
-        on_token: impl FnMut(usize, usize),
+        mut on_token: impl FnMut(usize, usize),
     ) -> BatchOutcome {
-        let mut scheduler = BatchScheduler::with_config(self, config);
-        for request in requests {
-            scheduler.submit(request);
-        }
-        scheduler.run_to_completion_streaming(on_token)
+        self.serve(
+            requests,
+            ServeOptions::new()
+                .with_scheduler(config)
+                .streaming(&mut on_token),
+        )
+        .expect("infallible options cannot fail")
     }
 
-    /// [`serve_batch`](KelleEngine::serve_batch) with per-session
-    /// prefill/decode steps fanned out across the engine's configured
-    /// [`workers`](EngineBuilder::workers) (see [`crate::parallel`]).
+    /// Deprecated alias for [`serve`](KelleEngine::serve) with
+    /// [`ServeOptions::parallel`].
     ///
-    /// Token streams, probability bits, fault statistics and every
-    /// [`BatchOutcome`] metric are **bit-identical** to the single-threaded
-    /// scheduler for any worker count: workers only execute per-session
-    /// compute, while admission, the capacity ledger and the prefix store
-    /// commit each tick on the coordinating thread in submission order.
+    /// ```rust
+    /// # #![allow(deprecated)]
+    /// use kelle::{KelleEngine, ServeOptions, ServeRequest};
+    /// let requests = vec![ServeRequest::new(vec![1, 2, 3], 2)];
+    /// let old = KelleEngine::builder().seed(3).workers(2).build()
+    ///     .serve_batch_parallel(requests.clone());
+    /// let new = KelleEngine::builder().seed(3).workers(2).build()
+    ///     .serve(requests, ServeOptions::new().parallel()).unwrap();
+    /// assert_eq!(old.outcomes[0].generated, new.outcomes[0].generated);
+    /// ```
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `KelleEngine::serve` with `ServeOptions::new().parallel()`"
+    )]
     pub fn serve_batch_parallel(&self, requests: Vec<ServeRequest>) -> BatchOutcome {
-        self.serve_batch_parallel_streaming(requests, |_, _| {})
+        self.serve(requests, ServeOptions::new().parallel())
+            .expect("infallible options cannot fail")
     }
 
-    /// [`serve_batch_parallel`](KelleEngine::serve_batch_parallel) under
-    /// shared-capacity arbitration (the parallel counterpart of
-    /// [`serve_batch_with`](KelleEngine::serve_batch_with)).
+    /// Deprecated alias for [`serve`](KelleEngine::serve) with
+    /// [`ServeOptions::parallel`] + [`ServeOptions::with_scheduler`].
+    ///
+    /// ```rust
+    /// # #![allow(deprecated)]
+    /// use kelle::{KelleEngine, SchedulerConfig, ServeOptions, ServeRequest};
+    /// let requests = vec![ServeRequest::new(vec![1, 2, 3], 2)];
+    /// let config = SchedulerConfig::default();
+    /// let old = KelleEngine::builder().seed(3).workers(2).build()
+    ///     .serve_batch_parallel_with(requests.clone(), config);
+    /// let new = KelleEngine::builder().seed(3).workers(2).build()
+    ///     .serve(requests, ServeOptions::new().parallel().with_scheduler(config)).unwrap();
+    /// assert_eq!(old.outcomes[0].generated, new.outcomes[0].generated);
+    /// ```
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `KelleEngine::serve` with `ServeOptions::new().parallel().with_scheduler(config)`"
+    )]
     pub fn serve_batch_parallel_with(
         &self,
         requests: Vec<ServeRequest>,
         config: SchedulerConfig,
     ) -> BatchOutcome {
-        self.serve_batch_parallel_streaming_with(requests, config, |_, _| {})
+        self.serve(
+            requests,
+            ServeOptions::new().parallel().with_scheduler(config),
+        )
+        .expect("infallible options cannot fail")
     }
 
-    /// Streaming variant of
-    /// [`serve_batch_parallel`](KelleEngine::serve_batch_parallel):
-    /// `on_token` runs on the coordinating thread and observes `(request,
-    /// token)` pairs in exactly the order single-threaded serving would
-    /// deliver them.
+    /// Deprecated alias for [`serve`](KelleEngine::serve) with
+    /// [`ServeOptions::parallel`] + [`ServeOptions::streaming`].
+    ///
+    /// ```rust
+    /// # #![allow(deprecated)]
+    /// use kelle::{KelleEngine, ServeOptions, ServeRequest};
+    /// let requests = vec![ServeRequest::new(vec![1, 2, 3], 2)];
+    /// let mut old_tokens = Vec::new();
+    /// KelleEngine::builder().seed(3).workers(2).build()
+    ///     .serve_batch_parallel_streaming(requests.clone(), |r, t| old_tokens.push((r, t)));
+    /// let mut new_tokens = Vec::new();
+    /// let mut sink = |r: usize, t: usize| new_tokens.push((r, t));
+    /// KelleEngine::builder().seed(3).workers(2).build()
+    ///     .serve(requests, ServeOptions::new().parallel().streaming(&mut sink)).unwrap();
+    /// assert_eq!(old_tokens, new_tokens);
+    /// ```
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `KelleEngine::serve` with `ServeOptions::new().parallel().streaming(sink)`"
+    )]
     pub fn serve_batch_parallel_streaming(
         &self,
         requests: Vec<ServeRequest>,
-        on_token: impl FnMut(usize, usize),
+        mut on_token: impl FnMut(usize, usize),
     ) -> BatchOutcome {
-        self.serve_batch_parallel_streaming_with(requests, SchedulerConfig::default(), on_token)
+        self.serve(
+            requests,
+            ServeOptions::new().parallel().streaming(&mut on_token),
+        )
+        .expect("infallible options cannot fail")
     }
 
-    /// Streaming variant of
-    /// [`serve_batch_parallel_with`](KelleEngine::serve_batch_parallel_with).
+    /// Deprecated alias for [`serve`](KelleEngine::serve) with
+    /// [`ServeOptions::parallel`] + [`ServeOptions::with_scheduler`] +
+    /// [`ServeOptions::streaming`].
+    ///
+    /// ```rust
+    /// # #![allow(deprecated)]
+    /// use kelle::{KelleEngine, SchedulerConfig, ServeOptions, ServeRequest};
+    /// let requests = vec![ServeRequest::new(vec![1, 2, 3], 2)];
+    /// let config = SchedulerConfig::default();
+    /// let mut old_tokens = Vec::new();
+    /// KelleEngine::builder().seed(3).workers(2).build()
+    ///     .serve_batch_parallel_streaming_with(requests.clone(), config,
+    ///         |r, t| old_tokens.push((r, t)));
+    /// let mut new_tokens = Vec::new();
+    /// let mut sink = |r: usize, t: usize| new_tokens.push((r, t));
+    /// KelleEngine::builder().seed(3).workers(2).build()
+    ///     .serve(requests,
+    ///         ServeOptions::new().parallel().with_scheduler(config).streaming(&mut sink))
+    ///     .unwrap();
+    /// assert_eq!(old_tokens, new_tokens);
+    /// ```
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `KelleEngine::serve` with `ServeOptions::new().parallel().with_scheduler(config).streaming(sink)`"
+    )]
     pub fn serve_batch_parallel_streaming_with(
         &self,
         requests: Vec<ServeRequest>,
         config: SchedulerConfig,
-        on_token: impl FnMut(usize, usize),
+        mut on_token: impl FnMut(usize, usize),
     ) -> BatchOutcome {
-        parallel::serve_batch_parallel(self, requests, config, self.config.workers, on_token)
+        self.serve(
+            requests,
+            ServeOptions::new()
+                .parallel()
+                .with_scheduler(config)
+                .streaming(&mut on_token),
+        )
+        .expect("infallible options cannot fail")
     }
 
-    /// Fallible
-    /// [`serve_batch_parallel_with`](KelleEngine::serve_batch_parallel_with):
-    /// an unrecoverable worker loss surfaces as the typed
-    /// [`ServeError::WorkerLost`](crate::chaos::ServeError) instead of a
-    /// panic, so callers can distinguish infrastructure failure from request
-    /// failure.  This is the entry point chaos-hardened serving drives (see
-    /// [`SchedulerConfig::with_chaos`](crate::scheduler::SchedulerConfig::with_chaos)).
+    /// Deprecated alias for [`serve`](KelleEngine::serve) with
+    /// [`ServeOptions::parallel`] + [`ServeOptions::fallible`] +
+    /// [`ServeOptions::with_scheduler`].
+    ///
+    /// ```rust
+    /// # #![allow(deprecated)]
+    /// use kelle::{KelleEngine, SchedulerConfig, ServeOptions, ServeRequest};
+    /// let requests = vec![ServeRequest::new(vec![1, 2, 3], 2)];
+    /// let config = SchedulerConfig::default();
+    /// let old = KelleEngine::builder().seed(3).workers(2).build()
+    ///     .try_serve_batch_parallel_with(requests.clone(), config).unwrap();
+    /// let new = KelleEngine::builder().seed(3).workers(2).build()
+    ///     .serve(requests,
+    ///         ServeOptions::new().parallel().fallible().with_scheduler(config))
+    ///     .unwrap();
+    /// assert_eq!(old.outcomes[0].generated, new.outcomes[0].generated);
+    /// ```
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `KelleEngine::serve` with `ServeOptions::new().parallel().fallible().with_scheduler(config)`"
+    )]
     pub fn try_serve_batch_parallel_with(
         &self,
         requests: Vec<ServeRequest>,
         config: SchedulerConfig,
     ) -> Result<BatchOutcome, crate::chaos::ServeError> {
-        self.try_serve_batch_parallel_streaming_with(requests, config, |_, _| {})
+        self.serve(
+            requests,
+            ServeOptions::new()
+                .parallel()
+                .fallible()
+                .with_scheduler(config),
+        )
     }
 
-    /// Streaming variant of
-    /// [`try_serve_batch_parallel_with`](KelleEngine::try_serve_batch_parallel_with).
+    /// Deprecated alias for [`serve`](KelleEngine::serve) with every option
+    /// set: [`ServeOptions::parallel`] + [`ServeOptions::fallible`] +
+    /// [`ServeOptions::with_scheduler`] + [`ServeOptions::streaming`].
+    ///
+    /// ```rust
+    /// # #![allow(deprecated)]
+    /// use kelle::{KelleEngine, SchedulerConfig, ServeOptions, ServeRequest};
+    /// let requests = vec![ServeRequest::new(vec![1, 2, 3], 2)];
+    /// let config = SchedulerConfig::default();
+    /// let mut old_tokens = Vec::new();
+    /// KelleEngine::builder().seed(3).workers(2).build()
+    ///     .try_serve_batch_parallel_streaming_with(requests.clone(), config,
+    ///         |r, t| old_tokens.push((r, t)))
+    ///     .unwrap();
+    /// let mut new_tokens = Vec::new();
+    /// let mut sink = |r: usize, t: usize| new_tokens.push((r, t));
+    /// KelleEngine::builder().seed(3).workers(2).build()
+    ///     .serve(requests,
+    ///         ServeOptions::new().parallel().fallible()
+    ///             .with_scheduler(config).streaming(&mut sink))
+    ///     .unwrap();
+    /// assert_eq!(old_tokens, new_tokens);
+    /// ```
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `KelleEngine::serve` with `ServeOptions::new().parallel().fallible().with_scheduler(config).streaming(sink)`"
+    )]
     pub fn try_serve_batch_parallel_streaming_with(
         &self,
         requests: Vec<ServeRequest>,
         config: SchedulerConfig,
-        on_token: impl FnMut(usize, usize),
+        mut on_token: impl FnMut(usize, usize),
     ) -> Result<BatchOutcome, crate::chaos::ServeError> {
-        parallel::try_serve_batch_parallel(self, requests, config, self.config.workers, on_token)
+        self.serve(
+            requests,
+            ServeOptions::new()
+                .parallel()
+                .fallible()
+                .with_scheduler(config)
+                .streaming(&mut on_token),
+        )
     }
 
     /// Folds one completed turn into the lifetime statistics.
@@ -656,7 +1129,7 @@ mod tests {
     #[test]
     fn serve_produces_tokens_and_hardware_costs() {
         let engine = engine();
-        let outcome = engine.serve(&[3, 1, 4, 1, 5, 9, 2, 6], 12);
+        let outcome = engine.serve_one(&[3, 1, 4, 1, 5, 9, 2, 6], 12);
         assert_eq!(outcome.generated.len(), 12);
         assert!(outcome.hardware.total_latency_s() > 0.0);
         assert!(outcome.hardware.total_energy_j() > 0.0);
@@ -666,8 +1139,8 @@ mod tests {
     #[test]
     fn stats_accumulate_across_requests() {
         let engine = engine();
-        engine.serve(&[1, 2, 3, 4], 4);
-        engine.serve(&[5, 6, 7, 8], 4);
+        engine.serve_one(&[1, 2, 3, 4], 4);
+        engine.serve_one(&[5, 6, 7, 8], 4);
         let stats = engine.stats();
         assert_eq!(stats.requests, 2);
         assert_eq!(stats.tokens_generated, 8);
@@ -684,7 +1157,7 @@ mod tests {
         };
         let engine = KelleEngine::new(config);
         let prompt: Vec<usize> = (0..32).collect();
-        let outcome = engine.serve(&prompt, 16);
+        let outcome = engine.serve_one(&prompt, 16);
         // Per-head occupancy never exceeds the budget after prefill pruning.
         assert!(outcome.trace.peak_entries() > 0);
         assert!(outcome.cache.evictions > 0);
@@ -692,15 +1165,15 @@ mod tests {
 
     #[test]
     fn serving_is_deterministic_for_a_seed() {
-        let a = engine().serve(&[9, 8, 7, 6, 5], 8).generated;
-        let b = engine().serve(&[9, 8, 7, 6, 5], 8).generated;
+        let a = engine().serve_one(&[9, 8, 7, 6, 5], 8).generated;
+        let b = engine().serve_one(&[9, 8, 7, 6, 5], 8).generated;
         assert_eq!(a, b);
     }
 
     #[test]
     #[should_panic(expected = "prompt must contain at least one token")]
     fn empty_prompt_panics() {
-        engine().serve(&[], 4);
+        engine().serve_one(&[], 4);
     }
 
     #[test]
@@ -725,7 +1198,7 @@ mod tests {
     #[test]
     fn engine_policy_selects_backend() {
         let engine = KelleEngine::builder().policy(CachePolicy::Full).build();
-        let outcome = engine.serve(&[1, 2, 3, 4, 5, 6], 4);
+        let outcome = engine.serve_one(&[1, 2, 3, 4, 5, 6], 4);
         // The full policy never evicts.
         assert_eq!(outcome.cache.evictions, 0);
     }
@@ -737,7 +1210,7 @@ mod tests {
         let suffix = [9, 8, 7, 6];
         let prompt: Vec<usize> = prefix.iter().chain(suffix.iter()).copied().collect();
 
-        let cold = engine().serve(&prompt, 6);
+        let cold = engine().serve_one(&prompt, 6);
 
         let sharing = KelleEngine::builder()
             .prefix_sharing(PrefixSharingConfig::enabled())
@@ -747,7 +1220,7 @@ mod tests {
             !sharing.publish_prefix(&prefix),
             "duplicate publish is a no-op"
         );
-        let hit = sharing.serve(&prompt, 6);
+        let hit = sharing.serve_one(&prompt, 6);
 
         assert_eq!(
             hit.generated, cold.generated,
@@ -775,14 +1248,14 @@ mod tests {
         let mut second: Vec<usize> = system.clone();
         second.extend([4, 5]);
 
-        let a = engine.serve(&first, 4);
+        let a = engine.serve_one(&first, 4);
         assert_eq!(a.prefix_hit_tokens, 0, "first session is the publisher");
-        let b = engine.serve(&second, 4);
+        let b = engine.serve_one(&second, 4);
         assert_eq!(b.prefix_hit_tokens, system.len(), "second session hits");
         assert_eq!(b.prefilled_tokens, 2);
 
         // Identical to a cold engine without sharing.
-        let cold = KelleEngine::new(EngineConfig::default()).serve(&second, 4);
+        let cold = KelleEngine::new(EngineConfig::default()).serve_one(&second, 4);
         assert_eq!(b.generated, cold.generated);
     }
 
@@ -801,15 +1274,15 @@ mod tests {
         prompt.extend([3, 1, 4]);
         // The first session must not settle for the 8-token hit: it runs
         // cold once and publishes the configured 24-token boundary.
-        let first = engine.serve(&prompt, 2);
+        let first = engine.serve_one(&prompt, 2);
         assert_eq!(first.prefix_hit_tokens, 0);
         assert_eq!(engine.prefix_stats().published, 2);
         // From then on the fleet hits the deep boundary.
-        let second = engine.serve(&prompt, 2);
+        let second = engine.serve_one(&prompt, 2);
         assert_eq!(second.prefix_hit_tokens, system.len());
         assert_eq!(second.prefilled_tokens, 3);
         // Still bit-identical to a cold engine.
-        let cold = KelleEngine::new(EngineConfig::default()).serve(&prompt, 2);
+        let cold = KelleEngine::new(EngineConfig::default()).serve_one(&prompt, 2);
         assert_eq!(first.generated, cold.generated);
         assert_eq!(second.generated, cold.generated);
     }
@@ -863,7 +1336,7 @@ mod tests {
         assert!(!engine.publish_prefix(&[1, 2, 3, 4, 5, 6, 7, 8]));
         let stats = engine.prefix_stats();
         assert_eq!(stats.published, 0);
-        engine.serve(&[1, 2, 3, 4, 5, 6, 7, 8], 2);
+        engine.serve_one(&[1, 2, 3, 4, 5, 6, 7, 8], 2);
         assert_eq!(engine.prefix_stats().hits + engine.prefix_stats().misses, 0);
     }
 

@@ -424,7 +424,9 @@ pub fn serving_batch(
                 .build()
         })
         .collect();
-    let batch = engine.serve_batch(requests);
+    let batch = engine
+        .serve(requests, crate::engine::ServeOptions::new())
+        .expect("infallible options cannot fail");
     let mean_request_latency_s = batch
         .outcomes
         .iter()
@@ -502,7 +504,12 @@ pub fn serving_contention(
             assert!(scale > 0.0, "capacity scale must be positive");
             let capacity_bytes = ((total_footprint as f64 * scale) as u64).max(1);
             let config = SchedulerConfig::default().with_kv_capacity_bytes(capacity_bytes);
-            let batch = engine.serve_batch_with(requests.clone(), config);
+            let batch = engine
+                .serve(
+                    requests.clone(),
+                    crate::engine::ServeOptions::new().with_scheduler(config),
+                )
+                .expect("infallible options cannot fail");
             let dram_energy_j = batch
                 .outcomes
                 .iter()

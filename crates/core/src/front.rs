@@ -49,7 +49,7 @@
 //!
 //! For a fixed submission sequence, the committed token streams,
 //! probability bits and fault statistics are bit-identical to the
-//! synchronous [`KelleEngine::serve_batch_parallel`] path for all five
+//! synchronous parallel [`KelleEngine::serve`] path for all five
 //! cache policies, both [`ParallelAxis`](crate::parallel::ParallelAxis)
 //! modes and any worker count, with either executor — gated by
 //! `tests/integration_front.rs`.
@@ -498,7 +498,7 @@ impl KelleEngine {
     /// the duration of the call.  When `serve` returns, any requests still
     /// in flight are pumped to completion (paused streams are resumed), and
     /// the final [`BatchOutcome`] — bit-identical to
-    /// [`serve_batch_parallel_with`](KelleEngine::serve_batch_parallel_with)
+    /// the parallel [`serve`](KelleEngine::serve) path
     /// over the same submission sequence — is returned alongside the
     /// closure's result.
     ///
@@ -557,7 +557,9 @@ mod tests {
     #[test]
     fn front_streams_match_the_synchronous_batch() {
         let engine = engine();
-        let baseline = engine.serve_batch(requests());
+        let baseline = engine
+            .serve(requests(), crate::engine::ServeOptions::new())
+            .unwrap();
         for kind in [ExecutorKind::Sticky, ExecutorKind::Stealing] {
             let (streams, outcome) =
                 engine.front(FrontConfig::default().with_executor(kind), |front| {
@@ -633,7 +635,9 @@ mod tests {
                 }
             }
         });
-        let baseline = engine.serve_batch(requests());
+        let baseline = engine
+            .serve(requests(), crate::engine::ServeOptions::new())
+            .unwrap();
         for (a, b) in outcome.outcomes.iter().zip(baseline.outcomes.iter()) {
             assert_eq!(a.generated, b.generated);
         }
@@ -674,10 +678,15 @@ mod tests {
         });
         assert_eq!(tokens.0, outcome.outcomes[0].generated);
         assert_eq!(tokens.1, outcome.outcomes[1].generated);
-        let baseline = engine.serve_batch(vec![
-            ServeRequest::new(vec![1, 2, 3], 6),
-            ServeRequest::new(vec![4, 5], 6),
-        ]);
+        let baseline = engine
+            .serve(
+                vec![
+                    ServeRequest::new(vec![1, 2, 3], 6),
+                    ServeRequest::new(vec![4, 5], 6),
+                ],
+                crate::engine::ServeOptions::new(),
+            )
+            .unwrap();
         assert_eq!(tokens.0, baseline.outcomes[0].generated);
         assert_eq!(tokens.1, baseline.outcomes[1].generated);
     }

@@ -10,19 +10,21 @@
 //! ## Quick start
 //!
 //! Engines are configured through [`EngineBuilder`] and serve through three
-//! entry points of increasing generality: one-shot [`KelleEngine::serve`],
+//! entry points of increasing generality: one-shot [`KelleEngine::serve_one`],
 //! persistent [`Session`]s whose KV cache survives across turns, and the
-//! continuous-batching [`KelleEngine::serve_batch`] scheduler.
+//! unified continuous-batching entry [`KelleEngine::serve`], whose
+//! [`ServeOptions`] select capacity arbitration, parallel execution,
+//! streaming and fallibility on one call.
 //!
 //! ```rust
-//! use kelle::{CachePolicy, KelleEngine, ServeRequest};
+//! use kelle::{CachePolicy, KelleEngine, ServeOptions, ServeRequest};
 //!
 //! // Build a Kelle system: LLaMA2-7B-shaped model, AERP cache management,
 //! // 2DRP refresh, evaluated on the Kelle+eDRAM platform.
 //! let engine = KelleEngine::builder().policy(CachePolicy::Aerp).seed(7).build();
 //!
 //! // One-shot serving: functional result + hardware cost in one call.
-//! let outcome = engine.serve(&[1, 2, 3, 4, 5, 6, 7, 8], 16);
+//! let outcome = engine.serve_one(&[1, 2, 3, 4, 5, 6, 7, 8], 16);
 //! assert_eq!(outcome.generated.len(), 16);
 //! assert!(outcome.hardware.total_latency_s() > 0.0);
 //!
@@ -39,9 +41,10 @@
 //!     ServeRequest::new(vec![7, 8, 9], 4),
 //!     ServeRequest::builder(vec![10, 11]).decode_len(4).policy(CachePolicy::Full).build(),
 //! ];
-//! let batch = engine.serve_batch_streaming(requests.clone(), |request, _token| {
-//!     assert!(request < 2);
-//! });
+//! let mut sink = |request: usize, _token: usize| assert!(request < 2);
+//! let batch = engine
+//!     .serve(requests.clone(), ServeOptions::new().streaming(&mut sink))
+//!     .expect("infallible options cannot fail");
 //! assert_eq!(batch.outcomes.len(), 2);
 //! assert_eq!(batch.stats.tokens_generated, 8);
 //!
@@ -53,13 +56,20 @@
 //!     .iter()
 //!     .map(|r| engine.kv_footprint_bytes(r.prompt().len() + r.decode_len()))
 //!     .sum();
-//! let contended = engine.serve_batch_with(
-//!     requests,
-//!     SchedulerConfig::default().with_kv_capacity_bytes(capacity / 2),
-//! );
+//! let contended = engine
+//!     .serve(
+//!         requests,
+//!         ServeOptions::new().with_scheduler(
+//!             SchedulerConfig::default().with_kv_capacity_bytes(capacity / 2),
+//!         ),
+//!     )
+//!     .expect("infallible options cannot fail");
 //! for (a, b) in batch.outcomes.iter().zip(contended.outcomes.iter()) {
 //!     assert_eq!(a.generated, b.generated);
 //! }
+//! // Every batch carries a serving-quality report (TTFT/TPOT/queue-time
+//! // percentiles in scheduler ticks, goodput under a configurable SLO).
+//! assert_eq!(contended.slo.requests, 2);
 //! ```
 //!
 //! The main entry points are:
@@ -70,11 +80,13 @@
 //! * [`Session`] / [`ServeRequest`] — multi-turn serving with KV-cache reuse
 //!   and per-request policy/budget/seed overrides;
 //! * [`scheduler`] — the continuous-batching admission pipeline behind
-//!   `serve_batch`: waiting queue, [`AdmissionPolicy`], the shared
-//!   [`CapacityLedger`](kelle_edram::CapacityLedger) and the contention
-//!   metrics of [`BatchOutcome`];
+//!   [`KelleEngine::serve`]: waiting queue, [`AdmissionPolicy`], arrival-tick
+//!   release for trace replay, the shared
+//!   [`CapacityLedger`](kelle_edram::CapacityLedger), the contention
+//!   metrics of [`BatchOutcome`] and the [`SloReport`] graded against a
+//!   configurable [`SloSpec`];
 //! * [`parallel`] — the threaded serving back-end:
-//!   [`KelleEngine::serve_batch_parallel`] fans per-session prefill/decode
+//!   [`ServeOptions::parallel`] fans per-session prefill/decode
 //!   compute across [`EngineBuilder::workers`] worker threads with
 //!   bit-identical token streams, fault statistics and batch metrics for
 //!   every worker count;
@@ -119,7 +131,9 @@ pub use accuracy::{AccuracyResult, Method};
 pub use chaos::{
     ChaosConfig, ChaosMetrics, ChaosPlan, Checkpoint, MigrationFaults, ServeError, ShedReason,
 };
-pub use engine::{EngineBuilder, EngineConfig, EngineStats, KelleEngine, ServeOutcome};
+pub use engine::{
+    EngineBuilder, EngineConfig, EngineStats, KelleEngine, ServeOptions, ServeOutcome,
+};
 pub use experiment::{EndToEndRow, EndToEndSummary};
 pub use faults::fault_injector_for_policy;
 pub use front::{ExecutorKind, FrontConfig, ServingFront, StreamPoll, SubmitError, TokenStream};
@@ -132,8 +146,9 @@ pub use prefix::{
     PrefixHit, PrefixKey, PrefixSharingConfig, PrefixStore, PrefixStoreStats, RadixPrefixIndex,
 };
 pub use scheduler::{
-    AdmissionPolicy, BatchIncomplete, BatchOutcome, BatchScheduler, ContentionMetrics,
-    PrefixBatchMetrics, RequestTiming, SchedulerConfig, ServeEvent, StepEvent,
+    AdmissionPolicy, BatchIncomplete, BatchOutcome, BatchReport, BatchScheduler, ContentionMetrics,
+    LatencySummary, PrefixBatchMetrics, RequestTiming, SchedulerConfig, ServeEvent, SloReport,
+    SloSpec, StepEvent,
 };
 pub use session::{ServeRequest, ServeRequestBuilder, Session, TurnOutcome};
 pub use tier::{TierConfig, TierManager, TierUsageMetrics, TieringMetrics, WatermarkConfig};

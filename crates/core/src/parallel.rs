@@ -3,7 +3,7 @@
 //!
 //! Kelle's edge-serving story assumes the accelerator pipeline is kept busy
 //! by many concurrent sessions.  On the functional side that means the
-//! per-session prefill/decode compute of [`serve_batch`] — by far the
+//! per-session prefill/decode compute of a served batch — by far the
 //! dominant cost — should spread across host cores, *without* the
 //! nondeterminism that usually comes with threading.  This module is that
 //! front-end: a work-stealing worker pool plus the task protocol the
@@ -88,13 +88,12 @@
 //!
 //! # Entry points
 //!
-//! Most callers want [`KelleEngine::serve_batch_parallel`] (and its
-//! `_with`/`_streaming` variants) plus [`EngineBuilder::workers`]; driving a
-//! [`BatchScheduler`] manually with a [`WorkerPool`] — as
-//! [`serve_batch_parallel`] does — is the low-level interface benchmarks
-//! use to time individual phases.
+//! Most callers want [`KelleEngine::serve`] with [`ServeOptions::parallel`]
+//! plus [`EngineBuilder::workers`]; driving a [`BatchScheduler`] manually
+//! with a [`WorkerPool`] — as [`serve_batch_parallel`] does — is the
+//! low-level interface benchmarks use to time individual phases.
 //!
-//! [`serve_batch`]: KelleEngine::serve_batch
+//! [`ServeOptions::parallel`]: crate::engine::ServeOptions::parallel
 //! [`EngineBuilder::workers`]: crate::engine::EngineBuilder::workers
 
 use crate::chaos::ServeError;
@@ -1233,12 +1232,12 @@ impl<'e> StepExecutor<'e> for StickyShardPool<'e> {
 
 /// Serves `requests` through a [`BatchScheduler`] whose per-session compute
 /// fans out across `workers` threads — the driver behind
-/// [`KelleEngine::serve_batch_parallel`] and friends.
+/// [`KelleEngine::serve`] with [`crate::engine::ServeOptions::parallel`].
 ///
 /// `on_token` runs on the coordinating thread and observes `(request,
 /// token)` pairs in exactly the single-threaded order.  The outcome is
 /// bit-identical to
-/// [`serve_batch_with`](KelleEngine::serve_batch_with) for every worker
+/// sequential serving with the same scheduler config for every worker
 /// count.
 pub fn serve_batch_parallel(
     engine: &KelleEngine,
@@ -1298,7 +1297,9 @@ mod tests {
     #[test]
     fn pool_matches_inline_execution_for_any_worker_count() {
         let engine = engine();
-        let baseline = engine.serve_batch(requests());
+        let baseline = engine
+            .serve(requests(), crate::engine::ServeOptions::new())
+            .unwrap();
         for workers in [1, 2, 4] {
             let parallel = serve_batch_parallel(
                 &engine,
@@ -1323,9 +1324,13 @@ mod tests {
     fn streaming_order_is_the_sequential_order() {
         let engine = engine();
         let mut sequential = Vec::new();
-        engine.serve_batch_streaming(requests(), |request, token| {
-            sequential.push((request, token));
-        });
+        let mut sink = |request: usize, token: usize| sequential.push((request, token));
+        engine
+            .serve(
+                requests(),
+                crate::engine::ServeOptions::new().streaming(&mut sink),
+            )
+            .unwrap();
         let mut parallel = Vec::new();
         serve_batch_parallel(
             &engine,
@@ -1340,7 +1345,9 @@ mod tests {
     #[test]
     fn every_axis_matches_inline_serving_bitwise() {
         let engine = engine();
-        let baseline = engine.serve_batch(requests());
+        let baseline = engine
+            .serve(requests(), crate::engine::ServeOptions::new())
+            .unwrap();
         for axis in [
             ParallelAxis::Session,
             ParallelAxis::Intra,

@@ -57,7 +57,8 @@ use kelle_cache::{BudgetPartitioner, CacheBudget, PartitionMode};
 use kelle_edram::{CapacityLedger, LeaseId};
 use kelle_model::{CacheStats, DecodeStep, DecodeTrace, FaultStats};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Which waiting request the admission stage promotes next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -125,6 +126,13 @@ pub struct SchedulerConfig {
     /// takes no checkpoints and allocates nothing extra per tick.
     #[serde(default)]
     pub chaos: Option<ChaosConfig>,
+    /// The serving-level objective the batch is judged against (see
+    /// [`SloSpec`]).  Purely observational: the spec never changes
+    /// scheduling decisions or token streams, it only classifies each
+    /// completed request as meeting or missing the objective in the final
+    /// [`SloReport`].  The default accepts everything.
+    #[serde(default)]
+    pub slo: SloSpec,
 }
 
 impl SchedulerConfig {
@@ -172,6 +180,13 @@ impl SchedulerConfig {
     /// inject the identical fault sequence.
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Sets the serving-level objective requests are judged against in the
+    /// final [`SloReport`] (builder style).  Observational only.
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = slo;
         self
     }
 }
@@ -227,6 +242,11 @@ pub struct RequestTiming {
     pub admitted_tick: u64,
     /// Tick at which its last token was generated.
     pub finished_tick: u64,
+    /// Tick at which its first decode token committed (`None` for requests
+    /// shed before producing any output).  `first_token_tick -
+    /// submitted_tick` is the request's time-to-first-token.
+    #[serde(default)]
+    pub first_token_tick: Option<u64>,
     /// Ticks spent in the waiting queue (`admitted - submitted`).
     pub queue_ticks: u64,
     /// Final full-scale KV footprint of the request's *private* lease in
@@ -294,6 +314,150 @@ impl ContentionMetrics {
     }
 }
 
+/// A serving-level objective: the latency bounds a request must meet to
+/// count toward goodput.
+///
+/// Latencies are measured in scheduler *ticks* — the deterministic time base
+/// of the batch pipeline (one tick = one decode round) — so the same trace
+/// produces the identical [`SloReport`] on any host and worker count.  The
+/// default spec accepts every completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Maximum acceptable time-to-first-token, in ticks from submission
+    /// (queueing included).
+    pub ttft_ticks: u64,
+    /// Maximum acceptable mean time-per-output-token over the request's
+    /// decode phase, in ticks (requests with fewer than two tokens have no
+    /// measurable TPOT and pass this bound).
+    pub tpot_ticks: f64,
+}
+
+impl Default for SloSpec {
+    fn default() -> Self {
+        SloSpec {
+            ttft_ticks: u64::MAX,
+            tpot_ticks: f64::MAX,
+        }
+    }
+}
+
+impl SloSpec {
+    /// A spec bounding both time-to-first-token and time-per-output-token.
+    pub fn new(ttft_ticks: u64, tpot_ticks: f64) -> Self {
+        SloSpec {
+            ttft_ticks,
+            tpot_ticks,
+        }
+    }
+
+    /// Whether a completed request with this TTFT/TPOT meets the objective.
+    /// `tpot` is `None` when the request produced fewer than two tokens.
+    pub fn met_by(&self, ttft_ticks: u64, tpot: Option<f64>) -> bool {
+        ttft_ticks <= self.ttft_ticks && tpot.is_none_or(|t| t <= self.tpot_ticks)
+    }
+}
+
+/// Order statistics of one latency distribution, in ticks.
+///
+/// Percentiles are nearest-rank over the sorted samples (`p50` of one sample
+/// is that sample), so equal sample sets summarize identically on every
+/// host.  An empty distribution summarizes to all zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Number of samples summarized.
+    pub samples: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample set (order irrelevant; the samples are sorted).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_by(f64::total_cmp);
+        let rank = |q: f64| {
+            let k = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            samples[k - 1]
+        };
+        LatencySummary {
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+            max: samples[samples.len() - 1],
+            samples: samples.len() as u64,
+        }
+    }
+}
+
+/// Per-batch serving-quality report: TTFT/TPOT/queue-time distributions and
+/// goodput under the configured [`SloSpec`].
+///
+/// Collected on every [`BatchOutcome`] (the spec defaults to
+/// accept-everything, so the report costs nothing to always produce).  All
+/// latencies are deterministic scheduler ticks: the same submitted trace
+/// yields the bit-identical report at any worker count — the CI determinism
+/// gate asserts exactly this.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SloReport {
+    /// The objective requests were judged against.
+    pub spec: SloSpec,
+    /// Requests submitted.
+    pub requests: u64,
+    /// Requests that ran to natural completion.
+    pub completed: u64,
+    /// Requests shed (deadline, queue timeout, cancel, drain, worker loss).
+    pub shed: u64,
+    /// Time-to-first-token distribution over requests that produced output,
+    /// in ticks from submission.
+    pub ttft: LatencySummary,
+    /// Mean time-per-output-token distribution over completed requests with
+    /// at least two tokens, in ticks.
+    pub tpot: LatencySummary,
+    /// Queue-wait distribution over all requests, in ticks.
+    pub queue: LatencySummary,
+    /// Completed requests that met the objective.
+    pub goodput_requests: u64,
+    /// Tokens generated by those requests.
+    pub goodput_tokens: u64,
+    /// Tokens generated by the whole batch (shed partials included).
+    pub total_tokens: u64,
+    /// Ticks the batch ran for.
+    pub ticks: u64,
+}
+
+impl SloReport {
+    /// Fraction of submitted requests that completed *and* met the
+    /// objective — the headline goodput number.
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.goodput_requests as f64 / self.requests as f64
+        }
+    }
+
+    /// SLO-meeting tokens per kilo-tick: goodput as a throughput, scale-free
+    /// across trace lengths.
+    pub fn goodput_tokens_per_kilotick(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.goodput_tokens as f64 * 1000.0 / self.ticks as f64
+        }
+    }
+}
+
 /// Everything produced by a batch of requests.
 #[derive(Debug)]
 pub struct BatchOutcome {
@@ -321,6 +485,48 @@ pub struct BatchOutcome {
     /// and this is where the sticky-shard executor's saved queue traffic
     /// becomes a measured number.
     pub parallel: ParallelMetrics,
+    /// Serving-quality report: TTFT/TPOT/queue-time distributions and
+    /// goodput under the configured [`SloSpec`].
+    pub slo: SloReport,
+}
+
+impl BatchOutcome {
+    /// The batch's metric blocks as one serializable [`BatchReport`] —
+    /// everything except the per-request outcomes, which carry borrowed
+    /// engine state and stay on the outcome itself.
+    pub fn report(&self) -> BatchReport {
+        BatchReport {
+            contention: self.contention.clone(),
+            prefix: self.prefix,
+            tiering: self.tiering,
+            parallel: self.parallel,
+            chaos: self.chaos,
+            slo: self.slo.clone(),
+        }
+    }
+}
+
+/// Every metric block of a [`BatchOutcome`] under one serializable roof:
+/// contention, prefix sharing, tiering, executor traffic, chaos recovery and
+/// the SLO report.
+///
+/// This is the interchange format between the scheduler and the reporting
+/// layers (`kelle-bench` JSON artifacts, `tables`): benches serialize a
+/// `BatchReport` instead of hand-extracting individual blocks.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Queueing and shared-capacity accounting.
+    pub contention: ContentionMetrics,
+    /// Prefix-sharing accounting.
+    pub prefix: PrefixBatchMetrics,
+    /// Tiered-memory accounting.
+    pub tiering: TieringMetrics,
+    /// Executor-protocol traffic accounting.
+    pub parallel: ParallelMetrics,
+    /// Fault-injection and recovery accounting.
+    pub chaos: ChaosMetrics,
+    /// Serving-quality report.
+    pub slo: SloReport,
 }
 
 /// Error returned by [`BatchScheduler::finish`] when requests are still
@@ -449,6 +655,12 @@ pub struct BatchScheduler<'e> {
     states: Vec<RequestState<'e>>,
     timings: Vec<RequestTiming>,
     waiting: VecDeque<usize>,
+    /// Requests submitted with a future [`ServeRequest::arrival_tick`],
+    /// keyed `(arrival, index)`: they join the waiting queue — and become
+    /// visible to admission — only once the tick clock reaches their
+    /// arrival.  This is how a trace's open-loop arrival process drives the
+    /// scheduler deterministically.
+    scheduled: BinaryHeap<Reverse<(u64, usize)>>,
     stats: EngineStats,
     tick: u64,
     spill_bytes: u64,
@@ -502,6 +714,7 @@ impl<'e> BatchScheduler<'e> {
             states: Vec::new(),
             timings: Vec::new(),
             waiting: VecDeque::new(),
+            scheduled: BinaryHeap::new(),
             stats: EngineStats::default(),
             tick: 0,
             spill_bytes: 0,
@@ -595,25 +808,40 @@ impl<'e> BatchScheduler<'e> {
     /// reservations and prefix-store planning stay on the calling thread in
     /// admission order; only the prefill compute fans out, so the resulting
     /// state is bit-identical to [`submit`](BatchScheduler::submit).
+    ///
+    /// A request whose [`arrival_tick`](ServeRequest::arrival_tick) lies in
+    /// the future is *scheduled* instead of queued: it stays invisible to
+    /// admission until the tick clock reaches its arrival, at which point it
+    /// joins the waiting queue exactly as if it had been submitted then
+    /// (`submitted_tick` is its arrival, so queue-time and TTFT metrics
+    /// measure from arrival).  This is how a whole workload trace is loaded
+    /// up front and replayed deterministically.
     pub fn submit_with(
         &mut self,
         request: ServeRequest,
         executor: &mut dyn StepExecutor<'e>,
     ) -> usize {
         let index = self.states.len();
+        let arrival = request.arrival_tick();
+        let future = arrival > self.tick;
         self.states.push(RequestState::Waiting(request));
         self.timings.push(RequestTiming {
-            submitted_tick: self.tick,
+            submitted_tick: if future { arrival } else { self.tick },
             admitted_tick: 0,
             finished_tick: 0,
+            first_token_tick: None,
             queue_ticks: 0,
             kv_bytes: 0,
             peak_concurrent_bytes: 0,
             granted_bytes: None,
             spill_bytes: 0,
         });
-        self.waiting.push_back(index);
-        self.pump_admission(executor);
+        if future {
+            self.scheduled.push(Reverse((arrival, index)));
+        } else {
+            self.waiting.push_back(index);
+            self.pump_admission(executor);
+        }
         index
     }
 
@@ -636,9 +864,36 @@ impl<'e> BatchScheduler<'e> {
         self.waiting.len()
     }
 
-    /// Whether every submitted request has finished.
+    /// Whether every submitted request has finished.  A request scheduled
+    /// for a future arrival tick keeps the machine busy: stepping advances
+    /// the clock through the idle gap until it arrives.
     pub fn is_idle(&self) -> bool {
-        self.active() == 0 && self.waiting.is_empty()
+        self.active() == 0 && self.waiting.is_empty() && self.scheduled.is_empty()
+    }
+
+    /// Number of requests scheduled for a future arrival tick.
+    pub fn scheduled(&self) -> usize {
+        self.scheduled.len()
+    }
+
+    /// Moves every scheduled request whose arrival tick has been reached
+    /// into the waiting queue, in `(arrival, index)` order — the start-of-
+    /// tick half of arrival-driven admission.  The end-of-tick admission
+    /// pump promotes them, so a request arriving at tick `T` is admitted at
+    /// `T` and decodes from `T + 1`, exactly like an eager submission at
+    /// `T`.
+    fn release_arrivals(&mut self) {
+        while let Some(&Reverse((arrival, index))) = self.scheduled.peek() {
+            if arrival > self.tick {
+                break;
+            }
+            self.scheduled.pop();
+            // Cancellation may have finalized the request while it was
+            // still scheduled; only genuinely waiting ones join the queue.
+            if matches!(self.states[index], RequestState::Waiting(_)) {
+                self.waiting.push_back(index);
+            }
+        }
     }
 
     /// Prefill KV footprint of a waiting request, split into the bytes the
@@ -981,6 +1236,7 @@ impl<'e> BatchScheduler<'e> {
         executor: &mut dyn StepExecutor<'e>,
     ) -> Result<Vec<StepEvent>, ServeError> {
         self.tick += 1;
+        self.release_arrivals();
         self.shed_expired(executor);
         let memory = &self.engine.platform().memory;
         // Sticky execution needs sessions to stay parked on their shards;
@@ -1173,6 +1429,9 @@ impl<'e> BatchScheduler<'e> {
             };
             slot.position = position;
             slot.generated.push(step.token);
+            if slot.generated.len() == 1 {
+                self.timings[index].first_token_tick = Some(self.tick);
+            }
             slot.trace.steps.push(step.record);
             slot.remaining -= 1;
             growths.push((slot.lease, growth));
@@ -1416,7 +1675,9 @@ impl<'e> BatchScheduler<'e> {
         );
         let timing = &mut self.timings[index];
         timing.finished_tick = self.tick;
-        timing.queue_ticks = self.tick - timing.submitted_tick;
+        // A drained future arrival can be shed before its arrival tick:
+        // it never queued, so its queue time saturates to zero.
+        timing.queue_ticks = self.tick.saturating_sub(timing.submitted_tick);
         self.shed_events.push((index, reason));
         self.states[index] = RequestState::Finished(Self::shed_outcome(
             Vec::new(),
@@ -1552,6 +1813,14 @@ impl<'e> BatchScheduler<'e> {
             self.chaos_metrics.drained_requests += 1;
             self.shed_waiting(index, ShedReason::Drained);
         }
+        // Future arrivals never run on a draining scheduler: shed them now
+        // (in arrival order) so the wind-down reaches idle.
+        while let Some(Reverse((_, index))) = self.scheduled.pop() {
+            if matches!(self.states[index], RequestState::Waiting(_)) {
+                self.chaos_metrics.drained_requests += 1;
+                self.shed_waiting(index, ShedReason::Drained);
+            }
+        }
         for state in &mut self.states {
             if let RequestState::Active(slot) = state {
                 slot.paused = false;
@@ -1587,7 +1856,7 @@ impl<'e> BatchScheduler<'e> {
 
     /// Drives [`step`](BatchScheduler::step) until every submitted request
     /// has finished, then collects the outcome.  This is the panic-free
-    /// driver behind [`KelleEngine::serve_batch`].
+    /// driver behind the sequential [`KelleEngine::serve`] path.
     pub fn run_to_completion(self) -> BatchOutcome {
         self.run_to_completion_streaming(|_, _| {})
     }
@@ -1704,6 +1973,7 @@ impl<'e> BatchScheduler<'e> {
                 _ => unreachable!("idle scheduler holds only finished requests"),
             })
             .collect();
+        let slo = Self::slo_report(self.config.slo, &self.timings, &outcomes, self.tick);
         let contention = ContentionMetrics {
             capacity_bytes: self.config.kv_capacity_bytes,
             peak_residency_bytes: self.ledger.high_water_bytes(),
@@ -1731,7 +2001,61 @@ impl<'e> BatchScheduler<'e> {
                 .unwrap_or_default(),
             chaos: self.chaos_metrics,
             parallel,
+            slo,
         })
+    }
+
+    /// Derives the batch's [`SloReport`] from the per-request timings and
+    /// outcomes.  Pure tick arithmetic: no wall-clock enters, so the report
+    /// is bit-identical across executors and worker counts.
+    fn slo_report(
+        spec: SloSpec,
+        timings: &[RequestTiming],
+        outcomes: &[ServeOutcome],
+        ticks: u64,
+    ) -> SloReport {
+        let mut ttfts = Vec::with_capacity(outcomes.len());
+        let mut tpots = Vec::with_capacity(outcomes.len());
+        let mut queues = Vec::with_capacity(outcomes.len());
+        let mut report = SloReport {
+            spec,
+            requests: outcomes.len() as u64,
+            ticks,
+            ..SloReport::default()
+        };
+        for (timing, outcome) in timings.iter().zip(outcomes) {
+            let tokens = outcome.generated.len() as u64;
+            report.total_tokens += tokens;
+            queues.push(timing.queue_ticks as f64);
+            let ttft = timing
+                .first_token_tick
+                .map(|first| first - timing.submitted_tick);
+            if let Some(ttft) = ttft {
+                ttfts.push(ttft as f64);
+            }
+            if outcome.shed.is_some() {
+                report.shed += 1;
+                continue;
+            }
+            report.completed += 1;
+            let tpot = match (timing.first_token_tick, tokens) {
+                (Some(first), 2..) => {
+                    Some((timing.finished_tick - first) as f64 / (tokens - 1) as f64)
+                }
+                _ => None,
+            };
+            if let Some(tpot) = tpot {
+                tpots.push(tpot);
+            }
+            if ttft.is_some_and(|ttft| spec.met_by(ttft, tpot)) {
+                report.goodput_requests += 1;
+                report.goodput_tokens += tokens;
+            }
+        }
+        report.ttft = LatencySummary::from_samples(ttfts);
+        report.tpot = LatencySummary::from_samples(tpots);
+        report.queue = LatencySummary::from_samples(queues);
+        report
     }
 }
 
@@ -1821,6 +2145,7 @@ mod tests {
             tiering: None,
             parallel_axis: ParallelAxis::Auto,
             chaos: None,
+            slo: SloSpec::default(),
         };
         let scheduler = BatchScheduler::with_config(&engine, raw);
         assert_eq!(scheduler.ledger().capacity_bytes(), 1);
@@ -2073,7 +2398,7 @@ mod tests {
         assert_eq!(timings[1].queue_ticks, 2);
         assert_eq!(outcome.prefix.hit_requests, 1);
         // B's stream is unaffected by having queued behind the prefix bytes.
-        let unbounded = engine.serve(&b_prompt, 1);
+        let unbounded = engine.serve_one(&b_prompt, 1);
         assert_eq!(outcome.outcomes[1].generated, unbounded.generated);
     }
 
@@ -2143,7 +2468,7 @@ mod tests {
     fn oversized_session_thrashes_but_completes_identically() {
         let engine = engine();
         let request = ServeRequest::new(vec![1, 2, 3, 4, 5, 6, 7, 8], 4);
-        let alone = engine.serve(request.prompt(), 4);
+        let alone = engine.serve_one(request.prompt(), 4);
 
         // The single session is larger than the whole eDRAM tier: it is
         // force-admitted, demoted by every rebalance, and promoted back each
@@ -2177,7 +2502,7 @@ mod tests {
                 .deadline_ticks(3)
                 .build(),
         );
-        let alone = engine.serve(&[1, 2, 3], 10);
+        let alone = engine.serve_one(&[1, 2, 3], 10);
         for _ in 0..4 {
             scheduler.step();
         }
@@ -2346,5 +2671,106 @@ mod tests {
         assert!(scheduler.ledger().can_fit(edram));
         let outcome = scheduler.run_to_completion();
         assert!(outcome.contention.total_queue_ticks > 0);
+    }
+
+    #[test]
+    fn future_arrivals_join_at_their_tick() {
+        let engine = engine();
+        let mut scheduler = BatchScheduler::new(&engine);
+        scheduler.submit(
+            ServeRequest::builder(vec![1, 2])
+                .decode_len(2)
+                .arrival_tick(3)
+                .build(),
+        );
+        assert_eq!(scheduler.active(), 0, "not arrived yet");
+        assert_eq!(scheduler.scheduled(), 1);
+        assert!(!scheduler.is_idle(), "a scheduled arrival keeps it busy");
+        // Ticks 1 and 2 pass idle; tick 3 admits the arrival.
+        assert!(scheduler.step().is_empty());
+        assert!(scheduler.step().is_empty());
+        assert!(scheduler.step().is_empty());
+        assert_eq!((scheduler.active(), scheduler.scheduled()), (1, 0));
+        assert_eq!(scheduler.step().len(), 1);
+        scheduler.step();
+        assert!(scheduler.is_idle());
+        let outcome = scheduler.finish().expect("idle");
+        let timing = &outcome.contention.per_request[0];
+        assert_eq!(timing.submitted_tick, 3);
+        assert_eq!(timing.admitted_tick, 3);
+        assert_eq!(timing.queue_ticks, 0, "admitted the tick it arrived");
+        assert_eq!(timing.first_token_tick, Some(4));
+        // The stream is exactly what an eager submission produces.
+        let eager = engine.serve_one(&[1, 2], 2);
+        assert_eq!(outcome.outcomes[0].generated, eager.generated);
+    }
+
+    #[test]
+    fn drain_sheds_scheduled_arrivals() {
+        let engine = engine();
+        let mut scheduler = BatchScheduler::new(&engine);
+        scheduler.submit(ServeRequest::new(vec![1, 2], 2));
+        scheduler.submit(
+            ServeRequest::builder(vec![3, 4])
+                .decode_len(1)
+                .arrival_tick(50)
+                .build(),
+        );
+        scheduler.drain().expect("no chaos");
+        assert!(scheduler.is_idle());
+        let outcome = scheduler.finish().expect("idle");
+        assert_eq!(outcome.outcomes[0].shed, None);
+        assert_eq!(outcome.outcomes[1].shed, Some(ShedReason::Drained));
+    }
+
+    #[test]
+    fn slo_report_classifies_goodput() {
+        let engine = engine();
+        // Room for one 4-token prompt: the second request queues behind the
+        // first and misses the 1-tick TTFT bound.
+        let capacity = engine.kv_footprint_bytes(4);
+        let config = SchedulerConfig::default()
+            .with_kv_capacity_bytes(capacity)
+            .with_slo(SloSpec::new(1, f64::MAX));
+        let mut scheduler = BatchScheduler::with_config(&engine, config);
+        scheduler.submit(ServeRequest::new(vec![1, 2, 3, 4], 2));
+        scheduler.submit(ServeRequest::new(vec![5, 6, 7, 8], 2));
+        let outcome = scheduler.run_to_completion();
+        let slo = &outcome.slo;
+        assert_eq!((slo.requests, slo.completed, slo.shed), (2, 2, 0));
+        assert_eq!(slo.ttft.samples, 2);
+        assert_eq!(slo.ttft.p50, 1.0, "the uncontended request's TTFT");
+        assert!(slo.ttft.max > 1.0, "the queued request waited");
+        assert_eq!(slo.tpot.samples, 2);
+        assert_eq!(slo.tpot.p50, 1.0, "one token per tick");
+        assert!(slo.queue.max > 0.0);
+        assert_eq!(slo.goodput_requests, 1, "only the first met the bound");
+        assert_eq!(slo.goodput_tokens, 2);
+        assert_eq!(slo.total_tokens, 4);
+        assert!(slo.goodput_fraction() == 0.5);
+        assert!(slo.goodput_tokens_per_kilotick() > 0.0);
+        // The unified report carries every block unchanged.
+        let report = outcome.report();
+        assert_eq!(report.slo, outcome.slo);
+        assert_eq!(report.contention, outcome.contention);
+        assert_eq!(report.prefix, outcome.prefix);
+        assert_eq!(report.chaos, outcome.chaos);
+    }
+
+    #[test]
+    fn latency_summary_uses_nearest_rank() {
+        let summary = LatencySummary::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!(summary.p50, 50.0);
+        assert_eq!(summary.p95, 95.0);
+        assert_eq!(summary.p99, 99.0);
+        assert_eq!(summary.max, 100.0);
+        assert_eq!(summary.mean, 50.5);
+        assert_eq!(summary.samples, 100);
+        assert_eq!(
+            LatencySummary::from_samples(Vec::new()),
+            LatencySummary::default()
+        );
+        let one = LatencySummary::from_samples(vec![7.0]);
+        assert_eq!((one.p50, one.p99, one.max), (7.0, 7.0, 7.0));
     }
 }

@@ -33,6 +33,7 @@ pub struct ServeRequest {
     label: &'static str,
     deadline_ticks: Option<u64>,
     queue_timeout_ticks: Option<u64>,
+    arrival_tick: u64,
 }
 
 impl ServeRequest {
@@ -96,6 +97,14 @@ impl ServeRequest {
     pub fn queue_timeout_ticks(&self) -> Option<u64> {
         self.queue_timeout_ticks
     }
+
+    /// The scheduler tick this request arrives at (default 0: immediately).
+    /// A request submitted before its arrival tick stays invisible to
+    /// admission until the scheduler's clock reaches it — the mechanism
+    /// workload traces use to replay an arrival process deterministically.
+    pub fn arrival_tick(&self) -> u64 {
+        self.arrival_tick
+    }
 }
 
 /// Builder for [`ServeRequest`].
@@ -109,6 +118,7 @@ pub struct ServeRequestBuilder {
     label: &'static str,
     deadline_ticks: Option<u64>,
     queue_timeout_ticks: Option<u64>,
+    arrival_tick: u64,
 }
 
 impl ServeRequestBuilder {
@@ -122,6 +132,7 @@ impl ServeRequestBuilder {
             label: "serve",
             deadline_ticks: None,
             queue_timeout_ticks: None,
+            arrival_tick: 0,
         }
     }
 
@@ -172,6 +183,13 @@ impl ServeRequestBuilder {
         self
     }
 
+    /// Sets the arrival tick (default 0: arrive immediately).  Deadlines and
+    /// queue timeouts count from arrival, not from when the trace was loaded.
+    pub fn arrival_tick(mut self, tick: u64) -> Self {
+        self.arrival_tick = tick;
+        self
+    }
+
     /// Finalises the request.
     ///
     /// # Panics
@@ -192,6 +210,7 @@ impl ServeRequestBuilder {
             label: self.label,
             deadline_ticks: self.deadline_ticks,
             queue_timeout_ticks: self.queue_timeout_ticks,
+            arrival_tick: self.arrival_tick,
         }
     }
 }
@@ -619,6 +638,59 @@ impl<'e> Session<'e> {
         };
         self.context.extend_from_slice(tokens);
         Arc::new(recorder.finish(self.state.last_logits(), self.faults.clone()))
+    }
+
+    /// Records a *nested prefix hierarchy* in one pre-fill pass: the
+    /// transformer runs over `tokens` exactly once, and a segment is frozen
+    /// at every boundary in `boundaries` (strictly increasing prefix
+    /// lengths; the last may equal `tokens.len()`).  Each returned segment
+    /// carries the cursor state (logits + fault RNG) *at its own boundary*,
+    /// so replaying it is bit-identical to a cold pre-fill of just that
+    /// prefix — this is how system prompt → tool preamble → user history
+    /// hierarchies publish every level for the cost of one recording.
+    ///
+    /// Chunked pre-fill is bit-identical to one-shot pre-fill (the
+    /// generation suite proves it), so segment `k` is exactly what
+    /// [`record_prefix`](Session::record_prefix) of `tokens[..boundaries[k]]`
+    /// would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has context, `boundaries` is empty or not
+    /// strictly increasing, or any boundary is zero or beyond `tokens`.
+    pub(crate) fn record_prefix_hierarchy(
+        &mut self,
+        tokens: &[usize],
+        boundaries: &[usize],
+    ) -> Vec<Arc<SharedSegment>> {
+        assert!(
+            self.context.is_empty(),
+            "prefix publication requires a fresh session"
+        );
+        assert!(
+            !boundaries.is_empty(),
+            "hierarchy needs at least one boundary"
+        );
+        let mut recorder = SegmentRecorder::new(self.cache.as_mut());
+        let mut start = 0;
+        for &boundary in boundaries {
+            assert!(
+                boundary > start && boundary <= tokens.len(),
+                "boundaries must be strictly increasing and within the prefix"
+            );
+            prefill_extend(
+                self.engine.model(),
+                &mut self.state,
+                &tokens[start..boundary],
+                &mut recorder,
+                &mut self.faults,
+            );
+            recorder.mark_boundary(self.state.last_logits(), self.faults.clone());
+            start = boundary;
+        }
+        let segments = recorder.finish_hierarchy();
+        self.context.extend_from_slice(&tokens[..start]);
+        segments.into_iter().map(Arc::new).collect()
     }
 
     /// Runs exactly one decode step, returning the chosen token, its

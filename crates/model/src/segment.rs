@@ -176,12 +176,37 @@ impl SharedSegment {
     }
 }
 
+/// A frozen view of the recorder's state at one intermediate prefix
+/// boundary, captured by [`SegmentRecorder::mark_boundary`].
+///
+/// Holds everything a [`SharedSegment`] of the boundary prefix needs: its
+/// own copy of the KV grid and input vectors (so shorter prefixes attach a
+/// grid of exactly their own length), the call-sequence cut points, and the
+/// generation-cursor snapshot (logits + fault RNG) at the boundary.
+#[derive(Debug)]
+struct BoundarySnapshot {
+    len: usize,
+    kv: ArenaGrid,
+    xs: Vec<Vec<f32>>,
+    events_len: usize,
+    scores_len: usize,
+    logits: Vec<f32>,
+    faults: ProbabilisticFaults,
+}
+
 /// A pass-through [`KvCacheBackend`] that records the call sequence of a
 /// publication pre-fill while forwarding everything to the wrapped backend.
 ///
 /// Wrap the publishing session's cache, run the prefix through
 /// `prefill_extend`, then [`finish`](SegmentRecorder::finish) with the
 /// post-prefix logits and fault snapshot to obtain the [`SharedSegment`].
+///
+/// For **nested prefix hierarchies** (system prompt → tool preamble → user
+/// history), call [`mark_boundary`](SegmentRecorder::mark_boundary) after
+/// pre-filling each nesting level, then
+/// [`finish_hierarchy`](SegmentRecorder::finish_hierarchy) to obtain one
+/// segment per boundary from the single recording pass — the transformer
+/// runs over the longest prefix exactly once.
 #[derive(Debug)]
 pub struct SegmentRecorder<'a> {
     inner: &'a mut dyn KvCacheBackend,
@@ -194,6 +219,8 @@ pub struct SegmentRecorder<'a> {
     counts: Vec<u32>,
     events: Vec<ReplayEvent>,
     scores: Vec<(TokenId, f32)>,
+    /// Intermediate boundaries marked during the recording pass.
+    boundaries: Vec<BoundarySnapshot>,
 }
 
 impl<'a> SegmentRecorder<'a> {
@@ -209,12 +236,95 @@ impl<'a> SegmentRecorder<'a> {
             counts: Vec::new(),
             events: Vec::new(),
             scores: Vec::new(),
+            boundaries: Vec::new(),
         }
     }
 
     /// Number of prefix tokens recorded so far (layer-0 inserts).
     pub fn recorded_tokens(&self) -> usize {
         self.counts.first().map_or(0, |&c| c as usize)
+    }
+
+    /// Marks the current recording position as an intermediate prefix
+    /// boundary of a nested hierarchy.
+    ///
+    /// `logits` are the logits of the last token pre-filled so far and
+    /// `faults` the fault injector's state at this point — exactly what a
+    /// cold session's cursor would hold after pre-filling only this much.
+    /// The KV grid and input vectors are snapshotted (copied) so the
+    /// boundary segment attaches a grid of exactly its own length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was recorded yet, or if the boundary would not be
+    /// strictly longer than the previous one.
+    pub fn mark_boundary(&mut self, logits: &[f32], faults: ProbabilisticFaults) {
+        let len = self.recorded_tokens();
+        assert!(len > 0, "cannot mark an empty prefix boundary");
+        if let Some(prev) = self.boundaries.last() {
+            assert!(
+                len > prev.len,
+                "hierarchy boundaries must be strictly increasing"
+            );
+        }
+        self.boundaries.push(BoundarySnapshot {
+            len,
+            kv: self.kv.clone(),
+            xs: self.xs.clone(),
+            events_len: self.events.len(),
+            scores_len: self.scores.len(),
+            logits: logits.to_vec(),
+            faults,
+        });
+    }
+
+    /// Number of boundaries marked so far.
+    pub fn marked_boundaries(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Freezes the recording into one publishable segment **per marked
+    /// boundary** (innermost first), the multi-level counterpart of
+    /// [`finish`](SegmentRecorder::finish).
+    ///
+    /// Each returned segment replays bit-identically to a cold pre-fill of
+    /// its own prefix: the call sequence is truncated at the boundary's cut
+    /// point and the cursor state (logits + faults) is the boundary's own
+    /// snapshot.  The caller marks the final (longest) boundary too — after
+    /// the last chunk, before calling this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no boundary was marked.
+    pub fn finish_hierarchy(self) -> Vec<SharedSegment> {
+        assert!(
+            !self.boundaries.is_empty(),
+            "cannot publish an empty prefix hierarchy"
+        );
+        let SegmentRecorder {
+            heads,
+            head_dim,
+            channels,
+            events,
+            scores,
+            boundaries,
+            ..
+        } = self;
+        boundaries
+            .into_iter()
+            .map(|b| SharedSegment {
+                len: b.len,
+                heads,
+                head_dim,
+                channels,
+                kv: Arc::new(b.kv),
+                xs: b.xs,
+                events: events[..b.events_len].to_vec(),
+                scores: scores[..b.scores_len].to_vec(),
+                logits: b.logits,
+                faults: b.faults,
+            })
+            .collect()
     }
 
     /// Freezes the recording into a publishable segment.
@@ -419,5 +529,79 @@ mod tests {
         let mut inner = FullKvCache::new();
         let recorder = SegmentRecorder::new(&mut inner);
         recorder.finish(&[0.0], faults());
+    }
+
+    /// Same synthetic pre-fill as `record`, but marking a boundary after
+    /// each of the given prefix lengths (the last must equal `tokens`).
+    fn record_hierarchy(
+        inner: &mut dyn KvCacheBackend,
+        tokens: usize,
+        boundaries: &[usize],
+    ) -> Vec<SharedSegment> {
+        let mut recorder = SegmentRecorder::new(inner);
+        let mut next = 0;
+        for t in 0..tokens {
+            for layer in 0..2 {
+                let x = [t as f32, layer as f32, 1.0, -1.0];
+                let keys = [t as f32; 4];
+                let values = [-(t as f32); 4];
+                recorder.insert(layer, t, &x, &keys, &values, 2);
+                for head in 0..2 {
+                    let scores: Vec<(TokenId, f32)> =
+                        (0..=t).map(|s| (s, 1.0 / (t + 1) as f32)).collect();
+                    recorder.observe_attention(layer, head, &scores);
+                }
+            }
+            if next < boundaries.len() && boundaries[next] == t + 1 {
+                recorder.mark_boundary(&[t as f32, 0.5], faults());
+                next += 1;
+            }
+        }
+        recorder.finish_hierarchy()
+    }
+
+    #[test]
+    fn one_pass_publishes_every_boundary() {
+        let mut inner = FullKvCache::new();
+        let segments = record_hierarchy(&mut inner, 4, &[1, 2, 4]);
+        assert_eq!(segments.len(), 3);
+        assert_eq!(
+            segments.iter().map(SharedSegment::len).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+
+        // Each boundary segment replays exactly the state a dedicated
+        // recording of just that prefix would have produced.
+        for segment in &segments {
+            let mut dedicated_inner = FullKvCache::new();
+            let dedicated = record(&mut dedicated_inner, segment.len());
+            let mut a = FullKvCache::new();
+            let mut b = FullKvCache::new();
+            segment.replay_into(&mut a);
+            dedicated.replay_into(&mut b);
+            for layer in 0..2 {
+                for head in 0..2 {
+                    assert_eq!(
+                        a.entries(layer, head),
+                        b.entries(layer, head),
+                        "len {} layer {layer} head {head}",
+                        segment.len()
+                    );
+                }
+            }
+            // The boundary cursor is the boundary's own, not the final one.
+            assert_eq!(segment.logits(), &[(segment.len() - 1) as f32, 0.5]);
+            assert_eq!(segment.shared_kv().tokens, segment.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn duplicate_boundary_rejected() {
+        let mut inner = FullKvCache::new();
+        let mut recorder = SegmentRecorder::new(&mut inner);
+        recorder.insert(0, 0, &[0.0; 4], &[0.0; 4], &[0.0; 4], 2);
+        recorder.mark_boundary(&[0.0], faults());
+        recorder.mark_boundary(&[0.0], faults());
     }
 }

@@ -18,9 +18,14 @@
 pub mod generator;
 pub mod scenario;
 pub mod task;
+pub mod trace;
 
 pub use generator::{GeneratedPrompt, TokenStreamGenerator};
 pub use scenario::{
     ChaosScenario, FrontScenario, ParallelScenario, SharedPromptScenario, TieringScenario,
 };
 pub use task::{TaskKind, TaskMetric};
+pub use trace::{
+    ArrivalProcess, HierarchyPublication, PrefixHierarchy, SessionArchetype, Trace, TraceConfig,
+    TraceEngine, TraceRequest,
+};

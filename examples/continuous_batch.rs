@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --example continuous_batch`.
 
-use kelle::{CachePolicy, KelleEngine, ServeRequest};
+use kelle::{CachePolicy, KelleEngine, ServeOptions, ServeRequest};
 
 fn main() {
     let engine = KelleEngine::builder().batch(1).build();
@@ -30,9 +30,12 @@ fn main() {
 
     println!("streaming tokens (request:token), scheduler step by step:");
     let mut line = String::new();
-    let batch = engine.serve_batch_streaming(requests, |request, token| {
+    let mut sink = |request: usize, token: usize| {
         line.push_str(&format!("{request}:{token} "));
-    });
+    };
+    let batch = engine
+        .serve(requests, ServeOptions::new().streaming(&mut sink))
+        .expect("infallible options cannot fail");
     println!("  {line}");
 
     println!("\nper-request outcomes:");

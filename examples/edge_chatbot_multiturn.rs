@@ -5,7 +5,7 @@
 //! Both strategies serve the same five-turn conversation on the same engine
 //! configuration.  The session pre-fills only each turn's new tokens; the
 //! re-prefill strategy issues an independent request per turn whose prompt is
-//! the entire conversation so far, as `KelleEngine::serve` forced before the
+//! the entire conversation so far, as `KelleEngine::serve_one` forced before the
 //! session API existed.
 //!
 //! Run with `cargo run --example edge_chatbot_multiturn`.
@@ -68,7 +68,7 @@ fn main() {
         // the session had processed when this turn's decode began.
         boundary += turn.len();
         let prompt = &full_context[..boundary];
-        let outcome = replay_engine.serve(prompt, decode_len);
+        let outcome = replay_engine.serve_one(prompt, decode_len);
         replay_prefilled += prompt.len();
         println!(
             "  turn {}: prefilled {:3} tokens, latency {:6.2} s",

@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --example edge_contention`.
 
-use kelle::{AdmissionPolicy, KelleEngine, SchedulerConfig, ServeRequest};
+use kelle::{AdmissionPolicy, KelleEngine, SchedulerConfig, ServeOptions, ServeRequest};
 
 fn main() {
     let engine = KelleEngine::builder().seed(11).build();
@@ -31,10 +31,13 @@ fn main() {
     );
 
     // Reference run: capacity holds everyone, nobody queues.
-    let ample = engine.serve_batch_with(
-        requests.clone(),
-        SchedulerConfig::default().with_kv_capacity_bytes(total),
-    );
+    let ample = engine
+        .serve(
+            requests.clone(),
+            ServeOptions::new()
+                .with_scheduler(SchedulerConfig::default().with_kv_capacity_bytes(total)),
+        )
+        .expect("infallible options cannot fail");
 
     for (label, scale, admission) in [
         ("ample capacity, fcfs", 1.0, AdmissionPolicy::Fcfs),
@@ -53,7 +56,9 @@ fn main() {
         let config = SchedulerConfig::default()
             .with_kv_capacity_bytes(((total as f64) * scale) as u64)
             .with_admission(admission);
-        let batch = engine.serve_batch_with(requests.clone(), config);
+        let batch = engine
+            .serve(requests.clone(), ServeOptions::new().with_scheduler(config))
+            .expect("infallible options cannot fail");
 
         println!("\n=== {label} ===");
         println!(

@@ -8,7 +8,7 @@
 //! Run with `cargo run --release --example parallel_serving`.
 
 use kelle::workloads::ParallelScenario;
-use kelle::{KelleEngine, PrefixSharingConfig, ServeRequest};
+use kelle::{KelleEngine, PrefixSharingConfig, ServeOptions, ServeRequest};
 use std::time::Instant;
 
 fn main() {
@@ -31,7 +31,9 @@ fn main() {
         .build();
     assert!(engine.publish_prefix(&fleet.system_prompt()));
     let start = Instant::now();
-    let reference = engine.serve_batch(requests.clone());
+    let reference = engine
+        .serve(requests.clone(), ServeOptions::new())
+        .expect("infallible options cannot fail");
     println!(
         "\nsequential:          {:>8.2}s, {} tokens",
         start.elapsed().as_secs_f64(),
@@ -45,7 +47,9 @@ fn main() {
             .build();
         assert!(engine.publish_prefix(&fleet.system_prompt()));
         let start = Instant::now();
-        let outcome = engine.serve_batch_parallel(requests.clone());
+        let outcome = engine
+            .serve(requests.clone(), ServeOptions::new().parallel())
+            .expect("infallible options cannot fail");
         let elapsed = start.elapsed().as_secs_f64();
 
         // The whole point: worker counts only move wall-clock time.

@@ -12,7 +12,7 @@ fn main() {
     let engine = KelleEngine::builder().policy(CachePolicy::Aerp).build();
 
     let prompt: Vec<usize> = vec![12, 7, 101, 45, 7, 7, 33, 250, 19, 4];
-    let outcome = engine.serve(&prompt, 24);
+    let outcome = engine.serve_one(&prompt, 24);
 
     println!("generated tokens : {:?}", outcome.generated);
     println!(

@@ -8,7 +8,7 @@
 //! Run with `cargo run --example shared_prompt`.
 
 use kelle::workloads::SharedPromptScenario;
-use kelle::{CachePolicy, KelleEngine, PrefixSharingConfig, ServeRequest};
+use kelle::{CachePolicy, KelleEngine, PrefixSharingConfig, ServeOptions, ServeRequest};
 
 fn main() {
     let scenario = SharedPromptScenario::new(8, 96, 12).with_decode_len(8);
@@ -28,7 +28,9 @@ fn main() {
     // policies privatize copy-on-evict instead; the ledger dedup below is
     // policy-independent).
     let cold_engine = KelleEngine::builder().policy(CachePolicy::Full).build();
-    let cold = cold_engine.serve_batch(requests.clone());
+    let cold = cold_engine
+        .serve(requests.clone(), ServeOptions::new())
+        .expect("infallible options cannot fail");
     let cold_prefilled: usize = cold.outcomes.iter().map(|o| o.prefilled_tokens).sum();
 
     // Sharing: publish once, then every session hits.
@@ -37,7 +39,9 @@ fn main() {
         .prefix_sharing(PrefixSharingConfig::enabled())
         .build();
     assert!(engine.publish_prefix(&system));
-    let batch = engine.serve_batch(requests);
+    let batch = engine
+        .serve(requests, ServeOptions::new())
+        .expect("infallible options cannot fail");
     let prefilled: usize = batch.outcomes.iter().map(|o| o.prefilled_tokens).sum();
 
     println!("\nwithout sharing: {cold_prefilled} prompt tokens computed");

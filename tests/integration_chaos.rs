@@ -1,3 +1,7 @@
+#![allow(deprecated)]
+// The serve_batch* wrappers are exercised on purpose: these
+// suites double as delegation coverage for the unified `KelleEngine::serve`.
+
 //! Chaos-hardening acceptance suite: deterministic fault injection
 //! (`kelle::chaos`) must leave every surviving token stream, per-step trace,
 //! probability-bearing fault statistics and per-request hardware outcomes
@@ -232,7 +236,7 @@ fn deadlines_and_queue_timeouts_shed_with_partial_output() {
     let full = KelleEngine::builder()
         .seed(3)
         .build()
-        .serve(&[1, 2, 3, 4], 10);
+        .serve_one(&[1, 2, 3, 4], 10);
     assert_eq!(deadline.generated, full.generated[..4]);
     let timed_out = &outcome.outcomes[1];
     assert_eq!(timed_out.shed, Some(ShedReason::QueueTimeout));

@@ -1,3 +1,7 @@
+#![allow(deprecated)]
+// The serve_batch* wrappers are exercised on purpose: these
+// suites double as delegation coverage for the unified `KelleEngine::serve`.
+
 //! Front-end acceptance suite: the async submit/poll serving surface
 //! (`kelle::front`) must deliver **bit-identical** token streams, traces,
 //! probability-bearing fault statistics and batch metrics to the synchronous

@@ -1,3 +1,7 @@
+#![allow(deprecated)]
+// The serve_batch* wrappers are exercised on purpose: these
+// suites double as delegation coverage for the unified `KelleEngine::serve`.
+
 //! Intra-session parallelism acceptance suite: fanning one session's decode
 //! step across the worker pool (per-head attention jobs + row-blocked
 //! projections) must be **bit-identical** to sequential decode — token

@@ -1,3 +1,7 @@
+#![allow(deprecated)]
+// The serve_batch* wrappers are exercised on purpose: these
+// suites double as delegation coverage for the unified `KelleEngine::serve`.
+
 //! Parallel-equivalence acceptance suite: the threaded serving front-end
 //! (`kelle::parallel`) must be **bit-identical** to the single-threaded
 //! scheduler — token streams, per-step traces, probability-bearing fault

@@ -102,7 +102,7 @@ fn engine_serves_multiple_models() {
             ..EngineConfig::default()
         };
         let engine = KelleEngine::new(config);
-        let outcome = engine.serve(&[1, 2, 3, 4, 5], 6);
+        let outcome = engine.serve_one(&[1, 2, 3, 4, 5], 6);
         assert_eq!(outcome.generated.len(), 6, "{kind:?}");
         assert!(outcome.hardware.total_energy_j() > 0.0);
     }

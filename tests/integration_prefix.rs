@@ -1,3 +1,7 @@
+#![allow(deprecated)]
+// The serve_batch* wrappers are exercised on purpose: these
+// suites double as delegation coverage for the unified `KelleEngine::serve`.
+
 //! Acceptance tests of cross-session prefix KV sharing (`kelle::prefix`).
 //!
 //! The load-bearing guarantee: a prefix-cache hit is **observationally

@@ -1,3 +1,7 @@
+#![allow(deprecated)]
+// The serve_batch* wrappers are exercised on purpose: these
+// suites double as delegation coverage for the unified `KelleEngine::serve`.
+
 //! Integration tests for the session-oriented serving API: multi-turn KV
 //! reuse, the policy registry, and the continuous-batching scheduler.
 
@@ -49,7 +53,7 @@ fn session_turns_match_one_shot_serving() {
     );
 
     let one_shot_engine = engine_with_policy(CachePolicy::Full);
-    let one_shot = one_shot_engine.serve(&one_shot_prompt, decode2);
+    let one_shot = one_shot_engine.serve_one(&one_shot_prompt, decode2);
     assert_eq!(
         second.generated, one_shot.generated,
         "chained turns and one-shot serving must emit the same tokens"
@@ -86,7 +90,7 @@ fn session_reuses_cache_instead_of_reprefilling() {
     // ...but the decode phase still pays for attending over the full 14-token
     // context: it costs exactly what a one-shot request with the same total
     // context and decode length reports.
-    let one_shot = engine_with_policy(CachePolicy::Aerp).serve(&(0..14).collect::<Vec<_>>(), 4);
+    let one_shot = engine_with_policy(CachePolicy::Aerp).serve_one(&(0..14).collect::<Vec<_>>(), 4);
     let delta =
         (second.hardware.decode.energy.total_j() - one_shot.hardware.decode.energy.total_j()).abs();
     assert!(delta < 1e-9, "decode-phase energy differs by {delta}");
@@ -418,7 +422,7 @@ fn per_request_policy_overrides_apply() {
         .build();
     let prompt: Vec<usize> = (0..24).collect();
 
-    let default_outcome = engine.serve(&prompt, 8);
+    let default_outcome = engine.serve_one(&prompt, 8);
     assert!(default_outcome.cache.evictions > 0);
 
     let full = engine.serve_request(

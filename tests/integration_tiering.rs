@@ -1,3 +1,7 @@
+#![allow(deprecated)]
+// The serve_batch* wrappers are exercised on purpose: these
+// suites double as delegation coverage for the unified `KelleEngine::serve`.
+
 //! Tiered-memory acceptance suite: the eDRAM → DRAM → NVMe hierarchy
 //! (`kelle::tier`) must keep token streams, per-step traces,
 //! probability-bearing fault statistics and per-request hardware outcomes
@@ -312,7 +316,10 @@ fn store_eviction_of_a_referenced_prefix_is_copy_safe_for_budgeted_policies() {
         follow.outcomes[0].prefix_hit_tokens, 0,
         "A is gone from the store"
     );
-    let solo = KelleEngine::builder().seed(19).build().serve(&prompt, 3);
+    let solo = KelleEngine::builder()
+        .seed(19)
+        .build()
+        .serve_one(&prompt, 3);
     assert_eq!(follow.outcomes[0].generated, solo.generated);
 }
 
